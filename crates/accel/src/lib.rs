@@ -1,0 +1,95 @@
+//! `accel` — the baseline systems of the paper's evaluation (§5):
+//!
+//! * [`AccelDb`] — our implementation of the **XPath Accelerator** (paper ref 2)
+//!   over the same relational engine: pre/post window encoding, one
+//!   self-join of the central relation per location step.
+//! * [`translate_naive`] — the "built-in XPath of a commercial RDBMS"
+//!   stand-in: conventional per-step foreign-key joins over the
+//!   schema-aware relations, deliberately supporting only plain
+//!   child-axis queries (the real system supported only 3 of the
+//!   benchmark queries).
+
+pub mod naive;
+pub mod store;
+pub mod translate;
+
+use relstore::Database;
+use sqlexec::{ExecStats, Executor, ResultSet};
+use xmldom::Document;
+
+pub use naive::{translate_naive, NaiveError};
+pub use store::{AccelStore, ACCEL_ATTRS, ACCEL_TABLE};
+pub use translate::{translate_accel, AccelError};
+
+/// A loaded accelerator database plus query interface.
+pub struct AccelDb {
+    store: AccelStore,
+}
+
+impl Default for AccelDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Query result for the accelerator (ids are `pre` ranks, document order).
+#[derive(Debug, Clone)]
+pub struct AccelResult {
+    pub sql: String,
+    pub rows: ResultSet,
+    pub stats: ExecStats,
+}
+
+impl AccelResult {
+    pub fn ids(&self) -> Vec<i64> {
+        self.rows
+            .rows
+            .iter()
+            .filter_map(|r| r.first().and_then(relstore::Value::as_int))
+            .collect()
+    }
+}
+
+impl AccelDb {
+    pub fn new() -> AccelDb {
+        AccelDb {
+            store: AccelStore::new(),
+        }
+    }
+
+    pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, AccelError> {
+        self.store.load(doc).map_err(|e| AccelError(e.to_string()))
+    }
+
+    pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, AccelError> {
+        let doc = xmldom::parse(xml).map_err(|e| AccelError(e.to_string()))?;
+        self.load(&doc)
+    }
+
+    pub fn finalize(&mut self) -> Result<(), AccelError> {
+        self.store
+            .create_indexes()
+            .map_err(|e| AccelError(e.to_string()))
+    }
+
+    pub fn db(&self) -> &Database {
+        self.store.db()
+    }
+
+    pub fn sql_for(&self, xpath: &str) -> Result<String, AccelError> {
+        let expr = xpath::parse_xpath(xpath).map_err(|e| AccelError(e.to_string()))?;
+        Ok(sqlexec::render_stmt(&translate_accel(&expr)?))
+    }
+
+    pub fn query(&self, xpath: &str) -> Result<AccelResult, AccelError> {
+        let expr = xpath::parse_xpath(xpath).map_err(|e| AccelError(e.to_string()))?;
+        let stmt = translate_accel(&expr)?;
+        let exec = Executor::new(self.db());
+        let rows = exec.run(&stmt).map_err(|e| AccelError(e.to_string()))?;
+        Ok(AccelResult {
+            sql: sqlexec::render_stmt(&stmt),
+            rows,
+            stats: exec.stats(),
+        })
+    }
+}

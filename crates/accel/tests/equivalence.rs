@@ -1,0 +1,135 @@
+//! The accelerator and the naive baseline must agree with the native
+//! evaluator on the query subsets they support.
+
+use accel::AccelDb;
+use sqlexec::Executor;
+use xmldom::Document;
+use xpath::{evaluate, parse_xpath, Item};
+
+fn doc() -> Document {
+    xmldom::parse(
+        "<A x='4'>\
+           <B><C><D x='1'>9</D></C><C><E><F>1</F><F>2</F></E></C><G/></B>\
+           <B><G><G/></G></B>\
+         </A>",
+    )
+    .expect("xml")
+}
+
+const ACCEL_CORPUS: &[&str] = &[
+    "/A",
+    "/A/B",
+    "/A/B/C",
+    "/A/*",
+    "//F",
+    "//G",
+    "/A//C",
+    "//C/*/F",
+    "/descendant-or-self::G",
+    "//G//G",
+    "//F/parent::E",
+    "//F/ancestor::B",
+    "//G/ancestor-or-self::G",
+    "//D/following-sibling::E",
+    "//G/preceding-sibling::C",
+    "//D/following::F",
+    "//G/preceding::F",
+    "//E[F=1]",
+    "//E[F=3]",
+    "//D[@x=1]",
+    "//B[C]",
+    "//B[not(C)]",
+    "/A/B[C and G]",
+    "/A/B[C or G]",
+    "//F[parent::E]",
+    "//*[@x]",
+    "//D | //F",
+    "/A[@x=4]//C",
+]; // (no count()/position(): outside the accelerator subset, like the paper's manual translations)
+
+fn native_ids(d: &Document, loaded: &shred::LoadedDoc, q: &str) -> Vec<i64> {
+    let expr = parse_xpath(q).expect("parse");
+    let mut out: Vec<i64> = evaluate(d, &expr)
+        .expect("native")
+        .into_iter()
+        .map(|i| match i {
+            Item::Node(n) => loaded.element_ids[&n],
+            Item::Attr(..) => panic!("element results only"),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn accelerator_matches_native() {
+    let d = doc();
+    let mut a = AccelDb::new();
+    let loaded = a.load(&d).expect("load");
+    a.finalize().expect("indexes");
+    for q in ACCEL_CORPUS {
+        let expected = native_ids(&d, &loaded, q);
+        let r = a.query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let mut got = r.ids();
+        got.sort();
+        assert_eq!(got, expected, "query {q}\nsql: {}", r.sql);
+    }
+}
+
+#[test]
+fn accelerator_join_count_grows_with_steps() {
+    // The defining property of the baseline: one join per step.
+    let a = AccelDb::new();
+    let s1 = a.sql_for("/A").expect("sql");
+    let s4 = a.sql_for("/A/B/C/D").expect("sql");
+    assert_eq!(s1.matches("Accel").count(), 1, "sql: {s1}");
+    assert_eq!(s4.matches("Accel").count(), 4, "sql: {s4}");
+}
+
+#[test]
+fn naive_supports_only_child_paths() {
+    let schema = xmlschema::figure1_schema();
+    let ok = xpath::parse_xpath("/A/B/C").expect("parse");
+    assert!(accel::translate_naive(&schema, &ok).is_ok());
+    for q in ["//F", "/A/B/C//F", "/A/*", "//F/parent::E"] {
+        let e = xpath::parse_xpath(q).expect("parse");
+        assert!(
+            accel::translate_naive(&schema, &e).is_err(),
+            "{q} should be unsupported"
+        );
+    }
+}
+
+#[test]
+fn naive_matches_native_on_its_subset() {
+    let d = doc();
+    let schema = xmlschema::figure1_schema();
+    let mut store = shred::SchemaAwareStore::new(&schema).expect("store");
+    let loaded = store.load(&d).expect("load");
+    store.create_indexes().expect("indexes");
+    for q in [
+        "/A/B/C",
+        "/A/B/C/D",
+        "/A[@x=4]/B",
+        "/A/B[C]",
+        "/A/B[not(C)]",
+        "/A/B[C/D]",
+        "/A/B/C[D and not(E)]",
+        "/A/B/C/E[F=2]",
+        "/A/B/C/E[F=F]",
+    ] {
+        let expr = parse_xpath(q).expect("parse");
+        let stmt = accel::translate_naive(&schema, &expr)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let exec = Executor::new(store.db());
+        let rs = exec.run(&stmt).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let mut got: Vec<i64> = rs
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().expect("id"))
+            .collect();
+        got.sort();
+        let expected = native_ids(&d, &loaded, q);
+        assert_eq!(got, expected, "query {q}");
+    }
+}

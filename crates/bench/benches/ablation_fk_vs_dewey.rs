@@ -1,0 +1,58 @@
+//! §4.2 ablation: the paper argues single child/parent steps should join
+//! on integer foreign keys rather than Dewey ranges ("foreign key and
+//! primary key columns … are much smaller than dewey_pos columns, and
+//! moreover equijoins perform generally better than theta-joins").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppf_bench::{generate_xmark, xmark_schema, XMarkConfig};
+use ppf_core::XmlDb;
+
+fn bench_scale() -> f64 {
+    std::env::var("PPF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+const QUERIES: &[(&str, &str)] = &[
+    // Child chains broken by predicates, forcing per-PPF joins.
+    ("bidder_ref", "/site/open_auctions/open_auction[@id='open_auction0']/bidder/personref"),
+    ("parent_step", "//personref/parent::bidder"),
+    ("pred_child", "/site/people/person[profile]/watches/watch"),
+];
+
+fn ablation(c: &mut Criterion) {
+    let doc = generate_xmark(XMarkConfig {
+        scale: bench_scale(),
+        seed: 42,
+    });
+    let mut fk = XmlDb::new(&xmark_schema()).expect("db");
+    fk.load(&doc).expect("load");
+    fk.finalize().expect("indexes");
+    // The dewey-join variant needs the non-default option; build through
+    // the translate options on a second instance.
+    let mut dewey = XmlDb::new(&xmark_schema()).expect("db");
+    dewey.set_fk_joins(false);
+    dewey.load(&doc).expect("load");
+    dewey.finalize().expect("indexes");
+
+    let mut group = c.benchmark_group("ablation_fk_vs_dewey");
+    group.sample_size(10);
+    for (name, q) in QUERIES {
+        assert_eq!(
+            fk.query(q).expect("fk").ids(),
+            dewey.query(q).expect("dewey").ids(),
+            "join strategy changed results for {q}"
+        );
+        group.bench_with_input(BenchmarkId::new("fk_join", name), q, |b, q| {
+            b.iter(|| fk.query(q).expect("fk").rows.rows.len())
+        });
+        group.bench_with_input(BenchmarkId::new("dewey_join", name), q, |b, q| {
+            b.iter(|| dewey.query(q).expect("dewey").rows.rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §4.5 ablation: the U-P/F-P/I-P marking that omits provably redundant
+//! `Paths` joins, on vs off. Queries over deep unique-path chains
+//! (U-P-heavy) should gain the most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppf_bench::{generate_xmark, xmark_schema, XMarkConfig};
+use ppf_core::XmlDb;
+
+fn bench_scale() -> f64 {
+    std::env::var("PPF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+const QUERIES: &[(&str, &str)] = &[
+    // U-P-heavy chains: every step has a unique root path.
+    ("deep_chain", "/site/open_auctions/open_auction/interval/start"),
+    ("person_chain", "/site/people/person/address/city"),
+    // Predicated U-P chain.
+    ("pred_chain", "/site/people/person[address and (phone or homepage)]"),
+    // F-P/I-P queries keep their filters either way; the marking should
+    // not hurt them.
+    ("recursive", "//parlist/listitem//keyword"),
+    ("wildcard", "/site/regions/*/item"),
+];
+
+fn ablation(c: &mut Criterion) {
+    let doc = generate_xmark(XMarkConfig {
+        scale: bench_scale(),
+        seed: 42,
+    });
+    let mut on = XmlDb::new(&xmark_schema()).expect("db");
+    on.load(&doc).expect("load");
+    on.finalize().expect("indexes");
+    let mut off = XmlDb::new(&xmark_schema()).expect("db");
+    off.set_path_marking(false);
+    off.load(&doc).expect("load");
+    off.finalize().expect("indexes");
+
+    let mut group = c.benchmark_group("ablation_pathfilter");
+    group.sample_size(10);
+    for (name, q) in QUERIES {
+        // Sanity: identical results.
+        assert_eq!(
+            on.query(q).expect("on").ids(),
+            off.query(q).expect("off").ids(),
+            "marking changed results for {q}"
+        );
+        group.bench_with_input(BenchmarkId::new("marking_on", name), q, |b, q| {
+            b.iter(|| on.query(q).expect("on").rows.rows.len())
+        });
+        group.bench_with_input(BenchmarkId::new("marking_off", name), q, |b, q| {
+            b.iter(|| off.query(q).expect("off").rows.rows.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

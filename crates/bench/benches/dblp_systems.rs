@@ -1,0 +1,33 @@
+//! Appendix C (DBLP table): QD1–QD5 across the systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppf_bench::{build_dblp, dblp_queries, run_query, System};
+
+fn bench_scale() -> f64 {
+    std::env::var("PPF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+fn dblp(c: &mut Criterion) {
+    let data = build_dblp(bench_scale(), 42);
+    let mut group = c.benchmark_group("dblp");
+    group.sample_size(10);
+    for (name, q) in dblp_queries() {
+        for system in System::ALL {
+            if run_query(&data, system, q).is_err() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(system.label().replace(' ', "_"), name),
+                &q,
+                |b, q| b.iter(|| run_query(&data, system, q).expect("supported")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dblp);
+criterion_main!(benches);

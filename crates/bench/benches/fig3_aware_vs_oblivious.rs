@@ -1,0 +1,52 @@
+//! Figure 3: schema-aware vs schema-oblivious PPF-based processing.
+//!
+//! The paper's claim: apportioning XML content into several relations
+//! beats the Edge-like central relation, most dramatically on queries
+//! with structural joins (Q6, Q7, Q-A, QD2, QD5), because those become
+//! self-joins of one large relation in the oblivious mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppf_bench::{build_dblp, build_xmark, dblp_queries, run_query, xmark_queries, System};
+
+fn bench_scale() -> f64 {
+    std::env::var("PPF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+fn fig3(c: &mut Criterion) {
+    let scale = bench_scale();
+    let xmark = build_xmark(scale, 42);
+    let mut group = c.benchmark_group("fig3_xmark");
+    group.sample_size(10);
+    for (name, q) in xmark_queries() {
+        // Sanity: both mappings must agree before we time them.
+        ppf_bench::check_agreement(&xmark, q).expect("mappings agree");
+        group.bench_with_input(BenchmarkId::new("schema_aware", name), &q, |b, q| {
+            b.iter(|| run_query(&xmark, System::Ppf, q).expect("ppf"))
+        });
+        group.bench_with_input(BenchmarkId::new("edge_like", name), &q, |b, q| {
+            b.iter(|| run_query(&xmark, System::EdgePpf, q).expect("edge"))
+        });
+    }
+    group.finish();
+    drop(xmark);
+
+    let dblp = build_dblp(scale, 42);
+    let mut group = c.benchmark_group("fig3_dblp");
+    group.sample_size(10);
+    for (name, q) in dblp_queries() {
+        ppf_bench::check_agreement(&dblp, q).expect("mappings agree");
+        group.bench_with_input(BenchmarkId::new("schema_aware", name), &q, |b, q| {
+            b.iter(|| run_query(&dblp, System::Ppf, q).expect("ppf"))
+        });
+        group.bench_with_input(BenchmarkId::new("edge_like", name), &q, |b, q| {
+            b.iter(|| run_query(&dblp, System::EdgePpf, q).expect("edge"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 4 + Appendix C (XMark table): PPF vs the other systems on the
+//! XPathMark query subset. Unsupported (system, query) pairs are skipped,
+//! mirroring the paper's N/A cells for the commercial RDBMS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppf_bench::{build_xmark, run_query, xmark_queries, System};
+
+fn bench_scale() -> f64 {
+    std::env::var("PPF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+fn fig4(c: &mut Criterion) {
+    let data = build_xmark(bench_scale(), 42);
+    let mut group = c.benchmark_group("fig4_xmark");
+    group.sample_size(10);
+    for (name, q) in xmark_queries() {
+        for system in System::ALL {
+            if run_query(&data, system, q).is_err() {
+                continue; // N/A cell
+            }
+            group.bench_with_input(
+                BenchmarkId::new(system.label().replace(' ', "_"), name),
+                &q,
+                |b, q| b.iter(|| run_query(&data, system, q).expect("supported")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microbenchmarks for the paper's two core mechanisms: lexicographic
+//! binary Dewey comparisons (§4.2) and POSIX-ERE path filtering (§4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn dewey_micro(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let vectors: Vec<Vec<u32>> = (0..1024)
+        .map(|_| {
+            let depth = rng.gen_range(1..10);
+            (0..depth).map(|_| rng.gen_range(1..500)).collect()
+        })
+        .collect();
+    let encoded: Vec<Vec<u8>> = vectors
+        .iter()
+        .map(|v| shred::dewey::encode(v).expect("encodable"))
+        .collect();
+
+    c.bench_function("dewey_encode", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for v in &vectors {
+                n += shred::dewey::encode(v).expect("encodable").len();
+            }
+            n
+        })
+    });
+    c.bench_function("dewey_descendant_check", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for pair in encoded.windows(2) {
+                if shred::dewey::is_descendant(&pair[1], &pair[0]) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    c.bench_function("dewey_following_check", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for pair in encoded.windows(2) {
+                if shred::dewey::is_following(&pair[1], &pair[0]) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn regex_micro(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let segs = ["site", "regions", "item", "description", "parlist", "listitem", "text", "keyword"];
+    let paths: Vec<String> = (0..1024)
+        .map(|_| {
+            let depth = rng.gen_range(1..9);
+            let mut p = String::new();
+            for _ in 0..depth {
+                p.push('/');
+                p.push_str(segs[rng.gen_range(0..segs.len())]);
+            }
+            p
+        })
+        .collect();
+    let re = regexlite::Regex::new("^/site(/[^/]+)*/listitem(/[^/]+)*/keyword$")
+        .expect("pattern compiles");
+    c.bench_function("regex_path_filter_1024", |b| {
+        b.iter(|| paths.iter().filter(|p| re.is_match(p)).count())
+    });
+    let exact = regexlite::Regex::new("^/site/regions/item$").expect("pattern compiles");
+    c.bench_function("regex_exact_path_1024", |b| {
+        b.iter(|| paths.iter().filter(|p| exact.is_match(p)).count())
+    });
+}
+
+criterion_group!(benches, dewey_micro, regex_micro);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerate the paper's result tables (Appendix C + Figures 3/4).
+//!
+//! ```text
+//! cargo run --release -p ppf-bench --bin paper_tables [small_scale] [reps]
+//! ```
+//!
+//! Produces three markdown tables: XMark small, XMark large (10× small —
+//! the paper's 12 MB vs 113 MB ratio), and DBLP, with the per-query
+//! cardinality and the median wall-clock per system. `N/A` marks queries
+//! a system does not support (the commercial-proxy baseline supports only
+//! Q23/Q24/QA, like the paper's commercial RDBMS).
+
+use ppf_bench::{
+    build_dblp, build_xmark, dblp_queries, run_query, time_query, xmark_queries, BenchData,
+    System,
+};
+
+fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+fn table(title: &str, data: &BenchData, queries: &[(&str, &str)], reps: usize) {
+    println!("\n## {title}");
+    println!(
+        "(document: {} elements, {} total rows in the schema-aware store)\n",
+        data.doc.element_count(),
+        data.ppf.db().total_rows(),
+    );
+    print!("| query | # nodes |");
+    for s in System::ALL {
+        print!(" {} |", s.label());
+    }
+    println!();
+    print!("|---|---|");
+    for _ in System::ALL {
+        print!("---|");
+    }
+    println!();
+    for (name, q) in queries {
+        let nodes = run_query(data, System::Native, q)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|_| "?".to_string());
+        print!("| {name} | {nodes} |");
+        for s in System::ALL {
+            match time_query(data, s, q, reps) {
+                Ok((_, d)) => print!(" {} |", fmt_duration(d)),
+                Err(_) => print!(" N/A |"),
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small_scale: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let large_scale = small_scale * 10.0;
+
+    eprintln!("building XMark small (scale {small_scale})...");
+    let small = build_xmark(small_scale, 42);
+    table(
+        &format!("XMark small (scale {small_scale})"),
+        &small,
+        &xmark_queries(),
+        reps,
+    );
+    drop(small);
+
+    eprintln!("building XMark large (scale {large_scale})...");
+    let large = build_xmark(large_scale, 42);
+    table(
+        &format!("XMark large (scale {large_scale})"),
+        &large,
+        &xmark_queries(),
+        reps,
+    );
+    drop(large);
+
+    eprintln!("building DBLP (scale {})...", small_scale);
+    let dblp = build_dblp(small_scale, 42);
+    table(
+        &format!("DBLP (scale {small_scale})"),
+        &dblp,
+        &dblp_queries(),
+        reps,
+    );
+}

@@ -1,0 +1,181 @@
+//! `ppf-bench` — the experiment harness for the paper's evaluation (§5).
+//!
+//! Builds the five competing systems over the same generated documents:
+//!
+//! | harness name | paper name                         | implementation |
+//! |--------------|------------------------------------|----------------|
+//! | `Ppf`        | PPF (schema-aware)                 | `ppf_core::XmlDb` |
+//! | `EdgePpf`    | Edge-like PPF (schema-oblivious)   | `ppf_core::EdgeDb` |
+//! | `Native`     | MonetDB/XQuery (main-memory proxy) | `xpath::evaluate` |
+//! | `Accel`      | XPath Accelerator                  | `accel::AccelDb` |
+//! | `Naive`      | commercial RDBMS built-in XPath    | `accel::translate_naive` |
+//!
+//! The criterion benches and the `paper_tables` binary drive this module;
+//! EXPERIMENTS.md records the outputs next to the paper's Appendix C.
+
+use std::time::{Duration, Instant};
+
+use accel::AccelDb;
+use ppf_core::{EdgeDb, XmlDb};
+use sqlexec::Executor;
+use xmldom::Document;
+use xmlschema::Schema;
+
+pub use xmark::{
+    dblp_queries, dblp_schema, generate_dblp, generate_xmark, xmark_queries, xmark_schema,
+    DblpConfig, XMarkConfig,
+};
+
+/// All five systems loaded with the same document.
+pub struct BenchData {
+    pub doc: Document,
+    pub schema: Schema,
+    pub ppf: XmlDb,
+    pub edge: EdgeDb,
+    pub accel: AccelDb,
+}
+
+/// The competing systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    Ppf,
+    EdgePpf,
+    Native,
+    Accel,
+    Naive,
+}
+
+impl System {
+    pub const ALL: [System; 5] = [
+        System::Ppf,
+        System::EdgePpf,
+        System::Native,
+        System::Accel,
+        System::Naive,
+    ];
+
+    /// Label used in the output tables (mirroring Appendix C's columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Ppf => "PPF",
+            System::EdgePpf => "Edge-like PPF",
+            System::Native => "Native (MonetDB proxy)",
+            System::Accel => "XPath Accel.",
+            System::Naive => "Naive FK (commercial proxy)",
+        }
+    }
+}
+
+fn build(doc: Document, schema: Schema) -> BenchData {
+    let mut ppf = XmlDb::new(&schema).expect("schema db");
+    ppf.load(&doc).expect("ppf load");
+    ppf.finalize().expect("ppf indexes");
+
+    let mut edge = EdgeDb::new();
+    edge.load(&doc).expect("edge load");
+    edge.finalize().expect("edge indexes");
+
+    let mut accel = AccelDb::new();
+    accel.load(&doc).expect("accel load");
+    accel.finalize().expect("accel indexes");
+
+    BenchData {
+        doc,
+        schema,
+        ppf,
+        edge,
+        accel,
+    }
+}
+
+/// Build all systems over an XMark-like document.
+pub fn build_xmark(scale: f64, seed: u64) -> BenchData {
+    build(
+        generate_xmark(XMarkConfig { scale, seed }),
+        xmark_schema(),
+    )
+}
+
+/// Build all systems over a DBLP-like document.
+pub fn build_dblp(scale: f64, seed: u64) -> BenchData {
+    build(generate_dblp(DblpConfig { scale, seed }), dblp_schema())
+}
+
+/// Run a query on a system; returns the result cardinality, or `Err` when
+/// the system does not support the query (expected for `Naive` on most).
+pub fn run_query(data: &BenchData, system: System, query: &str) -> Result<usize, String> {
+    match system {
+        System::Ppf => data
+            .ppf
+            .query(query)
+            .map(|r| r.rows.rows.len())
+            .map_err(|e| e.to_string()),
+        System::EdgePpf => data
+            .edge
+            .query(query)
+            .map(|r| r.rows.rows.len())
+            .map_err(|e| e.to_string()),
+        System::Native => {
+            let expr = xpath::parse_xpath(query).map_err(|e| e.to_string())?;
+            xpath::evaluate(&data.doc, &expr)
+                .map(|items| items.len())
+                .map_err(|e| e.to_string())
+        }
+        System::Accel => data
+            .accel
+            .query(query)
+            .map(|r| r.rows.rows.len())
+            .map_err(|e| e.to_string()),
+        System::Naive => {
+            let expr = xpath::parse_xpath(query).map_err(|e| e.to_string())?;
+            let stmt =
+                accel::translate_naive(&data.schema, &expr).map_err(|e| e.to_string())?;
+            let exec = Executor::new(data.ppf.db());
+            exec.run(&stmt)
+                .map(|rs| rs.rows.len())
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// One timed measurement: median wall-clock of `reps` runs plus the
+/// cardinality (the paper reports the average of 5 cold runs; medians are
+/// steadier for in-memory reruns).
+pub fn time_query(
+    data: &BenchData,
+    system: System,
+    query: &str,
+    reps: usize,
+) -> Result<(usize, Duration), String> {
+    let mut times = Vec::with_capacity(reps);
+    let mut count = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        count = run_query(data, system, query)?;
+        times.push(t0.elapsed());
+        // Adaptive repetition: once a single run exceeds a few seconds,
+        // more repetitions add nothing but wall-clock (the paper likewise
+        // reports "~" for a cell that never finished).
+        if times.last().expect("just pushed") > &Duration::from_secs(3) {
+            break;
+        }
+    }
+    times.sort();
+    Ok((count, times[times.len() / 2]))
+}
+
+/// Per-query sanity check used by the harness and integration tests: the
+/// SQL systems must agree with the native evaluator on cardinality.
+pub fn check_agreement(data: &BenchData, query: &str) -> Result<usize, String> {
+    let expected = run_query(data, System::Native, query)?;
+    for system in [System::Ppf, System::EdgePpf] {
+        let got = run_query(data, system, query)?;
+        if got != expected {
+            return Err(format!(
+                "{} returned {got}, native returned {expected} for {query}",
+                system.label()
+            ));
+        }
+    }
+    Ok(expected)
+}

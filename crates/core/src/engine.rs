@@ -1,0 +1,222 @@
+//! High-level façade: an XML database backed by the relational engine.
+//!
+//! [`XmlDb`] is the schema-aware system of the paper (shredding per §3,
+//! PPF translation per §4); [`EdgeDb`] is the schema-oblivious variant of
+//! §5.1. Both run the generated SQL on the `sqlexec`/`relstore` engine and
+//! return element ids in document order.
+
+use relstore::{Database, Value};
+use shred::{EdgeStore, SchemaAwareStore};
+use sqlexec::{ExecStats, Executor, ResultSet};
+use xmldom::Document;
+use xmlschema::Schema;
+
+use crate::translate::{
+    translate, Mapping, OutputKind, TranslateOptions, Translation,
+};
+
+/// Engine error (shredding, translation or execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError(pub String);
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+macro_rules! wrap_err {
+    ($e:expr) => {
+        $e.map_err(|e| EngineError(e.to_string()))
+    };
+}
+
+/// A query answer: the SQL text that ran (if any), the rows, and
+/// execution counters.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub sql: Option<String>,
+    pub output: OutputKind,
+    pub rows: ResultSet,
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// Element ids of the result, in document order.
+    pub fn ids(&self) -> Vec<i64> {
+        self.rows
+            .rows
+            .iter()
+            .filter_map(|r| r.first().and_then(Value::as_int))
+            .collect()
+    }
+}
+
+fn empty_result(output: OutputKind) -> QueryResult {
+    QueryResult {
+        sql: None,
+        output,
+        rows: ResultSet {
+            columns: vec!["id".into(), "dewey_pos".into()],
+            rows: Vec::new(),
+        },
+        stats: ExecStats::default(),
+    }
+}
+
+/// The schema-aware PPF system (the paper's main configuration).
+pub struct XmlDb {
+    store: SchemaAwareStore,
+    opts: TranslateOptions,
+}
+
+impl XmlDb {
+    pub fn new(schema: &Schema) -> Result<XmlDb, EngineError> {
+        Ok(XmlDb {
+            store: wrap_err!(SchemaAwareStore::new(schema))?,
+            opts: TranslateOptions::default(),
+        })
+    }
+
+    /// Toggle the §4.5 path-filter omission (for the ablation benchmark).
+    pub fn set_path_marking(&mut self, on: bool) {
+        self.opts.use_path_marking = on;
+    }
+
+    /// Toggle FK joins for single child/parent steps (§4.2; off = always
+    /// Dewey joins, for the ablation benchmark).
+    pub fn set_fk_joins(&mut self, on: bool) {
+        self.opts.use_fk_joins = on;
+    }
+
+    /// Load a document; returns its tree-node → element-id mapping.
+    pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
+        wrap_err!(self.store.load(doc))
+    }
+
+    /// Parse and load an XML string.
+    pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, EngineError> {
+        let doc = wrap_err!(xmldom::parse(xml))?;
+        self.load(&doc)
+    }
+
+    /// Build the §3.1 indexes; call once after bulk loading.
+    pub fn finalize(&mut self) -> Result<(), EngineError> {
+        wrap_err!(self.store.create_indexes())
+    }
+
+    pub fn db(&self) -> &Database {
+        self.store.db()
+    }
+
+    pub fn store(&self) -> &SchemaAwareStore {
+        &self.store
+    }
+
+    /// Translate an XPath string to its SQL.
+    pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
+        let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+        wrap_err!(translate(
+            &expr,
+            Mapping::SchemaAware {
+                schema: self.store.schema(),
+                marking: self.store.marking(),
+            },
+            self.opts,
+        ))
+    }
+
+    /// The SQL text for an XPath query (`None` when statically empty).
+    pub fn sql_for(&self, xpath: &str) -> Result<Option<String>, EngineError> {
+        Ok(self
+            .translate(xpath)?
+            .stmt
+            .as_ref()
+            .map(sqlexec::render_stmt))
+    }
+
+    /// Run an XPath query through the PPF translation.
+    pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
+        let t = self.translate(xpath)?;
+        run_translation(self.db(), t)
+    }
+}
+
+/// The schema-oblivious (Edge-like) PPF system of §5.1.
+pub struct EdgeDb {
+    store: EdgeStore,
+}
+
+impl Default for EdgeDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgeDb {
+    pub fn new() -> EdgeDb {
+        EdgeDb {
+            store: EdgeStore::new(),
+        }
+    }
+
+    pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
+        wrap_err!(self.store.load(doc))
+    }
+
+    pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, EngineError> {
+        let doc = wrap_err!(xmldom::parse(xml))?;
+        self.load(&doc)
+    }
+
+    pub fn finalize(&mut self) -> Result<(), EngineError> {
+        wrap_err!(self.store.create_indexes())
+    }
+
+    pub fn db(&self) -> &Database {
+        self.store.db()
+    }
+
+    pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
+        let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+        wrap_err!(translate(
+            &expr,
+            Mapping::EdgeLike,
+            TranslateOptions {
+                use_path_marking: false,
+                ..TranslateOptions::default()
+            },
+        ))
+    }
+
+    pub fn sql_for(&self, xpath: &str) -> Result<Option<String>, EngineError> {
+        Ok(self
+            .translate(xpath)?
+            .stmt
+            .as_ref()
+            .map(sqlexec::render_stmt))
+    }
+
+    pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
+        let t = self.translate(xpath)?;
+        run_translation(self.db(), t)
+    }
+}
+
+fn run_translation(db: &Database, t: Translation) -> Result<QueryResult, EngineError> {
+    match t.stmt {
+        None => Ok(empty_result(t.output)),
+        Some(stmt) => {
+            let exec = Executor::new(db);
+            let rows = wrap_err!(exec.run(&stmt))?;
+            Ok(QueryResult {
+                sql: Some(sqlexec::render_stmt(&stmt)),
+                output: t.output,
+                rows,
+                stats: exec.stats(),
+            })
+        }
+    }
+}

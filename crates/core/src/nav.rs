@@ -1,0 +1,219 @@
+//! Schema-graph navigation: which element definitions can a step sequence
+//! land on? (Used to assign *prominent relations* to PPFs, §4.1, and to
+//! detect statically-empty queries.)
+
+use std::collections::BTreeSet;
+
+use xmlschema::Schema;
+use xpath::{Axis, NodeTest, Step};
+
+/// The set of candidate element names at some point of a path walk.
+/// `root` tracks whether the virtual document root is in the set (it has
+/// no name, so it needs its own flag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidates {
+    pub names: BTreeSet<String>,
+    pub root: bool,
+}
+
+impl Candidates {
+    /// Starting point of an absolute path.
+    pub fn at_root() -> Candidates {
+        Candidates {
+            names: BTreeSet::new(),
+            root: true,
+        }
+    }
+
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> Candidates {
+        Candidates {
+            names: names.into_iter().collect(),
+            root: false,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty() && !self.root
+    }
+}
+
+/// Names matching a node test within a name set.
+fn filter_names(names: BTreeSet<String>, test: &NodeTest) -> BTreeSet<String> {
+    match test {
+        NodeTest::Name(n) => names.into_iter().filter(|x| x == n).collect(),
+        NodeTest::Wildcard | NodeTest::AnyNode => names,
+        NodeTest::Text => BTreeSet::new(),
+    }
+}
+
+/// Everything reachable strictly below the given names.
+fn reachable_below(schema: &Schema, from: &BTreeSet<String>, from_root: bool) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut stack: Vec<String> = Vec::new();
+    if from_root {
+        stack.push(schema.root().to_string());
+    }
+    for n in from {
+        for c in schema.children_of(n) {
+            stack.push(c.clone());
+        }
+    }
+    while let Some(n) = stack.pop() {
+        if seen.insert(n.clone()) {
+            for c in schema.children_of(&n) {
+                stack.push(c.clone());
+            }
+        }
+    }
+    seen
+}
+
+/// Everything that can appear strictly above the given names.
+fn reachable_above(schema: &Schema, from: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut stack: Vec<String> = Vec::new();
+    for n in from {
+        for p in schema.parents_of(n) {
+            stack.push(p.to_string());
+        }
+    }
+    while let Some(n) = stack.pop() {
+        if seen.insert(n.clone()) {
+            for p in schema.parents_of(&n) {
+                stack.push(p.to_string());
+            }
+        }
+    }
+    seen
+}
+
+/// Advance candidates over one step. Attribute steps do not change the
+/// element context (they are handled separately by the translator).
+pub fn advance(schema: &Schema, cur: &Candidates, step: &Step) -> Candidates {
+    let names = &cur.names;
+    let out: BTreeSet<String> = match step.axis {
+        Axis::Child => {
+            let mut kids: BTreeSet<String> = BTreeSet::new();
+            if cur.root {
+                kids.insert(schema.root().to_string());
+            }
+            for n in names {
+                kids.extend(schema.children_of(n).iter().cloned());
+            }
+            filter_names(kids, &step.test)
+        }
+        Axis::Descendant => filter_names(reachable_below(schema, names, cur.root), &step.test),
+        Axis::DescendantOrSelf => {
+            let mut all = reachable_below(schema, names, cur.root);
+            all.extend(names.iter().cloned());
+            filter_names(all, &step.test)
+        }
+        Axis::SelfAxis => filter_names(names.clone(), &step.test),
+        Axis::Parent => {
+            let mut parents: BTreeSet<String> = BTreeSet::new();
+            for n in names {
+                parents.extend(schema.parents_of(n).iter().map(|s| s.to_string()));
+            }
+            filter_names(parents, &step.test)
+        }
+        Axis::Ancestor => filter_names(reachable_above(schema, names), &step.test),
+        Axis::AncestorOrSelf => {
+            let mut all = reachable_above(schema, names);
+            all.extend(names.iter().cloned());
+            filter_names(all, &step.test)
+        }
+        // Order axes: any element sharing a parent (siblings) or any
+        // element at all (following/preceding) can qualify; the path
+        // filter and Dewey join provide the precision.
+        Axis::FollowingSibling | Axis::PrecedingSibling => {
+            let mut sibs: BTreeSet<String> = BTreeSet::new();
+            for n in names {
+                for p in schema.parents_of(n) {
+                    sibs.extend(schema.children_of(p).iter().cloned());
+                }
+            }
+            filter_names(sibs, &step.test)
+        }
+        Axis::Following | Axis::Preceding => {
+            filter_names(schema.names().map(|s| s.to_string()).collect(), &step.test)
+        }
+        Axis::Attribute => names.clone(),
+    };
+    let keep_root = match step.axis {
+        // self::node() / descendant-or-self keep the root in context.
+        Axis::SelfAxis | Axis::DescendantOrSelf => {
+            cur.root && matches!(step.test, NodeTest::AnyNode)
+        }
+        _ => false,
+    };
+    Candidates {
+        names: out,
+        root: keep_root,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlschema::figure1_schema;
+    use xpath::parse_xpath;
+
+    fn walk(q: &str) -> Candidates {
+        let schema = figure1_schema();
+        let expr = parse_xpath(q).expect("parse");
+        let xpath::Expr::Path(p) = expr else {
+            panic!("path expected")
+        };
+        let mut cur = Candidates::at_root();
+        for step in &p.steps {
+            cur = advance(&schema, &cur, step);
+        }
+        cur
+    }
+
+    fn names(c: &Candidates) -> Vec<&str> {
+        c.names.iter().map(|s| s.as_str()).collect()
+    }
+
+    #[test]
+    fn child_navigation() {
+        assert_eq!(names(&walk("/A/B")), vec!["B"]);
+        assert_eq!(names(&walk("/A/B/*")), vec!["C", "G"]);
+        assert!(walk("/A/F").is_empty());
+        assert!(walk("/B").is_empty());
+    }
+
+    #[test]
+    fn descendant_navigation() {
+        assert_eq!(names(&walk("//F")), vec!["F"]);
+        assert_eq!(names(&walk("/A/B/C//*")), vec!["D", "E", "F"]);
+        assert_eq!(names(&walk("//G")), vec!["G"]);
+    }
+
+    #[test]
+    fn backward_navigation() {
+        assert_eq!(names(&walk("//F/parent::E")), vec!["E"]);
+        assert!(walk("//F/parent::D").is_empty());
+        assert_eq!(names(&walk("//F/ancestor::*")), vec!["A", "B", "C", "E"]);
+        assert_eq!(names(&walk("//G/ancestor::*")), vec!["A", "B", "G"]);
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        // Siblings of D within C: D and E.
+        assert_eq!(names(&walk("//D/following-sibling::*")), vec!["D", "E"]);
+        assert_eq!(names(&walk("//D/following-sibling::E")), vec!["E"]);
+    }
+
+    #[test]
+    fn wildcard_after_root() {
+        assert_eq!(names(&walk("/*")), vec!["A"]);
+        assert_eq!(names(&walk("/descendant-or-self::node()/*")).len(), 7);
+    }
+
+    #[test]
+    fn recursion_is_handled() {
+        assert_eq!(names(&walk("//G//G")), vec!["G"]);
+        assert_eq!(names(&walk("//G/ancestor-or-self::G")), vec!["G"]);
+    }
+}

@@ -1,0 +1,566 @@
+//! Symbolic root-to-node path patterns and their regular-expression
+//! rendering (paper §4.1, Table 1).
+//!
+//! A [`Pattern`] describes the set of root-to-node paths a node can have,
+//! as a sequence of segments: a fixed name, one arbitrary segment
+//! (wildcard), or a *gap* — zero or more arbitrary segments (from `//`).
+//! Keeping the structure (instead of a flat regex string) is what lets
+//! backward axes *refine* previously generated parts: `//F/parent::D`
+//! turns the pattern `«gap»/F` into `«gap»/D/F` by constraining the
+//! segment before `F`.
+//!
+//! Rendering a set of alternative patterns produces one POSIX ERE like
+//! `^((/[^/]+)*/B/D/F|(/[^/]+)*/B(/[^/]+)*/D/F)$`, the form fed to
+//! `REGEXP_LIKE` over the `Paths` relation.
+
+/// One segment of a path pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Seg {
+    /// Exactly one segment with this element name.
+    Name(String),
+    /// Exactly one segment, any name (`*`).
+    AnyOne,
+    /// Zero or more segments (`//`).
+    Gap,
+}
+
+/// A single path pattern: root-anchored sequence of segments.
+pub type Pattern = Vec<Seg>;
+
+/// A node test in pattern space. `AnyNode` (from `node()`) also accepts
+/// the document root; `AnyElement` (from `*`) requires a non-empty path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatTest {
+    Name(String),
+    AnyElement,
+    AnyNode,
+}
+
+impl PatTest {
+    /// Segment appended when this test selects one new path level.
+    fn seg(&self) -> Seg {
+        match self {
+            PatTest::Name(n) => Seg::Name(n.clone()),
+            PatTest::AnyElement | PatTest::AnyNode => Seg::AnyOne,
+        }
+    }
+}
+
+/// A set of alternative patterns. The empty set means *infeasible* — no
+/// path can satisfy the constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    pub alts: Vec<Pattern>,
+}
+
+/// Cap on tracked alternatives; beyond it we widen to a conservative
+/// superset rather than growing the regex unboundedly.
+const MAX_ALTS: usize = 24;
+
+impl PatternSet {
+    /// Build a set directly from alternatives (normalizing).
+    pub(crate) fn from_alts(alts: Vec<Pattern>) -> PatternSet {
+        PatternSet { alts }.normalize()
+    }
+
+    /// The pattern of the document root (empty path).
+    pub fn root() -> PatternSet {
+        PatternSet { alts: vec![vec![]] }
+    }
+
+    /// A completely unconstrained node: `«gap»/segment`.
+    pub fn any_element() -> PatternSet {
+        PatternSet {
+            alts: vec![vec![Seg::Gap, Seg::AnyOne]],
+        }
+    }
+
+    /// An unknown location ending with the given test: used for
+    /// order-axis PPFs (Algorithm 1 lines 6–7).
+    pub fn ending_with(test: &PatTest) -> PatternSet {
+        PatternSet {
+            alts: vec![vec![Seg::Gap, test.seg()]],
+        }
+    }
+
+    pub fn is_infeasible(&self) -> bool {
+        self.alts.is_empty()
+    }
+
+    fn normalize(mut self) -> PatternSet {
+        for p in &mut self.alts {
+            normalize_pattern(p);
+        }
+        self.alts.sort();
+        self.alts.dedup();
+        // Simplify the alternative set:
+        // 1. drop `short` when `long` = `short` with one extra «gap»
+        //    inserted (a gap can be empty, so short ⊆ long);
+        // 2. merge `prefix ++ rest` with `prefix ++ «gap»/any ++ rest`
+        //    into `prefix ++ «gap» ++ rest` (0 extra ∪ ≥1 extra = ≥0).
+        loop {
+            let mut changed = false;
+            'pairs: for i in 0..self.alts.len() {
+                for j in 0..self.alts.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let short = &self.alts[i];
+                    let long = &self.alts[j];
+                    // Rule 1: long = short with an extra Gap at position k.
+                    if long.len() == short.len() + 1 {
+                        for k in 0..long.len() {
+                            if long[k] == Seg::Gap
+                                && long[..k] == short[..k]
+                                && long[k + 1..] == short[k..]
+                            {
+                                self.alts.remove(i);
+                                changed = true;
+                                break 'pairs;
+                            }
+                        }
+                    }
+                    // Rule 2: long = prefix ++ [Gap, AnyOne] ++ rest,
+                    //        short = prefix ++ rest.
+                    if long.len() == short.len() + 2 {
+                        for k in 0..long.len() - 1 {
+                            if long[k] == Seg::Gap
+                                && long[k + 1] == Seg::AnyOne
+                                && long[..k] == short[..k.min(short.len())]
+                                && short.len() >= k
+                                && long[k + 2..] == short[k..]
+                            {
+                                let mut rep: Pattern = short[..k].to_vec();
+                                rep.push(Seg::Gap);
+                                rep.extend(short[k..].iter().cloned());
+                                normalize_pattern(&mut rep);
+                                let (lo, hi) = (i.min(j), i.max(j));
+                                self.alts.remove(hi);
+                                self.alts.remove(lo);
+                                self.alts.push(rep);
+                                self.alts.sort();
+                                self.alts.dedup();
+                                changed = true;
+                                break 'pairs;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if self.alts.len() > MAX_ALTS {
+            // Widen: keep only the common last segment when one exists.
+            let last = self.alts[0].last().cloned();
+            let same = last.is_some() && self.alts.iter().all(|p| p.last() == last.as_ref());
+            self.alts = if same {
+                vec![vec![Seg::Gap, last.expect("checked same")]]
+            } else {
+                vec![vec![Seg::Gap, Seg::AnyOne]]
+            };
+        }
+        self
+    }
+
+    /// Append a child step: `/n` or `/*`.
+    pub fn child(&self, test: &PatTest) -> PatternSet {
+        let seg = test.seg();
+        PatternSet {
+            alts: self
+                .alts
+                .iter()
+                .map(|p| {
+                    let mut q = p.clone();
+                    q.push(seg.clone());
+                    q
+                })
+                .collect(),
+        }
+        .normalize()
+    }
+
+    /// Append a descendant step: `«gap»/n`.
+    pub fn descendant(&self, test: &PatTest) -> PatternSet {
+        let last = test.seg();
+        PatternSet {
+            alts: self
+                .alts
+                .iter()
+                .map(|p| {
+                    let mut q = p.clone();
+                    q.push(Seg::Gap);
+                    q.push(last.clone());
+                    q
+                })
+                .collect(),
+        }
+        .normalize()
+    }
+
+    /// `descendant-or-self::test` — self branch (constrain the current
+    /// node) union descendant branch.
+    pub fn descendant_or_self(&self, test: &PatTest) -> PatternSet {
+        let mut alts = Vec::new();
+        for p in &self.alts {
+            alts.extend(constrain_last(p, test));
+        }
+        alts.extend(self.descendant(test).alts);
+        PatternSet { alts }.normalize()
+    }
+
+    /// `self::test`.
+    pub fn self_axis(&self, test: &PatTest) -> PatternSet {
+        let mut alts = Vec::new();
+        for p in &self.alts {
+            alts.extend(constrain_last(p, test));
+        }
+        PatternSet { alts }.normalize()
+    }
+
+    /// `parent::test`. Returns `(parent_patterns, constrained_self)`:
+    /// the patterns of the parent node, and the refined patterns of the
+    /// *current* node (its path now known to run through such a parent).
+    pub fn parent(&self, test: &PatTest) -> (PatternSet, PatternSet) {
+        let mut parents = Vec::new();
+        let mut selves = Vec::new();
+        for p in &self.alts {
+            for (prefix, last) in split_last(p) {
+                for par in constrain_last(&prefix, test) {
+                    let mut whole = par.clone();
+                    whole.push(last.clone());
+                    selves.push(whole);
+                    parents.push(par);
+                }
+            }
+        }
+        (
+            PatternSet { alts: parents }.normalize(),
+            PatternSet { alts: selves }.normalize(),
+        )
+    }
+
+    /// `ancestor::test` (or `ancestor-or-self` with `or_self`). Returns
+    /// `(ancestor_patterns, constrained_self)` like [`PatternSet::parent`].
+    pub fn ancestor(&self, test: &PatTest, or_self: bool) -> (PatternSet, PatternSet) {
+        let mut ancestors = Vec::new();
+        let mut selves = Vec::new();
+        for p in &self.alts {
+            if or_self {
+                for s in constrain_last(p, test) {
+                    ancestors.push(s.clone());
+                    selves.push(s);
+                }
+            }
+            for (prefix, suffix) in proper_cuts(p) {
+                for anc in constrain_last(&prefix, test) {
+                    let mut whole = anc.clone();
+                    whole.extend(suffix.iter().cloned());
+                    selves.push(whole);
+                    ancestors.push(anc);
+                }
+            }
+        }
+        (
+            PatternSet { alts: ancestors }.normalize(),
+            PatternSet { alts: selves }.normalize(),
+        )
+    }
+
+    /// Render the whole set as one anchored POSIX ERE.
+    /// Infeasible sets have no regex (`None`).
+    pub fn to_regex(&self) -> Option<String> {
+        if self.alts.is_empty() {
+            return None;
+        }
+        let bodies: Vec<String> = self.alts.iter().map(render_pattern).collect();
+        Some(if bodies.len() == 1 {
+            format!("^{}$", bodies[0])
+        } else {
+            format!("^({})$", bodies.join("|"))
+        })
+    }
+
+    /// Does the set have exactly one alternative consisting only of fixed
+    /// names? Then the path is fully determined (no filter needed if it
+    /// matches the stored path).
+    pub fn exact_path(&self) -> Option<String> {
+        if self.alts.len() != 1 {
+            return None;
+        }
+        let mut out = String::new();
+        for seg in &self.alts[0] {
+            match seg {
+                Seg::Name(n) => {
+                    out.push('/');
+                    out.push_str(n);
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Constrain the node at the end of `p` to satisfy the test. Returns the
+/// refined alternatives (possibly empty = infeasible).
+pub(crate) fn constrain_last(p: &Pattern, test: &PatTest) -> Vec<Pattern> {
+    match test {
+        // node(): accepts anything, including the document root.
+        PatTest::AnyNode => vec![p.clone()],
+        // `*`: any element — the path must be non-empty.
+        PatTest::AnyElement => {
+            if p.iter().any(|s| matches!(s, Seg::Name(_) | Seg::AnyOne)) {
+                vec![p.clone()]
+            } else if p.is_empty() {
+                Vec::new() // only the root: not an element
+            } else {
+                // Gap-only pattern: force at least one segment.
+                let mut q = p.clone();
+                q.push(Seg::AnyOne);
+                vec![q]
+            }
+        }
+        PatTest::Name(n) => match p.last() {
+            None => Vec::new(), // the root has no name
+            Some(Seg::Name(m)) => {
+                if m == n {
+                    vec![p.clone()]
+                } else {
+                    Vec::new()
+                }
+            }
+            Some(Seg::AnyOne) => {
+                let mut q = p.clone();
+                *q.last_mut().expect("non-empty") = Seg::Name(n.clone());
+                vec![q]
+            }
+            Some(Seg::Gap) => {
+                // gap = (zero segments → constrain what precedes it)
+                //     | (≥1 segments, the last named n).
+                let mut out = Vec::new();
+                let prefix: Pattern = p[..p.len() - 1].to_vec();
+                out.extend(constrain_last(&prefix, test));
+                let mut q = p.clone();
+                q.push(Seg::Name(n.clone()));
+                out.push(q);
+                out
+            }
+        },
+    }
+}
+
+/// All decompositions of `p` into (prefix, final segment). A gap-final
+/// pattern has two families: the last segment lies inside the gap, or the
+/// gap is empty and the last segment comes before it.
+pub(crate) fn split_last(p: &Pattern) -> Vec<(Pattern, Seg)> {
+    match p.last() {
+        None => Vec::new(),
+        Some(Seg::Gap) => {
+            let mut out = vec![(p.clone(), Seg::AnyOne)]; // segment from the gap
+            out.extend(split_last(&p[..p.len() - 1].to_vec())); // empty gap
+            out
+        }
+        Some(last) => vec![(p[..p.len() - 1].to_vec(), last.clone())],
+    }
+}
+
+/// All decompositions `p = prefix ++ suffix` where the suffix spans at
+/// least one path segment (proper ancestors). Gap segments produce the
+/// extra "cut inside the gap" decomposition.
+pub(crate) fn proper_cuts(p: &Pattern) -> Vec<(Pattern, Pattern)> {
+    let mut out = Vec::new();
+    for i in (0..p.len()).rev() {
+        let prefix: Pattern = p[..i].to_vec();
+        let suffix: Pattern = p[i..].to_vec();
+        if suffix_has_segment(&suffix) {
+            out.push((prefix.clone(), suffix.clone()));
+        }
+        if p[i] == Seg::Gap {
+            // Cut inside the gap: ancestor ends within it.
+            let mut pre = prefix.clone();
+            pre.push(Seg::Gap);
+            let mut suf: Pattern = vec![Seg::Gap];
+            suf.extend(p[i + 1..].iter().cloned());
+            if suffix_has_segment(&p[i + 1..].to_vec()) {
+                out.push((pre, suf));
+            } else {
+                // Suffix must still span ≥1 segment: take one from the gap.
+                let mut suf2: Pattern = vec![Seg::AnyOne];
+                suf2.extend(p[i + 1..].iter().cloned());
+                out.push((pre, suf2));
+            }
+        }
+    }
+    out
+}
+
+fn suffix_has_segment(s: &Pattern) -> bool {
+    s.iter().any(|x| matches!(x, Seg::Name(_) | Seg::AnyOne))
+}
+
+fn normalize_pattern(p: &mut Pattern) {
+    // Collapse consecutive gaps.
+    p.dedup_by(|a, b| *a == Seg::Gap && *b == Seg::Gap);
+}
+
+fn render_pattern(p: &Pattern) -> String {
+    let mut out = String::new();
+    for seg in p {
+        match seg {
+            Seg::Name(n) => {
+                out.push('/');
+                out.push_str(&regexlite::escape(n));
+            }
+            Seg::AnyOne => out.push_str("/[^/]+"),
+            Seg::Gap => out.push_str("(/[^/]+)*"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> PatTest {
+        PatTest::Name(s.to_string())
+    }
+
+    fn set(p: &PatternSet) -> Vec<String> {
+        let mut v: Vec<String> = p.alts.iter().map(render_pattern).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn table1_row1_descendant_then_children() {
+        // //B/C → ^(/[^/]+)*/B/C$
+        let p = PatternSet::root().descendant(&n("B")).child(&n("C"));
+        assert_eq!(p.to_regex().expect("regex"), "^(/[^/]+)*/B/C$");
+    }
+
+    #[test]
+    fn table1_row2_inner_descendant() {
+        // /A/B//F → ^/A/B(/[^/]+)*/F$
+        let p = PatternSet::root()
+            .child(&n("A"))
+            .child(&n("B"))
+            .descendant(&n("F"));
+        assert_eq!(p.to_regex().expect("regex"), "^/A/B(/[^/]+)*/F$");
+    }
+
+    #[test]
+    fn table1_row3_wildcard() {
+        // //C/*/F → ^(/[^/]+)*/C/[^/]+/F$
+        let p = PatternSet::root()
+            .descendant(&n("C"))
+            .child(&PatTest::AnyElement)
+            .child(&n("F"));
+        assert_eq!(p.to_regex().expect("regex"), "^(/[^/]+)*/C/[^/]+/F$");
+    }
+
+    #[test]
+    fn table1_row4_backward_path() {
+        // //F + /parent::F? — row 4 of Table 1 constrains F's path by
+        // parent::D and ancestor::B-like chains; here:
+        // context //F, then parent::D, then ancestor::B
+        let f = PatternSet::root().descendant(&n("F"));
+        let (d, f2) = f.parent(&n("D"));
+        assert_eq!(set(&d), vec!["(/[^/]+)*/D"]);
+        assert_eq!(set(&f2), vec!["(/[^/]+)*/D/F"]);
+        let (b, d2) = d.ancestor(&n("B"), false);
+        // The ancestor's own path always ends at B; the two D variants
+        // (immediate vs distant ancestor) dedup into one B pattern.
+        assert_eq!(set(&b), vec!["(/[^/]+)*/B"]);
+        // the /B/D variant is subsumed by /B(gap)/D (empty gap).
+        assert_eq!(set(&d2), vec!["(/[^/]+)*/B(/[^/]+)*/D"]);
+    }
+
+    #[test]
+    fn descendant_or_self_refines_or_descends() {
+        // /A/*/descendant-or-self::C: self branch turns * into C,
+        // descendant branch appends.
+        let p = PatternSet::root().child(&n("A")).child(&PatTest::AnyElement);
+        let q = p.descendant_or_self(&n("C"));
+        assert_eq!(
+            set(&q),
+            vec!["/A/C", "/A/[^/]+(/[^/]+)*/C"]
+        );
+    }
+
+    #[test]
+    fn self_axis_mismatch_is_infeasible() {
+        let p = PatternSet::root().child(&n("A"));
+        assert!(p.self_axis(&n("B")).is_infeasible());
+        assert!(!p.self_axis(&n("A")).is_infeasible());
+    }
+
+    #[test]
+    fn parent_of_depth_one_is_infeasible() {
+        // /A/parent::B — the parent of the document element is the root,
+        // which has no name.
+        let p = PatternSet::root().child(&n("A"));
+        let (parents, selves) = p.parent(&n("B"));
+        assert!(parents.is_infeasible());
+        assert!(selves.is_infeasible());
+    }
+
+    #[test]
+    fn exact_path_detection() {
+        let p = PatternSet::root().child(&n("A")).child(&n("B"));
+        assert_eq!(p.exact_path().as_deref(), Some("/A/B"));
+        assert_eq!(PatternSet::root().exact_path().as_deref(), Some(""));
+        assert!(PatternSet::root()
+            .descendant(&n("B"))
+            .exact_path()
+            .is_none());
+    }
+
+    #[test]
+    fn gaps_collapse() {
+        let p = PatternSet::root()
+            .descendant(&PatTest::AnyElement)
+            .descendant(&n("k"));
+        // «gap»/any«gap»/k — gaps around the wildcard stay distinct;
+        // but root.descendant_or_self(node()) twice collapses.
+        let q = PatternSet::root()
+            .descendant_or_self(&PatTest::AnyNode)
+            .descendant_or_self(&PatTest::AnyNode);
+        for alt in &q.alts {
+            let gaps = alt.iter().filter(|s| **s == Seg::Gap).count();
+            let pairs = alt.windows(2).filter(|w| w[0] == Seg::Gap && w[1] == Seg::Gap).count();
+            assert_eq!(pairs, 0, "no adjacent gaps in {alt:?} (of {} gaps)", gaps);
+        }
+        assert!(p.to_regex().is_some());
+    }
+
+    #[test]
+    fn order_axis_pattern() {
+        let p = PatternSet::ending_with(&n("E"));
+        assert_eq!(p.to_regex().expect("regex"), "^(/[^/]+)*/E$");
+    }
+
+    #[test]
+    fn regex_escaping_in_names() {
+        let p = PatternSet::root().child(&n("a.b"));
+        assert_eq!(p.to_regex().expect("regex"), "^/a\\.b$");
+    }
+
+    #[test]
+    fn widening_beyond_cap_stays_sound() {
+        // Build a pathological pattern set via repeated ancestor steps.
+        let mut p = PatternSet::root().descendant(&n("x"));
+        for _ in 0..6 {
+            let (anc, _) = p.ancestor(&PatTest::AnyElement, true);
+            p = anc.descendant(&n("x"));
+        }
+        assert!(p.alts.len() <= MAX_ALTS);
+        // Soundness: the widened set still requires the path to end in /x.
+        let regex = p.to_regex().expect("regex");
+        let re = regexlite::Regex::new(&regex).expect("compiles");
+        assert!(re.is_match("/a/b/x"));
+        assert!(!re.is_match("/a/b/y"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Primitive Path Fragment identification (paper §4.1).
+//!
+//! A PPF is a maximal run of consecutive steps that is
+//! (a) a *forward simple path* (child / descendant / descendant-or-self /
+//!     self axes, predicates only on the last step),
+//! (b) a *backward simple path* (parent / ancestor / ancestor-or-self), or
+//! (c) a single step with one of the order axes
+//!     (following, following-sibling, preceding, preceding-sibling).
+//!
+//! A predicate on an intermediate step always ends the current PPF.
+//! Attribute steps are only allowed as the final step of a path (they
+//! project a value rather than navigate) and are returned separately.
+
+use xpath::{Axis, Step};
+
+/// The kind of a PPF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpfKind {
+    Forward,
+    Backward,
+    /// A single step with this order axis.
+    Order(Axis),
+}
+
+/// One Primitive Path Fragment: consecutive steps of the original path.
+#[derive(Debug, Clone)]
+pub struct Ppf {
+    pub kind: PpfKind,
+    pub steps: Vec<Step>,
+}
+
+impl Ppf {
+    /// The *prominent step* — the last step of the fragment (§4.1).
+    pub fn prominent_step(&self) -> &Step {
+        self.steps.last().expect("PPFs are non-empty")
+    }
+
+    /// Is this a single-step PPF (relevant for the FK-join shortcut of
+    /// child/parent, Algorithm 1 lines 9–12)?
+    pub fn is_single_step(&self) -> bool {
+        self.steps.len() == 1
+    }
+}
+
+/// Splitting error (feature outside the supported fragment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PpfError(pub String);
+
+impl std::fmt::Display for PpfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PPF analysis error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PpfError {}
+
+fn is_forward_axis(a: Axis) -> bool {
+    matches!(
+        a,
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis
+    )
+}
+
+fn is_backward_axis(a: Axis) -> bool {
+    matches!(a, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf)
+}
+
+fn is_order_axis(a: Axis) -> bool {
+    matches!(
+        a,
+        Axis::Following | Axis::FollowingSibling | Axis::Preceding | Axis::PrecedingSibling
+    )
+}
+
+/// Result of splitting a path: the PPFs plus an optional trailing
+/// attribute step (`…/@id`).
+#[derive(Debug, Clone)]
+pub struct SplitPath {
+    pub ppfs: Vec<Ppf>,
+    pub trailing_attribute: Option<Step>,
+}
+
+/// Split a step sequence into PPFs.
+pub fn split_ppfs(steps: &[Step]) -> Result<SplitPath, PpfError> {
+    let mut steps = steps.to_vec();
+    let trailing_attribute = match steps.last() {
+        Some(s) if s.axis == Axis::Attribute => steps.pop(),
+        _ => None,
+    };
+    if let Some(mid) = steps.iter().find(|s| s.axis == Axis::Attribute) {
+        return Err(PpfError(format!(
+            "attribute step `@{}` is only supported as the final step",
+            mid.test
+        )));
+    }
+
+    let mut ppfs: Vec<Ppf> = Vec::new();
+    let mut current: Vec<Step> = Vec::new();
+    let mut current_kind: Option<PpfKind> = None;
+
+    let flush = |ppfs: &mut Vec<Ppf>, current: &mut Vec<Step>, kind: &mut Option<PpfKind>| {
+        if !current.is_empty() {
+            ppfs.push(Ppf {
+                kind: kind.take().expect("kind set with steps"),
+                steps: std::mem::take(current),
+            });
+        } else {
+            *kind = None;
+        }
+    };
+
+    for step in steps {
+        let kind = if is_forward_axis(step.axis) {
+            PpfKind::Forward
+        } else if is_backward_axis(step.axis) {
+            PpfKind::Backward
+        } else if is_order_axis(step.axis) {
+            PpfKind::Order(step.axis)
+        } else {
+            return Err(PpfError(format!(
+                "axis `{}` is not supported here",
+                step.axis.name()
+            )));
+        };
+
+        let same_run = match (current_kind, kind) {
+            (Some(PpfKind::Forward), PpfKind::Forward) => true,
+            (Some(PpfKind::Backward), PpfKind::Backward) => true,
+            _ => false,
+        };
+        if !same_run {
+            flush(&mut ppfs, &mut current, &mut current_kind);
+            current_kind = Some(kind);
+        }
+        let has_predicates = !step.predicates.is_empty();
+        current.push(step);
+        if has_predicates || matches!(kind, PpfKind::Order(_)) {
+            // Predicates may appear only on the last step of a simple
+            // path, and order-axis PPFs are single-step: close the run.
+            flush(&mut ppfs, &mut current, &mut current_kind);
+        }
+    }
+    flush(&mut ppfs, &mut current, &mut current_kind);
+
+    if ppfs.is_empty() && trailing_attribute.is_none() {
+        return Err(PpfError("empty path".into()));
+    }
+    Ok(SplitPath {
+        ppfs,
+        trailing_attribute,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath::parse_xpath;
+
+    fn split(q: &str) -> SplitPath {
+        let xpath::Expr::Path(p) = parse_xpath(q).expect("parse") else {
+            panic!("path expected")
+        };
+        split_ppfs(&p.steps).expect("split")
+    }
+
+    fn kinds(s: &SplitPath) -> Vec<PpfKind> {
+        s.ppfs.iter().map(|p| p.kind).collect()
+    }
+
+    fn sizes(s: &SplitPath) -> Vec<usize> {
+        s.ppfs.iter().map(|p| p.steps.len()).collect()
+    }
+
+    #[test]
+    fn single_forward_ppf() {
+        let s = split("/A/B/C//F");
+        assert_eq!(kinds(&s), vec![PpfKind::Forward]);
+        assert_eq!(sizes(&s), vec![5]); // includes the // desugar step
+    }
+
+    #[test]
+    fn predicate_splits_forward_path() {
+        // The paper's running example: /A[@x=3]/B/C//F has PPFs
+        // {/A} and {B/C//F}.
+        let s = split("/A[@x=3]/B/C//F");
+        assert_eq!(kinds(&s), vec![PpfKind::Forward, PpfKind::Forward]);
+        assert_eq!(sizes(&s), vec![1, 4]);
+        assert_eq!(s.ppfs[0].prominent_step().predicates.len(), 1);
+    }
+
+    #[test]
+    fn backward_ppf() {
+        // //F/parent::D/ancestor::B → forward {//F}, backward
+        // {parent::D/ancestor::B}.
+        let s = split("//F/parent::D/ancestor::B");
+        assert_eq!(kinds(&s), vec![PpfKind::Forward, PpfKind::Backward]);
+        assert_eq!(sizes(&s), vec![2, 2]);
+    }
+
+    #[test]
+    fn order_axis_is_single_step_ppf() {
+        let s = split("//D/following-sibling::E/G");
+        assert_eq!(
+            kinds(&s),
+            vec![
+                PpfKind::Forward,
+                PpfKind::Order(xpath::Axis::FollowingSibling),
+                PpfKind::Forward
+            ]
+        );
+    }
+
+    #[test]
+    fn predicated_order_step() {
+        let s = split("//a/following::b[c]/d");
+        assert_eq!(sizes(&s), vec![2, 1, 1]);
+        assert_eq!(s.ppfs[1].prominent_step().predicates.len(), 1);
+    }
+
+    #[test]
+    fn trailing_attribute_extracted() {
+        let s = split("/site/regions/*/item/@id");
+        assert_eq!(kinds(&s), vec![PpfKind::Forward]);
+        assert!(s.trailing_attribute.is_some());
+    }
+
+    #[test]
+    fn mid_path_attribute_rejected() {
+        let xpath::Expr::Path(p) = parse_xpath("/a/@x/parent::a").expect("parse") else {
+            panic!("path expected")
+        };
+        assert!(split_ppfs(&p.steps).is_err());
+    }
+
+    #[test]
+    fn consecutive_backward_predicates_split() {
+        let s = split("//F/ancestor::B[G]/ancestor::A");
+        assert_eq!(
+            kinds(&s),
+            vec![PpfKind::Forward, PpfKind::Backward, PpfKind::Backward]
+        );
+    }
+
+    #[test]
+    fn qd4_shape() {
+        // //i[parent::*/parent::sub/ancestor::article] backbone is one
+        // forward PPF with the whole predicate on its last step.
+        let s = split("//i[parent::*/parent::sub/ancestor::article]");
+        assert_eq!(kinds(&s), vec![PpfKind::Forward]);
+        assert_eq!(s.ppfs[0].prominent_step().predicates.len(), 1);
+    }
+}

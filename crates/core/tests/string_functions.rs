@@ -1,0 +1,113 @@
+//! String-function predicates: contains()/starts-with() must translate to
+//! regex conditions and agree with the native evaluator.
+
+use ppf_core::{EdgeDb, XmlDb};
+use xpath::{evaluate, parse_xpath, Item};
+
+fn doc() -> xmldom::Document {
+    xmldom::parse(
+        "<lib>\
+           <book><title>Relational Databases</title></book>\
+           <book><title>Relational Algebra</title></book>\
+           <book><title>XML and relations</title></book>\
+           <book><title>regex+special[chars]</title></book>\
+         </lib>",
+    )
+    .expect("xml")
+}
+
+fn schema() -> xmlschema::Schema {
+    xmlschema::parse_schema("root lib\nlib = book*\nbook = title\ntitle : text")
+        .expect("schema")
+}
+
+const QUERIES: &[&str] = &[
+    "//book[contains(title, 'Relational')]",
+    "//book[starts-with(title, 'Relational')]",
+    "//book[starts-with(title, 'XML')]",
+    "//book[contains(title, 'relations')]",
+    "//book[contains(title, 'regex+special[chars]')]",
+    "//book[starts-with(title, 'regex+')]",
+    "//book[not(contains(title, 'Relational'))]",
+    "//title[string-length(.) > 15]",
+    "//title[normalize-space(.) = 'XML and relations']",
+];
+
+#[test]
+fn native_evaluation() {
+    let d = doc();
+    let expected = [2usize, 2, 1, 1, 1, 1, 2, 4, 1];
+    for (q, want) in QUERIES.iter().zip(expected) {
+        let e = parse_xpath(q).expect("parse");
+        let items = evaluate(&d, &e).unwrap_or_else(|err| panic!("{q}: {err}"));
+        assert_eq!(items.len(), want, "query {q}");
+    }
+}
+
+#[test]
+fn sql_translation_matches_native_where_supported() {
+    let d = doc();
+    let mut sa = XmlDb::new(&schema()).expect("db");
+    let sa_loaded = sa.load(&d).expect("load");
+    sa.finalize().expect("indexes");
+    let mut ed = EdgeDb::new();
+    let ed_loaded = ed.load(&d).expect("load");
+    ed.finalize().expect("indexes");
+
+    // contains()/starts-with() translate; string-length/normalize-space
+    // stay native-only (clean errors, tested below).
+    for q in &QUERIES[..7] {
+        let e = parse_xpath(q).expect("parse");
+        let native: Vec<i64> = evaluate(&d, &e)
+            .expect("native")
+            .into_iter()
+            .map(|i| match i {
+                Item::Node(n) => sa_loaded.element_ids[&n],
+                _ => panic!("elements only"),
+            })
+            .collect();
+        let mut got = sa.query(q).unwrap_or_else(|err| panic!("{q}: {err}")).ids();
+        got.sort();
+        let mut want = native.clone();
+        want.sort();
+        assert_eq!(got, want, "schema-aware {q}");
+
+        let native_ed: Vec<i64> = evaluate(&d, &e)
+            .expect("native")
+            .into_iter()
+            .map(|i| match i {
+                Item::Node(n) => ed_loaded.element_ids[&n],
+                _ => panic!("elements only"),
+            })
+            .collect();
+        let mut got = ed.query(q).unwrap_or_else(|err| panic!("{q}: {err}")).ids();
+        got.sort();
+        let mut want = native_ed;
+        want.sort();
+        assert_eq!(got, want, "edge {q}");
+    }
+}
+
+#[test]
+fn unsupported_string_functions_error_cleanly() {
+    let mut sa = XmlDb::new(&schema()).expect("db");
+    sa.load(&doc()).expect("load");
+    sa.finalize().expect("indexes");
+    for q in ["//title[string-length(.) > 15]", "//title[normalize-space(.) = 'x']"] {
+        assert!(sa.query(q).is_err(), "{q} should be SQL-unsupported");
+    }
+}
+
+#[test]
+fn metacharacters_cannot_escape_the_regex() {
+    // A needle full of regex syntax must match literally.
+    let mut sa = XmlDb::new(&schema()).expect("db");
+    sa.load(&doc()).expect("load");
+    sa.finalize().expect("indexes");
+    let r = sa
+        .query("//book[contains(title, '+special[')]")
+        .expect("query");
+    assert_eq!(r.rows.rows.len(), 1);
+    let r2 = sa.query("//book[contains(title, '.*')]").expect("query");
+    assert_eq!(r2.rows.rows.len(), 0, "'.*' is a literal, not a wildcard");
+}

@@ -1,0 +1,108 @@
+//! Abstract syntax tree for the POSIX Extended Regular Expression subset.
+//!
+//! The subset covers everything the PPF translator emits for root-to-node
+//! path filtering (`REGEXP_LIKE` patterns such as `^/A/B(/[^/]+)*/F$`),
+//! plus general ERE constructs so the engine is usable standalone:
+//! literals, `.`, bracket classes with ranges and negation, anchors,
+//! `*` `+` `?` and bounded `{m,n}` repetition, alternation and grouping.
+
+/// A single inclusive byte range inside a bracket expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassRange {
+    pub lo: u8,
+    pub hi: u8,
+}
+
+/// A bracket expression such as `[^/]` or `[a-z0-9_]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    pub negated: bool,
+    pub ranges: Vec<ClassRange>,
+}
+
+impl CharClass {
+    /// Whether this class matches the given byte.
+    pub fn matches(&self, b: u8) -> bool {
+        let inside = self.ranges.iter().any(|r| r.lo <= b && b <= r.hi);
+        inside != self.negated
+    }
+}
+
+/// ERE syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal byte.
+    Literal(u8),
+    /// `.` — any byte except newline (POSIX: any character).
+    AnyChar,
+    /// A bracket expression.
+    Class(CharClass),
+    /// `^`
+    AnchorStart,
+    /// `$`
+    AnchorEnd,
+    /// Concatenation of subexpressions.
+    Concat(Vec<Ast>),
+    /// Alternation (`|`) of subexpressions.
+    Alternation(Vec<Ast>),
+    /// Repetition: `*` is (0, None), `+` is (1, None), `?` is (0, Some(1)),
+    /// `{m,n}` is (m, Some(n)), `{m,}` is (m, None).
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+    /// A parenthesized group. Capture indices are tracked for completeness
+    /// even though path filtering only needs boolean matching.
+    Group(Box<Ast>),
+}
+
+impl Ast {
+    /// True if the tree can match the empty string (ignoring anchors).
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => true,
+            Ast::Literal(_) | Ast::AnyChar | Ast::Class(_) => false,
+            Ast::Concat(xs) => xs.iter().all(Ast::is_nullable),
+            Ast::Alternation(xs) => xs.iter().any(Ast::is_nullable),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+            Ast::Group(x) => x.is_nullable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_matches_and_negation() {
+        let c = CharClass {
+            negated: false,
+            ranges: vec![ClassRange { lo: b'a', hi: b'z' }],
+        };
+        assert!(c.matches(b'm'));
+        assert!(!c.matches(b'M'));
+        let n = CharClass {
+            negated: true,
+            ranges: vec![ClassRange { lo: b'/', hi: b'/' }],
+        };
+        assert!(n.matches(b'a'));
+        assert!(!n.matches(b'/'));
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!Ast::Literal(b'a').is_nullable());
+        assert!(Ast::Repeat {
+            node: Box::new(Ast::Literal(b'a')),
+            min: 0,
+            max: None
+        }
+        .is_nullable());
+        assert!(!Ast::Concat(vec![Ast::Literal(b'a'), Ast::Empty]).is_nullable());
+    }
+}

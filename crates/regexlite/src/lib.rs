@@ -1,0 +1,156 @@
+//! `regexlite` — a small POSIX Extended Regular Expression engine.
+//!
+//! This crate stands in for the `REGEXP_LIKE` function of a commercial
+//! RDBMS (the paper uses Oracle 10g's, which follows POSIX ERE syntax and
+//! semantics). The PPF translator compiles XPath path fragments into ERE
+//! patterns such as `^/A/B(/[^/]+)*/F$` and the SQL executor evaluates them
+//! against root-to-node path strings.
+//!
+//! Matching is implemented with a Pike VM over a Thompson NFA, so the
+//! worst case is `O(pattern × input)` — no catastrophic backtracking.
+//!
+//! # Example
+//! ```
+//! use regexlite::Regex;
+//! let re = Regex::new("^/site(/[^/]+)*/keyword$").unwrap();
+//! assert!(re.is_match("/site/regions/africa/item/description/keyword"));
+//! assert!(!re.is_match("/site/keywordx"));
+//! ```
+
+pub mod ast;
+pub mod nfa;
+pub mod parser;
+
+use std::cell::RefCell;
+
+pub use ast::Ast;
+pub use parser::ParseError;
+
+/// Errors from [`Regex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Syntax error in the pattern.
+    Parse(parser::ParseError),
+    /// Pattern compiled to an unreasonably large program.
+    Compile(nfa::CompileError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => e.fmt(f),
+            Error::Compile(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A compiled regular expression.
+///
+/// Reusable across many inputs; the per-match scratch space is pooled
+/// internally so repeated [`Regex::is_match`] calls do not allocate.
+#[derive(Debug)]
+pub struct Regex {
+    pattern: String,
+    program: nfa::Program,
+    // Pooled Pike-VM thread lists. RefCell keeps the public API `&self`
+    // like mainstream regex engines; the SQL executor runs one query per
+    // thread, so no Sync requirement.
+    vm: RefCell<nfa::Vm>,
+}
+
+impl Regex {
+    /// Compile a POSIX ERE pattern.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        let ast = parser::parse(pattern).map_err(Error::Parse)?;
+        let program = nfa::compile(&ast).map_err(Error::Compile)?;
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program,
+            vm: RefCell::new(nfa::Vm::new()),
+        })
+    }
+
+    /// The original pattern string.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether the pattern matches anywhere in `input` (unanchored search).
+    pub fn is_match(&self, input: &str) -> bool {
+        self.is_match_bytes(input.as_bytes())
+    }
+
+    /// Byte-level matching (root-to-node paths are ASCII, but any UTF-8
+    /// passes through since class matching is per byte).
+    pub fn is_match_bytes(&self, input: &[u8]) -> bool {
+        self.vm.borrow_mut().is_match(&self.program, input)
+    }
+}
+
+impl Clone for Regex {
+    fn clone(&self) -> Self {
+        Regex {
+            pattern: self.pattern.clone(),
+            program: self.program.clone(),
+            vm: RefCell::new(nfa::Vm::new()),
+        }
+    }
+}
+
+/// Escape a literal string so it matches itself inside an ERE.
+///
+/// Used when turning XPath name tests into path-filter patterns, in case an
+/// element name contains regex metacharacters (legal in XML names: `.` `-`).
+pub fn escape(literal: &str) -> String {
+    let mut out = String::with_capacity(literal.len());
+    for ch in literal.chars() {
+        if matches!(
+            ch,
+            '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' | '\\'
+        ) {
+            out.push('\\');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_metachars() {
+        assert_eq!(escape("a.b"), "a\\.b");
+        assert_eq!(escape("x"), "x");
+        let re = Regex::new(&format!("^{}$", escape("a.b+c"))).unwrap();
+        assert!(re.is_match("a.b+c"));
+        assert!(!re.is_match("axbbc"));
+    }
+
+    #[test]
+    fn regex_is_reusable() {
+        let re = Regex::new("^/a(/b)*$").unwrap();
+        for _ in 0..3 {
+            assert!(re.is_match("/a/b/b"));
+            assert!(!re.is_match("/a/c"));
+        }
+    }
+
+    #[test]
+    fn clone_preserves_behaviour() {
+        let re = Regex::new("ab|cd").unwrap();
+        let re2 = re.clone();
+        assert_eq!(re.is_match("abx"), re2.is_match("abx"));
+        assert_eq!(re.is_match("xcd"), re2.is_match("xcd"));
+        assert_eq!(re.is_match("zz"), re2.is_match("zz"));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = Regex::new("(a").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Recursive-descent parser for the POSIX ERE subset.
+//!
+//! Grammar (standard ERE precedence):
+//! ```text
+//! alternation := concat ('|' concat)*
+//! concat      := repeat*
+//! repeat      := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//! atom        := '(' alternation ')' | '[' class ']' | '.' | '^' | '$'
+//!              | '\' escaped | literal
+//! ```
+
+use crate::ast::{Ast, CharClass, ClassRange};
+
+/// Parse error with byte offset into the pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// Parse an ERE pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.input.len() {
+        return Err(p.err("unexpected trailing input (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternation(branches))
+        }
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => parts.push(self.repeat()?),
+            }
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().expect("one part")),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.atom()?;
+        loop {
+            let (min, max) = match self.peek() {
+                Some(b'*') => (0, None),
+                Some(b'+') => (1, None),
+                Some(b'?') => (0, Some(1)),
+                Some(b'{') => {
+                    // Only treat '{' as a bound if it parses as one; POSIX
+                    // says a lone '{' is undefined — we take it literally,
+                    // which is what practical engines (and Oracle) do.
+                    if let Some((m, n, consumed)) = self.try_parse_bound() {
+                        self.pos += consumed;
+                        self.validate_repeat_target(&node)?;
+                        if let Some(nn) = n {
+                            if nn < m {
+                                return Err(self.err("repetition bound {m,n} with n < m"));
+                            }
+                        }
+                        node = Ast::Repeat {
+                            node: Box::new(node),
+                            min: m,
+                            max: n,
+                        };
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            };
+            self.bump();
+            self.validate_repeat_target(&node)?;
+            node = Ast::Repeat {
+                node: Box::new(node),
+                min,
+                max,
+            };
+        }
+        Ok(node)
+    }
+
+    /// Repetition of an anchor (`^*`) is rejected, as in POSIX EREs it is
+    /// undefined and typically an authoring bug.
+    fn validate_repeat_target(&self, node: &Ast) -> Result<(), ParseError> {
+        match node {
+            Ast::AnchorStart | Ast::AnchorEnd => Err(ParseError {
+                pos: self.pos,
+                message: "cannot repeat an anchor".to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Attempt to parse `{m}`, `{m,}` or `{m,n}` starting at the current
+    /// position (which must point at '{'). Returns (min, max, bytes consumed)
+    /// without advancing on failure.
+    fn try_parse_bound(&self) -> Option<(u32, Option<u32>, usize)> {
+        let rest = &self.input[self.pos..];
+        debug_assert_eq!(rest.first(), Some(&b'{'));
+        let mut i = 1;
+        let mut m: u32 = 0;
+        let mut saw_digit = false;
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            m = m.checked_mul(10)?.checked_add((rest[i] - b'0') as u32)?;
+            saw_digit = true;
+            i += 1;
+        }
+        if !saw_digit {
+            return None;
+        }
+        match rest.get(i) {
+            Some(b'}') => Some((m, Some(m), i + 1)),
+            Some(b',') => {
+                i += 1;
+                let mut n: u32 = 0;
+                let mut saw = false;
+                while i < rest.len() && rest[i].is_ascii_digit() {
+                    n = n.checked_mul(10)?.checked_add((rest[i] - b'0') as u32)?;
+                    saw = true;
+                    i += 1;
+                }
+                if rest.get(i) == Some(&b'}') {
+                    Some((m, if saw { Some(n) } else { None }, i + 1))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            Some(b'(') => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some(b'[') => self.class(),
+            Some(b'.') => Ok(Ast::AnyChar),
+            Some(b'^') => Ok(Ast::AnchorStart),
+            Some(b'$') => Ok(Ast::AnchorEnd),
+            Some(b'\\') => {
+                let b = self
+                    .bump()
+                    .ok_or_else(|| self.err("dangling backslash"))?;
+                Ok(Ast::Literal(escape_value(b)))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => {
+                Err(self.err("repetition operator with nothing to repeat"))
+            }
+            Some(b) => Ok(Ast::Literal(b)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let mut negated = false;
+        if self.peek() == Some(b'^') {
+            negated = true;
+            self.bump();
+        }
+        let mut ranges: Vec<ClassRange> = Vec::new();
+        // POSIX: a ']' immediately after '[' or '[^' is a literal.
+        if self.peek() == Some(b']') {
+            self.bump();
+            ranges.push(ClassRange { lo: b']', hi: b']' });
+        }
+        loop {
+            let b = match self.bump() {
+                Some(b']') => break,
+                Some(b'\\') => {
+                    // Not strict POSIX (which has no class escapes) but
+                    // universally supported and convenient.
+                    let e = self
+                        .bump()
+                        .ok_or_else(|| self.err("dangling backslash in class"))?;
+                    escape_value(e)
+                }
+                Some(b) => b,
+                None => return Err(self.err("unterminated bracket expression")),
+            };
+            // Range like `a-z`, but `-` before `]` is a literal.
+            if self.peek() == Some(b'-')
+                && self.input.get(self.pos + 1).copied() != Some(b']')
+                && self.input.get(self.pos + 1).is_some()
+            {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some(b'\\') => {
+                        let e = self
+                            .bump()
+                            .ok_or_else(|| self.err("dangling backslash in class"))?;
+                        escape_value(e)
+                    }
+                    Some(hi) => hi,
+                    None => return Err(self.err("unterminated range in class")),
+                };
+                if hi < b {
+                    return Err(self.err("invalid range in bracket expression"));
+                }
+                ranges.push(ClassRange { lo: b, hi });
+            } else {
+                ranges.push(ClassRange { lo: b, hi: b });
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.err("empty bracket expression"));
+        }
+        Ok(Ast::Class(CharClass { negated, ranges }))
+    }
+}
+
+/// The byte a `\x` escape denotes. Standard C-style escapes map to control
+/// characters; everything else (e.g. `\.`, `\$`, `\\`) maps to itself.
+fn escape_value(b: u8) -> u8 {
+    match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_path_pattern() {
+        let ast = parse("^/A/B$").expect("parse");
+        match ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts.first(), Some(&Ast::AnchorStart));
+                assert_eq!(parts.last(), Some(&Ast::AnchorEnd));
+                assert_eq!(parts.len(), 6);
+            }
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        // `ab|cd` is (ab)|(cd), not a(b|c)d.
+        let ast = parse("ab|cd").expect("parse");
+        match ast {
+            Ast::Alternation(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negated_class() {
+        let ast = parse("[^/]+").expect("parse");
+        match ast {
+            Ast::Repeat { node, min: 1, max: None } => match *node {
+                Ast::Class(c) => assert!(c.negated),
+                other => panic!("unexpected inner: {other:?}"),
+            },
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bounds() {
+        assert!(matches!(
+            parse("a{2,4}").expect("parse"),
+            Ast::Repeat { min: 2, max: Some(4), .. }
+        ));
+        assert!(matches!(
+            parse("a{3}").expect("parse"),
+            Ast::Repeat { min: 3, max: Some(3), .. }
+        ));
+        assert!(matches!(
+            parse("a{3,}").expect("parse"),
+            Ast::Repeat { min: 3, max: None, .. }
+        ));
+    }
+
+    #[test]
+    fn literal_brace_when_not_a_bound() {
+        // `{x}` is not a valid bound, so it is three literals.
+        let ast = parse("a{x}").expect("parse");
+        match ast {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_leading_bracket_literal() {
+        let ast = parse("[]a]").expect("parse");
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.matches(b']'));
+                assert!(c.matches(b'a'));
+                assert!(!c.matches(b'b'));
+            }
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_patterns() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("a{4,2}").is_err());
+        assert!(parse("^*").is_err());
+        assert!(parse("\\").is_err());
+    }
+
+    #[test]
+    fn escaped_metacharacters_are_literals() {
+        let ast = parse(r"\.\*").expect("parse");
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![Ast::Literal(b'.'), Ast::Literal(b'*')])
+        );
+    }
+
+    #[test]
+    fn dash_at_class_end_is_literal() {
+        let ast = parse("[a-]").expect("parse");
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.matches(b'a'));
+                assert!(c.matches(b'-'));
+                assert!(!c.matches(b'b'));
+            }
+            other => panic!("unexpected ast: {other:?}"),
+        }
+    }
+}

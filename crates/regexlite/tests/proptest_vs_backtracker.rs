@@ -1,0 +1,191 @@
+//! Property tests: the Pike VM must agree with an independently written
+//! backtracking matcher on randomly generated patterns and inputs.
+
+use proptest::prelude::*;
+use regexlite::ast::Ast;
+use regexlite::Regex;
+
+/// Naive exponential backtracking matcher, used only as a test oracle.
+/// `bt_match(ast, input, pos)` returns the set of positions reachable after
+/// matching `ast` starting at `pos` — memoization-free on purpose (kept
+/// simple, inputs are small).
+fn bt_positions(ast: &Ast, input: &[u8], pos: usize) -> Vec<usize> {
+    match ast {
+        Ast::Empty => vec![pos],
+        Ast::Literal(b) => {
+            if input.get(pos) == Some(b) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::AnyChar => {
+            if pos < input.len() {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Class(c) => match input.get(pos) {
+            Some(&b) if c.matches(b) => vec![pos + 1],
+            _ => vec![],
+        },
+        Ast::AnchorStart => {
+            if pos == 0 {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Ast::AnchorEnd => {
+            if pos == input.len() {
+                vec![pos]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Group(inner) => bt_positions(inner, input, pos),
+        Ast::Concat(parts) => {
+            let mut current = vec![pos];
+            for part in parts {
+                let mut next = Vec::new();
+                for &p in &current {
+                    for q in bt_positions(part, input, p) {
+                        if !next.contains(&q) {
+                            next.push(q);
+                        }
+                    }
+                }
+                current = next;
+                if current.is_empty() {
+                    break;
+                }
+            }
+            current
+        }
+        Ast::Alternation(branches) => {
+            let mut out = Vec::new();
+            for b in branches {
+                for q in bt_positions(b, input, pos) {
+                    if !out.contains(&q) {
+                        out.push(q);
+                    }
+                }
+            }
+            out
+        }
+        Ast::Repeat { node, min, max } => {
+            // Breadth-first expansion of the repetition, bounded by input
+            // length to terminate on nullable bodies.
+            let mut reachable = vec![pos];
+            let mut out = Vec::new();
+            if *min == 0 {
+                out.push(pos);
+            }
+            let hard_cap = max.map(|m| m as usize).unwrap_or(input.len() + 1);
+            for count in 1..=hard_cap {
+                let mut next = Vec::new();
+                for &p in &reachable {
+                    for q in bt_positions(node, input, p) {
+                        if !next.contains(&q) {
+                            next.push(q);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                if count >= *min as usize {
+                    for &q in &next {
+                        if !out.contains(&q) {
+                            out.push(q);
+                        }
+                    }
+                }
+                // If no new position was produced, further iterations only
+                // cycle through nullable matches.
+                if next.iter().all(|q| reachable.contains(q)) && count >= *min as usize {
+                    break;
+                }
+                reachable = next;
+            }
+            out
+        }
+    }
+}
+
+/// Oracle: unanchored search with the backtracker.
+fn bt_search(ast: &Ast, input: &[u8]) -> bool {
+    (0..=input.len()).any(|start| !bt_positions(ast, input, start).is_empty())
+}
+
+/// Random pattern generator over a tiny alphabet so collisions are common.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("/".to_string()),
+        Just(".".to_string()),
+        Just("[ab]".to_string()),
+        Just("[^a]".to_string()),
+        Just("[^/]".to_string()),
+    ];
+    let unary = atom.prop_flat_map(|a| {
+        prop_oneof![
+            Just(a.clone()),
+            Just(format!("{a}*")),
+            Just(format!("{a}+")),
+            Just(format!("{a}?")),
+        ]
+    });
+    let seq = proptest::collection::vec(unary, 1..5).prop_map(|v| v.concat());
+    let grouped = seq.prop_flat_map(|s| {
+        prop_oneof![
+            Just(s.clone()),
+            Just(format!("({s})")),
+            Just(format!("({s})*")),
+            Just(format!("({s})+")),
+        ]
+    });
+    proptest::collection::vec(grouped, 1..4).prop_flat_map(|parts| {
+        let body = parts.join("|");
+        prop_oneof![
+            Just(body.clone()),
+            Just(format!("^{body}")),
+            Just(format!("{body}$")),
+            Just(format!("^{body}$")),
+        ]
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c'), Just('/')], 0..12)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn vm_agrees_with_backtracker(pat in arb_pattern(), input in arb_input()) {
+        let ast = regexlite::parser::parse(&pat).expect("generated patterns are valid");
+        let re = Regex::new(&pat).expect("generated patterns compile");
+        let expected = bt_search(&ast, input.as_bytes());
+        let got = re.is_match(&input);
+        prop_assert_eq!(got, expected, "pattern={} input={}", pat, input);
+    }
+
+    #[test]
+    fn anchored_full_match_is_substring_invariant(input in arb_input()) {
+        // `^.*X.*$` must match iff X occurs in the input.
+        let re = Regex::new("^.*ab.*$").unwrap();
+        prop_assert_eq!(re.is_match(&input), input.contains("ab"));
+    }
+
+    #[test]
+    fn escape_roundtrip(s in "[a-z.*+?()\\[\\]{}|^$\\\\]{0,10}") {
+        let pat = format!("^{}$", regexlite::escape(&s));
+        let re = Regex::new(&pat).expect("escaped pattern compiles");
+        prop_assert!(re.is_match(&s));
+    }
+}

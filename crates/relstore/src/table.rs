@@ -1,0 +1,340 @@
+//! Tables: schemas, rows, and secondary B-tree indexes.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::value::{ColType, Value};
+
+/// Position of a row within its table.
+pub type RowId = usize;
+
+/// A column definition.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColType,
+}
+
+/// Table schema: ordered column list.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    pub fn new(name: &str, columns: &[(&str, ColType)]) -> TableSchema {
+        TableSchema {
+            name: name.to_string(),
+            columns: columns
+                .iter()
+                .map(|(n, t)| Column {
+                    name: n.to_string(),
+                    ty: *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// A B-tree index over one or more columns. Maps composite keys to the
+/// rows holding them. Rows with a NULL in any key column are excluded
+/// (matching how RDBMS B-trees are used for equality/range lookups).
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    pub key_cols: Vec<usize>,
+    map: BTreeMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl Index {
+    fn key_of(&self, row: &[Value]) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(self.key_cols.len());
+        for &c in &self.key_cols {
+            if row[c].is_null() {
+                return None;
+            }
+            key.push(row[c].clone());
+        }
+        Some(key)
+    }
+
+    fn insert_row(&mut self, rid: RowId, row: &[Value]) {
+        if let Some(key) = self.key_of(row) {
+            self.map.entry(key).or_default().push(rid);
+        }
+    }
+
+    /// Rows whose full key equals `key`.
+    pub fn get(&self, key: &[Value]) -> &[RowId] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Rows whose key is within the given bounds (composite keys compare
+    /// lexicographically). Used for `BETWEEN` on `dewey_pos`.
+    pub fn range(
+        &self,
+        lo: Bound<&[Value]>,
+        hi: Bound<&[Value]>,
+    ) -> impl Iterator<Item = RowId> + '_ {
+        fn own(b: Bound<&[Value]>) -> Bound<Vec<Value>> {
+            match b {
+                Bound::Included(k) => Bound::Included(k.to_vec()),
+                Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+                Bound::Unbounded => Bound::Unbounded,
+            }
+        }
+        self.map
+            .range((own(lo), own(hi)))
+            .flat_map(|(_, rids)| rids.iter().copied())
+    }
+
+    /// Rows whose key starts with `prefix` (for composite indexes probed on
+    /// a leading-column equality).
+    pub fn prefix(&self, prefix: &[Value]) -> impl Iterator<Item = RowId> + '_ {
+        let lo = prefix.to_vec();
+        let prefix_owned = prefix.to_vec();
+        self.map
+            .range((Bound::Included(lo), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(&prefix_owned))
+            .flat_map(|(_, rids)| rids.iter().copied())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A heap table plus its indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+    indexes: Vec<Index>,
+}
+
+/// Errors from table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError(pub String);
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn row(&self, rid: RowId) -> &[Value] {
+        &self.rows[rid]
+    }
+
+    pub fn rows(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    }
+
+    /// Append a row, maintaining all indexes. The row must match the schema
+    /// arity and column types (NULL allowed anywhere).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, StoreError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(StoreError(format!(
+                "table `{}`: expected {} columns, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            )));
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if let Some(vt) = value.col_type() {
+                let compatible = vt == col.ty
+                    || matches!((vt, col.ty), (ColType::Int, ColType::Float));
+                if !compatible {
+                    return Err(StoreError(format!(
+                        "table `{}`, column `{}`: type mismatch ({vt:?} into {:?})",
+                        self.schema.name, col.name, col.ty
+                    )));
+                }
+            }
+        }
+        let rid = self.rows.len();
+        for idx in &mut self.indexes {
+            idx.insert_row(rid, &row);
+        }
+        self.rows.push(row);
+        Ok(rid)
+    }
+
+    /// Create a B-tree index over the named columns (builds eagerly).
+    pub fn create_index(&mut self, name: &str, cols: &[&str]) -> Result<(), StoreError> {
+        let key_cols: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                self.schema.col(c).ok_or_else(|| {
+                    StoreError(format!(
+                        "table `{}` has no column `{c}`",
+                        self.schema.name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut idx = Index {
+            name: name.to_string(),
+            key_cols,
+            map: BTreeMap::new(),
+        };
+        for (rid, row) in self.rows.iter().enumerate() {
+            idx.insert_row(rid, row);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index whose leading key columns are exactly `cols` (in
+    /// order), preferring the shortest such index.
+    pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .filter(|i| i.key_cols.len() >= cols.len() && i.key_cols[..cols.len()] == *cols)
+            .min_by_key(|i| i.key_cols.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "people",
+            &[("id", ColType::Int), ("name", ColType::Str), ("age", ColType::Int)],
+        ));
+        for (id, name, age) in [
+            (1, "ann", 30),
+            (2, "bob", 25),
+            (3, "cho", 30),
+            (4, "dee", 41),
+        ] {
+            t.insert(vec![Value::Int(id), Value::from(name), Value::Int(age)])
+                .expect("insert");
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = people();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.row(2)[1], Value::from("cho"));
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut t = people();
+        assert!(t.insert(vec![Value::Int(9)]).is_err());
+        assert!(t
+            .insert(vec![Value::from("x"), Value::from("y"), Value::Int(1)])
+            .is_err());
+        assert!(t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .is_ok());
+    }
+
+    #[test]
+    fn index_equality_lookup() {
+        let mut t = people();
+        t.create_index("people_age", &["age"]).expect("index");
+        let idx = t.index_on(&[2]).expect("index on age");
+        assert_eq!(idx.get(&[Value::Int(30)]), &[0, 2]);
+        assert_eq!(idx.get(&[Value::Int(99)]), &[] as &[RowId]);
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let mut t = people();
+        t.create_index("people_age", &["age"]).expect("index");
+        let idx = &t.indexes()[0];
+        let got: Vec<RowId> = idx
+            .range(
+                Bound::Included(&[Value::Int(26)][..]),
+                Bound::Included(&[Value::Int(40)][..]),
+            )
+            .collect();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn composite_index_prefix() {
+        let mut t = people();
+        t.create_index("people_age_name", &["age", "name"]).expect("index");
+        let idx = &t.indexes()[0];
+        let got: Vec<RowId> = idx.prefix(&[Value::Int(30)]).collect();
+        assert_eq!(got, vec![0, 2]);
+        // index_on with the leading column only still finds it
+        assert!(t.index_on(&[2]).is_some());
+        assert!(t.index_on(&[1]).is_none());
+    }
+
+    #[test]
+    fn nulls_excluded_from_index() {
+        let mut t = people();
+        t.insert(vec![Value::Int(5), Value::Null, Value::Null])
+            .expect("insert");
+        t.create_index("people_age", &["age"]).expect("index");
+        let idx = &t.indexes()[0];
+        let total: usize = t
+            .rows()
+            .filter(|(_, r)| !r[2].is_null())
+            .count();
+        let indexed: usize = idx
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .count();
+        assert_eq!(indexed, total);
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = people();
+        t.create_index("people_name", &["name"]).expect("index");
+        t.insert(vec![Value::Int(6), Value::from("eve"), Value::Int(22)])
+            .expect("insert");
+        let idx = &t.indexes()[0];
+        assert_eq!(idx.get(&[Value::from("eve")]), &[4]);
+    }
+
+    #[test]
+    fn index_on_unknown_column_fails() {
+        let mut t = people();
+        assert!(t.create_index("x", &["nope"]).is_err());
+    }
+}

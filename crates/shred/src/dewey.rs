@@ -1,0 +1,155 @@
+//! Binary Dewey encoding (paper §4.2).
+//!
+//! A Dewey position is a vector of sibling ordinals along the root-to-node
+//! path. It is stored as a binary string of **3-byte components with the
+//! leading bit zero**, so each component ranges 0..=0x7FFFFF. With this
+//! representation, plain *lexicographic* byte comparison decides every
+//! XPath structural relationship:
+//!
+//! * **Lemma 1**: `n2` is a descendant of `n1` ⇔
+//!   `d(n2) > d(n1) && d(n2) < d(n1) || 0xFF`
+//! * **Lemma 2**: `n2` follows `n1` (document order, not a descendant) ⇔
+//!   `d(n2) > d(n1) || 0xFF`
+//!
+//! Both lemmas hold because appending `0xFF` produces a string strictly
+//! greater than every extension of `d(n1)` by valid components (whose
+//! first byte is ≤ 0x7F) yet smaller than any different following sibling.
+
+/// Largest encodable component value (23 bits).
+pub const MAX_COMPONENT: u32 = 0x7F_FF_FF;
+
+/// The byte appended to form the descendant-interval upper bound.
+pub const UPPER_SENTINEL: u8 = 0xFF;
+
+/// Encoding error: a component exceeds 23 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeweyError(pub u32);
+
+impl std::fmt::Display for DeweyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dewey component {} exceeds the 3-byte limit {MAX_COMPONENT}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for DeweyError {}
+
+/// Encode a Dewey vector into its binary string.
+pub fn encode(vector: &[u32]) -> Result<Vec<u8>, DeweyError> {
+    let mut out = Vec::with_capacity(vector.len() * 3);
+    for &c in vector {
+        if c > MAX_COMPONENT {
+            return Err(DeweyError(c));
+        }
+        out.push((c >> 16) as u8);
+        out.push((c >> 8) as u8);
+        out.push(c as u8);
+    }
+    Ok(out)
+}
+
+/// Decode a binary string back into the Dewey vector. Panics on length not
+/// divisible by 3 (encodings are produced only by [`encode`]).
+pub fn decode(bytes: &[u8]) -> Vec<u32> {
+    assert!(
+        bytes.len().is_multiple_of(3),
+        "dewey binary string length must be a multiple of 3"
+    );
+    bytes
+        .chunks_exact(3)
+        .map(|c| ((c[0] as u32) << 16) | ((c[1] as u32) << 8) | c[2] as u32)
+        .collect()
+}
+
+/// The upper bound `d || 0xFF` of the descendant interval of `d`.
+pub fn upper_bound(dewey: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(dewey.len() + 1);
+    out.extend_from_slice(dewey);
+    out.push(UPPER_SENTINEL);
+    out
+}
+
+/// Lemma 1: is the node encoded `d2` a (proper) descendant of `d1`?
+pub fn is_descendant(d2: &[u8], d1: &[u8]) -> bool {
+    d2 > d1 && d2 < upper_bound(d1).as_slice()
+}
+
+/// Lemma 2: is the node encoded `d2` a *following* node of `d1`
+/// (after it in document order and not its descendant)?
+pub fn is_following(d2: &[u8], d1: &[u8]) -> bool {
+    d2 > upper_bound(d1).as_slice()
+}
+
+/// Is `d2` a preceding node of `d1` (before it in document order and not
+/// its ancestor)?
+pub fn is_preceding(d2: &[u8], d1: &[u8]) -> bool {
+    is_following(d1, d2)
+}
+
+/// Is `d2` a (proper) ancestor of `d1`?
+pub fn is_ancestor(d2: &[u8], d1: &[u8]) -> bool {
+    is_descendant(d1, d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(v: &[u32]) -> Vec<u8> {
+        encode(v).expect("encodable")
+    }
+
+    #[test]
+    fn encoding_shape() {
+        assert_eq!(enc(&[1]), vec![0, 0, 1]);
+        assert_eq!(enc(&[1, 2]), vec![0, 0, 1, 0, 0, 2]);
+        assert_eq!(enc(&[MAX_COMPONENT]), vec![0x7F, 0xFF, 0xFF]);
+        assert!(encode(&[MAX_COMPONENT + 1]).is_err());
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for v in [vec![], vec![1], vec![1, 2, 3], vec![0x7F_FF_FF, 255, 256]] {
+            assert_eq!(decode(&enc(&v)), v);
+        }
+    }
+
+    #[test]
+    fn lemma1_descendant_examples() {
+        // Figure 1: 1.1.2.1 is a descendant of 1.1 but not of 1.2.
+        let d_11 = enc(&[1, 1]);
+        let d_12 = enc(&[1, 2]);
+        let d_1121 = enc(&[1, 1, 2, 1]);
+        assert!(is_descendant(&d_1121, &d_11));
+        assert!(!is_descendant(&d_1121, &d_12));
+        assert!(!is_descendant(&d_11, &d_11), "not a descendant of itself");
+        assert!(!is_descendant(&d_11, &d_1121));
+    }
+
+    #[test]
+    fn lemma2_following_examples() {
+        let d_113 = enc(&[1, 1, 3]);
+        let d_1121 = enc(&[1, 1, 2, 1]);
+        let d_12 = enc(&[1, 2]);
+        assert!(is_following(&d_113, &d_1121));
+        assert!(is_following(&d_12, &d_1121));
+        assert!(!is_following(&d_1121, &d_113));
+        // A descendant is NOT following.
+        let d_11 = enc(&[1, 1]);
+        assert!(!is_following(&d_1121, &d_11));
+    }
+
+    #[test]
+    fn sentinel_vs_max_component() {
+        // The trickiest case: a component of 0x7FFFFF starts with byte
+        // 0x7F < 0xFF, so even the largest child stays below the bound.
+        let d = enc(&[1]);
+        let child_max = enc(&[1, MAX_COMPONENT]);
+        assert!(is_descendant(&child_max, &d));
+        let next_sibling = enc(&[2]);
+        assert!(is_following(&next_sibling, &d));
+    }
+}

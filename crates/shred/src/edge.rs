@@ -1,0 +1,255 @@
+//! Schema-oblivious Edge-like shredding (paper §5.1).
+//!
+//! All element nodes go into one central `Edge` relation; attributes go
+//! into a separate `Attrs` relation (the paper's footnote 3 picks this
+//! option). The same descriptors (id, parent id, path id, Dewey position)
+//! are kept, so the PPF translation applies — every structural join just
+//! becomes a *self*-join of the big central relation, which is exactly the
+//! effect the schema-aware comparison in Figure 3 measures.
+
+use std::collections::HashMap;
+
+use relstore::{ColType, Database, TableSchema, Value};
+use xmldom::Document;
+
+use crate::dewey;
+use crate::naming::*;
+use crate::schema_aware::{LoadedDoc, ShredError};
+
+/// A schema-oblivious (Edge-like) shredded store.
+pub struct EdgeStore {
+    db: Database,
+    path_ids: HashMap<String, i64>,
+    next_id: i64,
+    next_doc: i64,
+    indexed: bool,
+}
+
+impl Default for EdgeStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgeStore {
+    pub fn new() -> EdgeStore {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            PATHS_TABLE,
+            &[(PATHS_ID, ColType::Int), (PATHS_PATH, ColType::Str)],
+        ))
+        .expect("fresh database");
+        db.create_table(TableSchema::new(
+            EDGE_TABLE,
+            &[
+                (COL_ID, ColType::Int),
+                (COL_PAR, ColType::Int),
+                (COL_PATH, ColType::Int),
+                (COL_DEWEY, ColType::Bytes),
+                (COL_DOC, ColType::Int),
+                (EDGE_NAME, ColType::Str),
+                (COL_TEXT, ColType::Str),
+            ],
+        ))
+        .expect("fresh database");
+        db.create_table(TableSchema::new(
+            ATTR_TABLE,
+            &[
+                (COL_ID, ColType::Int),
+                (ATTR_OWNER, ColType::Int),
+                (ATTR_NAME, ColType::Str),
+                (ATTR_VALUE, ColType::Str),
+            ],
+        ))
+        .expect("fresh database");
+        EdgeStore {
+            db,
+            path_ids: HashMap::new(),
+            next_id: 1,
+            next_doc: 1,
+            indexed: false,
+        }
+    }
+
+    /// Load a document (no schema required — the mapping is oblivious).
+    pub fn load(&mut self, doc: &Document) -> Result<LoadedDoc, ShredError> {
+        let root = doc
+            .document_element()
+            .ok_or_else(|| ShredError("document has no element".into()))?;
+        let doc_id = self.next_doc;
+        self.next_doc += 1;
+        let mut element_ids = HashMap::new();
+
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let id = self.next_id;
+            self.next_id += 1;
+            element_ids.insert(n, id);
+
+            let par = doc
+                .parent(n)
+                .and_then(|p| element_ids.get(&p))
+                .copied()
+                .map(Value::Int)
+                .unwrap_or(Value::Null);
+            let path_id = self.intern_path(&doc.path_string(n))?;
+            let mut vector = vec![doc_id as u32];
+            vector.extend(doc.dewey(n));
+            let bytes = dewey::encode(&vector).map_err(|e| ShredError(e.to_string()))?;
+            let text = doc.direct_text(n);
+            self.db.table_mut(EDGE_TABLE).expect("Edge").insert(vec![
+                Value::Int(id),
+                par,
+                Value::Int(path_id),
+                Value::Bytes(bytes),
+                Value::Int(doc_id),
+                Value::Str(doc.name(n).expect("element").to_string()),
+                if text.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Str(text)
+                },
+            ])?;
+
+            for (aname, avalue) in doc.attributes(n) {
+                let aid = self.next_id;
+                self.next_id += 1;
+                self.db.table_mut(ATTR_TABLE).expect("Attrs").insert(vec![
+                    Value::Int(aid),
+                    Value::Int(id),
+                    Value::Str(aname.clone()),
+                    Value::Str(avalue.clone()),
+                ])?;
+            }
+
+            for c in doc
+                .child_elements(n)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+            {
+                stack.push(c);
+            }
+        }
+        Ok(LoadedDoc {
+            doc_id,
+            element_ids,
+        })
+    }
+
+    fn intern_path(&mut self, path: &str) -> Result<i64, ShredError> {
+        if let Some(&id) = self.path_ids.get(path) {
+            return Ok(id);
+        }
+        let id = self.path_ids.len() as i64 + 1;
+        self.path_ids.insert(path.to_string(), id);
+        self.db
+            .table_mut(PATHS_TABLE)
+            .expect("Paths")
+            .insert(vec![Value::Int(id), Value::Str(path.to_string())])?;
+        Ok(id)
+    }
+
+    /// Create the same index set as the schema-aware store (§3.1), plus a
+    /// name index (Edge-mapping queries constantly filter on the label).
+    pub fn create_indexes(&mut self) -> Result<(), ShredError> {
+        if self.indexed {
+            return Ok(());
+        }
+        {
+            let e = self.db.table_mut(EDGE_TABLE).expect("Edge");
+            e.create_index("edge_id", &[COL_ID])?;
+            e.create_index("edge_par", &[COL_PAR])?;
+            e.create_index("edge_dewey_path", &[COL_DEWEY, COL_PATH])?;
+            e.create_index("edge_name", &[EDGE_NAME])?;
+            e.create_index("edge_path", &[COL_PATH])?;
+        }
+        {
+            let a = self.db.table_mut(ATTR_TABLE).expect("Attrs");
+            a.create_index("attrs_owner", &[ATTR_OWNER])?;
+            a.create_index("attrs_name", &[ATTR_NAME])?;
+        }
+        let p = self.db.table_mut(PATHS_TABLE).expect("Paths");
+        p.create_index("paths_id", &[PATHS_ID])?;
+        self.indexed = true;
+        Ok(())
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn path_count(&self) -> usize {
+        self.path_ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_into_central_relation() {
+        let mut store = EdgeStore::new();
+        let doc = xmldom::parse("<a x='1'><b>t</b><b/><c y='2' z='3'/></a>").expect("xml");
+        let loaded = store.load(&doc).expect("load");
+        store.create_indexes().expect("index");
+        assert_eq!(store.db().table(EDGE_TABLE).expect("Edge").len(), 4);
+        assert_eq!(store.db().table(ATTR_TABLE).expect("Attrs").len(), 3);
+        assert_eq!(loaded.element_ids.len(), 4);
+        assert_eq!(store.path_count(), 3); // /a, /a/b, /a/c
+    }
+
+    #[test]
+    fn attrs_reference_their_owner() {
+        let mut store = EdgeStore::new();
+        let doc = xmldom::parse("<a><b k='v'/></a>").expect("xml");
+        store.load(&doc).expect("load");
+        let edge = store.db().table(EDGE_TABLE).expect("Edge");
+        let b_row = edge
+            .rows()
+            .find(|(_, r)| r[5] == Value::from("b"))
+            .expect("b row");
+        let b_id = b_row.1[0].clone();
+        let attrs = store.db().table(ATTR_TABLE).expect("Attrs");
+        let (_, a_row) = attrs.rows().next().expect("one attr");
+        assert_eq!(a_row[1], b_id);
+        assert_eq!(a_row[2], Value::from("k"));
+        assert_eq!(a_row[3], Value::from("v"));
+    }
+
+    #[test]
+    fn ids_unique_across_elements_and_attrs() {
+        let mut store = EdgeStore::new();
+        let doc = xmldom::parse("<a x='1' y='2'><b z='3'/></a>").expect("xml");
+        store.load(&doc).expect("load");
+        let mut ids: Vec<i64> = store
+            .db()
+            .table(EDGE_TABLE)
+            .expect("Edge")
+            .rows()
+            .map(|(_, r)| r[0].as_int().expect("int"))
+            .chain(
+                store
+                    .db()
+                    .table(ATTR_TABLE)
+                    .expect("Attrs")
+                    .rows()
+                    .map(|(_, r)| r[0].as_int().expect("int")),
+            )
+            .collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn multiple_documents_get_distinct_doc_ids() {
+        let mut store = EdgeStore::new();
+        let doc = xmldom::parse("<a/>").expect("xml");
+        let l1 = store.load(&doc).expect("load 1");
+        let l2 = store.load(&doc).expect("load 2");
+        assert_ne!(l1.doc_id, l2.doc_id);
+    }
+}

@@ -1,0 +1,28 @@
+//! `shred` — XML-to-relational loading: binary Dewey codec, the
+//! schema-aware mapping of paper §3, and the schema-oblivious Edge-like
+//! mapping of §5.1.
+//!
+//! Both mappings keep the same four element descriptors (id, parent id,
+//! path id, binary Dewey position) and a shared `Paths` relation, so the
+//! PPF translator can target either; the difference — many small typed
+//! relations vs one big central relation — is exactly what the paper's
+//! Figure 3 experiment compares.
+//!
+//! # Example
+//! ```
+//! use shred::SchemaAwareStore;
+//! let schema = xmlschema::parse_schema("root a\na = b*\nb : int").unwrap();
+//! let doc = xmldom::parse("<a><b>1</b><b>2</b></a>").unwrap();
+//! let mut store = SchemaAwareStore::new(&schema).unwrap();
+//! store.load(&doc).unwrap();
+//! store.create_indexes().unwrap();
+//! assert_eq!(store.db().table("b").unwrap().len(), 2);
+//! ```
+
+pub mod dewey;
+pub mod edge;
+pub mod naming;
+pub mod schema_aware;
+
+pub use edge::EdgeStore;
+pub use schema_aware::{LoadedDoc, SchemaAwareStore, ShredError};

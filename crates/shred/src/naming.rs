@@ -1,0 +1,47 @@
+//! Shared naming conventions between the shredders and the translators.
+//!
+//! Keeping these in one place means the PPF translator, the baselines and
+//! the loaders can never drift apart on column names.
+
+/// The relation holding root-to-node paths (§3.1).
+pub const PATHS_TABLE: &str = "Paths";
+/// `Paths` primary key column.
+pub const PATHS_ID: &str = "id";
+/// `Paths` path-string column.
+pub const PATHS_PATH: &str = "path";
+
+/// Element-id primary key column on every mapping relation.
+pub const COL_ID: &str = "id";
+/// Parent element id (the paper's parent-descriptor; used for the
+/// foreign-key joins of child/parent axes and the `par_id` equality of the
+/// sibling axes).
+pub const COL_PAR: &str = "par_id";
+/// Foreign key into `Paths`.
+pub const COL_PATH: &str = "path_id";
+/// Binary Dewey position.
+pub const COL_DEWEY: &str = "dewey_pos";
+/// Document id (root relations, and every Edge row).
+pub const COL_DOC: &str = "doc_id";
+/// Text content column.
+pub const COL_TEXT: &str = "text";
+
+/// Column name for an attribute. Attributes get an `attr_` prefix because
+/// names like `id` would collide with the descriptor columns (the paper
+/// writes `A.x` for `@x`; we write `A.attr_x` — a pure renaming).
+pub fn attr_col(attr: &str) -> String {
+    format!("attr_{attr}")
+}
+
+/// The central element relation of the Edge-like mapping (§5.1).
+pub const EDGE_TABLE: &str = "Edge";
+/// Element-name column of the Edge relation.
+pub const EDGE_NAME: &str = "name";
+/// The attribute relation of the Edge-like mapping (footnote 3: attributes
+/// are stored "as tuples in a separate relation dedicated for attribute
+/// storage").
+pub const ATTR_TABLE: &str = "Attrs";
+/// Owner element id in the attribute relation.
+pub const ATTR_OWNER: &str = "elem_id";
+/// Attribute name / value columns.
+pub const ATTR_NAME: &str = "name";
+pub const ATTR_VALUE: &str = "value";

@@ -1,0 +1,131 @@
+//! Property tests for the binary Dewey encoding: the paper's Lemma 1 and
+//! Lemma 2 (Appendix A) must hold for arbitrary Dewey vectors, and the
+//! encoding must preserve document order.
+
+use proptest::prelude::*;
+use shred::dewey;
+
+/// Arbitrary Dewey vector with components across the full 3-byte range
+/// (biased to include boundary values).
+fn arb_vector() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => 1u32..6,
+            1 => Just(1u32),
+            1 => Just(dewey::MAX_COMPONENT),
+            1 => Just(0xFFu32),
+            1 => Just(0x100u32),
+        ],
+        1..6,
+    )
+}
+
+/// Ground truth: is `b` a proper prefix of `a`? (i.e. a's node is a
+/// descendant of b's node)
+fn is_proper_prefix(b: &[u32], a: &[u32]) -> bool {
+    b.len() < a.len() && a[..b.len()] == *b
+}
+
+/// Ground truth document order on Dewey vectors: lexicographic component
+/// comparison, prefixes come first.
+fn doc_order(a: &[u32], b: &[u32]) -> std::cmp::Ordering {
+    a.cmp(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encoding_preserves_document_order(a in arb_vector(), b in arb_vector()) {
+        let ea = dewey::encode(&a).expect("encode");
+        let eb = dewey::encode(&b).expect("encode");
+        prop_assert_eq!(ea.cmp(&eb), doc_order(&a, &b),
+            "vectors {:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn lemma1_descendant_iff_prefix(a in arb_vector(), b in arb_vector()) {
+        let ea = dewey::encode(&a).expect("encode");
+        let eb = dewey::encode(&b).expect("encode");
+        prop_assert_eq!(
+            dewey::is_descendant(&ea, &eb),
+            is_proper_prefix(&b, &a),
+            "a={:?} b={:?}", a, b
+        );
+    }
+
+    #[test]
+    fn lemma2_following_iff_after_and_not_descendant(a in arb_vector(), b in arb_vector()) {
+        let ea = dewey::encode(&a).expect("encode");
+        let eb = dewey::encode(&b).expect("encode");
+        let expected = doc_order(&a, &b) == std::cmp::Ordering::Greater
+            && !is_proper_prefix(&b, &a);
+        prop_assert_eq!(dewey::is_following(&ea, &eb), expected,
+            "a={:?} b={:?}", a, b);
+    }
+
+    #[test]
+    fn preceding_and_ancestor_are_duals(a in arb_vector(), b in arb_vector()) {
+        let ea = dewey::encode(&a).expect("encode");
+        let eb = dewey::encode(&b).expect("encode");
+        prop_assert_eq!(
+            dewey::is_preceding(&ea, &eb),
+            dewey::is_following(&eb, &ea)
+        );
+        prop_assert_eq!(
+            dewey::is_ancestor(&ea, &eb),
+            dewey::is_descendant(&eb, &ea)
+        );
+    }
+
+    #[test]
+    fn axes_partition_distinct_nodes(a in arb_vector(), b in arb_vector()) {
+        // For two distinct nodes, exactly one of: descendant, ancestor,
+        // following, preceding.
+        prop_assume!(a != b);
+        let ea = dewey::encode(&a).expect("encode");
+        let eb = dewey::encode(&b).expect("encode");
+        let relations = [
+            dewey::is_descendant(&ea, &eb),
+            dewey::is_ancestor(&ea, &eb),
+            dewey::is_following(&ea, &eb),
+            dewey::is_preceding(&ea, &eb),
+        ];
+        prop_assert_eq!(relations.iter().filter(|&&r| r).count(), 1,
+            "a={:?} b={:?} relations={:?}", a, b, relations);
+    }
+
+    #[test]
+    fn roundtrip(a in arb_vector()) {
+        let e = dewey::encode(&a).expect("encode");
+        prop_assert_eq!(dewey::decode(&e), a);
+    }
+}
+
+#[test]
+fn dewey_matches_tree_axes_on_a_document() {
+    // Cross-check against xmldom's tree: for every element pair, the
+    // Dewey predicates must agree with the tree-derived relationships.
+    let doc = xmldom::parse(
+        "<r><a><b/><b><c/><c/></b></a><a/><d><a><b/></a></d></r>",
+    )
+    .expect("xml");
+    let elems: Vec<_> = doc.all_nodes().filter(|&n| doc.is_element(n)).collect();
+    for &x in &elems {
+        let dx = dewey::encode(&doc.dewey(x)).expect("encode");
+        for &y in &elems {
+            let dy = dewey::encode(&doc.dewey(y)).expect("encode");
+            assert_eq!(
+                dewey::is_descendant(&dx, &dy),
+                doc.is_ancestor(y, x),
+                "descendant mismatch for {x:?}/{y:?}"
+            );
+            let following = x > y && !doc.is_ancestor(y, x);
+            assert_eq!(
+                dewey::is_following(&dx, &dy),
+                following,
+                "following mismatch for {x:?}/{y:?}"
+            );
+        }
+    }
+}

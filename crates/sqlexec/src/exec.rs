@@ -1,0 +1,836 @@
+//! SQL execution: expression evaluation (3-valued logic) and the pipeline
+//! interpreter for [`SelectPlan`]s, plus `UNION` / `DISTINCT` / `ORDER BY`
+//! statement post-processing.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use regexlite::Regex;
+use relstore::{Database, RowId, Table, Value};
+
+use crate::ast::{ArithOp, CmpOp, Expr, Select, SelectStmt};
+use crate::plan::{plan_select, Access, ExecError, SelectPlan};
+
+/// A query result: named columns and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Execution counters, for tests and the experiment harness (they make
+/// "PPF scans fewer rows / does fewer probes" measurable, not just faster).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows produced by table scans and index lookups.
+    pub rows_scanned: u64,
+    /// Number of index probes (equality or range).
+    pub index_probes: u64,
+    /// Subquery executions (EXISTS and scalar).
+    pub subqueries: u64,
+}
+
+/// One bound alias during execution.
+#[derive(Clone)]
+struct Binding<'db> {
+    alias: std::rc::Rc<str>,
+    table: &'db Table,
+    rid: RowId,
+}
+
+/// The SQL executor. Borrow a database, run statements.
+pub struct Executor<'db> {
+    db: &'db Database,
+    regexes: RefCell<HashMap<String, Regex>>,
+    stats: RefCell<ExecStats>,
+    /// Per-statement plan cache keyed by `Select` address; cleared at each
+    /// top-level `run` so addresses cannot dangle across statements.
+    plans: RefCell<HashMap<usize, std::rc::Rc<SelectPlan>>>,
+    /// Slot holding the current `COUNT(*)` aggregate while its projection
+    /// is evaluated.
+    count_result: std::cell::Cell<Option<i64>>,
+    /// Hash-join build sides, keyed by (table, column) and cached for the
+    /// whole statement (cleared per `run`, like the plan cache).
+    hash_builds: RefCell<HashMap<(String, usize), std::rc::Rc<std::collections::BTreeMap<Value, Vec<RowId>>>>>,
+}
+
+impl<'db> Executor<'db> {
+    pub fn new(db: &'db Database) -> Executor<'db> {
+        Executor {
+            db,
+            regexes: RefCell::new(HashMap::new()),
+            stats: RefCell::new(ExecStats::default()),
+            plans: RefCell::new(HashMap::new()),
+            count_result: std::cell::Cell::new(None),
+            hash_builds: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Counters accumulated since construction (or the last reset).
+    pub fn stats(&self) -> ExecStats {
+        *self.stats.borrow()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = ExecStats::default();
+    }
+
+    /// Parse and run a SQL string.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, ExecError> {
+        let stmt = crate::parser::parse_sql(sql).map_err(|e| ExecError(e.to_string()))?;
+        self.run(&stmt)
+    }
+
+    /// Run a statement AST.
+    pub fn run(&self, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
+        self.plans.borrow_mut().clear();
+        self.hash_builds.borrow_mut().clear();
+        if stmt.branches.is_empty() {
+            return Err(ExecError("statement has no SELECT branch".into()));
+        }
+        let multi = stmt.branches.len() > 1;
+        // UNION branches must agree on arity, or dedup/sort would index
+        // out of bounds across rows of different widths.
+        let arity = stmt.branches[0].projections.len();
+        if stmt
+            .branches
+            .iter()
+            .any(|b| b.projections.len() != arity)
+        {
+            return Err(ExecError(
+                "UNION branches project different numbers of columns".into(),
+            ));
+        }
+
+        // Resolve ORDER BY keys. Keys naming an output column sort on the
+        // projected value (required for UNION); otherwise the key expression
+        // is evaluated against the FROM bindings of the (single) branch.
+        enum KeyKind {
+            Output(usize),
+            Computed(Expr),
+        }
+        let first = &stmt.branches[0];
+        let mut keys: Vec<(KeyKind, bool)> = Vec::new();
+        for k in &stmt.order_by {
+            let kind = match &k.expr {
+                Expr::Column { qualifier: None, name } => {
+                    let pos = first.projections.iter().position(|p| {
+                        p.alias.as_deref() == Some(name.as_str())
+                            || matches!(&p.expr, Expr::Column { name: n, .. } if n == name)
+                    });
+                    match pos {
+                        Some(i) => KeyKind::Output(i),
+                        None => KeyKind::Computed(k.expr.clone()),
+                    }
+                }
+                other => KeyKind::Computed(other.clone()),
+            };
+            if multi && matches!(kind, KeyKind::Computed(_)) {
+                return Err(ExecError(
+                    "ORDER BY over UNION must reference an output column".into(),
+                ));
+            }
+            keys.push((kind, k.desc));
+        }
+
+        let mut all_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (sort keys, row)
+        for sel in &stmt.branches {
+            let mut env: Vec<Binding> = Vec::new();
+            let mut branch_rows = Vec::new();
+            self.select_rows(sel, &mut env, &mut |exec, env| {
+                let row: Vec<Value> = sel
+                    .projections
+                    .iter()
+                    .map(|p| exec.eval(&p.expr, env))
+                    .collect::<Result<_, _>>()?;
+                let mut sort_key = Vec::with_capacity(keys.len());
+                for (kind, _) in &keys {
+                    match kind {
+                        KeyKind::Output(i) => sort_key.push(row[*i].clone()),
+                        KeyKind::Computed(e) => sort_key.push(exec.eval(e, env)?),
+                    }
+                }
+                branch_rows.push((sort_key, row));
+                Ok(true)
+            })?;
+            if sel.distinct {
+                dedup_rows(&mut branch_rows);
+            }
+            all_rows.extend(branch_rows);
+        }
+        if multi {
+            // UNION has set semantics.
+            dedup_rows(&mut all_rows);
+        }
+        if !keys.is_empty() {
+            all_rows.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = ka[i].cmp_total(&kb[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let columns = first
+            .projections
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.alias.clone().unwrap_or_else(|| match &p.expr {
+                    Expr::Column { name, .. } => name.clone(),
+                    Expr::CountStar => "count".to_string(),
+                    _ => format!("col{i}"),
+                })
+            })
+            .collect();
+        Ok(ResultSet {
+            columns,
+            rows: all_rows.into_iter().map(|(_, r)| r).collect(),
+        })
+    }
+
+    /// Run one select block, calling `emit` per surviving binding (or once
+    /// with the aggregate when the projection is `COUNT(*)`).
+    /// `emit` returns `false` to stop early (EXISTS).
+    fn select_rows<'e>(
+        &'e self,
+        sel: &'e Select,
+        env: &mut Vec<Binding<'db>>,
+        emit: &mut dyn FnMut(&Self, &mut Vec<Binding<'db>>) -> Result<bool, ExecError>,
+    ) -> Result<(), ExecError>
+    where
+        'db: 'e,
+    {
+        let is_count = sel
+            .projections
+            .iter()
+            .any(|p| matches!(p.expr, Expr::CountStar));
+        if is_count && sel.projections.len() != 1 {
+            return Err(ExecError(
+                "COUNT(*) must be the only projection".into(),
+            ));
+        }
+
+        let plan = self.plan_for(sel, env)?;
+        if is_count {
+            let mut count: i64 = 0;
+            self.exec_steps(&plan, 0, sel, env, &mut |_, _| {
+                count += 1;
+                Ok(true)
+            })?;
+            // Deliver the count through a one-off binding-free emit: the
+            // caller reads it via `eval(CountStar)` — we stash it.
+            self.count_result.set(Some(count));
+            emit(self, env)?;
+            self.count_result.set(None);
+            return Ok(());
+        }
+        self.exec_steps(&plan, 0, sel, env, emit)?;
+        Ok(())
+    }
+
+    fn plan_for(
+        &self,
+        sel: &Select,
+        env: &[Binding<'db>],
+    ) -> Result<std::rc::Rc<SelectPlan>, ExecError> {
+        let key = sel as *const Select as usize;
+        if let Some(p) = self.plans.borrow().get(&key) {
+            return Ok(p.clone());
+        }
+        let outer: Vec<(String, String)> = env
+            .iter()
+            .map(|b| (b.alias.to_string(), b.table.schema.name.clone()))
+            .collect();
+        let plan = std::rc::Rc::new(plan_select(self.db, sel, &outer)?);
+        self.plans.borrow_mut().insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    fn exec_steps<'e>(
+        &'e self,
+        plan: &SelectPlan,
+        depth: usize,
+        sel: &'e Select,
+        env: &mut Vec<Binding<'db>>,
+        emit: &mut dyn FnMut(&Self, &mut Vec<Binding<'db>>) -> Result<bool, ExecError>,
+    ) -> Result<bool, ExecError> {
+        if depth == plan.steps.len() {
+            for f in &plan.late_filters {
+                if self.eval_truth(f, env)? != Some(true) {
+                    return Ok(true);
+                }
+            }
+            return emit(self, env);
+        }
+        let step = &plan.steps[depth];
+        let table = self
+            .db
+            .table(&step.table)
+            .ok_or_else(|| ExecError(format!("no such table `{}`", step.table)))?;
+
+        // Materialize candidate row ids from the access path.
+        let mut probe_rows: Vec<RowId> = Vec::new();
+        match &step.access {
+            Access::FullScan => {
+                probe_rows.extend(table.rows().map(|(rid, _)| rid));
+            }
+            Access::HashEq { column, key } => {
+                self.stats.borrow_mut().index_probes += 1;
+                let build = self.hash_build(&step.table, table, *column);
+                let k = self.eval(key, env)?;
+                if !k.is_null() {
+                    if let Some(rids) = build.get(&k) {
+                        probe_rows.extend_from_slice(rids);
+                    }
+                }
+            }
+            Access::IndexEq { index, keys } => {
+                self.stats.borrow_mut().index_probes += 1;
+                let mut key_vals = Vec::with_capacity(keys.len());
+                let mut any_null = false;
+                for k in keys {
+                    let v = self.eval(k, env)?;
+                    if v.is_null() {
+                        any_null = true;
+                        break;
+                    }
+                    key_vals.push(v);
+                }
+                if !any_null {
+                    probe_rows.extend_from_slice(table.indexes()[*index].get(&key_vals));
+                }
+            }
+            Access::IndexRange { index, lo, hi } => {
+                self.stats.borrow_mut().index_probes += 1;
+                let lo_v = match lo {
+                    Some((e, inc)) => {
+                        let v = self.eval(e, env)?;
+                        if v.is_null() {
+                            None // comparison with NULL selects nothing
+                        } else {
+                            Some((vec![v], *inc))
+                        }
+                    }
+                    None => Some((Vec::new(), true)), // unbounded marker below
+                };
+                let hi_v = match hi {
+                    Some((e, inc)) => {
+                        let v = self.eval(e, env)?;
+                        if v.is_null() {
+                            None
+                        } else {
+                            Some((vec![v], *inc))
+                        }
+                    }
+                    None => Some((Vec::new(), true)),
+                };
+                // An inverted interval selects nothing (and std's
+                // BTreeMap::range panics on start > end, so guard it).
+                let inverted = match (&lo_v, &hi_v) {
+                    (Some((lo_k, lo_inc)), Some((hi_k, hi_inc)))
+                        if !lo_k.is_empty() && !hi_k.is_empty() =>
+                    {
+                        match lo_k[0].cmp_total(&hi_k[0]) {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Equal => !(*lo_inc && *hi_inc),
+                            std::cmp::Ordering::Less => false,
+                        }
+                    }
+                    _ => false,
+                };
+                if let (false, Some((lo_k, lo_inc)), Some((hi_k, hi_inc))) =
+                    (inverted, lo_v, hi_v)
+                {
+                    let ix = &table.indexes()[*index];
+                    let lob = if lo_k.is_empty() {
+                        Bound::Unbounded
+                    } else if lo_inc {
+                        Bound::Included(&lo_k[..])
+                    } else {
+                        Bound::Excluded(&lo_k[..])
+                    };
+                    // For composite indexes an inclusive range on the
+                    // leading column must include all suffixes: scan up to
+                    // (but excluding) the successor of the bound value in
+                    // the leading column's order; if no successor exists,
+                    // fall back to an unbounded scan — the driving
+                    // conjuncts are re-checked as residuals, so a superset
+                    // is always safe.
+                    let hi_owned;
+                    let hib = if hi_k.is_empty() {
+                        Bound::Unbounded
+                    } else if ix.key_cols.len() > 1 {
+                        if hi_inc {
+                            match value_successor(&hi_k[0]) {
+                                Some(s) => {
+                                    hi_owned = vec![s];
+                                    Bound::Excluded(&hi_owned[..])
+                                }
+                                None => Bound::Unbounded,
+                            }
+                        } else {
+                            Bound::Excluded(&hi_k[..])
+                        }
+                    } else if hi_inc {
+                        Bound::Included(&hi_k[..])
+                    } else {
+                        Bound::Excluded(&hi_k[..])
+                    };
+                    probe_rows.extend(ix.range(lob, hib));
+                }
+            }
+        }
+
+        let mut scanned = 0u64;
+        for rid in probe_rows {
+            scanned += 1;
+            env.push(Binding {
+                alias: step.alias.clone(),
+                table,
+                rid,
+            });
+            let mut pass = true;
+            for r in &step.residuals {
+                if self.eval_truth(r, env)? != Some(true) {
+                    pass = false;
+                    break;
+                }
+            }
+            let keep_going = if pass {
+                self.exec_steps(plan, depth + 1, sel, env, emit)?
+            } else {
+                true
+            };
+            env.pop();
+            if !keep_going {
+                self.stats.borrow_mut().rows_scanned += scanned;
+                return Ok(false);
+            }
+        }
+        self.stats.borrow_mut().rows_scanned += scanned;
+        Ok(true)
+    }
+
+    /// Build (or fetch the cached) hash-join build side for a column.
+    fn hash_build(
+        &self,
+        table_name: &str,
+        table: &Table,
+        column: usize,
+    ) -> std::rc::Rc<std::collections::BTreeMap<Value, Vec<RowId>>> {
+        let key = (table_name.to_string(), column);
+        if let Some(b) = self.hash_builds.borrow().get(&key) {
+            return b.clone();
+        }
+        let mut map: std::collections::BTreeMap<Value, Vec<RowId>> =
+            std::collections::BTreeMap::new();
+        for (rid, row) in table.rows() {
+            if !row[column].is_null() {
+                map.entry(row[column].clone()).or_default().push(rid);
+            }
+        }
+        self.stats.borrow_mut().rows_scanned += table.len() as u64;
+        let rc = std::rc::Rc::new(map);
+        self.hash_builds.borrow_mut().insert(key, rc.clone());
+        rc
+    }
+
+    // ----- expression evaluation -----
+
+    fn eval_truth(
+        &self,
+        e: &Expr,
+        env: &mut Vec<Binding<'db>>,
+    ) -> Result<Option<bool>, ExecError> {
+        let v = self.eval(e, env)?;
+        match v {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(b)),
+            other => Err(ExecError(format!(
+                "predicate evaluated to non-boolean value {other}"
+            ))),
+        }
+    }
+
+    fn eval(&self, e: &Expr, env: &mut Vec<Binding<'db>>) -> Result<Value, ExecError> {
+        match e {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column { qualifier, name } => self.lookup(qualifier.as_deref(), name, env),
+            Expr::Cmp { op, lhs, rhs } => {
+                let a = self.eval(lhs, env)?;
+                let b = self.eval(rhs, env)?;
+                Ok(compare(*op, &a, &b))
+            }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let v = self.eval(expr, env)?;
+                let l = self.eval(lo, env)?;
+                let h = self.eval(hi, env)?;
+                let ge = compare(CmpOp::Ge, &v, &l);
+                let le = compare(CmpOp::Le, &v, &h);
+                let both = and3(truth(&ge), truth(&le));
+                let res = if *negated { not3(both) } else { both };
+                Ok(to_bool(res))
+            }
+            Expr::And(xs) => {
+                let mut acc = Some(true);
+                for x in xs {
+                    let t = self.eval_truth(x, env)?;
+                    acc = and3(acc, t);
+                    if acc == Some(false) {
+                        break;
+                    }
+                }
+                Ok(to_bool(acc))
+            }
+            Expr::Or(xs) => {
+                let mut acc = Some(false);
+                for x in xs {
+                    let t = self.eval_truth(x, env)?;
+                    acc = or3(acc, t);
+                    if acc == Some(true) {
+                        break;
+                    }
+                }
+                Ok(to_bool(acc))
+            }
+            Expr::Not(x) => {
+                let t = self.eval_truth(x, env)?;
+                Ok(to_bool(not3(t)))
+            }
+            Expr::Exists(sub) => {
+                self.stats.borrow_mut().subqueries += 1;
+                let mut found = false;
+                self.select_rows(sub, env, &mut |_, _| {
+                    found = true;
+                    Ok(false) // stop at first row
+                })?;
+                Ok(Value::Bool(found))
+            }
+            Expr::ScalarSubquery(sub) => {
+                self.stats.borrow_mut().subqueries += 1;
+                if sub.projections.len() != 1 {
+                    return Err(ExecError(
+                        "scalar subquery must project exactly one column".into(),
+                    ));
+                }
+                let mut result: Option<Value> = None;
+                let proj = &sub.projections[0].expr;
+                let mut count = 0usize;
+                self.select_rows(sub, env, &mut |exec, env2| {
+                    count += 1;
+                    if count > 1 {
+                        return Err(ExecError(
+                            "scalar subquery returned more than one row".into(),
+                        ));
+                    }
+                    result = Some(exec.eval(proj, env2)?);
+                    Ok(true)
+                })?;
+                Ok(result.unwrap_or(Value::Null))
+            }
+            Expr::RegexpLike { subject, pattern } => {
+                let v = self.eval(subject, env)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => {
+                        let mut cache = self.regexes.borrow_mut();
+                        let re = match cache.get(pattern) {
+                            Some(r) => r,
+                            None => {
+                                let compiled = Regex::new(pattern).map_err(|e| {
+                                    ExecError(format!("bad regex `{pattern}`: {e}"))
+                                })?;
+                                cache.entry(pattern.clone()).or_insert(compiled)
+                            }
+                        };
+                        Ok(Value::Bool(re.is_match(&s)))
+                    }
+                    other => Err(ExecError(format!(
+                        "REGEXP_LIKE subject must be text, got {other}"
+                    ))),
+                }
+            }
+            Expr::Concat(a, b) => {
+                let av = self.eval(a, env)?;
+                let bv = self.eval(b, env)?;
+                match (av, bv) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Bytes(mut x), Value::Bytes(y)) => {
+                        x.extend_from_slice(&y);
+                        Ok(Value::Bytes(x))
+                    }
+                    (a, b) => {
+                        let mut s = display_raw(&a);
+                        s.push_str(&display_raw(&b));
+                        Ok(Value::Str(s))
+                    }
+                }
+            }
+            Expr::Arith { op, lhs, rhs } => {
+                let a = self.eval(lhs, env)?;
+                let b = self.eval(rhs, env)?;
+                arith(*op, &a, &b)
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, env)?;
+                let isnull = v.is_null();
+                Ok(Value::Bool(if *negated { !isnull } else { isnull }))
+            }
+            Expr::CountStar => match self.count_result.get() {
+                Some(c) => Ok(Value::Int(c)),
+                None => Err(ExecError("COUNT(*) outside aggregate context".into())),
+            },
+        }
+    }
+
+    fn lookup(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        env: &[Binding<'db>],
+    ) -> Result<Value, ExecError> {
+        // Inner bindings shadow outer ones, so scan from the end.
+        for b in env.iter().rev() {
+            match qualifier {
+                Some(q) if q != &*b.alias => continue,
+                _ => {}
+            }
+            if let Some(ci) = b.table.schema.col(name) {
+                return Ok(b.table.row(b.rid)[ci].clone());
+            }
+            if qualifier.is_some() {
+                return Err(ExecError(format!(
+                    "alias `{}` has no column `{name}`",
+                    b.alias
+                )));
+            }
+        }
+        Err(ExecError(match qualifier {
+            Some(q) => format!("unknown column `{q}.{name}`"),
+            None => format!("unknown column `{name}`"),
+        }))
+    }
+}
+
+// ----- helpers -----
+
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn to_bool(t: Option<bool>) -> Value {
+    match t {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|b| !b)
+}
+
+/// Raw (unquoted) text form for concatenation.
+fn display_raw(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Bytes(b) => b.iter().map(|x| format!("{x:02X}")).collect(),
+        Value::Null => String::new(),
+    }
+}
+
+/// SQL comparison with implicit numeric conversion (Oracle-style) and NULL
+/// propagation. Returns `Bool` or `Null`.
+pub fn compare(op: CmpOp, a: &Value, b: &Value) -> Value {
+    use std::cmp::Ordering;
+    if a.is_null() || b.is_null() {
+        return Value::Null;
+    }
+    let ord: Option<Ordering> = match (a, b) {
+        (Value::Int(_), Value::Int(_))
+        | (Value::Float(_), Value::Float(_))
+        | (Value::Int(_), Value::Float(_))
+        | (Value::Float(_), Value::Int(_))
+        | (Value::Str(_), Value::Str(_))
+        | (Value::Bytes(_), Value::Bytes(_))
+        | (Value::Bool(_), Value::Bool(_)) => Some(a.cmp_total(b)),
+        // Implicit text→number conversion when compared with a number.
+        (Value::Str(s), Value::Int(_) | Value::Float(_)) => s
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .map(|x| Value::Float(x).cmp_total(b)),
+        (Value::Int(_) | Value::Float(_), Value::Str(s)) => s
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .map(|x| a.cmp_total(&Value::Float(x))),
+        _ => None,
+    };
+    match ord {
+        None => Value::Null, // incomparable (e.g. unparsable text vs number)
+        Some(ord) => {
+            let b = match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+            };
+            Value::Bool(b)
+        }
+    }
+}
+
+fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    let to_num = |v: &Value| -> Result<(i64, f64, bool), ExecError> {
+        match v {
+            Value::Int(i) => Ok((*i, *i as f64, true)),
+            Value::Float(f) => Ok((0, *f, false)),
+            Value::Str(s) => match s.trim().parse::<f64>() {
+                Ok(f) => Ok((0, f, false)),
+                Err(_) => Err(ExecError(format!("cannot use {v} in arithmetic"))),
+            },
+            other => Err(ExecError(format!("cannot use {other} in arithmetic"))),
+        }
+    };
+    let (ai, af, a_int) = to_num(a)?;
+    let (bi, bf, b_int) = to_num(b)?;
+    if a_int && b_int && op != ArithOp::Div {
+        let r = match op {
+            ArithOp::Add => ai.checked_add(bi),
+            ArithOp::Sub => ai.checked_sub(bi),
+            ArithOp::Mul => ai.checked_mul(bi),
+            ArithOp::Div => unreachable!(),
+        };
+        return r
+            .map(Value::Int)
+            .ok_or_else(|| ExecError("integer overflow".into()));
+    }
+    let r = match op {
+        ArithOp::Add => af + bf,
+        ArithOp::Sub => af - bf,
+        ArithOp::Mul => af * bf,
+        ArithOp::Div => {
+            if bf == 0.0 {
+                return Ok(Value::Null);
+            }
+            af / bf
+        }
+    };
+    Ok(Value::Float(r))
+}
+
+/// The smallest value strictly greater than `v` in the total order, when
+/// one can be written down (used to turn an inclusive leading-column bound
+/// on a composite index into an exclusive bound that covers all suffixes).
+fn value_successor(v: &Value) -> Option<Value> {
+    match v {
+        Value::Int(i) => i.checked_add(1).map(Value::Int),
+        Value::Str(s) => {
+            let mut t = s.clone();
+            t.push('\0');
+            Some(Value::Str(t))
+        }
+        Value::Bytes(b) => {
+            let mut t = b.clone();
+            t.push(0);
+            Some(Value::Bytes(t))
+        }
+        Value::Bool(false) => Some(Value::Bool(true)),
+        _ => None,
+    }
+}
+
+fn dedup_rows(rows: &mut Vec<(Vec<Value>, Vec<Value>)>) {
+    let mut seen: std::collections::BTreeSet<Vec<Value>> = std::collections::BTreeSet::new();
+    rows.retain(|(_, r)| seen.insert(r.clone()));
+}
+
+/// Reference executor used by property tests: evaluates a single-branch
+/// select by brute-force cross product with no planner, no indexes.
+pub fn naive_select(db: &Database, sel: &Select) -> Result<Vec<Vec<Value>>, ExecError> {
+    let exec = Executor::new(db);
+    let mut env: Vec<Binding> = Vec::new();
+    let mut out = Vec::new();
+    fn recurse<'db>(
+        exec: &Executor<'db>,
+        db: &'db Database,
+        sel: &Select,
+        depth: usize,
+        env: &mut Vec<Binding<'db>>,
+        out: &mut Vec<Vec<Value>>,
+    ) -> Result<(), ExecError> {
+        if depth == sel.from.len() {
+            if let Some(w) = &sel.where_clause {
+                if exec.eval_truth(w, env)? != Some(true) {
+                    return Ok(());
+                }
+            }
+            let row: Vec<Value> = sel
+                .projections
+                .iter()
+                .map(|p| exec.eval(&p.expr, env))
+                .collect::<Result<_, _>>()?;
+            out.push(row);
+            return Ok(());
+        }
+        let tref = &sel.from[depth];
+        let table = db
+            .table(&tref.table)
+            .ok_or_else(|| ExecError(format!("no such table `{}`", tref.table)))?;
+        let alias: std::rc::Rc<str> = std::rc::Rc::from(tref.alias.as_str());
+        for (rid, _) in table.rows() {
+            env.push(Binding {
+                alias: alias.clone(),
+                table,
+                rid,
+            });
+            recurse(exec, db, sel, depth + 1, env, out)?;
+            env.pop();
+        }
+        Ok(())
+    }
+    recurse(&exec, db, sel, 0, &mut env, &mut out)?;
+    if sel.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        out.retain(|r| seen.insert(r.clone()));
+    }
+    Ok(out)
+}

@@ -1,0 +1,341 @@
+//! SQL tokenizer.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; the original spelling is preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal with `''` unescaped.
+    Str(String),
+    /// Hex binary literal `x'AB01'`.
+    Blob(Vec<u8>),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Concat, // ||
+    Eq,
+    Ne, // <> or !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                pos += 1;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                pos += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                // `--` comment to end of line.
+                if bytes.get(pos + 1) == Some(&b'-') {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    pos += 1;
+                }
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                pos += 1;
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    out.push(Token::Concat);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        pos,
+                        message: "single `|` is not a SQL operator".into(),
+                    });
+                }
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        pos,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    pos += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    pos += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    pos += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(input, pos)?;
+                out.push(Token::Str(s));
+                pos = next;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(input, pos)?;
+                out.push(tok);
+                pos = next;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' || b == b'"' => {
+                // `x'..'` hex blob?
+                if (b == b'x' || b == b'X') && bytes.get(pos + 1) == Some(&b'\'') {
+                    let (s, next) = lex_string(input, pos + 1)?;
+                    let mut blob = Vec::with_capacity(s.len() / 2);
+                    let hex = s.as_bytes();
+                    if hex.len() % 2 != 0 {
+                        return Err(LexError {
+                            pos,
+                            message: "hex literal must have even length".into(),
+                        });
+                    }
+                    for pair in hex.chunks(2) {
+                        let hi = (pair[0] as char).to_digit(16);
+                        let lo = (pair[1] as char).to_digit(16);
+                        match (hi, lo) {
+                            (Some(h), Some(l)) => blob.push((h * 16 + l) as u8),
+                            _ => {
+                                return Err(LexError {
+                                    pos,
+                                    message: "invalid hex digit in blob literal".into(),
+                                })
+                            }
+                        }
+                    }
+                    out.push(Token::Blob(blob));
+                    pos = next;
+                } else if b == b'"' {
+                    // Quoted identifier.
+                    let end = input[pos + 1..]
+                        .find('"')
+                        .ok_or_else(|| LexError {
+                            pos,
+                            message: "unterminated quoted identifier".into(),
+                        })?;
+                    out.push(Token::Ident(input[pos + 1..pos + 1 + end].to_string()));
+                    pos = pos + end + 2;
+                } else {
+                    let start = pos;
+                    while pos < bytes.len()
+                        && (bytes[pos].is_ascii_alphanumeric()
+                            || bytes[pos] == b'_'
+                            || bytes[pos] == b'$')
+                    {
+                        pos += 1;
+                    }
+                    out.push(Token::Ident(input[start..pos].to_string()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
+    debug_assert_eq!(input.as_bytes()[start], b'\'');
+    let bytes = input.as_bytes();
+    let mut pos = start + 1;
+    let mut out = String::new();
+    while pos < bytes.len() {
+        if bytes[pos] == b'\'' {
+            if bytes.get(pos + 1) == Some(&b'\'') {
+                out.push('\'');
+                pos += 2;
+            } else {
+                return Ok((out, pos + 1));
+            }
+        } else {
+            // Copy the whole UTF-8 character.
+            let ch_len = utf8_len(bytes[pos]);
+            out.push_str(&input[pos..pos + ch_len]);
+            pos += ch_len;
+        }
+    }
+    Err(LexError {
+        pos: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut pos = start;
+    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+        pos += 1;
+    }
+    let mut is_float = false;
+    if pos < bytes.len() && bytes[pos] == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+    {
+        is_float = true;
+        pos += 1;
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+    }
+    let text = &input[start..pos];
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Token::Float(f), pos))
+            .map_err(|_| LexError {
+                pos: start,
+                message: "invalid float literal".into(),
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|i| (Token::Int(i), pos))
+            .map_err(|_| LexError {
+                pos: start,
+                message: "integer literal out of range".into(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_select() {
+        let toks = lex("select A.id, 3.5 from A where A.x <> 'o''brien'").expect("lex");
+        assert!(toks.contains(&Token::Ident("select".into())));
+        assert!(toks.contains(&Token::Float(3.5)));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Str("o'brien".into())));
+    }
+
+    #[test]
+    fn lexes_blob_and_concat() {
+        let toks = lex("x'00ff' || X'AB'").expect("lex");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Blob(vec![0x00, 0xFF]),
+                Token::Concat,
+                Token::Blob(vec![0xAB])
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        let toks = lex("< <= > >= = <> !=").expect("lex");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("1 -- comment\n 2").expect("lex");
+        assert_eq!(toks, vec![Token::Int(1), Token::Int(2)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'open").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("x'ABC'").is_err());
+        assert!(lex("x'GG'").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,879 @@
+//! Query planning: join ordering, index selection, predicate placement.
+//!
+//! The planner turns one [`Select`] into a left-deep pipeline of
+//! [`Step`]s. Each step scans one `FROM` alias, either fully or through a
+//! B-tree access path whose probe values may reference the aliases bound by
+//! earlier steps (index nested-loop join) or by an outer query
+//! (correlated `EXISTS`). Every `WHERE` conjunct is consumed exactly once:
+//! as an access-path driver or as a residual filter at the earliest step
+//! where all of its referenced aliases are bound.
+//!
+//! This mirrors what a commercial optimizer does for the paper's queries:
+//! all the structural joins (`par_id = id`, `path_id = id`, `dewey_pos
+//! BETWEEN …`) become index probes on the join-column indexes the loader
+//! creates (§3.1).
+
+use std::collections::BTreeSet;
+
+use crate::ast::{CmpOp, Expr, Select};
+use relstore::{Database, Table};
+
+/// Planner/executor error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// How one step reads its table.
+#[derive(Debug, Clone)]
+pub enum Access {
+    /// Scan every row.
+    FullScan,
+    /// Probe a B-tree index with equality on its leading columns. The key
+    /// expressions may reference previously bound / outer aliases.
+    IndexEq {
+        /// Index position within `Table::indexes()`.
+        index: usize,
+        keys: Vec<Expr>,
+    },
+    /// Range-scan a B-tree index on its first column.
+    IndexRange {
+        index: usize,
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+    },
+    /// Build-once hash table on an unindexed column, probed with the key
+    /// expression per outer row (classic hash join, build side = this
+    /// table).
+    HashEq { column: usize, key: Expr },
+}
+
+/// One pipeline step: bind `alias` by scanning `table` via `access`, then
+/// keep rows passing all `residuals`.
+#[derive(Debug, Clone)]
+pub struct Step {
+    pub alias: std::rc::Rc<str>,
+    pub table: String,
+    pub access: Access,
+    pub residuals: Vec<Expr>,
+}
+
+/// A compiled plan for one `SELECT` block.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    pub steps: Vec<Step>,
+    /// Predicates that could not be attached to any step (e.g. referencing
+    /// only outer aliases); evaluated once per full binding.
+    pub late_filters: Vec<Expr>,
+}
+
+/// Selectivity guesses, in lieu of real statistics. The absolute values
+/// matter less than the ordering: equality < range < regex < everything.
+mod sel {
+    pub const EQ_UNINDEXED: f64 = 0.1;
+    /// A bounded interval (Dewey descendant window): very tight.
+    pub const RANGE_TWO_SIDED: f64 = 0.005;
+    /// A half-open range: barely selective.
+    pub const RANGE_ONE_SIDED: f64 = 0.5;
+    pub const REGEX: f64 = 0.05;
+    pub const OTHER: f64 = 0.5;
+}
+
+/// Plan a select given the aliases already bound by outer queries
+/// (`outer` pairs each alias with its table so probe expressions can be
+/// type-checked). Inner FROM aliases shadow same-named outer aliases.
+pub fn plan_select(
+    db: &Database,
+    select: &Select,
+    outer: &[(String, String)],
+) -> Result<SelectPlan, ExecError> {
+    for tref in &select.from {
+        db.require(&tref.table).map_err(|e| ExecError(e.to_string()))?;
+    }
+    // Duplicate aliases would make column references ambiguous.
+    {
+        let mut seen = BTreeSet::new();
+        for t in &select.from {
+            if !seen.insert(&t.alias) {
+                return Err(ExecError(format!("duplicate alias `{}`", t.alias)));
+            }
+        }
+    }
+    // An inner FROM alias shadows an outer binding: the outer one must not
+    // count as pre-bound in this scope.
+    let outer: Vec<(String, String)> = outer
+        .iter()
+        .filter(|(a, _)| !select.from.iter().any(|t| &t.alias == a))
+        .cloned()
+        .collect();
+    let outer = &outer[..];
+
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        flatten_and(w, &mut conjuncts);
+    }
+    let mut used = vec![false; conjuncts.len()];
+
+    // Pick the join order: exhaustive left-deep enumeration for small
+    // FROM lists (cost = sum of intermediate-result cardinality products),
+    // greedy beyond that.
+    let order = choose_order(db, select, &conjuncts, outer);
+
+    let mut bound: Vec<String> = outer.iter().map(|(a, _)| a.clone()).collect();
+    let mut steps: Vec<Step> = Vec::new();
+    for idx in order {
+        let tref = &select.from[idx];
+        let table = db.table(&tref.table).expect("validated above");
+        let step = build_step(
+            db,
+            select,
+            outer,
+            table,
+            &tref.table,
+            &tref.alias,
+            &mut conjuncts,
+            &mut used,
+            &bound,
+        );
+        bound.push(tref.alias.clone());
+        steps.push(step);
+    }
+
+    // Whatever conjuncts remain (those referencing no step alias at all,
+    // e.g. purely-outer correlation filters or constant predicates) run as
+    // late filters — attach to the last step if possible so they at least
+    // prune during the scan.
+    let mut late = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if !used[i] {
+            late.push(c.clone());
+        }
+    }
+    if let (Some(last), false) = (steps.last_mut(), late.is_empty()) {
+        last.residuals.append(&mut late);
+    }
+    Ok(SelectPlan {
+        steps,
+        late_filters: late,
+    })
+}
+
+/// Coarse type classes for hash-join compatibility: Int and Float unify
+/// (the total order already equates 2 and 2.0); Str does not unify with
+/// numbers (SQL would implicitly convert, which a hash lookup cannot).
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum TypeClass {
+    Numeric,
+    Text,
+    Binary,
+    Boolean,
+}
+
+fn type_class(ty: relstore::ColType) -> TypeClass {
+    match ty {
+        relstore::ColType::Int | relstore::ColType::Float => TypeClass::Numeric,
+        relstore::ColType::Str => TypeClass::Text,
+        relstore::ColType::Bytes => TypeClass::Binary,
+        relstore::ColType::Bool => TypeClass::Boolean,
+    }
+}
+
+/// Type class of a probe expression, when statically known: literals, and
+/// columns of aliases bound in this FROM list or in an outer query.
+fn probe_type_class(
+    db: &Database,
+    select: &Select,
+    outer: &[(String, String)],
+    e: &Expr,
+) -> Option<TypeClass> {
+    match e {
+        Expr::Literal(v) => v.col_type().map(type_class),
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } => {
+            let table_name = select
+                .from
+                .iter()
+                .find(|t| &t.alias == q)
+                .map(|t| t.table.as_str())
+                .or_else(|| {
+                    outer
+                        .iter()
+                        .find(|(a, _)| a == q)
+                        .map(|(_, t)| t.as_str())
+                })?;
+            let table = db.table(table_name)?;
+            let ci = table.schema.col(name)?;
+            Some(type_class(table.schema.columns[ci].ty))
+        }
+        // `a || b`: binary concat stays binary, text concat stays text.
+        Expr::Concat(a, b) => {
+            let ca = probe_type_class(db, select, outer, a)?;
+            let cb = probe_type_class(db, select, outer, b)?;
+            if ca == cb {
+                Some(ca)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Does the expression contain an unqualified column reference? Those are
+/// invisible to alias tracking, so conjuncts containing them must only run
+/// once every table is bound.
+fn has_unqualified(e: &Expr) -> bool {
+    match e {
+        Expr::Column { qualifier: None, .. } => true,
+        Expr::Column { .. } | Expr::Literal(_) | Expr::CountStar => false,
+        Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+            has_unqualified(lhs) || has_unqualified(rhs)
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            has_unqualified(expr) || has_unqualified(lo) || has_unqualified(hi)
+        }
+        Expr::And(xs) | Expr::Or(xs) => xs.iter().any(has_unqualified),
+        Expr::Not(x) | Expr::IsNull { expr: x, .. } => has_unqualified(x),
+        Expr::Concat(a, b) => has_unqualified(a) || has_unqualified(b),
+        Expr::RegexpLike { subject, .. } => has_unqualified(subject),
+        // Subqueries resolve their own columns at execution time.
+        Expr::Exists(_) | Expr::ScalarSubquery(_) => false,
+    }
+}
+
+fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(xs) => {
+            for x in xs {
+                flatten_and(x, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Aliases referenced by `e` (free, i.e. not bound inside its subqueries).
+fn refs(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    e.free_aliases(&mut out);
+    out
+}
+
+/// Is every alias referenced by `e` either `this` or in `bound`?
+fn evaluable(e: &Expr, this: &str, bound: &[String]) -> bool {
+    refs(e)
+        .iter()
+        .all(|a| a == this || bound.iter().any(|b| b == a))
+}
+
+/// `expr` is a column of `alias`?
+fn col_of<'e>(e: &'e Expr, alias: &str) -> Option<&'e str> {
+    match e {
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } if q == alias => Some(name),
+        _ => None,
+    }
+}
+
+/// Decompose a conjunct as `alias.col <op> probe` where `probe` does not
+/// reference `alias` (flipping the comparison if needed).
+fn as_probe<'e>(e: &'e Expr, alias: &str) -> Option<(&'e str, CmpOp, Expr)> {
+    if let Expr::Cmp { op, lhs, rhs } = e {
+        if let Some(col) = col_of(lhs, alias) {
+            if !refs(rhs).iter().any(|a| a == alias) {
+                return Some((col, *op, (**rhs).clone()));
+            }
+        }
+        if let Some(col) = col_of(rhs, alias) {
+            if !refs(lhs).iter().any(|a| a == alias) {
+                return Some((col, op.flip(), (**lhs).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Decompose `alias.col BETWEEN lo AND hi` (non-negated) with foreign
+/// bounds.
+fn as_between<'e>(e: &'e Expr, alias: &str) -> Option<(&'e str, Expr, Expr)> {
+    if let Expr::Between {
+        expr,
+        lo,
+        hi,
+        negated: false,
+    } = e
+    {
+        if let Some(col) = col_of(expr, alias) {
+            let foreign =
+                |x: &Expr| !refs(x).iter().any(|a| a == alias);
+            if foreign(lo) && foreign(hi) {
+                return Some((col, (**lo).clone(), (**hi).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Join-order selection. For n ≤ `EXHAUSTIVE_LIMIT` aliases, enumerate
+/// every left-deep order and minimize Σ_k Π_{j≤k} card_j (the classic
+/// cumulative-intermediate-size cost); otherwise greedy by next-step
+/// cardinality. The estimates are join-aware: a table probed through a
+/// two-sided Dewey range or an indexed equality becomes cheap once its
+/// driving alias is bound.
+fn choose_order(
+    db: &Database,
+    select: &Select,
+    conjuncts: &[Expr],
+    outer: &[(String, String)],
+) -> Vec<usize> {
+    const EXHAUSTIVE_LIMIT: usize = 6;
+    let n = select.from.len();
+    let used = vec![false; conjuncts.len()];
+    let est = |idx: usize, bound: &[String]| -> (f64, f64) {
+        let tref = &select.from[idx];
+        let table = db.table(&tref.table).expect("validated by caller");
+        let (fetched, card, regexes) =
+            estimate_access(table, &tref.alias, conjuncts, &used, bound);
+        // Regular-expression filters are much costlier per row than
+        // comparisons; charge them into the fetch cost so orders that
+        // evaluate regexes over fewer rows win.
+        (fetched * (1.0 + 2.0 * regexes as f64), card)
+    };
+
+    if n <= EXHAUSTIVE_LIMIT {
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        fn recurse(
+            est: &dyn Fn(usize, &[String]) -> (f64, f64),
+            select: &Select,
+            outer: &[String],
+            order: &mut Vec<usize>,
+            remaining: &mut Vec<usize>,
+            bound: &mut Vec<String>,
+            product: f64,
+            cost: f64,
+            best: &mut Option<(f64, Vec<usize>)>,
+        ) {
+            if let Some((b, _)) = best {
+                if cost >= *b {
+                    return; // prune
+                }
+            }
+            if remaining.is_empty() {
+                if best.as_ref().map(|(b, _)| cost < *b).unwrap_or(true) {
+                    *best = Some((cost, order.clone()));
+                }
+                return;
+            }
+            for i in 0..remaining.len() {
+                let idx = remaining.remove(i);
+                // Cost pays for the rows the access path fetches at this
+                // nesting depth; downstream fan-out uses the post-filter
+                // cardinality.
+                let (fetched, card) = est(idx, bound);
+                let cost2 = cost + product * fetched;
+                let product2 = product * card;
+                order.push(idx);
+                bound.push(select.from[idx].alias.clone());
+                recurse(
+                    est,
+                    select,
+                    outer,
+                    order,
+                    remaining,
+                    bound,
+                    product2,
+                    cost2,
+                    best,
+                );
+                bound.pop();
+                order.pop();
+                remaining.insert(i, idx);
+            }
+        }
+        let outer_aliases: Vec<String> = outer.iter().map(|(a, _)| a.clone()).collect();
+        let mut bound: Vec<String> = outer_aliases.clone();
+        recurse(
+            &est,
+            select,
+            &outer_aliases,
+            &mut order,
+            &mut remaining,
+            &mut bound,
+            1.0,
+            0.0,
+            &mut best,
+        );
+        return best.expect("n ≥ 1 orders enumerated").1;
+    }
+
+    // Greedy fallback for wide FROM lists.
+    let mut bound: Vec<String> = outer.iter().map(|(a, _)| a.clone()).collect();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let (pos, &idx) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                est(a, &bound)
+                    .0
+                    .partial_cmp(&est(b, &bound).0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty");
+        out.push(idx);
+        bound.push(select.from[idx].alias.clone());
+        remaining.remove(pos);
+    }
+    out
+}
+
+/// Cost estimate for scanning `alias` next: `fetched` approximates the
+/// rows the chosen access path materializes (mirroring `build_step`'s
+/// priority: full-prefix index equality, then an indexed range, then a
+/// full scan), `card` the rows surviving all residual filters.
+fn estimate_access(
+    table: &Table,
+    alias: &str,
+    conjuncts: &[Expr],
+    used: &[bool],
+    bound: &[String],
+) -> (f64, f64, usize) {
+    let rows = table.len().max(1) as f64;
+    let mut card = rows;
+    let mut regex_filters = 0usize;
+    // (column index, selectivity) of equality probes; range bounds per column.
+    let mut eq_cols: Vec<usize> = Vec::new();
+    let mut ranges: Vec<(String, bool, bool, bool)> = Vec::new(); // (col, lo, hi, indexed)
+    let mut eq_best: Option<f64> = None;
+
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] || !evaluable(c, alias, bound) {
+            continue;
+        }
+        if !refs(c).iter().any(|a| a == alias) {
+            continue;
+        }
+        if let Some((col, op, _)) = as_probe(c, alias) {
+            match op {
+                CmpOp::Eq => {
+                    let f = if let Some(ci) = table.schema.col(col) {
+                        eq_cols.push(ci);
+                        if let Some(ix) = table.index_on(&[ci]) {
+                            let d = ix.distinct_keys().max(1) as f64;
+                            (1.0 / d).max(1.0 / rows)
+                        } else {
+                            sel::EQ_UNINDEXED
+                        }
+                    } else {
+                        sel::EQ_UNINDEXED
+                    };
+                    card *= f;
+                }
+                CmpOp::Ne => card *= sel::OTHER,
+                CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le => {
+                    let indexed = table
+                        .schema
+                        .col(col)
+                        .and_then(|ci| table.index_on(&[ci]))
+                        .is_some();
+                    let lo = matches!(op, CmpOp::Gt | CmpOp::Ge);
+                    match ranges.iter_mut().find(|(rc, ..)| rc == col) {
+                        Some(r) => {
+                            if lo {
+                                r.1 = true;
+                            } else {
+                                r.2 = true;
+                            }
+                        }
+                        None => ranges.push((col.to_string(), lo, !lo, indexed)),
+                    }
+                }
+            }
+        } else if let Some((col, _, _)) = as_between(c, alias) {
+            let indexed = table
+                .schema
+                .col(col)
+                .and_then(|ci| table.index_on(&[ci]))
+                .is_some();
+            ranges.push((col.to_string(), true, true, indexed));
+        } else if matches!(c, Expr::RegexpLike { .. }) {
+            card *= sel::REGEX;
+            regex_filters += 1;
+        } else {
+            card *= sel::OTHER;
+        }
+    }
+
+    let mut best_range: Option<f64> = None;
+    for (_, lo, hi, indexed) in &ranges {
+        let f = if *lo && *hi {
+            sel::RANGE_TWO_SIDED
+        } else {
+            sel::RANGE_ONE_SIDED
+        };
+        card *= f;
+        if *indexed {
+            best_range = Some(best_range.map_or(f, |b: f64| b.min(f)));
+        }
+    }
+    // Best indexed equality access (build_step prefers these).
+    for &ci in &eq_cols {
+        if let Some(ix) = table.index_on(&[ci]) {
+            let d = ix.distinct_keys().max(1) as f64;
+            let f = (1.0 / d).max(1.0 / rows);
+            eq_best = Some(eq_best.map_or(f, |b: f64| b.min(f)));
+        }
+    }
+    let fetched = if let Some(f) = eq_best {
+        rows * f
+    } else if let Some(f) = best_range {
+        rows * f
+    } else if !eq_cols.is_empty() {
+        // hash join on an unindexed equality: the build is amortized, the
+        // probe returns ~rows × selectivity.
+        rows * sel::EQ_UNINDEXED
+    } else {
+        rows
+    };
+    (
+        fetched.max(0.5),
+        card.max(0.05).min(fetched.max(0.5)),
+        regex_filters,
+    )
+}
+
+/// Choose the access path for `alias` and attach every now-evaluable
+/// conjunct as driver or residual.
+#[allow(clippy::too_many_arguments)]
+fn build_step(
+    db: &Database,
+    select: &Select,
+    outer: &[(String, String)],
+    table: &Table,
+    table_name: &str,
+    alias: &str,
+    conjuncts: &mut [Expr],
+    used: &mut [bool],
+    bound: &[String],
+) -> Step {
+    // Candidate equality probes: col -> (conjunct idx, probe expr).
+    let mut eq_probes: Vec<(usize, usize, Expr)> = Vec::new(); // (col_idx, conj_idx, expr)
+    let mut range_probes: Vec<(usize, usize, CmpOp, Expr)> = Vec::new();
+    let mut between_probes: Vec<(usize, usize, Expr, Expr)> = Vec::new();
+
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] || !evaluable(c, alias, bound) || has_unqualified(c) {
+            continue;
+        }
+        if let Some((col, op, probe)) = as_probe(c, alias) {
+            if let Some(ci) = table.schema.col(col) {
+                // A B-tree probe compares with the total order, which does
+                // not perform SQL's implicit text↔number conversion — only
+                // provably same-class probes are exact.
+                let compatible = probe_type_class(db, select, outer, &probe)
+                    == Some(type_class(table.schema.columns[ci].ty));
+                match op {
+                    CmpOp::Eq if compatible => eq_probes.push((ci, i, probe)),
+                    CmpOp::Eq => {}
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge if compatible => {
+                        range_probes.push((ci, i, op, probe))
+                    }
+                    _ => {}
+                }
+            }
+        } else if let Some((col, lo, hi)) = as_between(c, alias) {
+            if let Some(ci) = table.schema.col(col) {
+                let cls = Some(type_class(table.schema.columns[ci].ty));
+                if probe_type_class(db, select, outer, &lo) == cls
+                    && probe_type_class(db, select, outer, &hi) == cls
+                {
+                    between_probes.push((ci, i, lo, hi));
+                }
+            }
+        }
+    }
+
+    // 1. Best composite equality index: the index (over eq-probe columns)
+    //    with the longest satisfied prefix.
+    let mut access: Option<(Access, Vec<usize>)> = None; // (access, consumed conjuncts)
+    let mut best_prefix = 0usize;
+    for (ix_pos, ix) in table.indexes().iter().enumerate() {
+        let mut keys = Vec::new();
+        let mut consumed = Vec::new();
+        for &kc in &ix.key_cols {
+            if let Some((_, ci_conj, probe)) =
+                eq_probes.iter().find(|(c, _, _)| *c == kc)
+            {
+                keys.push(probe.clone());
+                consumed.push(*ci_conj);
+            } else {
+                break;
+            }
+        }
+        if keys.len() == ix.key_cols.len() && keys.len() > best_prefix {
+            best_prefix = keys.len();
+            access = Some((Access::IndexEq { index: ix_pos, keys }, consumed));
+        }
+    }
+
+    // 2. Equality on an unindexed column → hash join (build side = this
+    //    table, built once and cached for the whole statement). Only sound
+    //    when both sides provably share a type class: SQL's implicit
+    //    text↔number conversion cannot be hashed.
+    if access.is_none() {
+        for (ci, conj, probe) in &eq_probes {
+            let build_class = type_class(table.schema.columns[*ci].ty);
+            if Some(build_class) == probe_type_class(db, select, outer, probe) {
+                access = Some((
+                    Access::HashEq {
+                        column: *ci,
+                        key: probe.clone(),
+                    },
+                    vec![*conj],
+                ));
+                break;
+            }
+        }
+    }
+
+    // 3. Range access on an index's first column, from BETWEEN or a pair /
+    //    single bound of inequalities.
+    if access.is_none() {
+        for (ix_pos, ix) in table.indexes().iter().enumerate() {
+            let lead = ix.key_cols[0];
+            if let Some((_, ci, lo, hi)) = between_probes.iter().find(|(c, ..)| *c == lead) {
+                access = Some((
+                    Access::IndexRange {
+                        index: ix_pos,
+                        lo: Some((lo.clone(), true)),
+                        hi: Some((hi.clone(), true)),
+                    },
+                    vec![*ci],
+                ));
+                break;
+            }
+            let mut lo: Option<(Expr, bool, usize)> = None;
+            let mut hi: Option<(Expr, bool, usize)> = None;
+            for (c, i, op, probe) in &range_probes {
+                if *c != lead {
+                    continue;
+                }
+                match op {
+                    CmpOp::Gt => lo = lo.or(Some((probe.clone(), false, *i))),
+                    CmpOp::Ge => lo = lo.or(Some((probe.clone(), true, *i))),
+                    CmpOp::Lt => hi = hi.or(Some((probe.clone(), false, *i))),
+                    CmpOp::Le => hi = hi.or(Some((probe.clone(), true, *i))),
+                    _ => {}
+                }
+            }
+            if lo.is_some() || hi.is_some() {
+                let mut consumed = Vec::new();
+                let lo = lo.map(|(e, inc, i)| {
+                    consumed.push(i);
+                    (e, inc)
+                });
+                let hi = hi.map(|(e, inc, i)| {
+                    consumed.push(i);
+                    (e, inc)
+                });
+                access = Some((Access::IndexRange { index: ix_pos, lo, hi }, consumed));
+                break;
+            }
+        }
+    }
+
+    let (access, consumed) = access.unwrap_or((Access::FullScan, Vec::new()));
+    // Range scans over composite indexes can over-approximate (the scan
+    // bound is widened to cover key suffixes), so their driving conjuncts
+    // are re-checked as residuals. Equality probes are exact.
+    let mut residuals = Vec::new();
+    if matches!(access, Access::IndexRange { .. }) {
+        for &i in &consumed {
+            residuals.push(conjuncts[i].clone());
+        }
+    }
+    for i in &consumed {
+        used[*i] = true;
+    }
+
+    // All other conjuncts that become evaluable at this step are residuals.
+    let bound_plus: Vec<String> = bound
+        .iter()
+        .cloned()
+        .chain(std::iter::once(alias.to_string()))
+        .collect();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let r = refs(c);
+        let all_bound = r.iter().all(|a| bound_plus.iter().any(|b| b == a));
+        // Attach here only if this step's alias is involved, or the
+        // predicate involves a subquery/constant that just became fully
+        // evaluable (r may be empty for constants). Conjuncts with
+        // unqualified columns wait for the full environment (they fall to
+        // the late filters, which attach to the last step).
+        if all_bound
+            && !has_unqualified(c)
+            && (r.iter().any(|a| a == alias) || r.is_empty() || has_subquery(c))
+        {
+            residuals.push(c.clone());
+            used[i] = true;
+        }
+    }
+
+    Step {
+        alias: std::rc::Rc::from(alias),
+        table: table_name.to_string(),
+        access,
+        residuals,
+    }
+}
+
+fn has_subquery(e: &Expr) -> bool {
+    match e {
+        Expr::Exists(_) | Expr::ScalarSubquery(_) => true,
+        Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
+            has_subquery(lhs) || has_subquery(rhs)
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            has_subquery(expr) || has_subquery(lo) || has_subquery(hi)
+        }
+        Expr::And(xs) | Expr::Or(xs) => xs.iter().any(has_subquery),
+        Expr::Not(x) | Expr::IsNull { expr: x, .. } => has_subquery(x),
+        Expr::Concat(a, b) => has_subquery(a) || has_subquery(b),
+        Expr::RegexpLike { subject, .. } => has_subquery(subject),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql;
+    use relstore::{ColType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "A",
+            &[("id", ColType::Int), ("x", ColType::Int)],
+        ))
+        .expect("create");
+        db.create_table(TableSchema::new(
+            "B",
+            &[("id", ColType::Int), ("par_id", ColType::Int), ("v", ColType::Str)],
+        ))
+        .expect("create");
+        {
+            let a = db.table_mut("A").expect("A");
+            for i in 0..100 {
+                a.insert(vec![Value::Int(i), Value::Int(i % 10)]).expect("row");
+            }
+            a.create_index("a_id", &["id"]).expect("idx");
+        }
+        {
+            let b = db.table_mut("B").expect("B");
+            for i in 0..1000 {
+                b.insert(vec![
+                    Value::Int(i),
+                    Value::Int(i % 100),
+                    Value::from(format!("v{i}")),
+                ])
+                .expect("row");
+            }
+            b.create_index("b_par", &["par_id"]).expect("idx");
+        }
+        db
+    }
+
+    fn plan(sql: &str) -> SelectPlan {
+        let db = db();
+        let stmt = parse_sql(sql).expect("parse");
+        plan_select(&db, &stmt.branches[0], &[]).expect("plan")
+    }
+
+    #[test]
+    fn equality_join_uses_index_nested_loop() {
+        let p = plan("select B.id from A, B where B.par_id = A.id and A.x = 3");
+        assert_eq!(p.steps.len(), 2);
+        // A is scanned first (x = 3 filters it), B probed via b_par.
+        assert_eq!(&*p.steps[0].alias, "A");
+        assert!(matches!(p.steps[1].access, Access::IndexEq { .. }));
+        assert!(p.late_filters.is_empty());
+    }
+
+    #[test]
+    fn every_conjunct_lands_exactly_once() {
+        let p = plan(
+            "select B.id from A, B where B.par_id = A.id and A.x = 3 and B.v <> 'v1'",
+        );
+        let total: usize = p
+            .steps
+            .iter()
+            .map(|s| {
+                s.residuals.len()
+                    + match &s.access {
+                        Access::FullScan => 0,
+                        Access::IndexEq { keys, .. } => keys.len(),
+                        Access::HashEq { .. } => 1,
+                        Access::IndexRange { lo, hi, .. } => {
+                            lo.is_some() as usize + hi.is_some() as usize
+                        }
+                    }
+            })
+            .sum::<usize>()
+            + p.late_filters.len();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn between_uses_range_access() {
+        let mut dbx = db();
+        dbx.table_mut("B")
+            .expect("B")
+            .create_index("b_id", &["id"])
+            .expect("idx");
+        let stmt =
+            parse_sql("select B.id from B where B.id between 10 and 20").expect("parse");
+        let p = plan_select(&dbx, &stmt.branches[0], &[]).expect("plan");
+        assert!(matches!(p.steps[0].access, Access::IndexRange { .. }));
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let dbx = db();
+        let stmt = parse_sql("select X.id from X").expect("parse");
+        assert!(plan_select(&dbx, &stmt.branches[0], &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_alias_is_an_error() {
+        let dbx = db();
+        let stmt = parse_sql("select T.id from A T, B T").expect("parse");
+        assert!(plan_select(&dbx, &stmt.branches[0], &[]).is_err());
+    }
+
+    #[test]
+    fn correlated_probe_from_outer_alias() {
+        // Planning the EXISTS body with A as an outer alias: B should be
+        // probed by index using A.id even though A is not in this FROM.
+        let dbx = db();
+        let stmt = parse_sql("select B.id from B where B.par_id = A.id").expect("parse");
+        let p = plan_select(&dbx, &stmt.branches[0], &[("A".to_string(), "A".to_string())]).expect("plan");
+        assert!(matches!(p.steps[0].access, Access::IndexEq { .. }));
+    }
+}

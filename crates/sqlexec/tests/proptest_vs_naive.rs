@@ -1,0 +1,188 @@
+//! Property test: the planned, index-driven executor must produce exactly
+//! the rows of the brute-force cross-product reference (`naive_select`)
+//! on randomized databases and generated queries.
+
+use proptest::prelude::*;
+use relstore::{ColType, Database, TableSchema, Value};
+use sqlexec::ast::{CmpOp, Expr, Projection, Select, SelectStmt, TableRef};
+use sqlexec::{naive_select, Executor};
+
+/// Build a two-table database with randomized contents. `R` and `S` have
+/// integer, string and bytes columns; both get single and composite
+/// indexes so index paths actually get exercised.
+fn build_db(r_rows: &[(i64, i64, String)], s_rows: &[(i64, i64, Vec<u8>)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "R",
+        &[("id", ColType::Int), ("k", ColType::Int), ("s", ColType::Str)],
+    ))
+    .unwrap();
+    db.create_table(TableSchema::new(
+        "S",
+        &[("id", ColType::Int), ("rk", ColType::Int), ("b", ColType::Bytes)],
+    ))
+    .unwrap();
+    {
+        let r = db.table_mut("R").unwrap();
+        for (id, k, s) in r_rows {
+            r.insert(vec![
+                Value::Int(*id),
+                Value::Int(*k),
+                Value::Str(s.clone()),
+            ])
+            .unwrap();
+        }
+        r.create_index("r_id", &["id"]).unwrap();
+        r.create_index("r_k", &["k"]).unwrap();
+    }
+    {
+        let s = db.table_mut("S").unwrap();
+        for (id, rk, b) in s_rows {
+            s.insert(vec![
+                Value::Int(*id),
+                Value::Int(*rk),
+                Value::Bytes(b.clone()),
+            ])
+            .unwrap();
+        }
+        s.create_index("s_rk", &["rk"]).unwrap();
+        s.create_index("s_b", &["b"]).unwrap();
+    }
+    db
+}
+
+/// A small pool of predicate shapes over R (alias r) and S (alias s).
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let lit_int = (0i64..8).prop_map(Expr::int);
+    let r_k = Just(Expr::column("r", "k"));
+    let s_rk = Just(Expr::column("s", "rk"));
+    let cmp_op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Ge)
+    ];
+    let join = (cmp_op.clone(), r_k.clone(), s_rk.clone())
+        .prop_map(|(op, a, b)| Expr::cmp(op, a, b));
+    let filter_r = (cmp_op.clone(), r_k, lit_int.clone())
+        .prop_map(|(op, a, b)| Expr::cmp(op, a, b));
+    let filter_s = (cmp_op, s_rk, lit_int.clone())
+        .prop_map(|(op, a, b)| Expr::cmp(op, a, b));
+    let between = (0i64..6, 0i64..6).prop_map(|(a, b)| Expr::Between {
+        expr: Box::new(Expr::column("s", "rk")),
+        lo: Box::new(Expr::int(a.min(b))),
+        hi: Box::new(Expr::int(a.max(b))),
+        negated: false,
+    });
+    let bytes_range = proptest::collection::vec(0u8..4, 0..3).prop_map(|b| Expr::Between {
+        expr: Box::new(Expr::column("s", "b")),
+        lo: Box::new(Expr::Literal(Value::Bytes(b.clone()))),
+        hi: Box::new(Expr::Concat(
+            Box::new(Expr::Literal(Value::Bytes(b))),
+            Box::new(Expr::Literal(Value::Bytes(vec![0xFF]))),
+        )),
+        negated: false,
+    });
+    prop_oneof![join, filter_r, filter_s, between, bytes_range]
+}
+
+fn arb_where() -> impl Strategy<Value = Option<Expr>> {
+    proptest::collection::vec(arb_predicate(), 0..4).prop_flat_map(|preds| {
+        if preds.is_empty() {
+            Just(None).boxed()
+        } else {
+            // Combine with a random mix of AND plus an occasional OR / NOT.
+            let n = preds.len();
+            (Just(preds), 0..n, any::<bool>(), any::<bool>())
+                .prop_map(|(preds, or_at, use_or, negate)| {
+                    let mut it = preds.into_iter();
+                    let mut acc = it.next().expect("non-empty");
+                    for (i, p) in it.enumerate() {
+                        if use_or && i == or_at {
+                            acc = acc.or(p);
+                        } else {
+                            acc = acc.and(p);
+                        }
+                    }
+                    if negate {
+                        acc = Expr::Not(Box::new(acc));
+                    }
+                    Some(acc)
+                })
+                .boxed()
+        }
+    })
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let o = x.cmp_total(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn planned_execution_matches_naive(
+        r_rows in proptest::collection::vec((0i64..30, 0i64..8, "[a-c]{0,2}"), 0..25),
+        s_rows in proptest::collection::vec(
+            (0i64..30, 0i64..8, proptest::collection::vec(0u8..4, 0..4)), 0..25),
+        where_clause in arb_where(),
+        distinct in any::<bool>(),
+    ) {
+        let db = build_db(&r_rows, &s_rows);
+        let select = Select {
+            distinct,
+            projections: vec![
+                Projection::col("r", "id"),
+                Projection::col("s", "id"),
+                Projection::col("s", "b"),
+            ],
+            from: vec![TableRef::new("R", "r"), TableRef::new("S", "s")],
+            where_clause,
+        };
+        let expected = sorted(naive_select(&db, &select).expect("naive"));
+        let exec = Executor::new(&db);
+        let got = exec.run(&SelectStmt::single(select)).expect("planned");
+        prop_assert_eq!(sorted(got.rows), expected);
+    }
+
+    #[test]
+    fn exists_matches_semijoin_semantics(
+        r_rows in proptest::collection::vec((0i64..20, 0i64..6, "[ab]{0,2}"), 1..15),
+        s_rows in proptest::collection::vec(
+            (0i64..20, 0i64..6, proptest::collection::vec(0u8..3, 0..3)), 0..15),
+    ) {
+        let db = build_db(&r_rows, &s_rows);
+        // r rows with at least one s where s.rk = r.k
+        let sub = Select {
+            distinct: false,
+            projections: vec![Projection { expr: Expr::Literal(Value::Null), alias: None }],
+            from: vec![TableRef::new("S", "s")],
+            where_clause: Some(Expr::eq(Expr::column("s", "rk"), Expr::column("r", "k"))),
+        };
+        let select = Select {
+            distinct: false,
+            projections: vec![Projection::col("r", "id")],
+            from: vec![TableRef::new("R", "r")],
+            where_clause: Some(Expr::Exists(Box::new(sub))),
+        };
+        let exec = Executor::new(&db);
+        let got = sorted(exec.run(&SelectStmt::single(select)).expect("run").rows);
+        let mut expected: Vec<Vec<Value>> = r_rows
+            .iter()
+            .filter(|(_, k, _)| s_rows.iter().any(|(_, rk, _)| rk == k))
+            .map(|(id, _, _)| vec![Value::Int(*id)])
+            .collect();
+        expected = sorted(expected);
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,236 @@
+//! Deterministic DBLP-like bibliography generator (paper §5 uses the
+//! 130 MB DBLP dump; we synthesize the same shape: flat entry lists with
+//! author/title/year children and occasionally marked-up titles with
+//! `sup`/`sub`/`i` — including the deep `article//sub/sup/i` nesting QD4
+//! looks for).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmldom::{Document, TreeBuilder};
+use xmlschema::{parse_schema, Schema};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DblpConfig {
+    /// 1.0 ≈ tens of thousands of entries (the paper's regime scaled to
+    /// in-memory benchmarking).
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Schema graph of the generated bibliography. `sup`/`sub` are mutually
+/// recursive (they are I-P — root-to-node paths are unbounded).
+pub fn dblp_schema() -> Schema {
+    parse_schema(
+        "root dblp\n\
+         dblp = inproceedings* article* book*\n\
+         inproceedings @key = author* title year pages? booktitle?\n\
+         article @key = author* title year pages? journal?\n\
+         book @key = author* title year pages? publisher?\n\
+         author : text\n\
+         title : text = sup* sub* i*\n\
+         sup : text = sub* i*\n\
+         sub : text = sup* i*\n\
+         i : text\n\
+         year : int\n\
+         pages : text\n\
+         booktitle : text\n\
+         journal : text\n\
+         publisher : text\n",
+    )
+    .expect("the DBLP schema is valid")
+}
+
+/// The paper's special author for QD1.
+pub const QD1_AUTHOR: &str = "Harold G. Longbotham";
+
+const SURNAMES: &[&str] = &[
+    "Vassalos", "Georgiadis", "Grust", "Teubner", "Boncz", "Keulen", "Naughton", "Kaushik",
+];
+
+struct Gen {
+    rng: StdRng,
+    key_seq: usize,
+}
+
+impl Gen {
+    fn author_name(&mut self) -> String {
+        format!(
+            "{}. {}",
+            (b'A' + self.rng.gen_range(0..26)) as char,
+            SURNAMES[self.rng.gen_range(0..SURNAMES.len())]
+        )
+    }
+
+    /// A title, occasionally with `sup`/`sub`/`i` markup; inside articles
+    /// sometimes the deep `sub/sup/i` chain QD4 needs.
+    fn title(&mut self, b: &mut TreeBuilder, in_article: bool) {
+        b.start_element("title");
+        b.text("On the complexity of H");
+        let style = self.rng.gen_range(0..100);
+        if style < 6 {
+            // plain subscript
+            b.leaf("sub", "2");
+        } else if style < 10 {
+            b.leaf("sup", "n");
+        } else if style < 12 {
+            b.start_element("sup");
+            b.leaf("i", "x");
+            b.end_element();
+        } else if in_article && style < 13 {
+            // article//sub/sup/i — the QD4 target (rare, like the paper's
+            // single result).
+            b.start_element("sub");
+            b.start_element("sup");
+            b.leaf("i", "k");
+            b.end_element();
+            b.end_element();
+        }
+        b.text(" queries");
+        b.end_element();
+    }
+
+    fn entry(&mut self, b: &mut TreeBuilder, kind: &str, year_lo: i32) {
+        let key = self.key_seq;
+        self.key_seq += 1;
+        b.start_element(kind);
+        b.attribute("key", format!("{kind}/{key}"));
+        let n_authors = self.rng.gen_range(1..4);
+        for _ in 0..n_authors {
+            let name = if kind == "inproceedings" && self.rng.gen_bool(0.0004) {
+                QD1_AUTHOR.to_string()
+            } else {
+                self.author_name()
+            };
+            b.leaf("author", name);
+        }
+        self.title(b, kind == "article");
+        b.leaf(
+            "year",
+            format!("{}", year_lo + self.rng.gen_range(0..15)),
+        );
+        if self.rng.gen_bool(0.7) {
+            b.leaf("pages", format!("{}-{}", key % 100, key % 100 + 12));
+        }
+        match kind {
+            "inproceedings" => {
+                if self.rng.gen_bool(0.9) {
+                    b.leaf("booktitle", "Proc. EDBT");
+                }
+            }
+            "article" => {
+                if self.rng.gen_bool(0.9) {
+                    b.leaf("journal", "TODS");
+                }
+            }
+            _ => {
+                if self.rng.gen_bool(0.9) {
+                    b.leaf("publisher", "Springer");
+                }
+            }
+        }
+        b.end_element();
+    }
+}
+
+/// Generate a DBLP-like document.
+pub fn generate_dblp(cfg: DblpConfig) -> Document {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        key_seq: 0,
+    };
+    let scale = cfg.scale.max(0.01);
+    let n_inproc = (9000.0 * scale) as usize;
+    let n_article = (5000.0 * scale) as usize;
+    let n_book = (400.0 * scale) as usize;
+
+    let mut b = TreeBuilder::new();
+    b.start_element("dblp");
+    for _ in 0..n_inproc {
+        g.entry(&mut b, "inproceedings", 1988);
+    }
+    for _ in 0..n_article {
+        g.entry(&mut b, "article", 1985);
+    }
+    for _ in 0..n_book {
+        g.entry(&mut b, "book", 1990);
+    }
+    b.end_element();
+    b.finish()
+}
+
+/// The DBLP query set of the paper's Table 7.
+pub fn dblp_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "QD1",
+            "//inproceedings/title[preceding-sibling::author = 'Harold G. Longbotham']",
+        ),
+        ("QD2", "/dblp/inproceedings[year>=1994]//sup"),
+        ("QD3", "/dblp/inproceedings/title/sup"),
+        ("QD4", "//i[parent::*/parent::sub/ancestor::article]"),
+        ("QD5", "/dblp/inproceedings[author=/dblp/book/author]/title"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_document_validates() {
+        let doc = generate_dblp(DblpConfig {
+            scale: 0.02,
+            seed: 5,
+        });
+        dblp_schema().validate(&doc).expect("schema-valid");
+        assert!(doc.element_count() > 500);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = DblpConfig {
+            scale: 0.01,
+            seed: 11,
+        };
+        assert_eq!(
+            xmldom::to_xml(&generate_dblp(cfg)),
+            xmldom::to_xml(&generate_dblp(cfg))
+        );
+    }
+
+    #[test]
+    fn queries_run_natively() {
+        let doc = generate_dblp(DblpConfig {
+            scale: 0.05,
+            seed: 2,
+        });
+        for (name, q) in dblp_queries() {
+            let expr = xpath::parse_xpath(q).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let items = xpath::evaluate(&doc, &expr).unwrap_or_else(|e| panic!("{name}: {e}"));
+            if ["QD2", "QD3"].contains(&name) {
+                assert!(!items.is_empty(), "{name} returned nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn title_markup_recursion_present_at_scale() {
+        let doc = generate_dblp(DblpConfig {
+            scale: 0.2,
+            seed: 2,
+        });
+        let q = xpath::parse_xpath("//sub/sup/i").expect("parse");
+        let hits = xpath::evaluate(&doc, &q).expect("eval");
+        assert!(!hits.is_empty(), "deep markup should appear at scale 0.2");
+    }
+}

@@ -1,0 +1,16 @@
+//! `xmark` — deterministic workload generators for the paper's evaluation:
+//! an XMark-like auction site ([`generate_xmark`]) and a DBLP-like
+//! bibliography ([`generate_dblp`]), plus the benchmark query sets
+//! (Appendix B's XPathMark subset + Q-A, and Table 7's QD1–QD5).
+//!
+//! Substitution note (see DESIGN.md): the original 12/113 MB XMark files
+//! and the 130 MB DBLP dump are unavailable offline; these generators
+//! reproduce the element vocabulary, nesting (including recursive
+//! `parlist`/`listitem` and `sup`/`sub`), and selectivity regime, with
+//! linear scaling so the paper's 1:10 small:large ratio is preserved.
+
+pub mod dblp;
+pub mod xmark;
+
+pub use dblp::{dblp_queries, dblp_schema, generate_dblp, DblpConfig, QD1_AUTHOR};
+pub use xmark::{generate_xmark, xmark_queries, xmark_schema, XMarkConfig};

@@ -1,0 +1,31 @@
+//! `xmldom` — ordered, labeled XML trees with document-order node ids.
+//!
+//! This crate is the in-memory XML data model shared by every other layer
+//! of the system (paper §2.1): the [`parse`](parse()) function and workload generators produce
+//! [`Document`]s, the shredders walk them into relations, and the native
+//! XPath evaluator runs directly on them.
+//!
+//! Key properties:
+//! * node ids are assigned in **document order** (preorder), so id
+//!   comparison is document-position comparison;
+//! * element nodes carry the 1-based sibling ordinals from which the
+//!   Dewey vectors of the paper's Figure 1(c) derive ([`Document::dewey`]);
+//! * [`Document::path_string`] yields the root-to-node path stored in the
+//!   `Paths` relation (§3.1).
+//!
+//! # Example
+//! ```
+//! let doc = xmldom::parse("<a><b>1</b><b>2</b></a>").unwrap();
+//! let a = doc.document_element().unwrap();
+//! let bs: Vec<_> = doc.child_elements(a).collect();
+//! assert_eq!(doc.dewey(bs[1]), vec![1, 2]);
+//! assert_eq!(doc.path_string(bs[1]), "/a/b");
+//! ```
+
+pub mod model;
+pub mod parse;
+pub mod serialize;
+
+pub use model::{Document, Node, NodeId, NodeKind, TreeBuilder};
+pub use parse::{parse, XmlError};
+pub use serialize::{node_to_xml, to_xml};

@@ -1,0 +1,507 @@
+//! Arena-based XML document model.
+//!
+//! An XML document is a rooted, ordered, labeled tree (paper §2.1). Nodes
+//! live in a flat arena and are identified by [`NodeId`]; ids are assigned
+//! in **document order** (preorder), so comparing ids compares document
+//! positions — the native XPath evaluator relies on this.
+//!
+//! Element nodes additionally carry a 1-based ordinal among their *element*
+//! siblings, from which the Dewey vector of the paper's Figure 1(c) is
+//! derived ([`Document::dewey`]).
+
+/// Index of a node in a [`Document`] arena. Ids follow document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The content of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual document root (XPath `/`). Exactly one per document,
+    /// always [`Document::ROOT`].
+    Document,
+    /// An element with a tag name and attributes in document order.
+    Element {
+        name: String,
+        attributes: Vec<(String, String)>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+/// One node of the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+    /// 1-based ordinal among element siblings (0 for non-elements and the
+    /// document root). This is the Dewey component contributed by the node.
+    pub elem_ordinal: u32,
+    /// Depth below the document root (document root = 0, document element = 1).
+    pub depth: u32,
+}
+
+/// An XML document as an ordered node arena.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// The virtual root above the document element.
+    pub const ROOT: NodeId = NodeId(0);
+
+    pub(crate) fn from_nodes(nodes: Vec<Node>) -> Document {
+        Document { nodes }
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node ids in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The document element (first element child of the virtual root), if any.
+    pub fn document_element(&self) -> Option<NodeId> {
+        self.node(Self::ROOT)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.is_element(c))
+    }
+
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element { .. })
+    }
+
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// Tag name for elements, `None` otherwise.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute value lookup on an element.
+    pub fn attribute(&self, id: NodeId, attr: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .find(|(k, _)| k == attr)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// All attributes of an element (empty for other kinds).
+    pub fn attributes(&self, id: NodeId) -> &[(String, String)] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Element children only, in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id)
+            .children
+            .iter()
+            .copied()
+            .filter(move |&c| self.is_element(c))
+    }
+
+    /// Concatenation of *direct* text children. This is what the shredders
+    /// store in an element's `text` column.
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for &c in self.children(id) {
+            if let NodeKind::Text(t) = &self.node(c).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// XPath string-value: concatenation of all descendant text, in
+    /// document order.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => t.clone(),
+            _ => {
+                let mut out = String::new();
+                let mut stack: Vec<NodeId> =
+                    self.children(id).iter().rev().copied().collect();
+                while let Some(n) = stack.pop() {
+                    match &self.node(n).kind {
+                        NodeKind::Text(t) => out.push_str(t),
+                        _ => stack.extend(self.children(n).iter().rev().copied()),
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The Dewey vector of a node: ordinals of the ancestors-or-self chain
+    /// among their element siblings, root-to-node (paper Figure 1(c)).
+    /// Only meaningful for element nodes.
+    pub fn dewey(&self, id: NodeId) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.node(id).depth as usize);
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            let node = self.node(n);
+            if matches!(node.kind, NodeKind::Element { .. }) {
+                out.push(node.elem_ordinal);
+            }
+            cur = node.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Root-to-node path string, e.g. `/site/regions/africa/item`.
+    /// This is the value stored in the `Paths` relation.
+    pub fn path_string(&self, id: NodeId) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if let NodeKind::Element { name, .. } = &self.node(n).kind {
+                names.push(name);
+            }
+            cur = self.node(n).parent;
+        }
+        let mut out = String::new();
+        for name in names.iter().rev() {
+            out.push('/');
+            out.push_str(name);
+        }
+        out
+    }
+
+    /// True iff `anc` is a proper ancestor of `node`.
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = self.parent(node);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Descendant element ids of `id` (not including `id`), document order.
+    pub fn descendant_elements(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            if self.is_element(n) {
+                out.push(n);
+            }
+            stack.extend(self.children(n).iter().rev().copied());
+        }
+        out
+    }
+
+    /// Count of element nodes in the document.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+}
+
+/// Incremental document builder used by the parser and the workload
+/// generators. Ensures ids are assigned in document order and ordinals /
+/// depths are maintained.
+#[derive(Debug)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    stack: Vec<NodeId>,
+    /// Element-sibling counters parallel to `stack`.
+    elem_counts: Vec<u32>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    pub fn new() -> TreeBuilder {
+        TreeBuilder {
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+                elem_ordinal: 0,
+                depth: 0,
+            }],
+            stack: vec![Document::ROOT],
+            elem_counts: vec![0],
+        }
+    }
+
+    fn current(&self) -> NodeId {
+        *self.stack.last().expect("builder stack never empties")
+    }
+
+    /// Open an element; subsequent nodes become its children until
+    /// [`TreeBuilder::end_element`].
+    pub fn start_element(&mut self, name: impl Into<String>) -> NodeId {
+        let parent = self.current();
+        let count = self.elem_counts.last_mut().expect("stack non-empty");
+        *count += 1;
+        let ordinal = *count;
+        let depth = self.nodes[parent.index()].depth + 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Element {
+                name: name.into(),
+                attributes: Vec::new(),
+            },
+            parent: Some(parent),
+            children: Vec::new(),
+            elem_ordinal: ordinal,
+            depth,
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.stack.push(id);
+        self.elem_counts.push(0);
+        id
+    }
+
+    /// Add an attribute to the currently open element.
+    pub fn attribute(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let id = self.current();
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attributes, .. } => {
+                attributes.push((name.into(), value.into()))
+            }
+            _ => panic!("attribute() outside an open element"),
+        }
+    }
+
+    /// Add a text node under the currently open element.
+    pub fn text(&mut self, value: impl Into<String>) -> NodeId {
+        let parent = self.current();
+        let depth = self.nodes[parent.index()].depth + 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Text(value.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+            elem_ordinal: 0,
+            depth,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Close the innermost open element.
+    pub fn end_element(&mut self) {
+        assert!(self.stack.len() > 1, "end_element() with no open element");
+        self.stack.pop();
+        self.elem_counts.pop();
+    }
+
+    /// Convenience: element with only text content.
+    pub fn leaf(&mut self, name: impl Into<String>, text: impl Into<String>) -> NodeId {
+        let id = self.start_element(name);
+        let t: String = text.into();
+        if !t.is_empty() {
+            self.text(t);
+        }
+        self.end_element();
+        id
+    }
+
+    /// Finish building. Panics if elements are still open.
+    pub fn finish(self) -> Document {
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "finish() with {} unclosed element(s)",
+            self.stack.len() - 1
+        );
+        Document::from_nodes(self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_document() -> Document {
+        // The sample document of the paper's Figure 1(b)/(c).
+        let mut b = TreeBuilder::new();
+        b.start_element("A"); // id 1, dewey 1
+        {
+            b.start_element("B"); // 1.1
+            {
+                b.start_element("C"); // 1.1.1
+                b.leaf("D", "");
+                b.end_element();
+                b.start_element("C"); // 1.1.2
+                b.start_element("E"); // 1.1.2.1
+                b.leaf("F", "1");
+                b.leaf("F", "2");
+                b.end_element();
+                b.end_element();
+                b.leaf("G", ""); // 1.1.3
+            }
+            b.end_element();
+            b.start_element("B"); // 1.2
+            b.start_element("G"); // 1.2.1
+            b.leaf("G", ""); // 1.2.1.1
+            b.end_element();
+            b.end_element();
+        }
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn figure1_dewey_vectors() {
+        let doc = figure1_document();
+        let elements: Vec<NodeId> = doc.all_nodes().filter(|&n| doc.is_element(n)).collect();
+        assert_eq!(elements.len(), 12);
+        let deweys: Vec<Vec<u32>> = elements.iter().map(|&n| doc.dewey(n)).collect();
+        // Matches the paper's Figure 1(c) exactly.
+        assert_eq!(
+            deweys,
+            vec![
+                vec![1],
+                vec![1, 1],
+                vec![1, 1, 1],
+                vec![1, 1, 1, 1],
+                vec![1, 1, 2],
+                vec![1, 1, 2, 1],
+                vec![1, 1, 2, 1, 1],
+                vec![1, 1, 2, 1, 2],
+                vec![1, 1, 3],
+                vec![1, 2],
+                vec![1, 2, 1],
+                vec![1, 2, 1, 1],
+            ]
+        );
+    }
+
+    #[test]
+    fn figure1_path_strings() {
+        let doc = figure1_document();
+        let f_nodes: Vec<NodeId> = doc
+            .all_nodes()
+            .filter(|&n| doc.name(n) == Some("F"))
+            .collect();
+        assert_eq!(f_nodes.len(), 2);
+        for f in f_nodes {
+            assert_eq!(doc.path_string(f), "/A/B/C/E/F");
+        }
+    }
+
+    #[test]
+    fn document_order_is_id_order() {
+        let doc = figure1_document();
+        // Preorder: each parent's id precedes all of its children's.
+        for n in doc.all_nodes() {
+            for &c in doc.children(n) {
+                assert!(n < c);
+            }
+        }
+    }
+
+    #[test]
+    fn text_access() {
+        let doc = figure1_document();
+        let f = doc
+            .all_nodes()
+            .filter(|&n| doc.name(n) == Some("F"))
+            .nth(1)
+            .expect("second F");
+        assert_eq!(doc.direct_text(f), "2");
+        let e = doc.parent(f).expect("parent E");
+        assert_eq!(doc.name(e), Some("E"));
+        assert_eq!(doc.direct_text(e), "");
+        assert_eq!(doc.string_value(e), "12");
+    }
+
+    #[test]
+    fn ancestor_relationship() {
+        let doc = figure1_document();
+        let a = doc.document_element().expect("document element");
+        let f = doc
+            .all_nodes()
+            .find(|&n| doc.name(n) == Some("F"))
+            .expect("an F");
+        assert!(doc.is_ancestor(a, f));
+        assert!(!doc.is_ancestor(f, a));
+        assert!(!doc.is_ancestor(f, f));
+        assert!(doc.is_ancestor(Document::ROOT, f));
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let mut b = TreeBuilder::new();
+        b.start_element("item");
+        b.attribute("id", "item0");
+        b.attribute("featured", "yes");
+        b.end_element();
+        let doc = b.finish();
+        let item = doc.document_element().expect("element");
+        assert_eq!(doc.attribute(item, "id"), Some("item0"));
+        assert_eq!(doc.attribute(item, "featured"), Some("yes"));
+        assert_eq!(doc.attribute(item, "missing"), None);
+        assert_eq!(doc.attributes(item).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_with_open_element_panics() {
+        let mut b = TreeBuilder::new();
+        b.start_element("a");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn descendant_elements_in_document_order() {
+        let doc = figure1_document();
+        let a = doc.document_element().expect("A");
+        let descendants = doc.descendant_elements(a);
+        assert_eq!(descendants.len(), 11);
+        for w in descendants.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

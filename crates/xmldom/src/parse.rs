@@ -1,0 +1,396 @@
+//! A small, strict XML parser.
+//!
+//! Covers the XML subset that XML-shredding systems care about: elements,
+//! attributes, character data, CDATA sections, comments, processing
+//! instructions (skipped), an optional XML declaration and DOCTYPE (skipped),
+//! and the five predefined entities plus numeric character references.
+//! No namespaces (the paper's datasets — XMark and DBLP — don't use them).
+
+use crate::model::{Document, TreeBuilder};
+
+/// Parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub line: usize,
+    pub column: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse an XML string into a [`Document`].
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    Parser::new(input).run()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.input[..self.pos.min(self.input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        XmlError {
+            line,
+            column: col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn run(mut self) -> Result<Document, XmlError> {
+        let mut builder = TreeBuilder::new();
+        let mut depth = 0usize;
+        let mut open_names: Vec<String> = Vec::new();
+        let mut seen_document_element = false;
+
+        loop {
+            if self.pos >= self.input.len() {
+                break;
+            }
+            if self.peek() == Some(b'<') {
+                if self.starts_with("<?") {
+                    self.skip_until("?>")?;
+                } else if self.starts_with("<!--") {
+                    self.skip_until("-->")?;
+                } else if self.starts_with("<![CDATA[") {
+                    if depth == 0 {
+                        return Err(self.err("character data outside document element"));
+                    }
+                    self.pos += "<![CDATA[".len();
+                    let start = self.pos;
+                    let end = self.find("]]>")?;
+                    let text = std::str::from_utf8(&self.input[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
+                    builder.text(text);
+                    self.pos = end + 3;
+                } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                    self.skip_doctype()?;
+                } else if self.starts_with("</") {
+                    self.pos += 2;
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect(">")?;
+                    if depth == 0 {
+                        return Err(self.err(format!("unmatched closing tag </{name}>")));
+                    }
+                    let opened = open_names.pop().expect("depth > 0 implies open name");
+                    if opened != name {
+                        return Err(self.err(format!(
+                            "closing tag </{name}> does not match <{opened}>"
+                        )));
+                    }
+                    builder.end_element();
+                    depth -= 1;
+                } else {
+                    // Opening tag.
+                    self.pos += 1;
+                    if depth == 0 && seen_document_element {
+                        return Err(self.err("multiple document elements"));
+                    }
+                    let name = self.read_name()?;
+                    builder.start_element(&name);
+                    if depth == 0 {
+                        seen_document_element = true;
+                    }
+                    depth += 1;
+                    open_names.push(name.clone());
+                    loop {
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b'>') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(b'/') => {
+                                self.expect("/>")?;
+                                builder.end_element();
+                                open_names.pop();
+                                depth -= 1;
+                                break;
+                            }
+                            Some(_) => {
+                                let attr = self.read_name()?;
+                                self.skip_ws();
+                                self.expect("=")?;
+                                self.skip_ws();
+                                let value = self.read_quoted()?;
+                                builder.attribute(&attr, &value);
+                            }
+                            None => return Err(self.err("unexpected end of input in tag")),
+                        }
+                    }
+                }
+            } else {
+                // Character data.
+                let start = self.pos;
+                while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in text"))?;
+                if depth == 0 {
+                    if !raw.trim().is_empty() {
+                        return Err(self.err("character data outside document element"));
+                    }
+                } else {
+                    let text = self.unescape(raw)?;
+                    // Whitespace-only runs between tags are formatting, not
+                    // content: drop them, as shredding systems do.
+                    if !text.trim().is_empty() {
+                        builder.text(text);
+                    }
+                }
+            }
+        }
+
+        if depth != 0 {
+            return Err(self.err("unexpected end of input: unclosed element"));
+        }
+        if !seen_document_element {
+            return Err(self.err("no document element"));
+        }
+        Ok(builder.finish())
+    }
+
+    fn skip_until(&mut self, marker: &str) -> Result<(), XmlError> {
+        let end = self.find(marker)?;
+        self.pos = end + marker.len();
+        Ok(())
+    }
+
+    fn find(&self, marker: &str) -> Result<usize, XmlError> {
+        let hay = &self.input[self.pos..];
+        hay.windows(marker.len())
+            .position(|w| w == marker.as_bytes())
+            .map(|i| self.pos + i)
+            .ok_or_else(|| self.err(format!("unterminated construct, expected `{marker}`")))
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // Skip to matching '>', honoring an internal subset in brackets.
+        let mut bracket = 0i32;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'[' => bracket += 1,
+                b']' => bracket -= 1,
+                b'>' if bracket <= 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated DOCTYPE"))
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(|s| s.to_string())
+            .map_err(|_| self.err("invalid UTF-8 in name"))
+    }
+
+    fn read_quoted(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in attribute"))?;
+                self.pos += 1;
+                return self.unescape(raw);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn unescape(&self, raw: &str) -> Result<String, XmlError> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(amp) = rest.find('&') {
+            out.push_str(&rest[..amp]);
+            rest = &rest[amp..];
+            let semi = rest
+                .find(';')
+                .ok_or_else(|| self.err("unterminated entity reference"))?;
+            let entity = &rest[1..semi];
+            match entity {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    let cp = u32::from_str_radix(&entity[2..], 16)
+                        .map_err(|_| self.err("bad hex character reference"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| self.err("invalid character reference"))?,
+                    );
+                }
+                _ if entity.starts_with('#') => {
+                    let cp: u32 = entity[1..]
+                        .parse()
+                        .map_err(|_| self.err("bad character reference"))?;
+                    out.push(
+                        char::from_u32(cp)
+                            .ok_or_else(|| self.err("invalid character reference"))?,
+                    );
+                }
+                other => {
+                    return Err(self.err(format!("unknown entity `&{other};`")));
+                }
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeKind;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse("<a><b x='1'>hi</b><c/></a>").expect("parse");
+        let a = doc.document_element().expect("a");
+        assert_eq!(doc.name(a), Some("a"));
+        let kids: Vec<_> = doc.child_elements(a).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.attribute(kids[0], "x"), Some("1"));
+        assert_eq!(doc.direct_text(kids[0]), "hi");
+    }
+
+    #[test]
+    fn skips_prolog_comments_and_pis() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE a [<!ELEMENT a ANY>]>\n<a><!-- in --><?pi data?>t</a>",
+        )
+        .expect("parse");
+        let a = doc.document_element().expect("a");
+        assert_eq!(doc.direct_text(a), "t");
+    }
+
+    #[test]
+    fn entities_and_charrefs() {
+        let doc = parse("<a t='&quot;q&quot;'>&lt;x&gt; &amp; &#65;&#x42;</a>").expect("parse");
+        let a = doc.document_element().expect("a");
+        assert_eq!(doc.attribute(a, "t"), Some("\"q\""));
+        assert_eq!(doc.direct_text(a), "<x> & AB");
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let doc = parse("<a><![CDATA[<not-a-tag> & raw]]></a>").expect("parse");
+        let a = doc.document_element().expect("a");
+        assert_eq!(doc.direct_text(a), "<not-a-tag> & raw");
+    }
+
+    #[test]
+    fn whitespace_between_tags_is_dropped() {
+        let doc = parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>").expect("parse");
+        let a = doc.document_element().expect("a");
+        let texts: usize = doc
+            .children(a)
+            .iter()
+            .filter(|&&c| matches!(doc.node(c).kind, NodeKind::Text(_)))
+            .count();
+        assert_eq!(texts, 0);
+        assert_eq!(doc.child_elements(a).count(), 2);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse("<title>On <i>XPath</i> speed</title>").expect("parse");
+        let t = doc.document_element().expect("title");
+        assert_eq!(doc.string_value(t), "On XPath speed");
+        assert_eq!(doc.direct_text(t), "On  speed");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a></a><b></b>").is_err());
+        assert!(parse("text only").is_err());
+        assert!(parse("<a x=1></a>").is_err());
+        assert!(parse("<a>&nope;</a>").is_err());
+        let e = parse("<a>\n<b></c></a>").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn closing_names_must_match() {
+        assert!(parse("<a><b></x></a>").is_err());
+        assert!(parse("<a><b/></a>").is_ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! XML serialization (the inverse of [`crate::parse()`]).
+
+use crate::model::{Document, NodeId, NodeKind};
+
+/// Serialize a document (or subtree) back to XML text.
+pub fn to_xml(doc: &Document) -> String {
+    let mut out = String::new();
+    for &child in doc.children(Document::ROOT) {
+        write_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serialize a single subtree.
+pub fn node_to_xml(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Document => {
+            for &c in doc.children(id) {
+                write_node(doc, c, out);
+            }
+        }
+        NodeKind::Text(t) => escape_text(t, out),
+        NodeKind::Element { name, attributes } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attributes {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in children {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<a x=\"1\"><b>hi</b><c/></a>";
+        let doc = parse(src).expect("parse");
+        assert_eq!(to_xml(&doc), src);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let doc = parse("<a t=\"&quot;&amp;\">x &lt; y &amp; z</a>").expect("parse");
+        let xml = to_xml(&doc);
+        let doc2 = parse(&xml).expect("reparse");
+        let a = doc.document_element().expect("a");
+        let a2 = doc2.document_element().expect("a");
+        assert_eq!(doc.direct_text(a), doc2.direct_text(a2));
+        assert_eq!(doc.attribute(a, "t"), doc2.attribute(a2, "t"));
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = parse("<a><b><c>1</c></b></a>").expect("parse");
+        let a = doc.document_element().expect("a");
+        let b = doc.child_elements(a).next().expect("b");
+        assert_eq!(node_to_xml(&doc, b), "<b><c>1</c></b>");
+    }
+}

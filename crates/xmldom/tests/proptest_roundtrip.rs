@@ -1,0 +1,145 @@
+//! Property tests for the XML parser/serializer and the document model
+//! invariants every other crate relies on.
+
+use proptest::prelude::*;
+use xmldom::{Document, NodeId, TreeBuilder};
+
+/// Random tree builder: names from a small alphabet, attributes and text
+/// with XML-hostile characters to exercise escaping.
+fn arb_doc() -> impl Strategy<Value = Document> {
+    let name = prop_oneof![Just("a"), Just("b"), Just("c-d"), Just("e_f"), Just("g.h")];
+    let attr_val = "[ -~]{0,8}"; // printable ASCII incl. <>&"'
+    let text_val = "[ -~]{1,10}";
+    proptest::collection::vec(
+        (0u8..4, name, attr_val.prop_map(String::from), text_val.prop_map(String::from)),
+        0..40,
+    )
+    .prop_map(|ops| {
+        let mut b = TreeBuilder::new();
+        b.start_element("root");
+        let mut depth = 1;
+        for (op, name, attr, text) in ops {
+            match op {
+                0 => {
+                    b.start_element(name);
+                    depth += 1;
+                }
+                1 => {
+                    b.start_element(name);
+                    b.attribute("k", attr);
+                    b.end_element();
+                }
+                2 => {
+                    b.text(text);
+                }
+                _ => {
+                    if depth > 1 {
+                        b.end_element();
+                        depth -= 1;
+                    }
+                }
+            }
+        }
+        while depth > 0 {
+            b.end_element();
+            depth -= 1;
+        }
+        b.finish()
+    })
+}
+
+fn doc_eq(a: &Document, b: &Document) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for (x, y) in a.all_nodes().zip(b.all_nodes()) {
+        if a.name(x) != b.name(y)
+            || a.attributes(x) != b.attributes(y)
+            || a.parent(x) != b.parent(y)
+            || a.direct_text(x) != b.direct_text(y)
+        {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_roundtrip(doc in arb_doc()) {
+        let xml = xmldom::to_xml(&doc);
+        let reparsed = xmldom::parse(&xml).expect("serializer output parses");
+        // Adjacent text nodes may merge on reparse; compare through a
+        // second roundtrip which is a fixpoint.
+        let xml2 = xmldom::to_xml(&reparsed);
+        let reparsed2 = xmldom::parse(&xml2).expect("fixpoint parses");
+        prop_assert!(doc_eq(&reparsed, &reparsed2));
+        prop_assert_eq!(xml2, xmldom::to_xml(&reparsed2));
+    }
+
+    #[test]
+    fn ids_are_preorder(doc in arb_doc()) {
+        for n in doc.all_nodes() {
+            for &c in doc.children(n) {
+                prop_assert!(n < c, "parent id must precede child id");
+            }
+        }
+        // children are ascending (document order)
+        for n in doc.all_nodes() {
+            for w in doc.children(n).windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_matches_structure(doc in arb_doc()) {
+        for n in doc.all_nodes().filter(|&n| doc.is_element(n)) {
+            let d = doc.dewey(n);
+            prop_assert_eq!(d.len() as u32, doc.node(n).depth);
+            match doc.parent(n) {
+                Some(p) if doc.is_element(p) => {
+                    prop_assert_eq!(&d[..d.len() - 1], &doc.dewey(p)[..]);
+                }
+                _ => prop_assert_eq!(d.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn path_string_matches_ancestry(doc in arb_doc()) {
+        for n in doc.all_nodes().filter(|&n| doc.is_element(n)) {
+            let path = doc.path_string(n);
+            let mut names: Vec<&str> = Vec::new();
+            let mut cur = Some(n);
+            while let Some(x) = cur {
+                if let Some(name) = doc.name(x) {
+                    names.push(name);
+                }
+                cur = doc.parent(x);
+            }
+            names.reverse();
+            let expected: String =
+                names.iter().map(|s| format!("/{s}")).collect();
+            prop_assert_eq!(path, expected);
+        }
+    }
+
+    #[test]
+    fn string_value_concatenates_in_document_order(doc in arb_doc()) {
+        let root = Document::ROOT;
+        let mut expected = String::new();
+        fn collect(doc: &Document, n: NodeId, out: &mut String) {
+            if doc.is_text(n) {
+                out.push_str(&doc.string_value(n));
+            }
+            for &c in doc.children(n) {
+                collect(doc, c, out);
+            }
+        }
+        collect(&doc, root, &mut expected);
+        prop_assert_eq!(doc.string_value(root), expected);
+    }
+}

@@ -1,0 +1,207 @@
+//! A compact textual schema language.
+//!
+//! The paper consumes only the *graph* of an XML Schema (element
+//! definitions + nesting edges), so instead of full XSD syntax we parse a
+//! DTD-flavoured DSL with one definition per line:
+//!
+//! ```text
+//! root site
+//! site        = regions people open_auctions
+//! regions     = africa asia
+//! africa      = item*
+//! item @id @featured = name description incategory*
+//! name        : text
+//! description : text = keyword* bold*
+//! year        : int
+//! parlist     = listitem*
+//! listitem    = text parlist          # recursion is fine
+//! ```
+//!
+//! Grammar per definition line:
+//! `name (@attr[:int|:float])* [: text|int|float] [= child[*+?] ...]`.
+//! Occurrence markers on children are accepted and ignored — the schema
+//! graph only records *possible* nesting. `#` starts a comment.
+
+use crate::graph::{AttrDef, ElemDef, Schema, SchemaError, ValueType};
+
+/// Parse the schema DSL into a [`Schema`].
+pub fn parse_schema(input: &str) -> Result<Schema, SchemaError> {
+    let mut root: Option<String> = None;
+    let mut defs: Vec<ElemDef> = Vec::new();
+
+    for (lineno, raw_line) in input.lines().enumerate() {
+        let line = match raw_line.find('#') {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| SchemaError(format!("line {}: {msg}", lineno + 1));
+
+        if let Some(rest) = line.strip_prefix("root ") {
+            let name = rest.trim();
+            if name.is_empty() || name.contains(' ') {
+                return Err(err("`root` takes exactly one element name"));
+            }
+            if root.replace(name.to_string()).is_some() {
+                return Err(err("duplicate `root` declaration"));
+            }
+            continue;
+        }
+
+        // Split off the children part (after `=`); the head is then
+        // `name (@attr)* [`:` [type]]` parsed token by token so that the
+        // `:` type separator is not confused with the `:` inside `@x:int`.
+        let (head, children_part) = match line.split_once('=') {
+            Some((h, c)) => (h.trim(), Some(c.trim())),
+            None => (line, None),
+        };
+
+        let mut tokens = head.split_whitespace().peekable();
+        let name = tokens.next().ok_or_else(|| err("missing element name"))?;
+        if !is_name(name) {
+            return Err(err(&format!("invalid element name `{name}`")));
+        }
+        let mut attributes = Vec::new();
+        let mut text: Option<ValueType> = None;
+        while let Some(tok) = tokens.next() {
+            if tok == ":" {
+                text = match tokens.next() {
+                    None | Some("text") => Some(ValueType::Text),
+                    Some("int") => Some(ValueType::Int),
+                    Some("float") => Some(ValueType::Float),
+                    Some(other) => {
+                        return Err(err(&format!("unknown text type `{other}`")))
+                    }
+                };
+                if tokens.peek().is_some() {
+                    return Err(err("unexpected tokens after text type"));
+                }
+                break;
+            }
+            let attr = tok
+                .strip_prefix('@')
+                .ok_or_else(|| err(&format!("expected `@attr` or `:`, found `{tok}`")))?;
+            let (aname, ty) = parse_typed(attr).ok_or_else(|| {
+                err(&format!("invalid attribute declaration `@{attr}`"))
+            })?;
+            attributes.push(AttrDef {
+                name: aname.to_string(),
+                ty,
+            });
+        }
+
+        let mut children = Vec::new();
+        if let Some(part) = children_part {
+            for tok in part.split_whitespace() {
+                let base = tok.trim_end_matches(['*', '+', '?']);
+                if !is_name(base) {
+                    return Err(err(&format!("invalid child name `{tok}`")));
+                }
+                if !children.iter().any(|c| c == base) {
+                    children.push(base.to_string());
+                }
+            }
+        }
+
+        defs.push(ElemDef {
+            name: name.to_string(),
+            attributes,
+            text,
+            children,
+        });
+    }
+
+    let root = root.ok_or_else(|| SchemaError("missing `root` declaration".into()))?;
+    Schema::new(&root, defs)
+}
+
+fn parse_typed(s: &str) -> Option<(&str, ValueType)> {
+    if let Some((n, t)) = s.split_once(':') {
+        let ty = match t {
+            "int" => ValueType::Int,
+            "float" => ValueType::Float,
+            "text" => ValueType::Text,
+            _ => return None,
+        };
+        if is_name(n) {
+            Some((n, ty))
+        } else {
+            None
+        }
+    } else if is_name(s) {
+        Some((s, ValueType::Text))
+    } else {
+        None
+    }
+}
+
+fn is_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+        # the paper's Figure 1(a) schema
+        root A
+        A @x:int       = B
+        B              = C G
+        C              = D E
+        D @x:int : int
+        E              = F
+        F : int
+        G              = G
+    ";
+
+    #[test]
+    fn parses_figure1() {
+        let s = parse_schema(SAMPLE).expect("parse");
+        assert_eq!(s.root(), "A");
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.children_of("C"), &["D", "E"]);
+        let d = s.def("D").expect("D");
+        assert_eq!(d.attributes.len(), 1);
+        assert_eq!(d.attributes[0].ty, ValueType::Int);
+        assert_eq!(d.text, Some(ValueType::Int));
+        assert_eq!(s.children_of("G"), &["G"]);
+    }
+
+    #[test]
+    fn occurrence_markers_ignored() {
+        let s = parse_schema("root a\na = b* c+ d?\nb\nc\nd").expect("parse");
+        assert_eq!(s.children_of("a"), &["b", "c", "d"]);
+    }
+
+    #[test]
+    fn untyped_text_defaults_to_text() {
+        let s = parse_schema("root a\na : text\n").expect("parse");
+        assert_eq!(s.def("a").expect("a").text, Some(ValueType::Text));
+        let s2 = parse_schema("root a\na :\n").expect("parse");
+        assert_eq!(s2.def("a").expect("a").text, Some(ValueType::Text));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_schema("a = b\nb").is_err()); // missing root
+        assert!(parse_schema("root a\nroot b\na\nb").is_err()); // dup root
+        assert!(parse_schema("root a\na = 1bad").is_err());
+        assert!(parse_schema("root a\na @x:bogus").is_err());
+        assert!(parse_schema("root a\na : json").is_err());
+        let err = parse_schema("root a\na\na").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let s = parse_schema("\n# c\nroot a # trailing\n\na # leaf\n").expect("parse");
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! DTD parsing: build a [`Schema`] from a Document Type Definition.
+//!
+//! The paper's datasets are DTD-described (XMark ships a DTD; DBLP has
+//! one too), so accepting real DTDs removes the need to hand-write the
+//! schema DSL for existing corpora. Supported declarations:
+//!
+//! ```text
+//! <!ELEMENT name (child1, (child2 | child3)*, #PCDATA ...)>
+//! <!ELEMENT name EMPTY> / ANY / (#PCDATA)
+//! <!ATTLIST name attr CDATA #REQUIRED attr2 (a|b) #IMPLIED>
+//! ```
+//!
+//! The schema graph only needs the *set* of possible children, so content
+//! models collapse to their mentioned element names; `ANY` expands to
+//! every declared element. The document element is taken from an optional
+//! `<!DOCTYPE root …>` wrapper or defaults to the first declared element.
+
+use crate::graph::{AttrDef, ElemDef, Schema, SchemaError, ValueType};
+
+/// Parse a DTD (either a bare sequence of declarations or a full
+/// `<!DOCTYPE root [ … ]>`).
+pub fn parse_dtd(input: &str) -> Result<Schema, SchemaError> {
+    let mut root_from_doctype: Option<String> = None;
+    let mut body = input.trim();
+
+    if let Some(rest) = body.strip_prefix("<!DOCTYPE") {
+        let open = rest
+            .find('[')
+            .ok_or_else(|| SchemaError("DOCTYPE without internal subset".into()))?;
+        let name = rest[..open]
+            .trim()
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| SchemaError("DOCTYPE without a name".into()))?;
+        root_from_doctype = Some(name.to_string());
+        let close = rest
+            .rfind(']')
+            .ok_or_else(|| SchemaError("unterminated DOCTYPE subset".into()))?;
+        body = &rest[open + 1..close];
+    }
+
+    let mut order: Vec<String> = Vec::new();
+    let mut elements: Vec<(String, Vec<String>, bool, bool)> = Vec::new(); // (name, children, text, any)
+    let mut attlists: Vec<(String, Vec<AttrDef>)> = Vec::new();
+
+    let mut rest = body;
+    while let Some(start) = rest.find("<!") {
+        let after = &rest[start..];
+        let end = after
+            .find('>')
+            .ok_or_else(|| SchemaError("unterminated declaration".into()))?;
+        let decl = &after[2..end];
+        rest = &after[end + 1..];
+
+        if let Some(d) = decl.strip_prefix("ELEMENT") {
+            let d = d.trim();
+            let (name, model) = d
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| SchemaError(format!("bad ELEMENT declaration `{d}`")))?;
+            let model = model.trim();
+            let mut children = Vec::new();
+            let mut text = false;
+            let mut any = false;
+            match model {
+                "EMPTY" => {}
+                "ANY" => {
+                    any = true;
+                    text = true;
+                }
+                _ => {
+                    // Collapse the content model: every NAME token is a
+                    // possible child; #PCDATA marks text.
+                    for token in model
+                        .split(|c: char| "(),|*+? \t\r\n".contains(c))
+                        .filter(|t| !t.is_empty())
+                    {
+                        if token == "#PCDATA" {
+                            text = true;
+                        } else if !children.contains(&token.to_string()) {
+                            children.push(token.to_string());
+                        }
+                    }
+                }
+            }
+            order.push(name.to_string());
+            elements.push((name.to_string(), children, text, any));
+        } else if let Some(d) = decl.strip_prefix("ATTLIST") {
+            let mut toks = d.split_whitespace().peekable();
+            let owner = toks
+                .next()
+                .ok_or_else(|| SchemaError("ATTLIST without an element name".into()))?
+                .to_string();
+            let mut attrs = Vec::new();
+            // Each attribute is: name type default. Enumerated types are
+            // parenthesized (possibly with internal whitespace).
+            while let Some(aname) = toks.next() {
+                let ty = toks
+                    .next()
+                    .ok_or_else(|| SchemaError(format!("attribute `{aname}` missing a type")))?;
+                if ty.starts_with('(') {
+                    // skip tokens until the closing paren
+                    let mut t = ty.to_string();
+                    while !t.contains(')') {
+                        t = toks
+                            .next()
+                            .ok_or_else(|| {
+                                SchemaError("unterminated enumerated attribute type".into())
+                            })?
+                            .to_string();
+                    }
+                }
+                let default = toks.next().ok_or_else(|| {
+                    SchemaError(format!("attribute `{aname}` missing a default"))
+                })?;
+                if default == "#FIXED" {
+                    toks.next(); // fixed value
+                }
+                attrs.push(AttrDef {
+                    name: aname.to_string(),
+                    ty: ValueType::Text,
+                });
+            }
+            attlists.push((owner, attrs));
+        }
+        // ENTITY / NOTATION / comments: skipped.
+    }
+
+    if elements.is_empty() {
+        return Err(SchemaError("DTD declares no elements".into()));
+    }
+    let all_names: Vec<String> = elements.iter().map(|(n, ..)| n.clone()).collect();
+    let root = root_from_doctype.unwrap_or_else(|| order[0].clone());
+
+    let mut defs = Vec::new();
+    for (name, mut children, text, any) in elements {
+        if any {
+            children = all_names.clone();
+        }
+        let attributes = attlists
+            .iter()
+            .filter(|(owner, _)| owner == &name)
+            .flat_map(|(_, a)| a.iter().cloned())
+            .collect();
+        defs.push(ElemDef {
+            name,
+            attributes,
+            text: if text { Some(ValueType::Text) } else { None },
+            children,
+        });
+    }
+    Schema::new(&root, defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        <!DOCTYPE site [
+          <!ELEMENT site (regions, people)>
+          <!ELEMENT regions (item*)>
+          <!ELEMENT item (name, (description | note)+)>
+          <!ATTLIST item id CDATA #REQUIRED
+                         featured (yes|no) #IMPLIED>
+          <!ELEMENT name (#PCDATA)>
+          <!ELEMENT description (#PCDATA | keyword)*>
+          <!ELEMENT note EMPTY>
+          <!ELEMENT keyword (#PCDATA)>
+          <!ELEMENT people (person*)>
+          <!ELEMENT person (name)>
+          <!ATTLIST person id CDATA #REQUIRED>
+        ]>
+    "#;
+
+    #[test]
+    fn parses_doctype_wrapper() {
+        let s = parse_dtd(SAMPLE).expect("parse");
+        assert_eq!(s.root(), "site");
+        assert_eq!(s.children_of("site"), &["regions", "people"]);
+        assert_eq!(s.children_of("item"), &["name", "description", "note"]);
+        let item = s.def("item").expect("item");
+        assert_eq!(item.attributes.len(), 2);
+        assert!(item.text.is_none());
+        let desc = s.def("description").expect("description");
+        assert_eq!(desc.text, Some(ValueType::Text));
+        assert_eq!(desc.children, &["keyword"]);
+    }
+
+    #[test]
+    fn bare_declarations_default_root() {
+        let s = parse_dtd(
+            "<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .expect("parse");
+        assert_eq!(s.root(), "a");
+    }
+
+    #[test]
+    fn any_content_model() {
+        let s = parse_dtd(
+            "<!ELEMENT a ANY>\n<!ELEMENT b (#PCDATA)>",
+        )
+        .expect("parse");
+        let a = s.def("a").expect("a");
+        assert!(a.children.contains(&"a".to_string()));
+        assert!(a.children.contains(&"b".to_string()));
+        assert_eq!(a.text, Some(ValueType::Text));
+    }
+
+    #[test]
+    fn recursive_dtd() {
+        let s = parse_dtd(
+            "<!ELEMENT list (item*)>\n<!ELEMENT item (#PCDATA | list)*>",
+        )
+        .expect("parse");
+        assert_eq!(s.children_of("item"), &["list"]);
+        let marking = crate::Marking::analyze(&s);
+        assert_eq!(marking.mark("list"), Some(&crate::PathMark::Infinite));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_dtd("").is_err());
+        assert!(parse_dtd("<!ELEMENT a (undeclared)>").is_err());
+        assert!(parse_dtd("<!DOCTYPE a <!ELEMENT a EMPTY>").is_err());
+        assert!(parse_dtd("<!ELEMENT a").is_err());
+    }
+
+    #[test]
+    fn fixed_and_entity_declarations_skipped() {
+        let s = parse_dtd(
+            "<!ELEMENT a EMPTY>\n\
+             <!ATTLIST a v CDATA #FIXED \"x\">\n\
+             <!ENTITY stuff \"ignored\">",
+        )
+        .expect("parse");
+        assert_eq!(s.def("a").expect("a").attributes.len(), 1);
+    }
+}

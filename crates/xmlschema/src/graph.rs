@@ -1,0 +1,338 @@
+//! The XML Schema graph (paper §2.1, Figure 1(a)).
+//!
+//! Vertices are element definitions, edges are possible nesting
+//! relationships. We use DTD-style schemas — one global definition per
+//! element name — which is exactly how the paper's datasets (XMark, DBLP)
+//! are described, and makes element name ↔ mapping relation a bijection.
+//! Recursive schemata (a definition reachable from itself) are supported
+//! and drive the I-P marking of §4.5.
+
+use std::collections::BTreeMap;
+
+/// The type of a text value or attribute, used to pick the SQL column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueType {
+    #[default]
+    Text,
+    Int,
+    Float,
+}
+
+/// An attribute declaration on an element definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    pub name: String,
+    pub ty: ValueType,
+}
+
+/// One element definition (one vertex of the schema graph; one mapping
+/// relation in the schema-aware shredding).
+#[derive(Debug, Clone)]
+pub struct ElemDef {
+    pub name: String,
+    pub attributes: Vec<AttrDef>,
+    /// Whether the element may carry text content, and its type.
+    pub text: Option<ValueType>,
+    /// Names of the element definitions that may nest directly below.
+    pub children: Vec<String>,
+}
+
+/// A parsed schema: the graph plus its designated document element.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    root: String,
+    defs: BTreeMap<String, ElemDef>,
+}
+
+/// Error produced by schema construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(pub String);
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Build a schema from definitions; validates that the root and every
+    /// referenced child are defined and reachable.
+    pub fn new(root: &str, defs: Vec<ElemDef>) -> Result<Schema, SchemaError> {
+        let mut map = BTreeMap::new();
+        for def in defs {
+            let name = def.name.clone();
+            if map.insert(name.clone(), def).is_some() {
+                return Err(SchemaError(format!("duplicate definition for `{name}`")));
+            }
+        }
+        let schema = Schema {
+            root: root.to_string(),
+            defs: map,
+        };
+        if !schema.defs.contains_key(root) {
+            return Err(SchemaError(format!("root element `{root}` is not defined")));
+        }
+        for def in schema.defs.values() {
+            for c in &def.children {
+                if !schema.defs.contains_key(c) {
+                    return Err(SchemaError(format!(
+                        "`{}` references undefined child `{c}`",
+                        def.name
+                    )));
+                }
+            }
+        }
+        // Unreachable definitions are almost always authoring mistakes.
+        let reachable = schema.reachable_names();
+        for name in schema.defs.keys() {
+            if !reachable.contains(name) {
+                return Err(SchemaError(format!(
+                    "definition `{name}` is unreachable from root `{root}`"
+                )));
+            }
+        }
+        Ok(schema)
+    }
+
+    /// The document element name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Look up a definition by element name.
+    pub fn def(&self, name: &str) -> Option<&ElemDef> {
+        self.defs.get(name)
+    }
+
+    /// All element names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.defs.keys().map(|s| s.as_str())
+    }
+
+    /// Number of element definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Names of definitions that may appear directly below `name`.
+    pub fn children_of(&self, name: &str) -> &[String] {
+        self.defs
+            .get(name)
+            .map(|d| d.children.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Names of definitions under which `name` may appear directly.
+    pub fn parents_of(&self, name: &str) -> Vec<&str> {
+        self.defs
+            .values()
+            .filter(|d| d.children.iter().any(|c| c == name))
+            .map(|d| d.name.as_str())
+            .collect()
+    }
+
+    fn reachable_names(&self) -> std::collections::BTreeSet<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(def) = self.defs.get(&n) {
+                stack.extend(def.children.iter().cloned());
+            }
+        }
+        seen
+    }
+
+    /// Validate a document against the schema: the document element is the
+    /// schema root, every element is defined, every nesting edge and
+    /// attribute is declared, and text appears only where allowed.
+    pub fn validate(&self, doc: &xmldom::Document) -> Result<(), SchemaError> {
+        let root = doc
+            .document_element()
+            .ok_or_else(|| SchemaError("document has no element".into()))?;
+        let root_name = doc.name(root).expect("document element is an element");
+        if root_name != self.root {
+            return Err(SchemaError(format!(
+                "document element `{root_name}` does not match schema root `{}`",
+                self.root
+            )));
+        }
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let name = doc.name(n).expect("stack holds elements");
+            let def = self
+                .defs
+                .get(name)
+                .ok_or_else(|| SchemaError(format!("undefined element `{name}`")))?;
+            for (attr, _) in doc.attributes(n) {
+                if !def.attributes.iter().any(|a| &a.name == attr) {
+                    return Err(SchemaError(format!(
+                        "undeclared attribute `{attr}` on `{name}`"
+                    )));
+                }
+            }
+            if def.text.is_none() && !doc.direct_text(n).trim().is_empty() {
+                return Err(SchemaError(format!(
+                    "text content not allowed in `{name}`"
+                )));
+            }
+            for c in doc.child_elements(n) {
+                let cname = doc.name(c).expect("element");
+                if !def.children.iter().any(|x| x == cname) {
+                    return Err(SchemaError(format!(
+                        "`{cname}` may not nest under `{name}`"
+                    )));
+                }
+                stack.push(c);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for programmatic schema construction (used by tests and
+/// the workload generators).
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    root: Option<String>,
+    defs: Vec<ElemDef>,
+}
+
+impl SchemaBuilder {
+    pub fn new() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    pub fn root(mut self, name: &str) -> Self {
+        self.root = Some(name.to_string());
+        self
+    }
+
+    /// Define an element: `attrs` as `(name, type)`, `text` content type if
+    /// any, and allowed child element names.
+    pub fn elem(
+        mut self,
+        name: &str,
+        attrs: &[(&str, ValueType)],
+        text: Option<ValueType>,
+        children: &[&str],
+    ) -> Self {
+        self.defs.push(ElemDef {
+            name: name.to_string(),
+            attributes: attrs
+                .iter()
+                .map(|(n, t)| AttrDef {
+                    name: n.to_string(),
+                    ty: *t,
+                })
+                .collect(),
+            text,
+            children: children.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Shorthand for a text-only leaf element.
+    pub fn leaf(self, name: &str) -> Self {
+        self.elem(name, &[], Some(ValueType::Text), &[])
+    }
+
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        let root = self
+            .root
+            .ok_or_else(|| SchemaError("no root element set".into()))?;
+        Schema::new(&root, self.defs)
+    }
+}
+
+/// The schema of the paper's Figure 1(a): A → B → {C, G}, C → {D, E},
+/// E → F, and G → G (recursive).
+pub fn figure1_schema() -> Schema {
+    SchemaBuilder::new()
+        .root("A")
+        .elem("A", &[("x", ValueType::Int)], None, &["B"])
+        .elem("B", &[], None, &["C", "G"])
+        .elem("C", &[], None, &["D", "E"])
+        .elem("D", &[("x", ValueType::Int)], Some(ValueType::Int), &[])
+        .elem("E", &[], None, &["F"])
+        .elem("F", &[], Some(ValueType::Int), &[])
+        .elem("G", &[], None, &["G"])
+        .build()
+        .expect("figure 1 schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_graph_shape() {
+        let s = figure1_schema();
+        assert_eq!(s.root(), "A");
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.children_of("B"), &["C", "G"]);
+        assert_eq!(s.parents_of("G"), vec!["B", "G"]);
+        assert_eq!(s.parents_of("A"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn rejects_undefined_children() {
+        let err = SchemaBuilder::new()
+            .root("a")
+            .elem("a", &[], None, &["missing"])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("undefined child"));
+    }
+
+    #[test]
+    fn rejects_unreachable_definitions() {
+        let err = SchemaBuilder::new()
+            .root("a")
+            .elem("a", &[], None, &[])
+            .leaf("orphan")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn rejects_missing_root() {
+        let err = SchemaBuilder::new()
+            .root("nope")
+            .elem("a", &[], None, &[])
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("not defined"));
+    }
+
+    #[test]
+    fn validates_documents() {
+        let s = figure1_schema();
+        let good = xmldom::parse("<A x='3'><B><C><D>1</D></C></B></A>").expect("xml");
+        assert!(s.validate(&good).is_ok());
+
+        let wrong_root = xmldom::parse("<B/>").expect("xml");
+        assert!(s.validate(&wrong_root).is_err());
+
+        let bad_nesting = xmldom::parse("<A><C/></A>").expect("xml");
+        assert!(s.validate(&bad_nesting).is_err());
+
+        let bad_attr = xmldom::parse("<A y='1'/>").expect("xml");
+        assert!(s.validate(&bad_attr).is_err());
+
+        let bad_text = xmldom::parse("<A>boom</A>").expect("xml");
+        assert!(s.validate(&bad_text).is_err());
+
+        let recursive = xmldom::parse("<A><B><G><G><G/></G></G></B></A>").expect("xml");
+        assert!(s.validate(&recursive).is_ok());
+    }
+}

@@ -1,0 +1,30 @@
+//! `xmlschema` — XML schema graphs, a compact schema DSL, and the paper's
+//! §4.5 path marking (U-P / F-P / I-P).
+//!
+//! The paper's translation consumes an XML Schema only through its *graph
+//! representation* (element definitions as vertices, nesting as edges —
+//! Figure 1(a)). This crate provides that graph ([`Schema`]), a DTD-style
+//! textual format for writing one ([`parse_schema`]), a document validator,
+//! and the marking analysis ([`Marking`]) that lets the translator omit
+//! redundant `Paths` joins.
+//!
+//! # Example
+//! ```
+//! use xmlschema::{parse_schema, Marking, PathMark};
+//! let s = parse_schema("root a\na = b\nb = b c\nc").unwrap();
+//! let m = Marking::analyze(&s);
+//! assert_eq!(m.mark("a"), Some(&PathMark::Unique("/a".into())));
+//! assert_eq!(m.mark("b"), Some(&PathMark::Infinite)); // recursive
+//! ```
+
+pub mod dsl;
+pub mod dtd;
+pub mod graph;
+pub mod marking;
+pub mod xsd;
+
+pub use dsl::parse_schema;
+pub use dtd::parse_dtd;
+pub use xsd::parse_xsd;
+pub use graph::{figure1_schema, AttrDef, ElemDef, Schema, SchemaBuilder, SchemaError, ValueType};
+pub use marking::{Marking, PathMark};

@@ -1,0 +1,214 @@
+//! Schema-graph path marking (paper §4.5, Figure 2).
+//!
+//! Every element definition is marked:
+//! * **U-P** (Unique Path): exactly one root-to-node path exists — the
+//!   relation never needs a `Paths` join;
+//! * **F-P** (Finite Paths): finitely many paths, all enumerated — the
+//!   `Paths` join is added only if some enumerated path fails the PPF's
+//!   regular expression;
+//! * **I-P** (Infinite Paths): some path passes through a cycle — the
+//!   `Paths` join is always required.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Schema;
+
+/// The §4.5 mark for one element definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathMark {
+    /// Exactly one root-to-node path (stored).
+    Unique(String),
+    /// All possible root-to-node paths (a small, finite set).
+    Finite(Vec<String>),
+    /// Infinitely many root-to-node paths (recursion above this node).
+    Infinite,
+}
+
+impl PathMark {
+    /// The enumerated paths, if finite. `Unique` yields a single path.
+    pub fn paths(&self) -> Option<Vec<&str>> {
+        match self {
+            PathMark::Unique(p) => Some(vec![p.as_str()]),
+            PathMark::Finite(ps) => Some(ps.iter().map(|s| s.as_str()).collect()),
+            PathMark::Infinite => None,
+        }
+    }
+}
+
+/// If a definition has more paths than this, enumerating them stops being
+/// cheaper than just joining `Paths`; it is treated like I-P. (Real-world
+/// schemas sit far below this; it guards degenerate DAGs whose path count
+/// is exponential.)
+const MAX_ENUMERATED_PATHS: usize = 64;
+
+/// Computed marks for every definition of a schema.
+#[derive(Debug, Clone)]
+pub struct Marking {
+    marks: BTreeMap<String, PathMark>,
+}
+
+impl Marking {
+    /// Analyze the schema graph and mark every element definition.
+    pub fn analyze(schema: &Schema) -> Marking {
+        // 1. Vertices on a cycle: self-loop or on a directed cycle. With
+        //    DTD-style graphs the sizes are tiny, so a DFS per vertex is fine.
+        let names: Vec<&str> = schema.names().collect();
+        let mut on_cycle: BTreeSet<&str> = BTreeSet::new();
+        for &v in &names {
+            if reachable_from(schema, v).contains(v) {
+                on_cycle.insert(v);
+            }
+        }
+        // 2. I-P = reachable from any cycle vertex (cycle vertices included).
+        let mut infinite: BTreeSet<&str> = BTreeSet::new();
+        for &v in &on_cycle {
+            infinite.insert(v);
+            for r in reachable_from(schema, v) {
+                infinite.insert(r);
+            }
+        }
+        // 3. For the rest, enumerate root-to-node paths by DFS from the root
+        //    through non-I-P vertices only (a path through an I-P vertex
+        //    would imply this vertex is I-P too).
+        let mut paths: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+        let mut stack: Vec<(String, String)> = Vec::new(); // (name, path string)
+        let root = schema.root().to_string();
+        stack.push((root.clone(), format!("/{root}")));
+        let mut overflow: BTreeSet<&str> = BTreeSet::new();
+        while let Some((name, path)) = stack.pop() {
+            // Resolve `name` to the schema's owned str for map keys.
+            let key = names
+                .iter()
+                .copied()
+                .find(|&n| n == name)
+                .expect("names come from the schema");
+            if infinite.contains(key) {
+                continue;
+            }
+            let list = paths.entry(key).or_default();
+            list.push(path.clone());
+            if list.len() > MAX_ENUMERATED_PATHS {
+                overflow.insert(key);
+            }
+            for child in schema.children_of(&name) {
+                stack.push((child.clone(), format!("{path}/{child}")));
+            }
+        }
+
+        let mut marks = BTreeMap::new();
+        for &name in &names {
+            let mark = if infinite.contains(name) || overflow.contains(name) {
+                PathMark::Infinite
+            } else {
+                let mut ps = paths.remove(name).unwrap_or_default();
+                ps.sort();
+                ps.dedup();
+                match ps.len() {
+                    0 => {
+                        // Unreachable definitions are rejected at schema
+                        // construction, so this cannot happen.
+                        unreachable!("definition `{name}` has no root path")
+                    }
+                    1 => PathMark::Unique(ps.pop().expect("one path")),
+                    _ => PathMark::Finite(ps),
+                }
+            };
+            marks.insert(name.to_string(), mark);
+        }
+        Marking { marks }
+    }
+
+    /// The mark of an element definition.
+    pub fn mark(&self, name: &str) -> Option<&PathMark> {
+        self.marks.get(name)
+    }
+
+    /// Iterate `(name, mark)` sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PathMark)> {
+        self.marks.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// All vertices reachable from `start` by one or more nesting edges.
+fn reachable_from<'s>(schema: &'s Schema, start: &str) -> BTreeSet<&'s str> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack: Vec<&str> = schema
+        .children_of(start)
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
+    while let Some(n) = stack.pop() {
+        if seen.insert(n) {
+            stack.extend(schema.children_of(n).iter().map(|s| s.as_str()));
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{figure1_schema, SchemaBuilder};
+
+    #[test]
+    fn figure1_marks() {
+        // In Figure 1(a): A, B, C, D, E, F all have unique paths; G is
+        // recursive (G → G), so G is I-P.
+        let m = Marking::analyze(&figure1_schema());
+        assert_eq!(m.mark("A"), Some(&PathMark::Unique("/A".into())));
+        assert_eq!(m.mark("B"), Some(&PathMark::Unique("/A/B".into())));
+        assert_eq!(m.mark("D"), Some(&PathMark::Unique("/A/B/C/D".into())));
+        assert_eq!(m.mark("F"), Some(&PathMark::Unique("/A/B/C/E/F".into())));
+        assert_eq!(m.mark("G"), Some(&PathMark::Infinite));
+    }
+
+    #[test]
+    fn finite_paths_are_enumerated() {
+        // d is reachable both via b and via c → F-P with two paths.
+        let s = SchemaBuilder::new()
+            .root("a")
+            .elem("a", &[], None, &["b", "c"])
+            .elem("b", &[], None, &["d"])
+            .elem("c", &[], None, &["d"])
+            .leaf("d")
+            .build()
+            .expect("schema");
+        let m = Marking::analyze(&s);
+        assert_eq!(
+            m.mark("d"),
+            Some(&PathMark::Finite(vec![
+                "/a/b/d".to_string(),
+                "/a/c/d".to_string()
+            ]))
+        );
+        assert_eq!(m.mark("b"), Some(&PathMark::Unique("/a/b".into())));
+    }
+
+    #[test]
+    fn nodes_below_recursion_are_infinite() {
+        // p → l → p (mutual recursion), k below l: all three are I-P.
+        let s = SchemaBuilder::new()
+            .root("r")
+            .elem("r", &[], None, &["p"])
+            .elem("p", &[], None, &["l"])
+            .elem("l", &[], None, &["p", "k"])
+            .leaf("k")
+            .build()
+            .expect("schema");
+        let m = Marking::analyze(&s);
+        assert_eq!(m.mark("p"), Some(&PathMark::Infinite));
+        assert_eq!(m.mark("l"), Some(&PathMark::Infinite));
+        assert_eq!(m.mark("k"), Some(&PathMark::Infinite));
+        assert_eq!(m.mark("r"), Some(&PathMark::Unique("/r".into())));
+    }
+
+    #[test]
+    fn mark_paths_accessor() {
+        let m = Marking::analyze(&figure1_schema());
+        assert_eq!(
+            m.mark("B").and_then(|p| p.paths()),
+            Some(vec!["/A/B"])
+        );
+        assert_eq!(m.mark("G").and_then(|p| p.paths()), None);
+    }
+}

@@ -1,0 +1,567 @@
+//! Native in-memory XPath evaluator.
+//!
+//! Evaluates directly on the `xmldom` tree. It serves two roles in the
+//! reproduction: (a) the **correctness oracle** every SQL-based system is
+//! checked against, and (b) the stand-in for **MonetDB/XQuery** in the
+//! experiments — a main-memory evaluator with no SQL translation overhead
+//! (see DESIGN.md, substitution 2).
+//!
+//! Semantics follow XPath 1.0: node-set comparisons are existential,
+//! predicates see context position/size in axis order (reverse axes count
+//! backwards), and element string-values concatenate descendant text.
+
+use std::collections::BTreeSet;
+
+use xmldom::{Document, NodeId};
+
+use crate::ast::{Axis, CompOp, Expr, LocationPath, NodeTest, NumOp, Step};
+
+/// An item in an XPath node-set: a tree node or an attribute of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Item {
+    Node(NodeId),
+    /// Attribute `index` of element `NodeId` (document order: owner, then
+    /// attribute position).
+    Attr(NodeId, usize),
+}
+
+impl Item {
+    pub fn node_id(self) -> NodeId {
+        match self {
+            Item::Node(n) | Item::Attr(n, _) => n,
+        }
+    }
+}
+
+/// Evaluation error (e.g. a query feature outside the subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XPath evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A computed value during predicate evaluation.
+#[derive(Debug, Clone)]
+enum PValue {
+    Nodes(Vec<Item>),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// Evaluate a full XPath expression against a document. Returns the
+/// result node-set in document order (top-level expressions must be
+/// paths/unions; use predicates for value-typed expressions).
+pub fn evaluate(doc: &Document, expr: &Expr) -> Result<Vec<Item>, EvalError> {
+    match expr {
+        Expr::Path(p) => {
+            let ctx = vec![Item::Node(Document::ROOT)];
+            let out = eval_path(doc, p, &ctx)?;
+            Ok(sorted_unique(out))
+        }
+        Expr::Union(paths) => {
+            let ctx = vec![Item::Node(Document::ROOT)];
+            let mut all = Vec::new();
+            for p in paths {
+                all.extend(eval_path(doc, p, &ctx)?);
+            }
+            Ok(sorted_unique(all))
+        }
+        other => Err(EvalError(format!(
+            "top-level expression must be a path, got `{other}`"
+        ))),
+    }
+}
+
+/// String-value of an item (XPath 1.0 §5).
+pub fn string_value(doc: &Document, item: Item) -> String {
+    match item {
+        Item::Node(n) => doc.string_value(n),
+        Item::Attr(n, i) => doc.attributes(n)[i].1.clone(),
+    }
+}
+
+fn sorted_unique(mut items: Vec<Item>) -> Vec<Item> {
+    items.sort();
+    items.dedup();
+    items
+}
+
+/// Evaluate a location path from a set of context items.
+fn eval_path(
+    doc: &Document,
+    path: &LocationPath,
+    context: &[Item],
+) -> Result<Vec<Item>, EvalError> {
+    let mut current: Vec<Item> = if path.absolute {
+        vec![Item::Node(Document::ROOT)]
+    } else {
+        context.to_vec()
+    };
+    for step in &path.steps {
+        // Staircase fast path (§6/§7 future work; what MonetDB does): a
+        // predicate-free descendant/ancestor step over an all-element
+        // context is answered with one pruned scan instead of per-node
+        // traversals + dedup.
+        if step.predicates.is_empty()
+            && current.iter().all(|i| matches!(i, Item::Node(_)))
+        {
+            let nodes: Vec<NodeId> = current
+                .iter()
+                .map(|i| match i {
+                    Item::Node(n) => *n,
+                    Item::Attr(..) => unreachable!("checked above"),
+                })
+                .collect();
+            let fast = match step.axis {
+                Axis::Descendant => Some(crate::staircase::staircase_descendant(
+                    doc, &nodes, &step.test, false,
+                )),
+                Axis::DescendantOrSelf => Some(crate::staircase::staircase_descendant(
+                    doc, &nodes, &step.test, true,
+                )),
+                Axis::Ancestor => Some(crate::staircase::staircase_ancestor(
+                    doc, &nodes, &step.test, false,
+                )),
+                Axis::AncestorOrSelf => Some(crate::staircase::staircase_ancestor(
+                    doc, &nodes, &step.test, true,
+                )),
+                _ => None,
+            };
+            if let Some(nodes) = fast {
+                current = nodes.into_iter().map(Item::Node).collect();
+                continue;
+            }
+        }
+        let mut next: Vec<Item> = Vec::new();
+        for &item in &current {
+            let axis_nodes = axis_items(doc, item, step)?;
+            // Predicates filter with position counted in axis order.
+            let mut selected = axis_nodes;
+            for pred in &step.predicates {
+                let size = selected.len();
+                let mut filtered = Vec::with_capacity(size);
+                for (i, &cand) in selected.iter().enumerate() {
+                    let truth =
+                        predicate_truth(doc, pred, cand, i + 1, size)?;
+                    if truth {
+                        filtered.push(cand);
+                    }
+                }
+                selected = filtered;
+            }
+            next.extend(selected);
+        }
+        current = sorted_unique(next);
+    }
+    Ok(current)
+}
+
+/// Items selected by one step's axis+test from one context item, in axis
+/// order (reverse axes yield reverse document order).
+fn axis_items(doc: &Document, item: Item, step: &Step) -> Result<Vec<Item>, EvalError> {
+    let node = match item {
+        Item::Node(n) => n,
+        Item::Attr(owner, _) => {
+            // Only parent/ancestor make sense from an attribute.
+            return match step.axis {
+                Axis::Parent => Ok(filter_test(doc, vec![owner], &step.test)),
+                Axis::Ancestor | Axis::AncestorOrSelf => {
+                    let mut out = ancestors(doc, owner);
+                    if step.axis == Axis::AncestorOrSelf {
+                        out.insert(0, owner);
+                    }
+                    Ok(filter_test(doc, out, &step.test))
+                }
+                Axis::SelfAxis => Ok(Vec::new()),
+                _ => Ok(Vec::new()),
+            };
+        }
+    };
+
+    let out: Vec<Item> = match step.axis {
+        Axis::Attribute => {
+            let attrs = doc.attributes(node);
+            let mut out = Vec::new();
+            for (i, (name, _)) in attrs.iter().enumerate() {
+                let keep = match &step.test {
+                    NodeTest::Name(n) => n == name,
+                    NodeTest::Wildcard | NodeTest::AnyNode => true,
+                    NodeTest::Text => false,
+                };
+                if keep {
+                    out.push(Item::Attr(node, i));
+                }
+            }
+            return Ok(out);
+        }
+        Axis::Child => filter_test(doc, doc.children(node).to_vec(), &step.test),
+        Axis::Descendant => filter_test(doc, descendants(doc, node), &step.test),
+        Axis::DescendantOrSelf => {
+            let mut v = vec![node];
+            v.extend(descendants(doc, node));
+            filter_test(doc, v, &step.test)
+        }
+        Axis::SelfAxis => filter_test(doc, vec![node], &step.test),
+        Axis::Parent => match doc.parent(node) {
+            Some(p) => filter_test(doc, vec![p], &step.test),
+            None => Vec::new(),
+        },
+        Axis::Ancestor => filter_test(doc, ancestors(doc, node), &step.test),
+        Axis::AncestorOrSelf => {
+            let mut v = vec![node];
+            v.extend(ancestors(doc, node));
+            filter_test(doc, v, &step.test)
+        }
+        Axis::FollowingSibling => match doc.parent(node) {
+            Some(p) => {
+                let sibs = doc.children(p);
+                let pos = sibs.iter().position(|&s| s == node).expect("child of parent");
+                filter_test(doc, sibs[pos + 1..].to_vec(), &step.test)
+            }
+            None => Vec::new(),
+        },
+        Axis::PrecedingSibling => match doc.parent(node) {
+            Some(p) => {
+                let sibs = doc.children(p);
+                let pos = sibs.iter().position(|&s| s == node).expect("child of parent");
+                let mut v: Vec<NodeId> = sibs[..pos].to_vec();
+                v.reverse(); // axis order: nearest sibling first
+                filter_test(doc, v, &step.test)
+            }
+            None => Vec::new(),
+        },
+        Axis::Following => {
+            // Document order after `node`, excluding descendants.
+            let mut v = Vec::new();
+            let my_last = last_descendant_id(doc, node);
+            for cand in doc.all_nodes() {
+                if cand > my_last {
+                    v.push(cand);
+                }
+            }
+            filter_test(doc, v, &step.test)
+        }
+        Axis::Preceding => {
+            // Before `node` in document order, excluding ancestors.
+            let anc: BTreeSet<NodeId> = ancestors(doc, node).into_iter().collect();
+            let mut v = Vec::new();
+            for cand in doc.all_nodes() {
+                if cand >= node {
+                    break;
+                }
+                if !anc.contains(&cand) && cand != Document::ROOT {
+                    v.push(cand);
+                }
+            }
+            v.reverse(); // axis order: nearest first
+            filter_test(doc, v, &step.test)
+        }
+    };
+    Ok(out)
+}
+
+fn filter_test(doc: &Document, nodes: Vec<NodeId>, test: &NodeTest) -> Vec<Item> {
+    nodes
+        .into_iter()
+        .filter(|&n| match test {
+            NodeTest::Name(name) => doc.name(n) == Some(name.as_str()),
+            NodeTest::Wildcard => doc.is_element(n),
+            NodeTest::Text => doc.is_text(n),
+            // The virtual document root is an XPath node too (`/`), so
+            // node() keeps it — required for the `//x` desugaring to find
+            // the document element.
+            NodeTest::AnyNode => true,
+        })
+        .map(Item::Node)
+        .collect()
+}
+
+/// All descendants (elements and text) in document order.
+fn descendants(doc: &Document, node: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = doc.children(node).iter().rev().copied().collect();
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        stack.extend(doc.children(n).iter().rev().copied());
+    }
+    out
+}
+
+/// Proper ancestors, nearest first (axis order), excluding the virtual
+/// document root only when it is the tree root marker? No — the document
+/// root *is* an XPath node (`/`), so it is included.
+fn ancestors(doc: &Document, node: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut cur = doc.parent(node);
+    while let Some(n) = cur {
+        out.push(n);
+        cur = doc.parent(n);
+    }
+    out
+}
+
+/// Largest node id within the subtree of `node` (node itself if leaf).
+/// Valid because ids are assigned in preorder.
+fn last_descendant_id(doc: &Document, node: NodeId) -> NodeId {
+    let mut last = node;
+    let mut cur = node;
+    while let Some(&c) = doc.children(cur).last() {
+        last = c;
+        cur = c;
+    }
+    last
+}
+
+/// Evaluate a predicate expression to a boolean, with context.
+fn predicate_truth(
+    doc: &Document,
+    pred: &Expr,
+    ctx: Item,
+    position: usize,
+    size: usize,
+) -> Result<bool, EvalError> {
+    let v = eval_expr(doc, pred, ctx, position, size)?;
+    Ok(truth(doc, &v))
+}
+
+fn truth(_doc: &Document, v: &PValue) -> bool {
+    match v {
+        PValue::Nodes(ns) => !ns.is_empty(),
+        PValue::Num(n) => *n != 0.0 && !n.is_nan(),
+        PValue::Str(s) => !s.is_empty(),
+        PValue::Bool(b) => *b,
+    }
+}
+
+fn eval_expr(
+    doc: &Document,
+    e: &Expr,
+    ctx: Item,
+    position: usize,
+    size: usize,
+) -> Result<PValue, EvalError> {
+    match e {
+        Expr::Path(p) => {
+            let out = eval_path(doc, p, &[ctx])?;
+            Ok(PValue::Nodes(out))
+        }
+        Expr::Union(ps) => {
+            let mut all = Vec::new();
+            for p in ps {
+                all.extend(eval_path(doc, p, &[ctx])?);
+            }
+            Ok(PValue::Nodes(sorted_unique(all)))
+        }
+        Expr::Number(n) => Ok(PValue::Num(*n)),
+        Expr::Literal(s) => Ok(PValue::Str(s.clone())),
+        Expr::Position => Ok(PValue::Num(position as f64)),
+        Expr::Last => Ok(PValue::Num(size as f64)),
+        Expr::Count(inner) => {
+            let v = eval_expr(doc, inner, ctx, position, size)?;
+            match v {
+                PValue::Nodes(ns) => Ok(PValue::Num(ns.len() as f64)),
+                _ => Err(EvalError("count() requires a node-set".into())),
+            }
+        }
+        Expr::Not(inner) => {
+            let v = eval_expr(doc, inner, ctx, position, size)?;
+            Ok(PValue::Bool(!truth(doc, &v)))
+        }
+        Expr::And(xs) => {
+            for x in xs {
+                let v = eval_expr(doc, x, ctx, position, size)?;
+                if !truth(doc, &v) {
+                    return Ok(PValue::Bool(false));
+                }
+            }
+            Ok(PValue::Bool(true))
+        }
+        Expr::Or(xs) => {
+            for x in xs {
+                let v = eval_expr(doc, x, ctx, position, size)?;
+                if truth(doc, &v) {
+                    return Ok(PValue::Bool(true));
+                }
+            }
+            Ok(PValue::Bool(false))
+        }
+        Expr::Contains(a, b) => {
+            let av = eval_expr(doc, a, ctx, position, size)?;
+            let bv = eval_expr(doc, b, ctx, position, size)?;
+            let asv = to_string_value(doc, &av);
+            let bsv = to_string_value(doc, &bv);
+            Ok(PValue::Bool(asv.contains(&bsv)))
+        }
+        Expr::StartsWith(a, b) => {
+            let av = eval_expr(doc, a, ctx, position, size)?;
+            let bv = eval_expr(doc, b, ctx, position, size)?;
+            let asv = to_string_value(doc, &av);
+            let bsv = to_string_value(doc, &bv);
+            Ok(PValue::Bool(asv.starts_with(&bsv)))
+        }
+        Expr::StringLength(a) => {
+            let av = eval_expr(doc, a, ctx, position, size)?;
+            Ok(PValue::Num(to_string_value(doc, &av).chars().count() as f64))
+        }
+        Expr::NormalizeSpace(a) => {
+            let av = eval_expr(doc, a, ctx, position, size)?;
+            let s = to_string_value(doc, &av);
+            Ok(PValue::Str(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            ))
+        }
+        Expr::Arith { op, lhs, rhs } => {
+            let a = to_number(doc, &eval_expr(doc, lhs, ctx, position, size)?);
+            let b = to_number(doc, &eval_expr(doc, rhs, ctx, position, size)?);
+            let r = match op {
+                NumOp::Add => a + b,
+                NumOp::Sub => a - b,
+                NumOp::Div => a / b,
+                NumOp::Mod => a % b,
+            };
+            Ok(PValue::Num(r))
+        }
+        Expr::Compare { op, lhs, rhs } => {
+            let a = eval_expr(doc, lhs, ctx, position, size)?;
+            let b = eval_expr(doc, rhs, ctx, position, size)?;
+            Ok(PValue::Bool(compare(doc, *op, &a, &b)))
+        }
+    }
+}
+
+/// XPath 1.0 comparison: node-sets compare existentially.
+fn compare(doc: &Document, op: CompOp, a: &PValue, b: &PValue) -> bool {
+    match (a, b) {
+        (PValue::Nodes(xs), PValue::Nodes(ys)) => xs.iter().any(|&x| {
+            let xs = string_value(doc, x);
+            ys.iter()
+                .any(|&y| compare_strings(op, &xs, &string_value(doc, y)))
+        }),
+        (PValue::Nodes(xs), other) => xs
+            .iter()
+            .any(|&x| compare_atom(op, &string_value(doc, x), other)),
+        (other, PValue::Nodes(ys)) => ys
+            .iter()
+            .any(|&y| compare_atom(flip(op), &string_value(doc, y), other)),
+        (a, b) => compare_values(doc, op, a, b),
+    }
+}
+
+fn flip(op: CompOp) -> CompOp {
+    match op {
+        CompOp::Eq => CompOp::Eq,
+        CompOp::Ne => CompOp::Ne,
+        CompOp::Lt => CompOp::Gt,
+        CompOp::Le => CompOp::Ge,
+        CompOp::Gt => CompOp::Lt,
+        CompOp::Ge => CompOp::Le,
+    }
+}
+
+/// Compare a node's string-value against an atomic value.
+fn compare_atom(op: CompOp, node_sv: &str, atom: &PValue) -> bool {
+    match atom {
+        PValue::Num(n) => match node_sv.trim().parse::<f64>() {
+            Ok(x) => compare_numbers(op, x, *n),
+            Err(_) => false,
+        },
+        PValue::Str(s) => compare_strings(op, node_sv, s),
+        PValue::Bool(b) => {
+            // boolean(node-set non-empty) vs bool — here the node exists.
+            compare_bools(op, true, *b)
+        }
+        PValue::Nodes(_) => unreachable!("handled by caller"),
+    }
+}
+
+fn compare_values(doc: &Document, op: CompOp, a: &PValue, b: &PValue) -> bool {
+    let _ = doc;
+    match (a, b) {
+        (PValue::Num(x), PValue::Num(y)) => compare_numbers(op, *x, *y),
+        (PValue::Num(x), PValue::Str(s)) => match s.trim().parse::<f64>() {
+            Ok(y) => compare_numbers(op, *x, y),
+            Err(_) => false,
+        },
+        (PValue::Str(s), PValue::Num(y)) => match s.trim().parse::<f64>() {
+            Ok(x) => compare_numbers(op, x, *y),
+            Err(_) => false,
+        },
+        (PValue::Str(x), PValue::Str(y)) => compare_strings(op, x, y),
+        (PValue::Bool(x), PValue::Bool(y)) => compare_bools(op, *x, *y),
+        (PValue::Bool(x), other) => {
+            let y = matches!(other, PValue::Num(n) if *n != 0.0)
+                || matches!(other, PValue::Str(s) if !s.is_empty());
+            compare_bools(op, *x, y)
+        }
+        (other, PValue::Bool(y)) => {
+            let x = matches!(other, PValue::Num(n) if *n != 0.0)
+                || matches!(other, PValue::Str(s) if !s.is_empty());
+            compare_bools(op, x, *y)
+        }
+        _ => false,
+    }
+}
+
+fn compare_numbers(op: CompOp, a: f64, b: f64) -> bool {
+    match op {
+        CompOp::Eq => a == b,
+        CompOp::Ne => a != b,
+        CompOp::Lt => a < b,
+        CompOp::Le => a <= b,
+        CompOp::Gt => a > b,
+        CompOp::Ge => a >= b,
+    }
+}
+
+/// XPath 1.0: `<`/`>` on strings convert both to numbers; only `=`/`!=`
+/// compare string-wise.
+fn compare_strings(op: CompOp, a: &str, b: &str) -> bool {
+    match op {
+        CompOp::Eq => a == b,
+        CompOp::Ne => a != b,
+        _ => match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+            (Ok(x), Ok(y)) => compare_numbers(op, x, y),
+            _ => false,
+        },
+    }
+}
+
+fn compare_bools(op: CompOp, a: bool, b: bool) -> bool {
+    compare_numbers(op, a as u8 as f64, b as u8 as f64)
+}
+
+fn to_number(doc: &Document, v: &PValue) -> f64 {
+    match v {
+        PValue::Num(n) => *n,
+        PValue::Str(s) => s.trim().parse().unwrap_or(f64::NAN),
+        PValue::Bool(b) => *b as u8 as f64,
+        PValue::Nodes(ns) => match ns.first() {
+            Some(&n) => string_value(doc, n).trim().parse().unwrap_or(f64::NAN),
+            None => f64::NAN,
+        },
+    }
+}
+
+fn to_string_value(doc: &Document, v: &PValue) -> String {
+    match v {
+        PValue::Str(s) => s.clone(),
+        PValue::Num(n) => {
+            if n.fract() == 0.0 && n.is_finite() {
+                format!("{}", *n as i64)
+            } else {
+                n.to_string()
+            }
+        }
+        PValue::Bool(b) => b.to_string(),
+        PValue::Nodes(ns) => match ns.first() {
+            Some(&n) => string_value(doc, n),
+            None => String::new(),
+        },
+    }
+}

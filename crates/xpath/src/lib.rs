@@ -1,0 +1,27 @@
+//! `xpath` — XPath 1.0-subset parser and native in-memory evaluator.
+//!
+//! The subset matches the paper's (§1): all axes, wildcards, `//`,
+//! path union, nested path predicates, logical / arithmetic / position
+//! predicates, and value or path-to-path comparisons (join predicates).
+//!
+//! The evaluator runs directly on `xmldom` trees. It is the correctness
+//! oracle for the SQL-based systems and the main-memory competitor
+//! (MonetDB/XQuery stand-in) in the benchmark harness.
+//!
+//! # Example
+//! ```
+//! use xpath::{parse_xpath, evaluate};
+//! let doc = xmldom::parse("<a><b x='1'><c/></b><b x='2'/></a>").unwrap();
+//! let q = parse_xpath("/a/b[@x='2']").unwrap();
+//! let hits = evaluate(&doc, &q).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod staircase;
+
+pub use ast::{Axis, CompOp, Expr, LocationPath, NodeTest, NumOp, Step};
+pub use eval::{evaluate, string_value, EvalError, Item};
+pub use parser::{parse_path, parse_xpath, XPathError};

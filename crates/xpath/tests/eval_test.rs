@@ -1,0 +1,235 @@
+//! Evaluator tests on the paper's Figure 1 document and XMark-shaped
+//! snippets.
+
+use xmldom::Document;
+use xpath::{evaluate, parse_xpath, string_value, Item};
+
+/// The paper's Figure 1(b) document, with text values making the examples
+/// from §4 checkable ('/A/\*[C//F=2]' etc.).
+fn figure1() -> Document {
+    xmldom::parse(
+        "<A x='4'>\
+           <B><C><D/></C><C><E><F>1</F><F>2</F></E></C><G/></B>\
+           <B><G><G/></G></B>\
+         </A>",
+    )
+    .expect("valid xml")
+}
+
+fn names(doc: &Document, items: &[Item]) -> Vec<String> {
+    items
+        .iter()
+        .map(|&i| match i {
+            Item::Node(n) => doc
+                .name(n)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "#text".into()),
+            Item::Attr(..) => "@".into(),
+        })
+        .collect()
+}
+
+fn run(doc: &Document, q: &str) -> Vec<Item> {
+    let e = parse_xpath(q).expect("parse");
+    evaluate(doc, &e).expect("evaluate")
+}
+
+#[test]
+fn child_and_wildcard_steps() {
+    let doc = figure1();
+    assert_eq!(run(&doc, "/A/B").len(), 2);
+    assert_eq!(run(&doc, "/A/*").len(), 2);
+    assert_eq!(names(&doc, &run(&doc, "/A/B/*")), vec!["C", "C", "G", "G"]);
+}
+
+#[test]
+fn descendant_axis() {
+    let doc = figure1();
+    assert_eq!(run(&doc, "//F").len(), 2);
+    assert_eq!(run(&doc, "//G").len(), 3);
+    assert_eq!(run(&doc, "/A//C").len(), 2);
+    // descendant-or-self with explicit axis
+    assert_eq!(run(&doc, "/descendant-or-self::G").len(), 3);
+}
+
+#[test]
+fn paper_intro_example() {
+    // '/A/*[C//F=2]' from §2.1: children of A with a child C having a
+    // descendant F = 2. Only the first B qualifies.
+    let doc = figure1();
+    let hits = run(&doc, "/A/*[C//F=2]");
+    assert_eq!(hits.len(), 1);
+    let Item::Node(b) = hits[0] else { panic!("element expected") };
+    assert_eq!(doc.dewey(b), vec![1, 1]);
+}
+
+#[test]
+fn paper_section42_example() {
+    // '/A[@x=4]//C' from §4.2.
+    let doc = figure1();
+    assert_eq!(run(&doc, "/A[@x=4]//C").len(), 2);
+    assert_eq!(run(&doc, "/A[@x=5]//C").len(), 0);
+}
+
+#[test]
+fn backward_axes() {
+    let doc = figure1();
+    // //F/parent::E
+    assert_eq!(names(&doc, &run(&doc, "//F/parent::E")), vec!["E"]);
+    // //F/parent::D is empty
+    assert!(run(&doc, "//F/parent::D").is_empty());
+    // //F/ancestor::B: both F's are under the first B
+    assert_eq!(run(&doc, "//F/ancestor::B").len(), 1);
+    // ancestor-or-self
+    assert_eq!(run(&doc, "//G/ancestor-or-self::G").len(), 3);
+}
+
+#[test]
+fn sibling_axes() {
+    let doc = figure1();
+    // First C's following siblings: C and G.
+    assert_eq!(
+        names(&doc, &run(&doc, "/A/B/C[1]/following-sibling::*")),
+        vec!["C", "G"]
+    );
+    assert_eq!(
+        names(&doc, &run(&doc, "/A/B/G/preceding-sibling::*")),
+        vec!["C", "C"]
+    );
+}
+
+#[test]
+fn following_and_preceding() {
+    let doc = figure1();
+    // F's (both in first B subtree) are followed by: G (first B's), second
+    // B, its G, its nested G.
+    let f_following = run(&doc, "//F[1]/following::*");
+    assert_eq!(names(&doc, &f_following), vec!["F", "G", "B", "G", "G"]);
+    // preceding of the last G (nested): everything before it except
+    // ancestors.
+    let hits = run(&doc, "//G[not(G)]/preceding::F");
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn predicates_with_backward_paths() {
+    // QD4 shape: //i[parent::*/parent::sub/ancestor::article]
+    let doc = xmldom::parse(
+        "<dblp><article><title><sub><sup><i>x</i></sup></sub></title></article>\
+         <inproceedings><title><sup><i>y</i></sup></title></inproceedings></dblp>",
+    )
+    .expect("xml");
+    let hits = run(&doc, "//i[parent::*/parent::sub/ancestor::article]");
+    assert_eq!(hits.len(), 1);
+    let Item::Node(n) = hits[0] else { panic!("node") };
+    assert_eq!(doc.string_value(n), "x");
+}
+
+#[test]
+fn positional_predicates() {
+    let doc = figure1();
+    assert_eq!(run(&doc, "/A/B[1]/C").len(), 2);
+    assert_eq!(run(&doc, "/A/B[2]/C").len(), 0);
+    assert_eq!(run(&doc, "/A/B[position()=last()]/G").len(), 1);
+    // Reverse axis positions count nearest-first.
+    assert_eq!(
+        names(&doc, &run(&doc, "/A/B/G/preceding-sibling::*[1]")),
+        vec!["C"]
+    );
+}
+
+#[test]
+fn count_and_contains() {
+    let doc = figure1();
+    assert_eq!(run(&doc, "/A/B[count(C) = 2]").len(), 1);
+    assert_eq!(run(&doc, "/A/B[count(C) = 0]").len(), 1);
+    // contains() converts a node-set via its string-value: for E that is
+    // the concatenated text "12".
+    assert_eq!(run(&doc, "//E[contains(., '2')]").len(), 1);
+    // contains(F, ...) uses the FIRST F ("1") per XPath 1.0 coercion.
+    assert_eq!(run(&doc, "//E[contains(F, '2')]").len(), 0);
+    assert_eq!(run(&doc, "//E[contains(F, '1')]").len(), 1);
+}
+
+#[test]
+fn text_nodes() {
+    let doc = figure1();
+    let texts = run(&doc, "//F/text()");
+    assert_eq!(texts.len(), 2);
+    let vals: Vec<String> = texts.iter().map(|&t| string_value(&doc, t)).collect();
+    assert_eq!(vals, vec!["1", "2"]);
+}
+
+#[test]
+fn attributes_as_results_and_tests() {
+    let doc = figure1();
+    let attrs = run(&doc, "/A/@x");
+    assert_eq!(attrs.len(), 1);
+    assert_eq!(string_value(&doc, attrs[0]), "4");
+    assert_eq!(run(&doc, "//*[@x]").len(), 1);
+    assert_eq!(run(&doc, "/A/@*").len(), 1);
+}
+
+#[test]
+fn union_results_in_document_order() {
+    let doc = figure1();
+    let hits = run(&doc, "//F | //D | //G");
+    // Document order: D, F, F, G, G, G
+    assert_eq!(names(&doc, &hits), vec!["D", "F", "F", "G", "G", "G"]);
+}
+
+#[test]
+fn join_predicate_between_paths() {
+    // Q-A shape: open_auction[bidder/date = interval/start]
+    let doc = xmldom::parse(
+        "<site><open_auctions>\
+           <open_auction><bidder><date>01/01/2000</date></bidder>\
+             <interval><start>01/01/2000</start></interval></open_auction>\
+           <open_auction><bidder><date>02/02/2000</date></bidder>\
+             <interval><start>03/03/2000</start></interval></open_auction>\
+         </open_auctions></site>",
+    )
+    .expect("xml");
+    let hits = run(&doc, "/site/open_auctions/open_auction[bidder/date = interval/start]");
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn numeric_comparisons_on_text() {
+    let doc = xmldom::parse(
+        "<dblp><inproceedings><year>1993</year></inproceedings>\
+         <inproceedings><year>1995</year></inproceedings></dblp>",
+    )
+    .expect("xml");
+    assert_eq!(run(&doc, "/dblp/inproceedings[year>=1994]").len(), 1);
+    assert_eq!(run(&doc, "/dblp/inproceedings[year<1994]").len(), 1);
+    assert_eq!(run(&doc, "/dblp/inproceedings[year=1995]").len(), 1);
+}
+
+#[test]
+fn arithmetic_predicate() {
+    let doc = figure1();
+    // Arithmetic coerces a node-set through its FIRST node (XPath 1.0
+    // number()): E's first F is "1", so F + 1 = 2.
+    assert_eq!(run(&doc, "//E[F + 1 = 2]").len(), 1);
+    assert_eq!(run(&doc, "//E[F + 1 = 3]").len(), 0);
+    // count(C) is 2 for the first B and 0 for the second: both even.
+    assert_eq!(run(&doc, "//B[count(C) mod 2 = 0]").len(), 2);
+}
+
+#[test]
+fn not_and_logical_connectives() {
+    let doc = figure1();
+    assert_eq!(run(&doc, "/A/B[not(G)]").len(), 0);
+    assert_eq!(run(&doc, "/A/B[C and G]").len(), 1);
+    assert_eq!(run(&doc, "/A/B[C or G]").len(), 2);
+    assert_eq!(run(&doc, "/A/B[not(C) and G]").len(), 1);
+}
+
+#[test]
+fn absolute_path_inside_predicate() {
+    let doc = figure1();
+    // Every B while the document has an F=2 somewhere.
+    assert_eq!(run(&doc, "/A/B[//F=2]").len(), 2);
+    assert_eq!(run(&doc, "/A/B[//F=99]").len(), 0);
+}

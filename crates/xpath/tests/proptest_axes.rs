@@ -1,0 +1,196 @@
+//! Property tests: each axis, evaluated through the full machinery, must
+//! agree with its first-principles set definition on random trees.
+
+use proptest::prelude::*;
+use xmldom::{Document, NodeId, TreeBuilder};
+use xpath::{evaluate, parse_xpath, Item};
+
+/// Generate a random tree: a sequence of (depth-delta, label) instructions
+/// interpreted against a builder, giving arbitrary shapes with a small
+/// label alphabet so name tests hit often.
+fn arb_doc() -> impl Strategy<Value = Document> {
+    proptest::collection::vec((0u8..3, 0u8..3), 1..40).prop_map(|ops| {
+        let mut b = TreeBuilder::new();
+        let labels = ["a", "b", "c"];
+        b.start_element("root");
+        let mut depth = 1;
+        for (delta, label) in ops {
+            match delta {
+                0 => {
+                    b.start_element(labels[label as usize]);
+                    depth += 1;
+                }
+                1 => {
+                    b.leaf(labels[label as usize], format!("{label}"));
+                }
+                _ => {
+                    if depth > 1 {
+                        b.end_element();
+                        depth -= 1;
+                    }
+                }
+            }
+        }
+        while depth > 0 {
+            b.end_element();
+            depth -= 1;
+        }
+        b.finish()
+    })
+}
+
+fn elements(doc: &Document) -> Vec<NodeId> {
+    doc.all_nodes().filter(|&n| doc.is_element(n)).collect()
+}
+
+fn named(doc: &Document, name: &str) -> Vec<NodeId> {
+    elements(doc)
+        .into_iter()
+        .filter(|&n| doc.name(n) == Some(name))
+        .collect()
+}
+
+fn as_nodes(items: Vec<Item>) -> Vec<NodeId> {
+    items
+        .into_iter()
+        .map(|i| match i {
+            Item::Node(n) => n,
+            Item::Attr(..) => panic!("unexpected attribute item"),
+        })
+        .collect()
+}
+
+fn run(doc: &Document, q: &str) -> Vec<NodeId> {
+    as_nodes(evaluate(doc, &parse_xpath(q).expect("parse")).expect("eval"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn descendant_axis_definition(doc in arb_doc()) {
+        // //a == all elements named a (reachable from the root by construction)
+        let got = run(&doc, "//a");
+        let expected = named(&doc, "a");
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parent_is_inverse_of_child(doc in arb_doc()) {
+        // /root/*/parent::root == root (if it has element children)
+        let got = run(&doc, "/root/*/parent::root");
+        let root = doc.document_element().expect("root");
+        let has_child = doc.child_elements(root).next().is_some();
+        prop_assert_eq!(got, if has_child { vec![root] } else { vec![] });
+    }
+
+    #[test]
+    fn ancestor_definition(doc in arb_doc()) {
+        // //b/ancestor::a == set of a's that are proper ancestors of some b
+        let got = run(&doc, "//b/ancestor::a");
+        let mut expected: Vec<NodeId> = named(&doc, "a")
+            .into_iter()
+            .filter(|&a| named(&doc, "b").iter().any(|&b| doc.is_ancestor(a, b)))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn following_partition(doc in arb_doc()) {
+        // For any element e: {self} ∪ ancestors ∪ descendants ∪ following
+        // ∪ preceding partitions the element nodes (XPath 1.0 §2.2).
+        let elems = elements(&doc);
+        if let Some(&e) = elems.get(elems.len() / 2) {
+            let name = doc.name(e).expect("element").to_string();
+            // Use a positional predicate to pick exactly `e`.
+            let same_name = named(&doc, &name);
+            let pos = same_name.iter().position(|&n| n == e).expect("present") + 1;
+            let base = format!("(//{name})[{pos}]");
+            // The subset grammar has no parenthesized paths; emulate by
+            // checking the partition via direct computation instead.
+            let _ = base;
+            let following = as_nodes(
+                evaluate(&doc, &parse_xpath(&format!("//{name}/following::*")).expect("p"))
+                    .expect("eval"),
+            );
+            let preceding = as_nodes(
+                evaluate(&doc, &parse_xpath(&format!("//{name}/preceding::*")).expect("p"))
+                    .expect("eval"),
+            );
+            // every element is classified w.r.t. at least one same-named node
+            for &x in &elems {
+                let in_following = following.contains(&x);
+                let in_preceding = preceding.contains(&x);
+                let related = same_name.iter().any(|&n| {
+                    x == n || doc.is_ancestor(n, x) || doc.is_ancestor(x, n)
+                });
+                prop_assert!(
+                    in_following || in_preceding || related,
+                    "element {:?} unclassified",
+                    x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_axes_definition(doc in arb_doc()) {
+        // //a/following-sibling::b == b's sharing a parent with an earlier a
+        let got = run(&doc, "//a/following-sibling::b");
+        let mut expected: Vec<NodeId> = named(&doc, "b")
+            .into_iter()
+            .filter(|&b| {
+                doc.parent(b).is_some_and(|p| {
+                    doc.children(p).iter().any(|&s| {
+                        s < b && doc.name(s) == Some("a")
+                    })
+                })
+            })
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn preceding_sibling_definition(doc in arb_doc()) {
+        let got = run(&doc, "//b/preceding-sibling::a");
+        let mut expected: Vec<NodeId> = named(&doc, "a")
+            .into_iter()
+            .filter(|&a| {
+                doc.parent(a).is_some_and(|p| {
+                    doc.children(p).iter().any(|&s| {
+                        s > a && doc.name(s) == Some("b")
+                    })
+                })
+            })
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn double_slash_equals_descendant_or_self_chain(doc in arb_doc()) {
+        let a = run(&doc, "//a//b");
+        let b = run(&doc, "/descendant-or-self::a/descendant::b");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wildcard_child_equals_star(doc in arb_doc()) {
+        let a = run(&doc, "/root/*");
+        let root = doc.document_element().expect("root");
+        let expected: Vec<NodeId> = doc.child_elements(root).collect();
+        prop_assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn results_are_in_document_order_and_unique(doc in arb_doc()) {
+        for q in ["//a", "//a/ancestor::*", "//b/following::a", "//*"] {
+            let got = run(&doc, q);
+            for w in got.windows(2) {
+                prop_assert!(w[0] < w[1], "query {} out of order", q);
+            }
+        }
+    }
+}

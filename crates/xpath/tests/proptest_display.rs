@@ -1,0 +1,96 @@
+//! Property test: `parse(display(ast))` is a fixpoint — the Display form
+//! of a parsed query reparses to an identical AST (used by diagnostics
+//! and the CLI, so it must not drop or reorder anything).
+
+use proptest::prelude::*;
+use xpath::{parse_xpath, Axis, Expr, LocationPath, NodeTest, Step};
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![
+        Just(Axis::Child),
+        Just(Axis::Descendant),
+        Just(Axis::DescendantOrSelf),
+        Just(Axis::SelfAxis),
+        Just(Axis::Parent),
+        Just(Axis::Ancestor),
+        Just(Axis::AncestorOrSelf),
+        Just(Axis::Following),
+        Just(Axis::Preceding),
+        Just(Axis::FollowingSibling),
+        Just(Axis::PrecedingSibling),
+    ]
+}
+
+fn arb_test() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        prop_oneof![Just("a"), Just("bc"), Just("x_y"), Just("k-w")]
+            .prop_map(|n| NodeTest::Name(n.to_string())),
+        Just(NodeTest::Wildcard),
+        Just(NodeTest::AnyNode),
+    ]
+}
+
+fn arb_leaf_path() -> impl Strategy<Value = Expr> {
+    (arb_axis(), arb_test()).prop_map(|(axis, test)| {
+        Expr::Path(LocationPath {
+            absolute: false,
+            steps: vec![Step::new(axis, test)],
+        })
+    })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let leaf_path = arb_leaf_path();
+    let cmp = (arb_leaf_path(), prop_oneof![Just("v"), Just("42")]).prop_map(|(p, lit)| {
+        Expr::Compare {
+            op: xpath::CompOp::Eq,
+            lhs: Box::new(p),
+            rhs: Box::new(Expr::Literal(lit.to_string())),
+        }
+    });
+    let leaf = prop_oneof![leaf_path, cmp];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = Expr> {
+    proptest::collection::vec(
+        (arb_axis(), arb_test(), proptest::option::of(arb_predicate())),
+        1..5,
+    )
+    .prop_map(|steps| {
+        let steps = steps
+            .into_iter()
+            .map(|(axis, test, pred)| {
+                let mut s = Step::new(axis, test);
+                if let Some(p) = pred {
+                    s.predicates.push(p);
+                }
+                s
+            })
+            .collect();
+        Expr::Path(LocationPath {
+            absolute: true,
+            steps,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_reparses_to_fixpoint(e in arb_path()) {
+        let shown = e.to_string();
+        let reparsed = parse_xpath(&shown)
+            .unwrap_or_else(|err| panic!("display output must parse: {err}\nquery: {shown}"));
+        // Display is a fixpoint (parse may normalize abbreviations on the
+        // first round; the second round must be stable).
+        prop_assert_eq!(reparsed.to_string(), shown);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's headline scenario: an XMark-like auction site queried
+//! through four systems — PPF (schema-aware), Edge-like PPF, the XPath
+//! Accelerator baseline, and the native in-memory evaluator.
+//!
+//! ```text
+//! cargo run --release --example auction_site [scale]
+//! ```
+
+use ppf_bench::{build_xmark, run_query, time_query, xmark_queries, System};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    eprintln!("generating and shredding XMark at scale {scale}...");
+    let data = build_xmark(scale, 42);
+    println!(
+        "document: {} elements → {} rows across {} schema-aware relations\n",
+        data.doc.element_count(),
+        data.ppf.db().total_rows(),
+        data.ppf.db().len(),
+    );
+
+    println!(
+        "{:<6} {:>8}  {:>12} {:>12} {:>12} {:>12}",
+        "query", "nodes", "PPF", "Edge-PPF", "Accel", "Native"
+    );
+    for (name, q) in xmark_queries() {
+        let nodes = run_query(&data, System::Native, q).expect("native");
+        let cell = |s: System| -> String {
+            match time_query(&data, s, q, 3) {
+                Ok((_, d)) => format!("{:.2}ms", d.as_secs_f64() * 1e3),
+                Err(_) => "N/A".to_string(),
+            }
+        };
+        println!(
+            "{:<6} {:>8}  {:>12} {:>12} {:>12} {:>12}",
+            name,
+            nodes,
+            cell(System::Ppf),
+            cell(System::EdgePpf),
+            cell(System::Accel),
+            cell(System::Native),
+        );
+    }
+
+    // Show what the PPF translation actually produces for one query.
+    let q = "/site/open_auctions/open_auction[bidder/date = interval/start]";
+    println!("\nPPF SQL for Q-A ({q}):");
+    println!(
+        "{}",
+        data.ppf
+            .sql_for(q)
+            .expect("translates")
+            .unwrap_or_else(|| "(statically empty)".into())
+    );
+}

@@ -1,0 +1,47 @@
+//! DBLP-style bibliography queries (the paper's Table 7 workload):
+//! recursive title markup, numeric year filters, backward-axis
+//! predicates, and a value join between entry types.
+//!
+//! ```text
+//! cargo run --release --example bibliography [scale]
+//! ```
+
+use ppf_bench::{build_dblp, dblp_queries, run_query, time_query, System};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    eprintln!("generating and shredding DBLP at scale {scale}...");
+    let data = build_dblp(scale, 42);
+    println!(
+        "document: {} elements; {} distinct root-to-node paths\n",
+        data.doc.element_count(),
+        data.ppf.db().table("Paths").map(|t| t.len()).unwrap_or(0),
+    );
+
+    for (name, q) in dblp_queries() {
+        let nodes = run_query(&data, System::Native, q).expect("native");
+        let (count, t) = time_query(&data, System::Ppf, q, 3).expect("ppf");
+        assert_eq!(count, nodes, "PPF must agree with the native evaluator");
+        println!("{name}: {q}");
+        println!(
+            "  {} nodes in {:.2}ms (PPF)\n",
+            nodes,
+            t.as_secs_f64() * 1e3
+        );
+    }
+
+    // QD4 is the paper's favourite: a predicate made only of backward
+    // steps, answered entirely through the path index.
+    let (_, q) = dblp_queries()[3];
+    println!("PPF SQL for QD4:");
+    println!(
+        "{}",
+        data.ppf
+            .sql_for(q)
+            .expect("translates")
+            .unwrap_or_else(|| "(statically empty)".into())
+    );
+}

@@ -1,0 +1,228 @@
+//! `ppfx` — interactive XPath-on-relations shell.
+//!
+//! ```text
+//! ppfx --schema library.dsl data1.xml data2.xml
+//! ppfx --dtd site.dtd site.xml
+//! ppfx --xsd library.xsd library.xml
+//! ppfx --edge data.xml                 # schema-oblivious mapping
+//! ```
+//!
+//! Then type XPath queries, or dot-commands:
+//!
+//! ```text
+//! > //book[author='Codd']
+//! > .sql //book            show the generated SQL
+//! > .explain //book        show the physical plan
+//! > .publish 42            reconstruct element 42 as XML
+//! > .tables                list relations and row counts
+//! > .marking               show the §4.5 U-P/F-P/I-P marks
+//! > .help  .quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ppf_core::{publish_element, EdgeDb, XmlDb};
+
+enum Backend {
+    Schema(Box<XmlDb>),
+    Edge(Box<EdgeDb>),
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut schema: Option<xmlschema::Schema> = None;
+    let mut edge = false;
+    let mut docs: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schema" | "--dtd" | "--xsd" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a file path"))?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let parsed = match arg.as_str() {
+                    "--schema" => xmlschema::parse_schema(&text),
+                    "--dtd" => xmlschema::parse_dtd(&text),
+                    _ => xmlschema::parse_xsd(&text),
+                }
+                .map_err(|e| e.to_string())?;
+                schema = Some(parsed);
+            }
+            "--edge" => edge = true,
+            "--help" | "-h" => {
+                println!("usage: ppfx [--schema FILE | --dtd FILE | --xsd FILE | --edge] doc.xml...");
+                return Ok(());
+            }
+            other => docs.push(other.to_string()),
+        }
+    }
+
+    let mut backend = match (edge, schema) {
+        (true, _) => Backend::Edge(Box::new(EdgeDb::new())),
+        (false, Some(s)) => {
+            Backend::Schema(Box::new(XmlDb::new(&s).map_err(|e| e.to_string())?))
+        }
+        (false, None) => {
+            return Err(
+                "provide --schema/--dtd/--xsd (schema-aware) or --edge (oblivious)"
+                    .to_string(),
+            )
+        }
+    };
+
+    for path in &docs {
+        let xml = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let loaded = match &mut backend {
+            Backend::Schema(db) => db.load_xml(&xml).map_err(|e| e.to_string())?,
+            Backend::Edge(db) => db.load_xml(&xml).map_err(|e| e.to_string())?,
+        };
+        eprintln!("loaded {path} as document {}", loaded.doc_id);
+    }
+    match &mut backend {
+        Backend::Schema(db) => db.finalize().map_err(|e| e.to_string())?,
+        Backend::Edge(db) => db.finalize().map_err(|e| e.to_string())?,
+    }
+    let db_ref = match &backend {
+        Backend::Schema(db) => db.db(),
+        Backend::Edge(db) => db.db(),
+    };
+    eprintln!(
+        "{} relations, {} rows total. Type an XPath query or .help",
+        db_ref.len(),
+        db_ref.total_rows()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match handle(&backend, line) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Process one REPL line. Returns Ok(true) to quit.
+fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
+    if line == ".quit" || line == ".exit" {
+        return Ok(true);
+    }
+    if line == ".help" {
+        println!(
+            ".sql XPATH      show the generated SQL\n\
+             .explain XPATH  show the physical plan\n\
+             .publish ID     reconstruct element ID as XML (schema-aware only)\n\
+             .tables         list relations and row counts\n\
+             .marking        show the §4.5 marks (schema-aware only)\n\
+             .quit           exit"
+        );
+        return Ok(false);
+    }
+    if line == ".tables" {
+        let db = match backend {
+            Backend::Schema(db) => db.db(),
+            Backend::Edge(db) => db.db(),
+        };
+        for name in db.table_names() {
+            println!(
+                "{name}: {} rows",
+                db.table(name).map(|t| t.len()).unwrap_or(0)
+            );
+        }
+        return Ok(false);
+    }
+    if line == ".marking" {
+        match backend {
+            Backend::Schema(db) => {
+                for (name, mark) in db.store().marking().iter() {
+                    println!("{name}: {mark:?}");
+                }
+            }
+            Backend::Edge(_) => println!("(the Edge mapping has no schema marking)"),
+        }
+        return Ok(false);
+    }
+    if let Some(rest) = line.strip_prefix(".publish ") {
+        let id: i64 = rest
+            .trim()
+            .parse()
+            .map_err(|_| "usage: .publish <element id>".to_string())?;
+        match backend {
+            Backend::Schema(db) => {
+                println!("{}", publish_element(db.store(), id).map_err(|e| e.to_string())?)
+            }
+            Backend::Edge(_) => println!("(publishing needs the schema-aware mapping)"),
+        }
+        return Ok(false);
+    }
+    if let Some(q) = line.strip_prefix(".sql ") {
+        let sql = match backend {
+            Backend::Schema(db) => db.sql_for(q.trim()).map_err(|e| e.to_string())?,
+            Backend::Edge(db) => db.sql_for(q.trim()).map_err(|e| e.to_string())?,
+        };
+        println!("{}", sql.unwrap_or_else(|| "(statically empty)".to_string()));
+        return Ok(false);
+    }
+    if let Some(q) = line.strip_prefix(".explain ") {
+        let (db, t) = match backend {
+            Backend::Schema(db) => (db.db(), db.translate(q.trim()).map_err(|e| e.to_string())?),
+            Backend::Edge(db) => (db.db(), db.translate(q.trim()).map_err(|e| e.to_string())?),
+        };
+        match t.stmt {
+            None => println!("(statically empty)"),
+            Some(stmt) => print!(
+                "{}",
+                sqlexec::explain_stmt(db, &stmt).map_err(|e| e.to_string())?
+            ),
+        }
+        return Ok(false);
+    }
+    if line.starts_with('.') {
+        return Err(format!("unknown command `{line}` (try .help)"));
+    }
+
+    // A bare XPath query.
+    let t0 = std::time::Instant::now();
+    let result = match backend {
+        Backend::Schema(db) => db.query(line).map_err(|e| e.to_string())?,
+        Backend::Edge(db) => db.query(line).map_err(|e| e.to_string())?,
+    };
+    let elapsed = t0.elapsed();
+    for row in result.rows.rows.iter().take(20) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    if result.rows.rows.len() > 20 {
+        println!("... ({} more rows)", result.rows.rows.len() - 20);
+    }
+    println!(
+        "{} row(s) in {:.2}ms ({} rows scanned, {} index probes)",
+        result.rows.rows.len(),
+        elapsed.as_secs_f64() * 1e3,
+        result.stats.rows_scanned,
+        result.stats.index_probes,
+    );
+    Ok(false)
+}

@@ -1,0 +1,1 @@
+pub use ppf_core; pub use xpath; pub use shred;
