@@ -89,8 +89,7 @@ impl<'a> Naive<'a> {
     ) -> Result<(Vec<TableRef>, Vec<Sql>, String, String), NaiveError> {
         let mut from = Vec::new();
         let mut conjuncts = Vec::new();
-        let mut prev: Option<(String, String)> =
-            ctx.map(|(a, r)| (a.to_string(), r.to_string()));
+        let mut prev: Option<(String, String)> = ctx.map(|(a, r)| (a.to_string(), r.to_string()));
         for step in &path.steps {
             if step.axis != Axis::Child {
                 return Err(NaiveError(format!(
@@ -107,16 +106,12 @@ impl<'a> Naive<'a> {
             match &prev {
                 Some((_, rel)) => {
                     if !self.schema.children_of(rel).iter().any(|c| c == name) {
-                        return Err(NaiveError(format!(
-                            "`{name}` cannot nest under `{rel}`"
-                        )));
+                        return Err(NaiveError(format!("`{name}` cannot nest under `{rel}`")));
                     }
                 }
                 None => {
                     if self.schema.root() != name {
-                        return Err(NaiveError(format!(
-                            "`{name}` is not the document element"
-                        )));
+                        return Err(NaiveError(format!("`{name}` is not the document element")));
                     }
                 }
             }

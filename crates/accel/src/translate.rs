@@ -259,9 +259,7 @@ impl Translator {
                 conjuncts.push(Sql::eq(col(v, "par_pre"), col(p, "par_pre")));
                 conjuncts.push(Sql::cmp(CmpOp::Lt, col(v, "pre"), col(p, "pre")));
             }
-            Axis::Attribute => {
-                return Err(AccelError("attribute axis in element position".into()))
-            }
+            Axis::Attribute => return Err(AccelError("attribute axis in element position".into())),
         }
         Ok(())
     }
@@ -284,10 +282,7 @@ impl Translator {
                     .iter()
                     .map(|x| self.predicate(v, x))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(parts
-                    .into_iter()
-                    .reduce(|a, c| a.or(c))
-                    .expect("non-empty"))
+                Ok(parts.into_iter().reduce(|a, c| a.or(c)).expect("non-empty"))
             }
             XExpr::Not(x) => Ok(Sql::Not(Box::new(self.predicate(v, x)?))),
             XExpr::Path(p) => self.path_exists(v, p, None),

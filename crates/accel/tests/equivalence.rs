@@ -119,15 +119,10 @@ fn naive_matches_native_on_its_subset() {
         "/A/B/C/E[F=F]",
     ] {
         let expr = parse_xpath(q).expect("parse");
-        let stmt = accel::translate_naive(&schema, &expr)
-            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let stmt = accel::translate_naive(&schema, &expr).unwrap_or_else(|e| panic!("{q}: {e}"));
         let exec = Executor::new(store.db());
         let rs = exec.run(&stmt).unwrap_or_else(|e| panic!("{q}: {e}"));
-        let mut got: Vec<i64> = rs
-            .rows
-            .iter()
-            .map(|r| r[0].as_int().expect("id"))
-            .collect();
+        let mut got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().expect("id")).collect();
         got.sort();
         let expected = native_ids(&d, &loaded, q);
         assert_eq!(got, expected, "query {q}");

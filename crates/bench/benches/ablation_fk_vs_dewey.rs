@@ -16,7 +16,10 @@ fn bench_scale() -> f64 {
 
 const QUERIES: &[(&str, &str)] = &[
     // Child chains broken by predicates, forcing per-PPF joins.
-    ("bidder_ref", "/site/open_auctions/open_auction[@id='open_auction0']/bidder/personref"),
+    (
+        "bidder_ref",
+        "/site/open_auctions/open_auction[@id='open_auction0']/bidder/personref",
+    ),
     ("parent_step", "//personref/parent::bidder"),
     ("pred_child", "/site/people/person[profile]/watches/watch"),
 ];

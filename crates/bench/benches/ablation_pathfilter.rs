@@ -15,10 +15,16 @@ fn bench_scale() -> f64 {
 
 const QUERIES: &[(&str, &str)] = &[
     // U-P-heavy chains: every step has a unique root path.
-    ("deep_chain", "/site/open_auctions/open_auction/interval/start"),
+    (
+        "deep_chain",
+        "/site/open_auctions/open_auction/interval/start",
+    ),
     ("person_chain", "/site/people/person/address/city"),
     // Predicated U-P chain.
-    ("pred_chain", "/site/people/person[address and (phone or homepage)]"),
+    (
+        "pred_chain",
+        "/site/people/person[address and (phone or homepage)]",
+    ),
     // F-P/I-P queries keep their filters either way; the marking should
     // not hurt them.
     ("recursive", "//parlist/listitem//keyword"),

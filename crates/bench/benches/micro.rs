@@ -1,5 +1,6 @@
-//! Microbenchmarks for the paper's two core mechanisms: lexicographic
-//! binary Dewey comparisons (§4.2) and POSIX-ERE path filtering (§4.1).
+//! Microbenchmarks for the paper's two core mechanisms — lexicographic
+//! binary Dewey comparisons (§4.2) and POSIX-ERE path filtering (§4.1) —
+//! plus the observability layer's no-sink overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -52,7 +53,16 @@ fn dewey_micro(c: &mut Criterion) {
 
 fn regex_micro(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let segs = ["site", "regions", "item", "description", "parlist", "listitem", "text", "keyword"];
+    let segs = [
+        "site",
+        "regions",
+        "item",
+        "description",
+        "parlist",
+        "listitem",
+        "text",
+        "keyword",
+    ];
     let paths: Vec<String> = (0..1024)
         .map(|_| {
             let depth = rng.gen_range(1..9);
@@ -75,5 +85,32 @@ fn regex_micro(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, dewey_micro, regex_micro);
+/// The observability layer must cost nothing to speak of when no sink is
+/// attached: building a five-phase trace in memory and bumping registry
+/// counters are the only costs a traced query pays over a plain one.
+fn obs_micro(c: &mut Criterion) {
+    c.bench_function("obs_trace_five_phases_no_sink", |b| {
+        b.iter(|| {
+            let mut trace = obs::QueryTrace::new("//site//item");
+            let root = trace.start("query");
+            for phase in ["parse", "translate", "plan", "execute", "publish"] {
+                let span = trace.start(phase);
+                trace.counter(span, "rows_scanned", 1024);
+                trace.counter(span, "index_probes", 64);
+                trace.end(span);
+            }
+            trace.end(root);
+            trace.spans().len()
+        })
+    });
+    let reg = obs::Registry::global();
+    c.bench_function("obs_registry_incr_and_observe", |b| {
+        b.iter(|| {
+            reg.incr("bench.queries", 1);
+            reg.observe("bench.execute_ns", 123_456);
+        })
+    });
+}
+
+criterion_group!(benches, dewey_micro, regex_micro, obs_micro);
 criterion_main!(benches);

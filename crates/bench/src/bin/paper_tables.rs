@@ -11,8 +11,8 @@
 //! Q23/Q24/QA, like the paper's commercial RDBMS).
 
 use ppf_bench::{
-    build_dblp, build_xmark, dblp_queries, run_query, time_query, xmark_queries, BenchData,
-    System,
+    build_dblp, build_xmark, dblp_queries, run_query, run_query_counted, time_query, xmark_queries,
+    BenchData, System,
 };
 
 fn fmt_duration(d: std::time::Duration) -> String {
@@ -56,14 +56,41 @@ fn table(title: &str, data: &BenchData, queries: &[(&str, &str)], reps: usize) {
         }
         println!();
     }
+    counter_table(data, queries);
+}
+
+/// Companion table: the operator counters behind the PPF timings, so the
+/// tables explain the wall-clock (how many rows were touched, how many
+/// path-filter candidates survived) rather than just reporting it.
+fn counter_table(data: &BenchData, queries: &[(&str, &str)]) {
+    println!("\n### PPF operator counters (schema-aware vs Edge-like)\n");
+    println!(
+        "| query | system | rows scanned | index probes | path filters | \
+         candidates → survivors | VM steps |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for (name, q) in queries {
+        for s in [System::Ppf, System::EdgePpf] {
+            match run_query_counted(data, s, q) {
+                Ok(c) => println!(
+                    "| {name} | {} | {} | {} | {} | {} → {} | {} |",
+                    s.label(),
+                    c.rows_scanned,
+                    c.index_probes,
+                    c.path_filters,
+                    c.path_candidates,
+                    c.path_survivors,
+                    c.vm_steps,
+                ),
+                Err(_) => println!("| {name} | {} | N/A | | | | |", s.label()),
+            }
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let small_scale: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+    let small_scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
     let large_scale = small_scale * 10.0;
 

@@ -90,10 +90,7 @@ fn build(doc: Document, schema: Schema) -> BenchData {
 
 /// Build all systems over an XMark-like document.
 pub fn build_xmark(scale: f64, seed: u64) -> BenchData {
-    build(
-        generate_xmark(XMarkConfig { scale, seed }),
-        xmark_schema(),
-    )
+    build(generate_xmark(XMarkConfig { scale, seed }), xmark_schema())
 }
 
 /// Build all systems over a DBLP-like document.
@@ -128,14 +125,122 @@ pub fn run_query(data: &BenchData, system: System, query: &str) -> Result<usize,
             .map_err(|e| e.to_string()),
         System::Naive => {
             let expr = xpath::parse_xpath(query).map_err(|e| e.to_string())?;
-            let stmt =
-                accel::translate_naive(&data.schema, &expr).map_err(|e| e.to_string())?;
+            let stmt = accel::translate_naive(&data.schema, &expr).map_err(|e| e.to_string())?;
             let exec = Executor::new(data.ppf.db());
             exec.run(&stmt)
                 .map(|rs| rs.rows.len())
                 .map_err(|e| e.to_string())
         }
     }
+}
+
+/// Operator counters attached to one measured query, so the harness can
+/// report *why* a system is fast or slow (fewer rows scanned, fewer index
+/// probes, fewer surviving path-filter candidates), not just wall-clock.
+/// Counters a system does not expose stay zero (`Native` has none; the
+/// `Accel`/`Naive` proxies have executor counters but no PPF pipeline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// Result cardinality.
+    pub rows: usize,
+    pub rows_scanned: u64,
+    pub index_probes: u64,
+    pub predicate_evals: u64,
+    /// `REGEXP_LIKE` path filters in the generated statement.
+    pub path_filters: u64,
+    /// `Paths` rows fetched as path-filter candidates.
+    pub path_candidates: u64,
+    /// `Paths` rows surviving their step's filters.
+    pub path_survivors: u64,
+    /// Pike-VM matches run by the path filters.
+    pub vm_match_calls: u64,
+    pub vm_steps: u64,
+}
+
+impl QueryCounters {
+    fn from_ppf(r: &ppf_core::QueryResult) -> QueryCounters {
+        QueryCounters {
+            rows: r.rows.rows.len(),
+            rows_scanned: r.stats.rows_scanned,
+            index_probes: r.stats.index_probes,
+            predicate_evals: r.stats.predicate_evals,
+            path_filters: r.engine.path_filters,
+            path_candidates: r.engine.path_candidates,
+            path_survivors: r.engine.path_survivors,
+            vm_match_calls: r.engine.vm_match_calls,
+            vm_steps: r.engine.vm_steps,
+        }
+    }
+
+    fn from_exec_stats(rows: usize, stats: sqlexec::ExecStats) -> QueryCounters {
+        QueryCounters {
+            rows,
+            rows_scanned: stats.rows_scanned,
+            index_probes: stats.index_probes,
+            predicate_evals: stats.predicate_evals,
+            ..QueryCounters::default()
+        }
+    }
+}
+
+/// Like [`run_query`], but returns the operator counters alongside the
+/// cardinality.
+pub fn run_query_counted(
+    data: &BenchData,
+    system: System,
+    query: &str,
+) -> Result<QueryCounters, String> {
+    match system {
+        System::Ppf => data
+            .ppf
+            .query(query)
+            .map(|r| QueryCounters::from_ppf(&r))
+            .map_err(|e| e.to_string()),
+        System::EdgePpf => data
+            .edge
+            .query(query)
+            .map(|r| QueryCounters::from_ppf(&r))
+            .map_err(|e| e.to_string()),
+        System::Native => run_query(data, system, query).map(|rows| QueryCounters {
+            rows,
+            ..QueryCounters::default()
+        }),
+        System::Accel => data
+            .accel
+            .query(query)
+            .map(|r| QueryCounters::from_exec_stats(r.rows.rows.len(), r.stats))
+            .map_err(|e| e.to_string()),
+        System::Naive => {
+            let expr = xpath::parse_xpath(query).map_err(|e| e.to_string())?;
+            let stmt = accel::translate_naive(&data.schema, &expr).map_err(|e| e.to_string())?;
+            let exec = Executor::new(data.ppf.db());
+            let rs = exec.run(&stmt).map_err(|e| e.to_string())?;
+            Ok(QueryCounters::from_exec_stats(rs.rows.len(), exec.stats()))
+        }
+    }
+}
+
+/// [`time_query`] with the counters of the measured runs attached (the
+/// counters are identical across repetitions — execution is
+/// deterministic — so the last run's are returned).
+pub fn time_query_counted(
+    data: &BenchData,
+    system: System,
+    query: &str,
+    reps: usize,
+) -> Result<(QueryCounters, Duration), String> {
+    let mut times = Vec::with_capacity(reps);
+    let mut counters = QueryCounters::default();
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        counters = run_query_counted(data, system, query)?;
+        times.push(t0.elapsed());
+        if times.last().expect("just pushed") > &Duration::from_secs(3) {
+            break;
+        }
+    }
+    times.sort();
+    Ok((counters, times[times.len() / 2]))
 }
 
 /// One timed measurement: median wall-clock of `reps` runs plus the

@@ -5,15 +5,14 @@
 //! §5.1. Both run the generated SQL on the `sqlexec`/`relstore` engine and
 //! return element ids in document order.
 
+use obs::QueryTrace;
 use relstore::{Database, Value};
 use shred::{EdgeStore, SchemaAwareStore};
-use sqlexec::{ExecStats, Executor, ResultSet};
+use sqlexec::{ExecStats, Executor, Expr as Sql, ResultSet, Select, SelectStmt};
 use xmldom::Document;
 use xmlschema::Schema;
 
-use crate::translate::{
-    translate, Mapping, OutputKind, TranslateOptions, Translation,
-};
+use crate::translate::{translate, Mapping, OutputKind, TranslateOptions, Translation};
 
 /// Engine error (shredding, translation or execution).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +32,45 @@ macro_rules! wrap_err {
     };
 }
 
+/// Pipeline-level counters, collected on every query (the hooks are
+/// always compiled in; only per-step wall-time measurement is gated, by
+/// `EXPLAIN ANALYZE`). Timings are wall-clock per phase; the remaining
+/// fields measure how much work the PPF machinery did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// XPath parsing.
+    pub parse_ns: u64,
+    /// XPath → SQL translation (PPF splitting, pattern building).
+    pub translate_ns: u64,
+    /// Up-front planning of every UNION branch (the executor re-plans
+    /// from its own cache during execution; this measures planning cost).
+    pub plan_ns: u64,
+    /// SQL execution.
+    pub execute_ns: u64,
+    /// Result assembly and SQL text rendering.
+    pub publish_ns: u64,
+    /// Primitive path fragments identified by the translator.
+    pub ppf_count: u64,
+    /// UNION branches after §4.4 SQL splitting.
+    pub union_branches: u64,
+    /// `REGEXP_LIKE` path filters in the generated statement (after the
+    /// §4.5 marking removed the redundant ones).
+    pub path_filters: u64,
+    /// Rows of the `Paths` table fetched as path-filter candidates.
+    pub path_candidates: u64,
+    /// `Paths` rows surviving their step's filters (regex included).
+    pub path_survivors: u64,
+    /// Rows entering join steps (every non-leading plan step: structural
+    /// Dewey joins, FK joins, and `Paths` lookups alike).
+    pub join_rows_in: u64,
+    /// Rows surviving those join steps' residual conditions.
+    pub join_rows_out: u64,
+    /// Pike-VM `is_match` calls during execution (path-filter work).
+    pub vm_match_calls: u64,
+    /// Pike-VM thread dispatches during execution.
+    pub vm_steps: u64,
+}
+
 /// A query answer: the SQL text that ran (if any), the rows, and
 /// execution counters.
 #[derive(Debug, Clone)]
@@ -41,6 +79,8 @@ pub struct QueryResult {
     pub output: OutputKind,
     pub rows: ResultSet,
     pub stats: ExecStats,
+    /// Pipeline phase timings and PPF-level work counters.
+    pub engine: EngineStats,
 }
 
 impl QueryResult {
@@ -63,6 +103,7 @@ fn empty_result(output: OutputKind) -> QueryResult {
             rows: Vec::new(),
         },
         stats: ExecStats::default(),
+        engine: EngineStats::default(),
     }
 }
 
@@ -118,8 +159,12 @@ impl XmlDb {
     /// Translate an XPath string to its SQL.
     pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
         let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+        self.translate_expr(&expr)
+    }
+
+    fn translate_expr(&self, expr: &xpath::Expr) -> Result<Translation, EngineError> {
         wrap_err!(translate(
-            &expr,
+            expr,
             Mapping::SchemaAware {
                 schema: self.store.schema(),
                 marking: self.store.marking(),
@@ -139,8 +184,13 @@ impl XmlDb {
 
     /// Run an XPath query through the PPF translation.
     pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
-        let t = self.translate(xpath)?;
-        run_translation(self.db(), t)
+        Ok(self.query_traced(xpath)?.0)
+    }
+
+    /// Run a query and also return its span tree (parse → translate →
+    /// plan → execute → publish, with per-phase counters attached).
+    pub fn query_traced(&self, xpath: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
+        run_query(self.db(), xpath, &|e| self.translate_expr(e))
     }
 }
 
@@ -181,8 +231,12 @@ impl EdgeDb {
 
     pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
         let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+        self.translate_expr(&expr)
+    }
+
+    fn translate_expr(&self, expr: &xpath::Expr) -> Result<Translation, EngineError> {
         wrap_err!(translate(
-            &expr,
+            expr,
             Mapping::EdgeLike,
             TranslateOptions {
                 use_path_marking: false,
@@ -200,23 +254,170 @@ impl EdgeDb {
     }
 
     pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
-        let t = self.translate(xpath)?;
-        run_translation(self.db(), t)
+        Ok(self.query_traced(xpath)?.0)
+    }
+
+    /// Run a query and also return its span tree (see
+    /// [`XmlDb::query_traced`]).
+    pub fn query_traced(&self, xpath: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
+        run_query(self.db(), xpath, &|e| self.translate_expr(e))
     }
 }
 
-fn run_translation(db: &Database, t: Translation) -> Result<QueryResult, EngineError> {
-    match t.stmt {
-        None => Ok(empty_result(t.output)),
+/// `REGEXP_LIKE` occurrences in an expression tree (path filters).
+fn filters_in_expr(e: &Sql) -> u64 {
+    match e {
+        Sql::RegexpLike { subject, .. } => 1 + filters_in_expr(subject),
+        Sql::And(xs) | Sql::Or(xs) => xs.iter().map(filters_in_expr).sum(),
+        Sql::Not(x) | Sql::IsNull { expr: x, .. } => filters_in_expr(x),
+        Sql::Cmp { lhs, rhs, .. } | Sql::Arith { lhs, rhs, .. } => {
+            filters_in_expr(lhs) + filters_in_expr(rhs)
+        }
+        Sql::Between { expr, lo, hi, .. } => {
+            filters_in_expr(expr) + filters_in_expr(lo) + filters_in_expr(hi)
+        }
+        Sql::Concat(a, b) => filters_in_expr(a) + filters_in_expr(b),
+        Sql::Exists(s) | Sql::ScalarSubquery(s) => filters_in_select(s),
+        Sql::Literal(_) | Sql::Column { .. } | Sql::CountStar => 0,
+    }
+}
+
+fn filters_in_select(s: &Select) -> u64 {
+    s.where_clause.as_ref().map_or(0, filters_in_expr)
+        + s.projections
+            .iter()
+            .map(|p| filters_in_expr(&p.expr))
+            .sum::<u64>()
+}
+
+fn path_filters_in_stmt(stmt: &SelectStmt) -> u64 {
+    stmt.branches.iter().map(filters_in_select).sum()
+}
+
+/// The instrumented query pipeline shared by [`XmlDb`] and [`EdgeDb`]:
+/// parse → translate → plan → execute → publish, each phase a span in the
+/// returned trace, with work counters attached and mirrored into the
+/// process-wide [`obs`] metrics registry.
+fn run_query(
+    db: &Database,
+    xpath: &str,
+    translate_expr: &dyn Fn(&xpath::Expr) -> Result<Translation, EngineError>,
+) -> Result<(QueryResult, QueryTrace), EngineError> {
+    let mut trace = QueryTrace::new(xpath);
+    let mut engine = EngineStats::default();
+    let root = trace.start("query");
+
+    let span = trace.start("parse");
+    let t0 = std::time::Instant::now();
+    let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+    engine.parse_ns = t0.elapsed().as_nanos() as u64;
+    trace.end(span);
+
+    let span = trace.start("translate");
+    let t0 = std::time::Instant::now();
+    let t = translate_expr(&expr)?;
+    engine.translate_ns = t0.elapsed().as_nanos() as u64;
+    engine.ppf_count = t.ppf_count as u64;
+    if let Some(stmt) = &t.stmt {
+        engine.union_branches = stmt.branches.len() as u64;
+        engine.path_filters = path_filters_in_stmt(stmt);
+    }
+    trace.counter(span, "ppfs", engine.ppf_count);
+    trace.counter(span, "union_branches", engine.union_branches);
+    trace.counter(span, "path_filters", engine.path_filters);
+    trace.end(span);
+
+    let mut result = match t.stmt {
+        None => {
+            // Statically empty: plan/execute/publish phases are trivial
+            // but still appear in the trace, so every record has the same
+            // five-phase shape.
+            for name in ["plan", "execute", "publish"] {
+                let s = trace.start(name);
+                trace.end(s);
+            }
+            empty_result(t.output)
+        }
         Some(stmt) => {
+            let span = trace.start("plan");
+            let t0 = std::time::Instant::now();
+            let mut plan_steps = 0u64;
+            for branch in &stmt.branches {
+                let plan = wrap_err!(sqlexec::plan::plan_select(db, branch, &[]))?;
+                plan_steps += plan.steps.len() as u64;
+            }
+            engine.plan_ns = t0.elapsed().as_nanos() as u64;
+            trace.counter(span, "steps", plan_steps);
+            trace.end(span);
+
+            let span = trace.start("execute");
+            let vm_before = regexlite::stats::snapshot();
             let exec = Executor::new(db);
+            let t0 = std::time::Instant::now();
             let rows = wrap_err!(exec.run(&stmt))?;
-            Ok(QueryResult {
+            engine.execute_ns = t0.elapsed().as_nanos() as u64;
+            let vm = regexlite::stats::snapshot().since(&vm_before);
+            engine.vm_match_calls = vm.match_calls;
+            engine.vm_steps = vm.vm_steps;
+            for (plan, ops) in exec.profiled_steps() {
+                for (i, (step, op)) in plan.steps.iter().zip(&ops).enumerate() {
+                    if step.table == shred::naming::PATHS_TABLE {
+                        engine.path_candidates += op.rows_in;
+                        engine.path_survivors += op.rows_out;
+                    }
+                    if i > 0 {
+                        engine.join_rows_in += op.rows_in;
+                        engine.join_rows_out += op.rows_out;
+                    }
+                }
+            }
+            let stats = exec.stats();
+            trace.counter(span, "rows_scanned", stats.rows_scanned);
+            trace.counter(span, "index_probes", stats.index_probes);
+            trace.counter(span, "predicate_evals", stats.predicate_evals);
+            trace.counter(span, "subqueries", stats.subqueries);
+            trace.counter(span, "path_candidates", engine.path_candidates);
+            trace.counter(span, "path_survivors", engine.path_survivors);
+            trace.counter(span, "join_rows_in", engine.join_rows_in);
+            trace.counter(span, "join_rows_out", engine.join_rows_out);
+            trace.counter(span, "vm_match_calls", engine.vm_match_calls);
+            trace.counter(span, "vm_steps", engine.vm_steps);
+            trace.end(span);
+
+            let span = trace.start("publish");
+            let t0 = std::time::Instant::now();
+            let row_count = rows.rows.len() as u64;
+            let result = QueryResult {
                 sql: Some(sqlexec::render_stmt(&stmt)),
                 output: t.output,
                 rows,
-                stats: exec.stats(),
-            })
+                stats,
+                engine: EngineStats::default(),
+            };
+            engine.publish_ns = t0.elapsed().as_nanos() as u64;
+            trace.counter(span, "rows", row_count);
+            trace.end(span);
+            result
         }
-    }
+    };
+    trace.end(root);
+    result.engine = engine;
+
+    let reg = obs::Registry::global();
+    reg.incr("engine.queries", 1);
+    reg.observe("engine.parse_ns", engine.parse_ns);
+    reg.observe("engine.translate_ns", engine.translate_ns);
+    reg.observe("engine.plan_ns", engine.plan_ns);
+    reg.observe("engine.execute_ns", engine.execute_ns);
+    reg.observe("engine.publish_ns", engine.publish_ns);
+    reg.observe("engine.result_rows", result.rows.rows.len() as u64);
+    reg.incr("engine.ppfs", engine.ppf_count);
+    reg.incr("engine.path_filters", engine.path_filters);
+    reg.incr("engine.path_candidates", engine.path_candidates);
+    reg.incr("engine.path_survivors", engine.path_survivors);
+    reg.incr("engine.rows_scanned", result.stats.rows_scanned);
+    reg.incr("engine.index_probes", result.stats.index_probes);
+    reg.incr("engine.vm_steps", engine.vm_steps);
+
+    Ok((result, trace))
 }

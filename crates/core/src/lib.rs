@@ -14,12 +14,12 @@
 //! * [`engine`] — a high-level façade: load documents, run XPath, get rows
 pub mod engine;
 pub mod nav;
-pub mod publish;
 pub mod pattern;
 pub mod ppf;
+pub mod publish;
 pub mod translate;
 
-pub use engine::{EdgeDb, EngineError, QueryResult, XmlDb};
+pub use engine::{EdgeDb, EngineError, EngineStats, QueryResult, XmlDb};
 pub use publish::publish_element;
 pub use translate::{
     translate, Mapping, OutputKind, TranslateError, TranslateOptions, Translation,

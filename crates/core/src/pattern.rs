@@ -482,12 +482,11 @@ mod tests {
     fn descendant_or_self_refines_or_descends() {
         // /A/*/descendant-or-self::C: self branch turns * into C,
         // descendant branch appends.
-        let p = PatternSet::root().child(&n("A")).child(&PatTest::AnyElement);
+        let p = PatternSet::root()
+            .child(&n("A"))
+            .child(&PatTest::AnyElement);
         let q = p.descendant_or_self(&n("C"));
-        assert_eq!(
-            set(&q),
-            vec!["/A/C", "/A/[^/]+(/[^/]+)*/C"]
-        );
+        assert_eq!(set(&q), vec!["/A/C", "/A/[^/]+(/[^/]+)*/C"]);
     }
 
     #[test]
@@ -530,7 +529,10 @@ mod tests {
             .descendant_or_self(&PatTest::AnyNode);
         for alt in &q.alts {
             let gaps = alt.iter().filter(|s| **s == Seg::Gap).count();
-            let pairs = alt.windows(2).filter(|w| w[0] == Seg::Gap && w[1] == Seg::Gap).count();
+            let pairs = alt
+                .windows(2)
+                .filter(|w| w[0] == Seg::Gap && w[1] == Seg::Gap)
+                .count();
             assert_eq!(pairs, 0, "no adjacent gaps in {alt:?} (of {} gaps)", gaps);
         }
         assert!(p.to_regex().is_some());

@@ -123,11 +123,11 @@ pub fn split_ppfs(steps: &[Step]) -> Result<SplitPath, PpfError> {
             )));
         };
 
-        let same_run = match (current_kind, kind) {
-            (Some(PpfKind::Forward), PpfKind::Forward) => true,
-            (Some(PpfKind::Backward), PpfKind::Backward) => true,
-            _ => false,
-        };
+        let same_run = matches!(
+            (current_kind, kind),
+            (Some(PpfKind::Forward), PpfKind::Forward)
+                | (Some(PpfKind::Backward), PpfKind::Backward)
+        );
         if !same_run {
             flush(&mut ppfs, &mut current, &mut current_kind);
             current_kind = Some(kind);

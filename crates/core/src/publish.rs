@@ -24,11 +24,7 @@ pub fn publish_element(store: &SchemaAwareStore, id: i64) -> Result<String, Engi
 }
 
 /// Locate the (relation, row) containing element `id`.
-fn find_row(
-    store: &SchemaAwareStore,
-    schema: &Schema,
-    id: i64,
-) -> Option<(String, usize)> {
+fn find_row(store: &SchemaAwareStore, schema: &Schema, id: i64) -> Option<(String, usize)> {
     for name in schema.names() {
         let t = store.db().table(name)?;
         let idc = t.schema.col(COL_ID)?;

@@ -84,6 +84,10 @@ pub struct Translation {
     /// schema).
     pub stmt: Option<SelectStmt>,
     pub output: OutputKind,
+    /// Total primitive path fragments identified across every branch and
+    /// predicate path (an observability counter: "how much holistic path
+    /// evaluation did this query get").
+    pub ppf_count: usize,
 }
 
 /// Translation failure (query outside the supported subset, or schema
@@ -121,6 +125,7 @@ pub fn translate(
         mapping,
         opts,
         alias_seq: HashMap::new(),
+        ppf_count: 0,
     };
     let mut selects: Vec<Select> = Vec::new();
     let mut output: Option<OutputKind> = None;
@@ -144,7 +149,11 @@ pub fn translate(
     }
     let output = output.unwrap_or(OutputKind::Elements);
     if selects.is_empty() {
-        return Ok(Translation { stmt: None, output });
+        return Ok(Translation {
+            stmt: None,
+            output,
+            ppf_count: ctx.ppf_count,
+        });
     }
     Ok(Translation {
         stmt: Some(SelectStmt {
@@ -158,6 +167,7 @@ pub fn translate(
             }],
         }),
         output,
+        ppf_count: ctx.ppf_count,
     })
 }
 
@@ -215,6 +225,7 @@ struct Ctx<'a> {
     mapping: Mapping<'a>,
     opts: TranslateOptions,
     alias_seq: HashMap<String, usize>,
+    ppf_count: usize,
 }
 
 const TRUE: Sql = Sql::Literal(relstore::Value::Bool(true));
@@ -340,6 +351,7 @@ impl<'a> Ctx<'a> {
             ));
         }
         let split = split_ppfs(&steps).map_err(|e| TranslateError(e.to_string()))?;
+        self.ppf_count += split.ppfs.len();
         if split.trailing_attribute.is_some() {
             if output != OutputKind::Elements {
                 return Err(TranslateError("conflicting terminal steps".to_string()));
@@ -458,7 +470,10 @@ impl<'a> Ctx<'a> {
             None => PatternSet::root(),
         };
         let mut cands = match (&branch.prev, self.schema()) {
-            (Some(p), Some(_)) => p.candidates.clone().expect("schema-aware tracks candidates"),
+            (Some(p), Some(_)) => p
+                .candidates
+                .clone()
+                .expect("schema-aware tracks candidates"),
             (None, Some(_)) => Candidates::at_root(),
             _ => Candidates::at_root(), // unused for EdgeLike
         };
@@ -493,7 +508,9 @@ impl<'a> Ctx<'a> {
                 alias,
                 relation: relation.clone(),
                 pattern: refined,
-                candidates: self.schema().map(|_| Candidates::from_names(vec![relation.clone()])),
+                candidates: self
+                    .schema()
+                    .map(|_| Candidates::from_names(vec![relation.clone()])),
                 paths_alias: None,
                 filter_idx: None,
             };
@@ -529,10 +546,7 @@ impl<'a> Ctx<'a> {
             .iter()
             .map(|p| (p.clone(), Vec::new()))
             .collect();
-        let mut cands = prev
-            .candidates
-            .clone()
-            .unwrap_or_else(Candidates::at_root);
+        let mut cands = prev.candidates.clone().unwrap_or_else(Candidates::at_root);
         for step in &ppf.steps {
             let test = pat_test(&step.test)?;
             let mut next: Vec<(Pattern, Pattern)> = Vec::new();
@@ -621,10 +635,7 @@ impl<'a> Ctx<'a> {
                 }
             }
             // Structural join (lines 8-14): single parent step → FK.
-            if ppf.is_single_step()
-                && ppf.steps[0].axis == Axis::Parent
-                && self.opts.use_fk_joins
-            {
+            if ppf.is_single_step() && ppf.steps[0].axis == Axis::Parent && self.opts.use_fk_joins {
                 b.push(Sql::eq(col(&alias, COL_ID), col(&prev_node.alias, COL_PAR)));
             } else {
                 let or_self = min_levels_backward(&ppf.steps) == 0;
@@ -655,10 +666,7 @@ impl<'a> Ctx<'a> {
         let pattern = PatternSet::ending_with(&pat_test(&step.test)?);
         let cands = match self.schema() {
             Some(schema) => {
-                let cur = prev
-                    .candidates
-                    .clone()
-                    .unwrap_or_else(Candidates::at_root);
+                let cur = prev.candidates.clone().unwrap_or_else(Candidates::at_root);
                 nav::advance(schema, &cur, step)
             }
             None => Candidates::at_root(),
@@ -698,10 +706,7 @@ impl<'a> Ctx<'a> {
                     b.push(Sql::cmp(
                         CmpOp::Gt,
                         col(&alias, COL_DEWEY),
-                        Sql::Concat(
-                            Box::new(col(&prev.alias, COL_DEWEY)),
-                            Box::new(ff_byte()),
-                        ),
+                        Sql::Concat(Box::new(col(&prev.alias, COL_DEWEY)), Box::new(ff_byte())),
                     ));
                 }
                 Axis::Preceding => {
@@ -766,10 +771,7 @@ impl<'a> Ctx<'a> {
             b.push(Sql::cmp(
                 CmpOp::Lt,
                 col(&cur.alias, COL_DEWEY),
-                Sql::Concat(
-                    Box::new(col(&prev.alias, COL_DEWEY)),
-                    Box::new(ff_byte()),
-                ),
+                Sql::Concat(Box::new(col(&prev.alias, COL_DEWEY)), Box::new(ff_byte())),
             ));
             return;
         }
@@ -798,10 +800,7 @@ impl<'a> Ctx<'a> {
             b.push(Sql::cmp(
                 CmpOp::Lt,
                 col(&cur.alias, COL_DEWEY),
-                Sql::Concat(
-                    Box::new(col(&prev.alias, COL_DEWEY)),
-                    Box::new(ff_byte()),
-                ),
+                Sql::Concat(Box::new(col(&prev.alias, COL_DEWEY)), Box::new(ff_byte())),
             ));
         }
     }
@@ -844,10 +843,8 @@ impl<'a> Ctx<'a> {
         let Some(regex) = node.pattern.to_regex() else {
             return Ok(false);
         };
-        if let (
-            Mapping::SchemaAware { marking, .. },
-            true,
-        ) = (self.mapping, self.opts.use_path_marking)
+        if let (Mapping::SchemaAware { marking, .. }, true) =
+            (self.mapping, self.opts.use_path_marking)
         {
             match marking.mark(&node.relation) {
                 Some(PathMark::Unique(p)) => {
@@ -999,15 +996,10 @@ impl<'a> Ctx<'a> {
                 for p in ps {
                     parts.push(self.path_condition_for(b, node, p, ValueCond::Exists)?);
                 }
-                Ok(parts
-                    .into_iter()
-                    .reduce(|a, c| a.or(c))
-                    .unwrap_or(FALSE))
+                Ok(parts.into_iter().reduce(|a, c| a.or(c)).unwrap_or(FALSE))
             }
             XExpr::Literal(s) => Ok(Sql::Literal(relstore::Value::Bool(!s.is_empty()))),
-            XExpr::Compare { op, lhs, rhs } => {
-                self.translate_compare(b, node, *op, lhs, rhs, pos)
-            }
+            XExpr::Compare { op, lhs, rhs } => self.translate_compare(b, node, *op, lhs, rhs, pos),
             XExpr::Count(inner) => {
                 // Bare count(p) in boolean context: count != 0 ⇔ exists.
                 match inner.as_ref() {
@@ -1133,8 +1125,7 @@ impl<'a> Ctx<'a> {
     ) -> Result<Sql, TranslateError> {
         let Some(pos) = pos else {
             return Err(TranslateError(
-                "position() is only supported in the first predicate of a step"
-                    .to_string(),
+                "position() is only supported in the first predicate of a step".to_string(),
             ));
         };
         if pos.axis != Axis::Child {
@@ -1157,11 +1148,7 @@ impl<'a> Ctx<'a> {
         let sib = self.fresh_alias(&format!("{}_sib", node.alias));
         let mut conj = vec![
             Sql::eq(col(&sib, COL_PAR), col(&node.alias, COL_PAR)),
-            Sql::cmp(
-                CmpOp::Lt,
-                col(&sib, COL_DEWEY),
-                col(&node.alias, COL_DEWEY),
-            ),
+            Sql::cmp(CmpOp::Lt, col(&sib, COL_DEWEY), col(&node.alias, COL_DEWEY)),
         ];
         match (&self.mapping, &pos.test) {
             (Mapping::SchemaAware { .. }, NodeTest::Name(_)) => {
@@ -1291,6 +1278,7 @@ impl<'a> Ctx<'a> {
         }
 
         let split = split_ppfs(&steps).map_err(|e| TranslateError(e.to_string()))?;
+        self.ppf_count += split.ppfs.len();
 
         // Single attribute step on the node itself: direct column test
         // (Table 3: `A.x = 3`).
@@ -1307,8 +1295,7 @@ impl<'a> Ctx<'a> {
             && split.trailing_attribute.is_none()
             && !value_on_text_step
             && split.ppfs.iter().all(|p| {
-                p.kind == PpfKind::Backward
-                    && p.steps.iter().all(|s| s.predicates.is_empty())
+                p.kind == PpfKind::Backward && p.steps.iter().all(|s| s.predicates.is_empty())
             })
         {
             return self.backward_filter_condition(b, node, &split.ppfs);
@@ -1415,10 +1402,7 @@ impl<'a> Ctx<'a> {
             Mapping::EdgeLike => {
                 // EXISTS over the attribute relation.
                 let alias = self.fresh_alias(ATTR_TABLE);
-                let mut conj = vec![Sql::eq(
-                    col(&alias, ATTR_OWNER),
-                    col(&node.alias, COL_ID),
-                )];
+                let mut conj = vec![Sql::eq(col(&alias, ATTR_OWNER), col(&node.alias, COL_ID))];
                 if let Some(n) = name {
                     conj.push(Sql::eq(col(&alias, ATTR_NAME), Sql::str(n)));
                 }
@@ -1543,6 +1527,7 @@ impl<'a> Ctx<'a> {
         rhs: relstore::Value,
     ) -> Result<Sql, TranslateError> {
         let split = split_ppfs(&path.steps).map_err(|e| TranslateError(e.to_string()))?;
+        self.ppf_count += split.ppfs.len();
         if split.trailing_attribute.is_some() {
             return Err(TranslateError(
                 "count() over attributes is not supported in SQL translation".to_string(),
@@ -1552,8 +1537,7 @@ impl<'a> Ctx<'a> {
         let inner = self.build_ppfs(initial, &split.ppfs)?;
         if inner.len() != 1 {
             return Err(TranslateError(
-                "count() over an ambiguous path is not supported in SQL translation"
-                    .to_string(),
+                "count() over an ambiguous path is not supported in SQL translation".to_string(),
             ));
         }
         let ib = inner.into_iter().next().expect("one branch");
@@ -1597,6 +1581,7 @@ impl<'a> Ctx<'a> {
                     }
                 }
                 let split = split_ppfs(&steps).map_err(|e| TranslateError(e.to_string()))?;
+                self.ppf_count += split.ppfs.len();
                 let initial = if p.absolute { None } else { Some(node) };
                 let branches = self.build_ppfs(initial, &split.ppfs)?;
                 Ok((branches, split.trailing_attribute))
@@ -1609,7 +1594,12 @@ impl<'a> Ctx<'a> {
         for ib1 in b1s {
             for ib2 in b2s {
                 let mut merged = Branch {
-                    from: ib1.from.iter().cloned().chain(ib2.from.iter().cloned()).collect(),
+                    from: ib1
+                        .from
+                        .iter()
+                        .cloned()
+                        .chain(ib2.from.iter().cloned())
+                        .collect(),
                     conjuncts: ib1
                         .conjuncts
                         .iter()
@@ -1744,9 +1734,12 @@ fn apply_value_cond(value: Sql, vc: &ValueCond) -> Sql {
     }
 }
 
+/// Rebuilds an arithmetic tree around the extracted value column.
+type ArithRebuild = Box<dyn Fn(Sql) -> Sql>;
+
 /// Extract `path` from an arithmetic tree with exactly one path leaf,
 /// returning a wrapper that rebuilds the tree around the value column.
-fn extract_arith_path(e: &XExpr) -> Option<(LocationPath, Box<dyn Fn(Sql) -> Sql>)> {
+fn extract_arith_path(e: &XExpr) -> Option<(LocationPath, ArithRebuild)> {
     match e {
         XExpr::Path(p) => {
             let p = p.clone();

@@ -7,7 +7,8 @@ use xmlschema::figure1_schema;
 
 fn db() -> XmlDb {
     let mut db = XmlDb::new(&figure1_schema()).expect("db");
-    db.load_xml("<A x='1'><B><C><D>1</D></C></B></A>").expect("load");
+    db.load_xml("<A x='1'><B><C><D>1</D></C></B></A>")
+        .expect("load");
     db.finalize().expect("indexes");
     db
 }
@@ -37,11 +38,11 @@ fn statically_empty_queries() {
 fn unsupported_constructs_error() {
     let db = db();
     for q in [
-        "//B[position() = last()]",   // last() needs windowing
-        "//B[C][2]",                  // positional after a filter predicate
-        "//B[count(*) = 1]",          // ambiguous count
-        "3",                          // not a path
-        "B/C",                        // relative top-level path
+        "//B[position() = last()]", // last() needs windowing
+        "//B[C][2]",                // positional after a filter predicate
+        "//B[count(*) = 1]",        // ambiguous count
+        "3",                        // not a path
+        "B/C",                      // relative top-level path
     ] {
         assert!(db.query(q).is_err(), "{q} should be rejected");
     }
@@ -67,7 +68,8 @@ fn load_rejects_schema_violations() {
 fn queries_work_before_finalize_too() {
     // Indexes are an optimization; correctness must not depend on them.
     let mut db = XmlDb::new(&figure1_schema()).expect("db");
-    db.load_xml("<A x='4'><B><C><D>7</D></C></B></A>").expect("load");
+    db.load_xml("<A x='4'><B><C><D>7</D></C></B></A>")
+        .expect("load");
     // no finalize()
     let r = db.query("//D").expect("query without indexes");
     assert_eq!(r.rows.rows.len(), 1);
@@ -83,7 +85,8 @@ fn empty_database_returns_empty_results() {
 #[test]
 fn multiple_documents_are_isolated() {
     let mut db = XmlDb::new(&figure1_schema()).expect("db");
-    db.load_xml("<A x='1'><B><C><D>1</D></C></B></A>").expect("doc1");
+    db.load_xml("<A x='1'><B><C><D>1</D></C></B></A>")
+        .expect("doc1");
     db.load_xml("<A x='2'><B><G/></B></A>").expect("doc2");
     db.finalize().expect("indexes");
     // Per-document structural joins: the descendant join must not leak
@@ -103,7 +106,12 @@ fn attribute_projection_output() {
     assert_eq!(r.output, ppf_core::OutputKind::AttributeValue);
     assert_eq!(r.rows.rows.len(), 1);
     // value column holds the attribute
-    let vi = r.rows.columns.iter().position(|c| c == "value").expect("value col");
+    let vi = r
+        .rows
+        .columns
+        .iter()
+        .position(|c| c == "value")
+        .expect("value col");
     assert_eq!(r.rows.rows[0][vi], relstore::Value::Int(1));
 }
 

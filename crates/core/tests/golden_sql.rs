@@ -31,7 +31,10 @@ fn table3_row1_forward_with_predicate() {
     let mut d = db();
     d.set_path_marking(false);
     let s = sql(&d, "/A[@x=3]/B/C//F");
-    assert!(s.contains("from A, Paths A_Paths, F, Paths F_Paths"), "sql: {s}");
+    assert!(
+        s.contains("from A, Paths A_Paths, F, Paths F_Paths"),
+        "sql: {s}"
+    );
     assert!(
         s.contains("REGEXP_LIKE(F_Paths.path, '^/A/B/C(/[^/]+)*/F$')"),
         "sql: {s}"
@@ -79,7 +82,9 @@ fn table3_row3_backward_path() {
     // regex; B joined by a Dewey ancestor join; statically D never has an
     // F child in Figure 1, so the translation is empty.
     let db = db();
-    let t = db.translate("//F/parent::D/ancestor::B").expect("translate");
+    let t = db
+        .translate("//F/parent::D/ancestor::B")
+        .expect("translate");
     assert!(
         t.stmt.is_none(),
         "schema navigation should prove /…/D/F impossible"
@@ -97,8 +102,14 @@ fn table3_row3_backward_path() {
         .sql_for("//F/parent::E/ancestor::B")
         .expect("sql")
         .expect("feasible");
-    assert!(s2.contains("/E/F$"), "refined regex mentions the parent: {s2}");
-    assert!(s2.contains("/B"), "refined regex mentions the ancestor: {s2}");
+    assert!(
+        s2.contains("/E/F$"),
+        "refined regex mentions the parent: {s2}"
+    );
+    assert!(
+        s2.contains("/B"),
+        "refined regex mentions the ancestor: {s2}"
+    );
 }
 
 #[test]
@@ -115,10 +126,7 @@ fn table4_preceding() {
     // //D[@x=4]/preceding::H — H does not exist in Figure 1's schema; use
     // G to check the Dewey condition of Table 2 row 5.
     let s = sql(&db(), "//E[..]/preceding::D");
-    assert!(
-        s.contains("E.dewey_pos > D.dewey_pos || x'FF'"),
-        "sql: {s}"
-    );
+    assert!(s.contains("E.dewey_pos > D.dewey_pos || x'FF'"), "sql: {s}");
 }
 
 #[test]
@@ -149,7 +157,10 @@ fn table5_row2_backward_predicates_fold_into_path_filter() {
     let s = sql(&db, "//F[parent::E or ancestor::G]");
     // Statically true (parent::E always holds for F) — predicate folds to
     // nothing and no G relation is joined.
-    assert!(!s.contains(" G"), "no structural join for the predicate: {s}");
+    assert!(
+        !s.contains(" G"),
+        "no structural join for the predicate: {s}"
+    );
 }
 
 #[test]
@@ -157,7 +168,8 @@ fn table5_row2_edge_mapping_uses_regexp_conditions() {
     // Under the Edge mapping nothing is static: the same query must show
     // the two REGEXP_LIKE clauses OR-ed, as in the paper's Table 5(2).
     let mut db = ppf_core::EdgeDb::new();
-    db.load_xml("<A><B><C><E><F>1</F></E></C></B></A>").expect("load");
+    db.load_xml("<A><B><C><E><F>1</F></E></C></B></A>")
+        .expect("load");
     db.finalize().expect("indexes");
     let s = db
         .sql_for("//F[parent::D or ancestor::G]")

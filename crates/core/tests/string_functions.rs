@@ -17,8 +17,7 @@ fn doc() -> xmldom::Document {
 }
 
 fn schema() -> xmlschema::Schema {
-    xmlschema::parse_schema("root lib\nlib = book*\nbook = title\ntitle : text")
-        .expect("schema")
+    xmlschema::parse_schema("root lib\nlib = book*\nbook = title\ntitle : text").expect("schema")
 }
 
 const QUERIES: &[&str] = &[
@@ -93,7 +92,10 @@ fn unsupported_string_functions_error_cleanly() {
     let mut sa = XmlDb::new(&schema()).expect("db");
     sa.load(&doc()).expect("load");
     sa.finalize().expect("indexes");
-    for q in ["//title[string-length(.) > 15]", "//title[normalize-space(.) = 'x']"] {
+    for q in [
+        "//title[string-length(.) > 15]",
+        "//title[normalize-space(.) = 'x']",
+    ] {
         assert!(sa.query(q).is_err(), "{q} should be SQL-unsupported");
     }
 }

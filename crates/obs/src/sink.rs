@@ -1,0 +1,82 @@
+//! Destinations for finished query traces.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::trace::QueryTrace;
+
+/// Receives finished traces. Implementations decide whether to keep the
+/// structured form or serialize immediately.
+pub trait TraceSink {
+    fn emit(&mut self, trace: &QueryTrace);
+
+    /// Flush buffered output (best-effort; default no-op).
+    fn flush(&mut self) {}
+}
+
+/// Keeps the last `capacity` traces in memory, oldest evicted first.
+pub struct RingBufferSink {
+    capacity: usize,
+    traces: VecDeque<QueryTrace>,
+}
+
+impl RingBufferSink {
+    pub fn new(capacity: usize) -> RingBufferSink {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            traces: VecDeque::new(),
+        }
+    }
+
+    /// Stored traces, oldest first.
+    pub fn traces(&self) -> impl Iterator<Item = &QueryTrace> {
+        self.traces.iter()
+    }
+
+    pub fn last(&self) -> Option<&QueryTrace> {
+        self.traces.back()
+    }
+
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn emit(&mut self, trace: &QueryTrace) {
+        if self.traces.len() == self.capacity {
+            self.traces.pop_front();
+        }
+        self.traces.push_back(trace.clone());
+    }
+}
+
+/// Writes one JSON object per trace, one per line (JSON-lines).
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    pub fn new(writer: W) -> JsonLinesSink<W> {
+        JsonLinesSink { writer }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn emit(&mut self, trace: &QueryTrace) {
+        // I/O failures must not take the query path down; drop the record.
+        let _ = writeln!(self.writer, "{}", trace.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}

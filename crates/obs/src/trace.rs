@@ -1,0 +1,215 @@
+//! Per-query span trees.
+//!
+//! A [`QueryTrace`] is an arena of [`Span`]s plus a stack of currently
+//! open spans. Spans nest: `start` while another span is open records the
+//! open span as the parent. Timing is relative to the trace's creation
+//! instant so a serialized trace is self-contained.
+
+use std::time::{Duration, Instant};
+
+/// Index of a span inside its trace's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) usize);
+
+impl SpanId {
+    /// Arena index (position in [`QueryTrace::spans`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One timed region of a query's execution.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: String,
+    /// Arena index of the enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Offset from the trace epoch.
+    pub start_ns: u64,
+    /// Zero while the span is still open.
+    pub dur_ns: u64,
+    /// Named counters, in insertion order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Span {
+    /// Add `delta` to the named counter (creating it at zero).
+    fn bump(&mut self, name: &str, delta: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += delta;
+        } else {
+            self.counters.push((name.to_string(), delta));
+        }
+    }
+}
+
+/// A tree of timed spans for one query.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Usually the query text.
+    pub label: String,
+    epoch: Instant,
+    spans: Vec<Span>,
+    open: Vec<SpanId>,
+}
+
+impl QueryTrace {
+    pub fn new(label: impl Into<String>) -> QueryTrace {
+        QueryTrace {
+            label: label.into(),
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Open a span. Its parent is the innermost span still open.
+    pub fn start(&mut self, name: impl Into<String>) -> SpanId {
+        let id = SpanId(self.spans.len());
+        self.spans.push(Span {
+            name: name.into(),
+            parent: self.open.last().copied(),
+            start_ns: self.epoch.elapsed().as_nanos() as u64,
+            dur_ns: 0,
+            counters: Vec::new(),
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Close a span. Spans must close innermost-first; closing an outer
+    /// span force-closes anything still open inside it.
+    pub fn end(&mut self, id: SpanId) {
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        while let Some(top) = self.open.pop() {
+            let span = &mut self.spans[top.0];
+            span.dur_ns = now.saturating_sub(span.start_ns);
+            if top == id {
+                return;
+            }
+        }
+    }
+
+    /// Record an externally-timed phase as an already-closed child of the
+    /// innermost open span.
+    pub fn record_span(&mut self, name: impl Into<String>, dur: Duration) -> SpanId {
+        let id = SpanId(self.spans.len());
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let dur_ns = dur.as_nanos() as u64;
+        self.spans.push(Span {
+            name: name.into(),
+            parent: self.open.last().copied(),
+            start_ns: now.saturating_sub(dur_ns),
+            dur_ns,
+            counters: Vec::new(),
+        });
+        id
+    }
+
+    /// Add `delta` to a named counter on the given span.
+    pub fn counter(&mut self, id: SpanId, name: &str, delta: u64) {
+        self.spans[id.0].bump(name, delta);
+    }
+
+    /// Add `delta` to a named counter on the innermost open span (no-op
+    /// when nothing is open).
+    pub fn counter_current(&mut self, name: &str, delta: u64) {
+        if let Some(&top) = self.open.last() {
+            self.counter(top, name, delta);
+        }
+    }
+
+    /// All spans in creation order (parents precede children).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Find a span by name (first match in creation order).
+    pub fn span_named(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Total duration of the trace: end of the last-ending span.
+    pub fn total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One JSON object (single line, no trailing newline) describing the
+    /// whole trace. Schema:
+    ///
+    /// ```json
+    /// {"label":"//a/b","total_ns":1234,
+    ///  "spans":[{"name":"parse","parent":null,"start_ns":0,"dur_ns":10,
+    ///            "counters":{"ppf_count":2}}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::Writer::new();
+        w.begin_object();
+        w.key("label");
+        w.string(&self.label);
+        w.key("total_ns");
+        w.number(self.total_ns());
+        w.key("spans");
+        w.begin_array();
+        for span in &self.spans {
+            w.begin_object();
+            w.key("name");
+            w.string(&span.name);
+            w.key("parent");
+            match span.parent {
+                Some(p) => w.number(p.0 as u64),
+                None => w.null(),
+            }
+            w.key("start_ns");
+            w.number(span.start_ns);
+            w.key("dur_ns");
+            w.number(span.dur_ns);
+            w.key("counters");
+            w.begin_object();
+            for (name, value) in &span.counters {
+                w.key(name);
+                w.number(*value);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Indented text rendering for the REPL.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} ({:.3} ms)\n",
+            self.label,
+            self.total_ns() as f64 / 1e6
+        ));
+        for (i, span) in self.spans.iter().enumerate() {
+            let mut depth = 0;
+            let mut p = span.parent;
+            while let Some(id) = p {
+                depth += 1;
+                p = self.spans[id.0].parent;
+            }
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!("{} {:.3} ms", span.name, span.dur_ns as f64 / 1e6));
+            if !span.counters.is_empty() {
+                let counters: Vec<String> = span
+                    .counters
+                    .iter()
+                    .map(|(n, v)| format!("{n}={v}"))
+                    .collect();
+                out.push_str(&format!(" [{}]", counters.join(", ")));
+            }
+            out.push('\n');
+            let _ = i;
+        }
+        out
+    }
+}

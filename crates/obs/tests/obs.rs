@@ -1,0 +1,286 @@
+//! Tests for the observability crate: histogram percentile math, span
+//! tree nesting/ordering, and the JSON-lines sink round-trip.
+
+use std::time::Duration;
+
+use obs::metrics::Histogram;
+use obs::{JsonLinesSink, QueryTrace, Registry, RingBufferSink, TraceSink};
+
+// ---------------------------------------------------------------- metrics
+
+#[test]
+fn empty_histogram_is_all_zeroes() {
+    let h = Histogram::default();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.percentile(0.0), 0);
+    assert_eq!(h.percentile(0.5), 0);
+    assert_eq!(h.percentile(1.0), 0);
+}
+
+#[test]
+fn single_sample_percentiles_collapse_to_it() {
+    let mut h = Histogram::default();
+    h.record(42);
+    for p in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(p), 42, "p={p}");
+    }
+    assert_eq!(h.min(), 42);
+    assert_eq!(h.max(), 42);
+    assert_eq!(h.sum(), 42);
+}
+
+#[test]
+fn zero_lands_in_the_zero_bucket() {
+    let mut h = Histogram::default();
+    h.record(0);
+    h.record(0);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.percentile(0.5), 0);
+    assert_eq!(h.percentile(0.99), 0);
+}
+
+#[test]
+fn max_value_lands_in_the_top_bucket() {
+    let mut h = Histogram::default();
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.max(), u64::MAX);
+    // The top bucket's representative is clamped to the observed max.
+    assert_eq!(h.percentile(0.99), u64::MAX);
+}
+
+#[test]
+fn percentiles_are_monotone_and_bucket_accurate() {
+    let mut h = Histogram::default();
+    // 90 small samples and 10 large ones: p50 must report the small
+    // bucket, p95/p99 the large one.
+    for _ in 0..90 {
+        h.record(10); // bucket [8, 16)
+    }
+    for _ in 0..10 {
+        h.record(1000); // bucket [512, 1024)
+    }
+    let p50 = h.percentile(0.50);
+    let p95 = h.percentile(0.95);
+    let p99 = h.percentile(0.99);
+    assert!((8..16).contains(&p50), "p50={p50}");
+    assert!((512..1024).contains(&p95), "p95={p95}");
+    assert!((512..1024).contains(&p99), "p99={p99}");
+    assert!(p50 <= p95 && p95 <= p99);
+    // p=1.0 is the max sample.
+    assert_eq!(h.percentile(1.0), h.max());
+}
+
+#[test]
+fn percentile_results_stay_within_observed_range() {
+    let mut h = Histogram::default();
+    for v in [3u64, 5, 6, 7] {
+        h.record(v);
+    }
+    for p in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+        let v = h.percentile(p);
+        assert!((3..=7).contains(&v), "p={p} v={v}");
+    }
+}
+
+#[test]
+fn registry_counters_and_histograms() {
+    let reg = Registry::new();
+    reg.incr("queries", 1);
+    reg.incr("queries", 2);
+    reg.observe("rows", 4);
+    reg.observe("rows", 1000);
+    assert_eq!(reg.counter("queries"), 3);
+    assert_eq!(reg.counter("missing"), 0);
+    let h = reg.histogram("rows").expect("histogram");
+    assert_eq!(h.count, 2);
+    assert_eq!(h.sum, 1004);
+    assert!(reg.histogram("missing").is_none());
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counters, vec![("queries".to_string(), 3)]);
+    assert_eq!(snap.histograms.len(), 1);
+
+    reg.reset();
+    assert_eq!(reg.counter("queries"), 0);
+    assert!(reg.snapshot().counters.is_empty());
+}
+
+// ------------------------------------------------------------------ trace
+
+#[test]
+fn spans_nest_under_the_innermost_open_span() {
+    let mut t = QueryTrace::new("//a/b");
+    let root = t.start("query");
+    let parse = t.start("parse");
+    t.end(parse);
+    let exec = t.start("execute");
+    let probe = t.start("probe");
+    t.end(probe);
+    t.end(exec);
+    t.end(root);
+
+    let spans = t.spans();
+    assert_eq!(spans.len(), 4);
+    assert_eq!(spans[0].name, "query");
+    assert_eq!(spans[0].parent, None);
+    assert_eq!(spans[1].name, "parse");
+    assert_eq!(spans[1].parent, Some(root));
+    assert_eq!(spans[2].name, "execute");
+    assert_eq!(spans[2].parent, Some(root));
+    assert_eq!(spans[3].name, "probe");
+    assert_eq!(spans[3].parent, Some(exec));
+}
+
+#[test]
+fn spans_are_ordered_and_contained_in_their_parents() {
+    let mut t = QueryTrace::new("q");
+    let outer = t.start("outer");
+    std::thread::sleep(Duration::from_millis(2));
+    let inner = t.start("inner");
+    std::thread::sleep(Duration::from_millis(2));
+    t.end(inner);
+    t.end(outer);
+
+    let outer = &t.spans()[0];
+    let inner = &t.spans()[1];
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.dur_ns > 0);
+    assert!(outer.dur_ns >= inner.dur_ns);
+    assert!(
+        inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns,
+        "child must end before its parent"
+    );
+    assert_eq!(t.total_ns(), outer.start_ns + outer.dur_ns);
+}
+
+#[test]
+fn ending_an_outer_span_closes_dangling_children() {
+    let mut t = QueryTrace::new("q");
+    let outer = t.start("outer");
+    let _forgotten = t.start("forgotten");
+    t.end(outer);
+    assert!(t
+        .spans()
+        .iter()
+        .all(|s| s.dur_ns > 0 || s.start_ns > 0 || s.dur_ns == 0));
+    // Both spans are closed: a new span now opens at the top level.
+    let top = t.start("next");
+    assert_eq!(t.spans()[top.index()].parent, None);
+}
+
+#[test]
+fn counters_accumulate_per_span() {
+    let mut t = QueryTrace::new("q");
+    let s = t.start("execute");
+    t.counter(s, "rows", 10);
+    t.counter(s, "rows", 5);
+    t.counter_current("probes", 3);
+    t.end(s);
+    // counter_current after close is a no-op.
+    t.counter_current("probes", 99);
+
+    let span = t.span_named("execute").expect("span");
+    assert_eq!(
+        span.counters,
+        vec![("rows".to_string(), 15), ("probes".to_string(), 3)]
+    );
+}
+
+#[test]
+fn record_span_attaches_closed_child() {
+    let mut t = QueryTrace::new("q");
+    let root = t.start("query");
+    let ext = t.record_span("translate", Duration::from_micros(250));
+    t.end(root);
+    let span = &t.spans()[ext.index()];
+    assert_eq!(span.name, "translate");
+    assert_eq!(span.parent, Some(root));
+    assert_eq!(span.dur_ns, 250_000);
+}
+
+// ------------------------------------------------------------------ sinks
+
+#[test]
+fn ring_buffer_evicts_oldest() {
+    let mut sink = RingBufferSink::new(2);
+    for label in ["a", "b", "c"] {
+        let mut t = QueryTrace::new(label);
+        let s = t.start("query");
+        t.end(s);
+        sink.emit(&t);
+    }
+    assert_eq!(sink.len(), 2);
+    let labels: Vec<&str> = sink.traces().map(|t| t.label.as_str()).collect();
+    assert_eq!(labels, ["b", "c"]);
+    assert_eq!(sink.last().map(|t| t.label.as_str()), Some("c"));
+}
+
+#[test]
+fn json_lines_round_trip() {
+    let mut trace = QueryTrace::new("//book[author=\"Codd\"]");
+    let root = trace.start("query");
+    let parse = trace.start("parse");
+    trace.end(parse);
+    let exec = trace.start("execute");
+    trace.counter(exec, "rows_scanned", 128);
+    trace.counter(exec, "index_probes", 7);
+    trace.end(exec);
+    trace.end(root);
+
+    let mut sink = JsonLinesSink::new(Vec::new());
+    sink.emit(&trace);
+    sink.emit(&trace);
+    sink.flush();
+    let bytes = sink.into_inner();
+    let text = String::from_utf8(bytes).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSON object per line");
+
+    for line in lines {
+        let v = obs::json::parse(line).expect("valid JSON");
+        assert_eq!(
+            v.get("label").and_then(|l| l.as_str()),
+            Some("//book[author=\"Codd\"]")
+        );
+        let spans = v.get("spans").and_then(|s| s.as_array()).expect("spans");
+        assert_eq!(spans.len(), 3);
+        // Parent links survive the round trip.
+        assert_eq!(spans[0].get("parent"), Some(&obs::json::Value::Null));
+        assert_eq!(spans[1].get("parent").and_then(|p| p.as_u64()), Some(0));
+        // Counters survive the round trip.
+        let exec = &spans[2];
+        assert_eq!(exec.get("name").and_then(|n| n.as_str()), Some("execute"));
+        let counters = exec.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("rows_scanned").and_then(|c| c.as_u64()),
+            Some(128)
+        );
+        assert_eq!(
+            counters.get("index_probes").and_then(|c| c.as_u64()),
+            Some(7)
+        );
+        // Durations are non-negative integers.
+        assert!(v.get("total_ns").and_then(|t| t.as_u64()).is_some());
+    }
+}
+
+#[test]
+fn json_escaping_survives_round_trip() {
+    let nasty = "quote\" backslash\\ newline\n tab\t unicode\u{1F600} ctrl\u{1}";
+    let mut trace = QueryTrace::new(nasty);
+    let s = trace.start("phase \"one\"");
+    trace.end(s);
+    let v = obs::json::parse(&trace.to_json()).expect("valid JSON");
+    assert_eq!(v.get("label").and_then(|l| l.as_str()), Some(nasty));
+    let spans = v.get("spans").and_then(|s| s.as_array()).unwrap();
+    assert_eq!(
+        spans[0].get("name").and_then(|n| n.as_str()),
+        Some("phase \"one\"")
+    );
+}

@@ -20,11 +20,13 @@
 pub mod ast;
 pub mod nfa;
 pub mod parser;
+pub mod stats;
 
 use std::cell::RefCell;
 
 pub use ast::Ast;
 pub use parser::ParseError;
+pub use stats::VmStats;
 
 /// Errors from [`Regex::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +148,20 @@ mod tests {
         assert_eq!(re.is_match("abx"), re2.is_match("abx"));
         assert_eq!(re.is_match("xcd"), re2.is_match("xcd"));
         assert_eq!(re.is_match("zz"), re2.is_match("zz"));
+    }
+
+    #[test]
+    fn vm_counters_accumulate() {
+        // Counters are process-wide and other tests run concurrently, so
+        // only assert on the delta's lower bounds.
+        let before = stats::snapshot();
+        let re = Regex::new("^/a(/[^/]+)*/b$").unwrap();
+        assert!(re.is_match("/a/x/y/b"));
+        assert!(!re.is_match("/a/x"));
+        let d = stats::snapshot().since(&before);
+        assert!(d.match_calls >= 2, "{d:?}");
+        assert!(d.vm_steps > 0, "{d:?}");
+        assert!(d.max_threads >= 1, "{d:?}");
     }
 
     #[test]

@@ -340,6 +340,20 @@ impl Vm {
     /// Whether the pattern matches anywhere in `input` (unanchored search;
     /// `^`/`$` in the pattern constrain it as usual).
     pub fn is_match(&mut self, prog: &Program, input: &[u8]) -> bool {
+        let mut steps = 0u64;
+        let mut max_threads = 0u64;
+        let matched = self.run(prog, input, &mut steps, &mut max_threads);
+        crate::stats::record(steps, max_threads);
+        matched
+    }
+
+    fn run(
+        &mut self,
+        prog: &Program,
+        input: &[u8],
+        steps: &mut u64,
+        max_threads: &mut u64,
+    ) -> bool {
         let n = prog.insts.len();
         self.current.clear();
         self.next.clear();
@@ -381,21 +395,22 @@ impl Vm {
                 return false;
             }
             let byte = input[at];
+            *steps += self.current.len() as u64;
+            *max_threads = (*max_threads).max(self.current.len() as u64);
             for i in 0..self.current.len() {
                 let ip = self.current[i];
                 match &prog.insts[ip] {
-                    Inst::Byte { class, next }
-                        if class.matches(byte) => {
-                            Self::add_thread(
-                                prog,
-                                &mut self.next,
-                                &mut self.on_next,
-                                *next,
-                                at + 1,
-                                input,
-                                &mut matched,
-                            );
-                        }
+                    Inst::Byte { class, next } if class.matches(byte) => {
+                        Self::add_thread(
+                            prog,
+                            &mut self.next,
+                            &mut self.on_next,
+                            *next,
+                            at + 1,
+                            input,
+                            &mut matched,
+                        );
+                    }
                     Inst::Any { next } => {
                         Self::add_thread(
                             prog,
@@ -450,9 +465,7 @@ impl Vm {
         }
         on[ip] = true;
         match &prog.insts[ip] {
-            Inst::Jmp { next } => {
-                Self::add_thread(prog, list, on, *next, at, input, matched)
-            }
+            Inst::Jmp { next } => Self::add_thread(prog, list, on, *next, at, input, matched),
             Inst::Split { a, b } => {
                 Self::add_thread(prog, list, on, *a, at, input, matched);
                 Self::add_thread(prog, list, on, *b, at, input, matched);

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 
@@ -197,9 +201,7 @@ impl<'a> Parser<'a> {
             Some(b'^') => Ok(Ast::AnchorStart),
             Some(b'$') => Ok(Ast::AnchorEnd),
             Some(b'\\') => {
-                let b = self
-                    .bump()
-                    .ok_or_else(|| self.err("dangling backslash"))?;
+                let b = self.bump().ok_or_else(|| self.err("dangling backslash"))?;
                 Ok(Ast::Literal(escape_value(b)))
             }
             Some(b'*') | Some(b'+') | Some(b'?') => {
@@ -309,7 +311,11 @@ mod tests {
     fn parses_negated_class() {
         let ast = parse("[^/]+").expect("parse");
         match ast {
-            Ast::Repeat { node, min: 1, max: None } => match *node {
+            Ast::Repeat {
+                node,
+                min: 1,
+                max: None,
+            } => match *node {
                 Ast::Class(c) => assert!(c.negated),
                 other => panic!("unexpected inner: {other:?}"),
             },
@@ -321,15 +327,27 @@ mod tests {
     fn parses_bounds() {
         assert!(matches!(
             parse("a{2,4}").expect("parse"),
-            Ast::Repeat { min: 2, max: Some(4), .. }
+            Ast::Repeat {
+                min: 2,
+                max: Some(4),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{3}").expect("parse"),
-            Ast::Repeat { min: 3, max: Some(3), .. }
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{3,}").expect("parse"),
-            Ast::Repeat { min: 3, max: None, .. }
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                ..
+            }
         ));
     }
 

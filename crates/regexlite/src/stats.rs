@@ -1,0 +1,63 @@
+//! Always-on Pike-VM execution counters.
+//!
+//! Path filters run once per candidate row inside the SQL executor, so
+//! "how much regex work did this query do" is a first-class observability
+//! question. The VM accumulates counters in locals during a match and
+//! flushes them here exactly once per [`crate::Regex::is_match`] call —
+//! three relaxed atomic operations per match, cheap enough to keep
+//! compiled in unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static MATCH_CALLS: AtomicU64 = AtomicU64::new(0);
+static VM_STEPS: AtomicU64 = AtomicU64::new(0);
+static MAX_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide VM counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Completed `is_match` executions.
+    pub match_calls: u64,
+    /// Thread dispatches: one per live NFA thread per consumed input byte.
+    /// This is the Pike VM's unit of work — `O(pattern × input)` total.
+    pub vm_steps: u64,
+    /// High-water mark of simultaneously live threads in any single match
+    /// (bounded by the compiled program's instruction count).
+    pub max_threads: u64,
+}
+
+/// Flush one match's locally-accumulated counters.
+pub(crate) fn record(steps: u64, threads: u64) {
+    MATCH_CALLS.fetch_add(1, Relaxed);
+    VM_STEPS.fetch_add(steps, Relaxed);
+    MAX_THREADS.fetch_max(threads, Relaxed);
+}
+
+/// Read the current counter values.
+pub fn snapshot() -> VmStats {
+    VmStats {
+        match_calls: MATCH_CALLS.load(Relaxed),
+        vm_steps: VM_STEPS.load(Relaxed),
+        max_threads: MAX_THREADS.load(Relaxed),
+    }
+}
+
+/// Zero all counters (tests and per-run measurement windows).
+pub fn reset() {
+    MATCH_CALLS.store(0, Relaxed);
+    VM_STEPS.store(0, Relaxed);
+    MAX_THREADS.store(0, Relaxed);
+}
+
+impl VmStats {
+    /// Counter-wise difference against an earlier snapshot, for
+    /// attributing VM work to one measurement window. `max_threads` is a
+    /// high-water mark, not a sum, so the later value is kept as-is.
+    pub fn since(&self, earlier: &VmStats) -> VmStats {
+        VmStats {
+            match_calls: self.match_calls.saturating_sub(earlier.match_calls),
+            vm_steps: self.vm_steps.saturating_sub(earlier.vm_steps),
+            max_threads: self.max_threads,
+        }
+    }
+}

@@ -159,8 +159,11 @@ fn arb_pattern() -> impl Strategy<Value = String> {
 }
 
 fn arb_input() -> impl Strategy<Value = String> {
-    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c'), Just('/')], 0..12)
-        .prop_map(|v| v.into_iter().collect())
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('c'), Just('/')],
+        0..12,
+    )
+    .prop_map(|v| v.into_iter().collect())
 }
 
 proptest! {

@@ -173,8 +173,8 @@ impl Table {
         }
         for (value, col) in row.iter().zip(&self.schema.columns) {
             if let Some(vt) = value.col_type() {
-                let compatible = vt == col.ty
-                    || matches!((vt, col.ty), (ColType::Int, ColType::Float));
+                let compatible =
+                    vt == col.ty || matches!((vt, col.ty), (ColType::Int, ColType::Float));
                 if !compatible {
                     return Err(StoreError(format!(
                         "table `{}`, column `{}`: type mismatch ({vt:?} into {:?})",
@@ -197,10 +197,7 @@ impl Table {
             .iter()
             .map(|c| {
                 self.schema.col(c).ok_or_else(|| {
-                    StoreError(format!(
-                        "table `{}` has no column `{c}`",
-                        self.schema.name
-                    ))
+                    StoreError(format!("table `{}` has no column `{c}`", self.schema.name))
                 })
             })
             .collect::<Result<_, _>>()?;
@@ -237,7 +234,11 @@ mod tests {
     fn people() -> Table {
         let mut t = Table::new(TableSchema::new(
             "people",
-            &[("id", ColType::Int), ("name", ColType::Str), ("age", ColType::Int)],
+            &[
+                ("id", ColType::Int),
+                ("name", ColType::Str),
+                ("age", ColType::Int),
+            ],
         ));
         for (id, name, age) in [
             (1, "ann", 30),
@@ -296,7 +297,8 @@ mod tests {
     #[test]
     fn composite_index_prefix() {
         let mut t = people();
-        t.create_index("people_age_name", &["age", "name"]).expect("index");
+        t.create_index("people_age_name", &["age", "name"])
+            .expect("index");
         let idx = &t.indexes()[0];
         let got: Vec<RowId> = idx.prefix(&[Value::Int(30)]).collect();
         assert_eq!(got, vec![0, 2]);
@@ -312,13 +314,8 @@ mod tests {
             .expect("insert");
         t.create_index("people_age", &["age"]).expect("index");
         let idx = &t.indexes()[0];
-        let total: usize = t
-            .rows()
-            .filter(|(_, r)| !r[2].is_null())
-            .count();
-        let indexed: usize = idx
-            .range(Bound::Unbounded, Bound::Unbounded)
-            .count();
+        let total: usize = t.rows().filter(|(_, r)| !r[2].is_null()).count();
+        let indexed: usize = idx.range(Bound::Unbounded, Bound::Unbounded).count();
         assert_eq!(indexed, total);
     }
 

@@ -122,12 +122,7 @@ impl EdgeStore {
                 ])?;
             }
 
-            for c in doc
-                .child_elements(n)
-                .collect::<Vec<_>>()
-                .into_iter()
-                .rev()
-            {
+            for c in doc.child_elements(n).collect::<Vec<_>>().into_iter().rev() {
                 stack.push(c);
             }
         }

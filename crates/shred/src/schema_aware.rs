@@ -41,7 +41,10 @@ fn typed_value(raw: &str, ty: ValueType) -> Value {
                 Value::Str(raw.to_string())
             }
         }
-        ValueType::Int => trimmed.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        ValueType::Int => trimmed
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(Value::Null),
         ValueType::Float => trimmed
             .parse::<f64>()
             .map(Value::Float)
@@ -185,12 +188,7 @@ impl SchemaAwareStore {
                 .insert(row)?;
 
             // Push children in reverse so ids follow document order.
-            for c in doc
-                .child_elements(n)
-                .collect::<Vec<_>>()
-                .into_iter()
-                .rev()
-            {
+            for c in doc.child_elements(n).collect::<Vec<_>>().into_iter().rev() {
                 stack.push(c);
             }
         }

@@ -106,10 +106,8 @@ proptest! {
 fn dewey_matches_tree_axes_on_a_document() {
     // Cross-check against xmldom's tree: for every element pair, the
     // Dewey predicates must agree with the tree-derived relationships.
-    let doc = xmldom::parse(
-        "<r><a><b/><b><c/><c/></b></a><a/><d><a><b/></a></d></r>",
-    )
-    .expect("xml");
+    let doc =
+        xmldom::parse("<r><a><b/><b><c/><c/></b></a><a/><d><a><b/></a></d></r>").expect("xml");
     let elems: Vec<_> = doc.all_nodes().filter(|&n| doc.is_element(n)).collect();
     for &x in &elems {
         let dx = dewey::encode(&doc.dewey(x)).expect("encode");

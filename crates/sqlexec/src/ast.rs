@@ -174,7 +174,10 @@ pub enum Expr {
         rhs: Box<Expr>,
     },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `COUNT(*)` — only valid as a projection.
     CountStar,
 }
@@ -319,10 +322,7 @@ mod tests {
                 alias: None,
             }],
             from: vec![TableRef::new("F", "F")],
-            where_clause: Some(Expr::eq(
-                Expr::column("F", "x"),
-                Expr::column("B", "y"),
-            )),
+            where_clause: Some(Expr::eq(Expr::column("F", "x"), Expr::column("B", "y"))),
         };
         let e = Expr::Exists(Box::new(sub));
         let mut out = Vec::new();

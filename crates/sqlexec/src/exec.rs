@@ -29,7 +29,49 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Subquery executions (EXISTS and scalar).
     pub subqueries: u64,
+    /// Residual and late-filter predicate evaluations.
+    pub predicate_evals: u64,
 }
+
+/// Per-plan-step execution counters. One `OpStats` accumulates across every
+/// invocation of its step — a step inside a nested loop or a correlated
+/// subquery is invoked many times, and `invocations` counts the rescans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Times the step ran (> 1 ⇒ nested-loop rescans / subquery re-execution).
+    pub invocations: u64,
+    /// Rows the access path fetched and examined.
+    pub rows_in: u64,
+    /// Rows surviving this step's residual filters (input to the next step).
+    pub rows_out: u64,
+    /// Index / hash probes actually performed (NULL-key probes are skipped
+    /// by the executor and not counted).
+    pub index_probes: u64,
+    /// Residual predicate evaluations (short-circuited ANDs count what ran).
+    pub predicate_evals: u64,
+    /// Inclusive wall time — this step and everything nested below it.
+    /// Accumulated only while profiling is enabled (`set_profiling`).
+    pub elapsed_ns: u64,
+}
+
+impl OpStats {
+    fn absorb(&mut self, other: &OpStats) {
+        self.invocations += other.invocations;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.index_probes += other.index_probes;
+        self.predicate_evals += other.predicate_evals;
+        self.elapsed_ns += other.elapsed_ns;
+    }
+}
+
+/// A cached hash-join build side: probe key -> matching row ids.
+type HashBuild = std::rc::Rc<std::collections::BTreeMap<Value, Vec<RowId>>>;
+
+/// Row-emission callback threaded through the nested-loop machinery;
+/// returning `Ok(false)` stops the enclosing loops early.
+type EmitFn<'a, 'db> =
+    dyn FnMut(&Executor<'db>, &mut Vec<Binding<'db>>) -> Result<bool, ExecError> + 'a;
 
 /// One bound alias during execution.
 #[derive(Clone)]
@@ -52,7 +94,13 @@ pub struct Executor<'db> {
     count_result: std::cell::Cell<Option<i64>>,
     /// Hash-join build sides, keyed by (table, column) and cached for the
     /// whole statement (cleared per `run`, like the plan cache).
-    hash_builds: RefCell<HashMap<(String, usize), std::rc::Rc<std::collections::BTreeMap<Value, Vec<RowId>>>>>,
+    hash_builds: RefCell<HashMap<(String, usize), HashBuild>>,
+    /// Per-step counters keyed by `Select` address (same key as the plan
+    /// cache), one slot per plan step; cleared at each top-level `run`.
+    step_stats: RefCell<HashMap<usize, Vec<OpStats>>>,
+    /// When true, `OpStats::elapsed_ns` is measured (two `Instant` reads
+    /// per step invocation); counters are maintained regardless.
+    profiling: std::cell::Cell<bool>,
 }
 
 impl<'db> Executor<'db> {
@@ -64,7 +112,50 @@ impl<'db> Executor<'db> {
             plans: RefCell::new(HashMap::new()),
             count_result: std::cell::Cell::new(None),
             hash_builds: RefCell::new(HashMap::new()),
+            step_stats: RefCell::new(HashMap::new()),
+            profiling: std::cell::Cell::new(false),
         }
+    }
+
+    /// Enable per-step wall-time measurement (used by `EXPLAIN ANALYZE`).
+    pub fn set_profiling(&self, on: bool) {
+        self.profiling.set(on);
+    }
+
+    /// Per-step counters for a `Select` executed by the current statement
+    /// (`None` if the block never ran — e.g. a short-circuited subquery).
+    /// Slots align with the plan's steps in execution order.
+    pub fn step_stats(&self, sel: &Select) -> Option<Vec<OpStats>> {
+        self.step_stats
+            .borrow()
+            .get(&(sel as *const Select as usize))
+            .cloned()
+    }
+
+    /// The plan the current statement actually used for `sel`, if that
+    /// block was planned. `EXPLAIN ANALYZE` renders subquery blocks from
+    /// this plan so they are the very `Select` clones the executor
+    /// profiled (re-planning would produce fresh clones whose addresses
+    /// match no recorded counters).
+    pub fn cached_plan(&self, sel: &Select) -> Option<std::rc::Rc<SelectPlan>> {
+        self.plans
+            .borrow()
+            .get(&(sel as *const Select as usize))
+            .cloned()
+    }
+
+    /// Every (plan, per-step counters) pair the current statement
+    /// recorded, across all executed blocks (branches and subqueries), in
+    /// no particular order. Lets callers roll counters up by table — e.g.
+    /// "rows examined vs surviving on the `Paths` table" — without
+    /// knowing the statement's shape.
+    pub fn profiled_steps(&self) -> Vec<(std::rc::Rc<SelectPlan>, Vec<OpStats>)> {
+        let plans = self.plans.borrow();
+        self.step_stats
+            .borrow()
+            .iter()
+            .filter_map(|(key, ops)| plans.get(key).map(|p| (p.clone(), ops.clone())))
+            .collect()
     }
 
     /// Counters accumulated since construction (or the last reset).
@@ -86,6 +177,7 @@ impl<'db> Executor<'db> {
     pub fn run(&self, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
         self.plans.borrow_mut().clear();
         self.hash_builds.borrow_mut().clear();
+        self.step_stats.borrow_mut().clear();
         if stmt.branches.is_empty() {
             return Err(ExecError("statement has no SELECT branch".into()));
         }
@@ -93,11 +185,7 @@ impl<'db> Executor<'db> {
         // UNION branches must agree on arity, or dedup/sort would index
         // out of bounds across rows of different widths.
         let arity = stmt.branches[0].projections.len();
-        if stmt
-            .branches
-            .iter()
-            .any(|b| b.projections.len() != arity)
-        {
+        if stmt.branches.iter().any(|b| b.projections.len() != arity) {
             return Err(ExecError(
                 "UNION branches project different numbers of columns".into(),
             ));
@@ -114,7 +202,10 @@ impl<'db> Executor<'db> {
         let mut keys: Vec<(KeyKind, bool)> = Vec::new();
         for k in &stmt.order_by {
             let kind = match &k.expr {
-                Expr::Column { qualifier: None, name } => {
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } => {
                     let pos = first.projections.iter().position(|p| {
                         p.alias.as_deref() == Some(name.as_str())
                             || matches!(&p.expr, Expr::Column { name: n, .. } if n == name)
@@ -201,7 +292,7 @@ impl<'db> Executor<'db> {
         &'e self,
         sel: &'e Select,
         env: &mut Vec<Binding<'db>>,
-        emit: &mut dyn FnMut(&Self, &mut Vec<Binding<'db>>) -> Result<bool, ExecError>,
+        emit: &mut EmitFn<'_, 'db>,
     ) -> Result<(), ExecError>
     where
         'db: 'e,
@@ -211,9 +302,7 @@ impl<'db> Executor<'db> {
             .iter()
             .any(|p| matches!(p.expr, Expr::CountStar));
         if is_count && sel.projections.len() != 1 {
-            return Err(ExecError(
-                "COUNT(*) must be the only projection".into(),
-            ));
+            return Err(ExecError("COUNT(*) must be the only projection".into()));
         }
 
         let plan = self.plan_for(sel, env)?;
@@ -252,22 +341,79 @@ impl<'db> Executor<'db> {
         Ok(plan)
     }
 
+    /// Wrapper around [`Self::exec_steps_inner`] that flushes this step's
+    /// counters into `step_stats` and the global `ExecStats` on *every*
+    /// exit path — including errors, which previously dropped the counts
+    /// accumulated before the failure (the EXISTS/scalar-subquery
+    /// undercount).
     fn exec_steps<'e>(
         &'e self,
         plan: &SelectPlan,
         depth: usize,
         sel: &'e Select,
         env: &mut Vec<Binding<'db>>,
-        emit: &mut dyn FnMut(&Self, &mut Vec<Binding<'db>>) -> Result<bool, ExecError>,
+        emit: &mut EmitFn<'_, 'db>,
     ) -> Result<bool, ExecError> {
         if depth == plan.steps.len() {
-            for f in &plan.late_filters {
-                if self.eval_truth(f, env)? != Some(true) {
+            if !plan.late_filters.is_empty() {
+                let mut evals = 0u64;
+                let mut pass = true;
+                for f in &plan.late_filters {
+                    evals += 1;
+                    match self.eval_truth(f, env) {
+                        Ok(Some(true)) => {}
+                        Ok(_) => {
+                            pass = false;
+                            break;
+                        }
+                        Err(e) => {
+                            self.stats.borrow_mut().predicate_evals += evals;
+                            return Err(e);
+                        }
+                    }
+                }
+                self.stats.borrow_mut().predicate_evals += evals;
+                if !pass {
                     return Ok(true);
                 }
             }
             return emit(self, env);
         }
+
+        let t0 = self.profiling.get().then(std::time::Instant::now);
+        let mut local = OpStats {
+            invocations: 1,
+            ..OpStats::default()
+        };
+        let result = self.exec_steps_inner(plan, depth, sel, env, emit, &mut local);
+        if let Some(t0) = t0 {
+            local.elapsed_ns = t0.elapsed().as_nanos() as u64;
+        }
+        {
+            let mut map = self.step_stats.borrow_mut();
+            let slots = map
+                .entry(sel as *const Select as usize)
+                .or_insert_with(|| vec![OpStats::default(); plan.steps.len()]);
+            slots[depth].absorb(&local);
+        }
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_scanned += local.rows_in;
+            stats.index_probes += local.index_probes;
+            stats.predicate_evals += local.predicate_evals;
+        }
+        result
+    }
+
+    fn exec_steps_inner<'e>(
+        &'e self,
+        plan: &SelectPlan,
+        depth: usize,
+        sel: &'e Select,
+        env: &mut Vec<Binding<'db>>,
+        emit: &mut EmitFn<'_, 'db>,
+        local: &mut OpStats,
+    ) -> Result<bool, ExecError> {
         let step = &plan.steps[depth];
         let table = self
             .db
@@ -281,17 +427,17 @@ impl<'db> Executor<'db> {
                 probe_rows.extend(table.rows().map(|(rid, _)| rid));
             }
             Access::HashEq { column, key } => {
-                self.stats.borrow_mut().index_probes += 1;
                 let build = self.hash_build(&step.table, table, *column);
                 let k = self.eval(key, env)?;
+                // A NULL key matches nothing; no probe is performed.
                 if !k.is_null() {
+                    local.index_probes += 1;
                     if let Some(rids) = build.get(&k) {
                         probe_rows.extend_from_slice(rids);
                     }
                 }
             }
             Access::IndexEq { index, keys } => {
-                self.stats.borrow_mut().index_probes += 1;
                 let mut key_vals = Vec::with_capacity(keys.len());
                 let mut any_null = false;
                 for k in keys {
@@ -303,11 +449,11 @@ impl<'db> Executor<'db> {
                     key_vals.push(v);
                 }
                 if !any_null {
+                    local.index_probes += 1;
                     probe_rows.extend_from_slice(table.indexes()[*index].get(&key_vals));
                 }
             }
             Access::IndexRange { index, lo, hi } => {
-                self.stats.borrow_mut().index_probes += 1;
                 let lo_v = match lo {
                     Some((e, inc)) => {
                         let v = self.eval(e, env)?;
@@ -344,9 +490,9 @@ impl<'db> Executor<'db> {
                     }
                     _ => false,
                 };
-                if let (false, Some((lo_k, lo_inc)), Some((hi_k, hi_inc))) =
-                    (inverted, lo_v, hi_v)
+                if let (false, Some((lo_k, lo_inc)), Some((hi_k, hi_inc))) = (inverted, lo_v, hi_v)
                 {
+                    local.index_probes += 1;
                     let ix = &table.indexes()[*index];
                     let lob = if lo_k.is_empty() {
                         Bound::Unbounded
@@ -387,9 +533,8 @@ impl<'db> Executor<'db> {
             }
         }
 
-        let mut scanned = 0u64;
         for rid in probe_rows {
-            scanned += 1;
+            local.rows_in += 1;
             env.push(Binding {
                 alias: step.alias.clone(),
                 table,
@@ -397,33 +542,41 @@ impl<'db> Executor<'db> {
             });
             let mut pass = true;
             for r in &step.residuals {
-                if self.eval_truth(r, env)? != Some(true) {
-                    pass = false;
-                    break;
+                local.predicate_evals += 1;
+                match self.eval_truth(r, env) {
+                    Ok(Some(true)) => {}
+                    Ok(_) => {
+                        pass = false;
+                        break;
+                    }
+                    Err(e) => {
+                        env.pop();
+                        return Err(e);
+                    }
                 }
             }
             let keep_going = if pass {
-                self.exec_steps(plan, depth + 1, sel, env, emit)?
+                local.rows_out += 1;
+                match self.exec_steps(plan, depth + 1, sel, env, emit) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        env.pop();
+                        return Err(e);
+                    }
+                }
             } else {
                 true
             };
             env.pop();
             if !keep_going {
-                self.stats.borrow_mut().rows_scanned += scanned;
                 return Ok(false);
             }
         }
-        self.stats.borrow_mut().rows_scanned += scanned;
         Ok(true)
     }
 
     /// Build (or fetch the cached) hash-join build side for a column.
-    fn hash_build(
-        &self,
-        table_name: &str,
-        table: &Table,
-        column: usize,
-    ) -> std::rc::Rc<std::collections::BTreeMap<Value, Vec<RowId>>> {
+    fn hash_build(&self, table_name: &str, table: &Table, column: usize) -> HashBuild {
         let key = (table_name.to_string(), column);
         if let Some(b) = self.hash_builds.borrow().get(&key) {
             return b.clone();
@@ -443,11 +596,7 @@ impl<'db> Executor<'db> {
 
     // ----- expression evaluation -----
 
-    fn eval_truth(
-        &self,
-        e: &Expr,
-        env: &mut Vec<Binding<'db>>,
-    ) -> Result<Option<bool>, ExecError> {
+    fn eval_truth(&self, e: &Expr, env: &mut Vec<Binding<'db>>) -> Result<Option<bool>, ExecError> {
         let v = self.eval(e, env)?;
         match v {
             Value::Null => Ok(None),

@@ -1,19 +1,57 @@
 //! `EXPLAIN`-style plan rendering: a human-readable description of the
-//! access paths and join order the planner chose.
+//! access paths and join order the planner chose, and `EXPLAIN ANALYZE`,
+//! which executes the statement and annotates every plan step with the
+//! actual rows, probes, and wall time measured by the executor.
 
 use crate::ast::{Expr, Select, SelectStmt};
+use crate::exec::Executor;
 use crate::plan::{plan_select, Access, ExecError};
 use crate::render::render_expr;
 use relstore::Database;
 
 /// Render the physical plan for every branch of a statement.
 pub fn explain_stmt(db: &Database, stmt: &SelectStmt) -> Result<String, ExecError> {
+    render_stmt_plan(db, stmt, None)
+}
+
+/// Execute the statement with per-step profiling enabled, then render the
+/// physical plan with actual per-step counters (invocations, rows in/out,
+/// index probes, predicate evaluations, inclusive wall time) alongside the
+/// planner's estimates, followed by a whole-query summary line.
+///
+/// Subquery blocks that never executed (short-circuited away) render with
+/// `actual: never executed`.
+pub fn explain_analyze(db: &Database, stmt: &SelectStmt) -> Result<String, ExecError> {
+    let exec = Executor::new(db);
+    exec.set_profiling(true);
+    let t0 = std::time::Instant::now();
+    let result = exec.run(stmt)?;
+    let elapsed = t0.elapsed();
+    let mut out = render_stmt_plan(db, stmt, Some(&exec))?;
+    let stats = exec.stats();
+    out.push_str(&format!(
+        "actual: {} row(s) in {:.3} ms; rows_scanned={} index_probes={} predicate_evals={} subqueries={}\n",
+        result.rows.len(),
+        elapsed.as_secs_f64() * 1e3,
+        stats.rows_scanned,
+        stats.index_probes,
+        stats.predicate_evals,
+        stats.subqueries,
+    ));
+    Ok(out)
+}
+
+fn render_stmt_plan(
+    db: &Database,
+    stmt: &SelectStmt,
+    exec: Option<&Executor>,
+) -> Result<String, ExecError> {
     let mut out = String::new();
     for (i, branch) in stmt.branches.iter().enumerate() {
         if stmt.branches.len() > 1 {
             out.push_str(&format!("-- branch {} of {}\n", i + 1, stmt.branches.len()));
         }
-        explain_select(db, branch, &[], 0, &mut out)?;
+        explain_select(db, branch, &[], 0, &mut out, exec)?;
     }
     if !stmt.order_by.is_empty() {
         out.push_str("sort: ");
@@ -43,11 +81,21 @@ fn explain_select(
     outer: &[(String, String)],
     depth: usize,
     out: &mut String,
+    exec: Option<&Executor>,
 ) -> Result<(), ExecError> {
-    let plan = plan_select(db, sel, outer)?;
+    // Prefer the plan the executor actually ran: its residual expressions
+    // are the clones whose subquery `Select` addresses key the recorded
+    // step stats. Fall back to fresh planning for blocks that never ran.
+    let plan = match exec.and_then(|e| e.cached_plan(sel)) {
+        Some(p) => p,
+        None => std::rc::Rc::new(plan_select(db, sel, outer)?),
+    };
+    let actuals = exec.map(|e| e.step_stats(sel));
     for (i, step) in plan.steps.iter().enumerate() {
         indent(out, depth);
-        let table = db.require(&step.table).map_err(|e| ExecError(e.to_string()))?;
+        let table = db
+            .require(&step.table)
+            .map_err(|e| ExecError(e.to_string()))?;
         let rows = table.len();
         out.push_str(&format!(
             "{} {} as {} ({} rows) via ",
@@ -98,6 +146,24 @@ fn explain_select(
         if !step.residuals.is_empty() {
             out.push_str(&format!(" + {} filter(s)", step.residuals.len()));
         }
+        if exec.is_some() {
+            out.push_str(&format!(
+                " (est {:.1} fetched, {:.1} out)",
+                step.est_fetched, step.est_rows
+            ));
+            match actuals.as_ref().and_then(|a| a.as_ref()).map(|a| a[i]) {
+                Some(op) => out.push_str(&format!(
+                    " [actual: {} invocation(s), {} in, {} out, {} probes, {} evals, {:.3} ms]",
+                    op.invocations,
+                    op.rows_in,
+                    op.rows_out,
+                    op.index_probes,
+                    op.predicate_evals,
+                    op.elapsed_ns as f64 / 1e6,
+                )),
+                None => out.push_str(" [actual: never executed]"),
+            }
+        }
         out.push('\n');
         // Recurse into subqueries referenced by the residual filters,
         // with this select's aliases visible as their outer context (the
@@ -107,7 +173,7 @@ fn explain_select(
             inner_outer.push((t.alias.clone(), t.table.clone()));
         }
         for r in &step.residuals {
-            explain_subqueries(db, r, &inner_outer, depth + 1, out)?;
+            explain_subqueries(db, r, &inner_outer, depth + 1, out, exec)?;
         }
     }
     let mut inner_outer: Vec<(String, String)> = outer.to_vec();
@@ -117,7 +183,7 @@ fn explain_select(
     for f in &plan.late_filters {
         indent(out, depth);
         out.push_str("late filter\n");
-        explain_subqueries(db, f, &inner_outer, depth + 1, out)?;
+        explain_subqueries(db, f, &inner_outer, depth + 1, out, exec)?;
     }
     Ok(())
 }
@@ -128,28 +194,29 @@ fn explain_subqueries(
     outer: &[(String, String)],
     depth: usize,
     out: &mut String,
+    exec: Option<&Executor>,
 ) -> Result<(), ExecError> {
     match e {
         Expr::Exists(sel) => {
             indent(out, depth);
             out.push_str("exists subquery:\n");
-            explain_select(db, sel, outer, depth + 1, out)
+            explain_select(db, sel, outer, depth + 1, out, exec)
         }
         Expr::ScalarSubquery(sel) => {
             indent(out, depth);
             out.push_str("scalar subquery:\n");
-            explain_select(db, sel, outer, depth + 1, out)
+            explain_select(db, sel, outer, depth + 1, out, exec)
         }
         Expr::And(xs) | Expr::Or(xs) => {
             for x in xs {
-                explain_subqueries(db, x, outer, depth, out)?;
+                explain_subqueries(db, x, outer, depth, out, exec)?;
             }
             Ok(())
         }
-        Expr::Not(x) => explain_subqueries(db, x, outer, depth, out),
+        Expr::Not(x) => explain_subqueries(db, x, outer, depth, out, exec),
         Expr::Cmp { lhs, rhs, .. } => {
-            explain_subqueries(db, lhs, outer, depth, out)?;
-            explain_subqueries(db, rhs, outer, depth, out)
+            explain_subqueries(db, lhs, outer, depth, out, exec)?;
+            explain_subqueries(db, rhs, outer, depth, out, exec)
         }
         _ => Ok(()),
     }
@@ -176,10 +243,9 @@ mod tests {
             }
             t.create_index("t_id", &["id"]).unwrap();
         }
-        let stmt = parse_sql(
-            "select a.id from t a, t b where a.id = 3 and b.id = a.k order by a.id",
-        )
-        .unwrap();
+        let stmt =
+            parse_sql("select a.id from t a, t b where a.id = 3 and b.id = a.k order by a.id")
+                .unwrap();
         let plan = explain_stmt(&db, &stmt).unwrap();
         assert!(plan.contains("index t_id eq(3)"), "{plan}");
         assert!(plan.contains("index t_id eq(a.k)"), "{plan}");
@@ -191,10 +257,9 @@ mod tests {
         let mut db = Database::new();
         db.create_table(TableSchema::new("t", &[("id", ColType::Int)]))
             .unwrap();
-        let stmt = parse_sql(
-            "select t.id from t where exists (select null from t u where u.id = t.id)",
-        )
-        .unwrap();
+        let stmt =
+            parse_sql("select t.id from t where exists (select null from t u where u.id = t.id)")
+                .unwrap();
         let plan = explain_stmt(&db, &stmt).unwrap();
         assert!(plan.contains("exists subquery:"), "{plan}");
     }

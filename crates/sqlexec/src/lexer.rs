@@ -182,12 +182,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     pos = next;
                 } else if b == b'"' {
                     // Quoted identifier.
-                    let end = input[pos + 1..]
-                        .find('"')
-                        .ok_or_else(|| LexError {
-                            pos,
-                            message: "unterminated quoted identifier".into(),
-                        })?;
+                    let end = input[pos + 1..].find('"').ok_or_else(|| LexError {
+                        pos,
+                        message: "unterminated quoted identifier".into(),
+                    })?;
                     out.push(Token::Ident(input[pos + 1..pos + 1 + end].to_string()));
                     pos = pos + end + 2;
                 } else {

@@ -36,8 +36,8 @@ pub mod plan;
 pub mod render;
 
 pub use ast::{ArithOp, CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef};
-pub use exec::{naive_select, compare, ExecStats, Executor, ResultSet};
+pub use exec::{compare, naive_select, ExecStats, Executor, OpStats, ResultSet};
+pub use explain::{explain_analyze, explain_stmt};
 pub use parser::parse_sql;
 pub use plan::{ExecError, SelectPlan};
-pub use explain::explain_stmt;
 pub use render::render_stmt;

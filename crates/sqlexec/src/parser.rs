@@ -12,9 +12,7 @@
 //!            REGEXP_LIKE(expr, 'pat'), BETWEEN, IS [NOT] NULL, NOT, parens
 //! ```
 
-use crate::ast::{
-    ArithOp, CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef,
-};
+use crate::ast::{ArithOp, CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef};
 use crate::lexer::{lex, Token};
 use relstore::Value;
 
@@ -538,8 +536,18 @@ mod tests {
         let stmt = roundtrip("select A.id from A where A.x + 2 * 3 = 7");
         match stmt.branches[0].where_clause.as_ref().expect("where") {
             Expr::Cmp { lhs, .. } => match lhs.as_ref() {
-                Expr::Arith { op: ArithOp::Add, rhs, .. } => {
-                    assert!(matches!(rhs.as_ref(), Expr::Arith { op: ArithOp::Mul, .. }))
+                Expr::Arith {
+                    op: ArithOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(
+                        rhs.as_ref(),
+                        Expr::Arith {
+                            op: ArithOp::Mul,
+                            ..
+                        }
+                    ))
                 }
                 other => panic!("unexpected {other:?}"),
             },

@@ -62,6 +62,12 @@ pub struct Step {
     pub table: String,
     pub access: Access,
     pub residuals: Vec<Expr>,
+    /// Planner's guess at rows the access path fetches per invocation
+    /// (compare with `OpStats::rows_in / invocations`).
+    pub est_fetched: f64,
+    /// Planner's guess at rows surviving the residuals per invocation
+    /// (compare with `OpStats::rows_out / invocations`).
+    pub est_rows: f64,
 }
 
 /// A compiled plan for one `SELECT` block.
@@ -94,7 +100,8 @@ pub fn plan_select(
     outer: &[(String, String)],
 ) -> Result<SelectPlan, ExecError> {
     for tref in &select.from {
-        db.require(&tref.table).map_err(|e| ExecError(e.to_string()))?;
+        db.require(&tref.table)
+            .map_err(|e| ExecError(e.to_string()))?;
     }
     // Duplicate aliases would make column references ambiguous.
     {
@@ -130,7 +137,10 @@ pub fn plan_select(
     for idx in order {
         let tref = &select.from[idx];
         let table = db.table(&tref.table).expect("validated above");
-        let step = build_step(
+        // Estimate before build_step consumes conjuncts from `used`.
+        let (est_fetched, est_rows, _) =
+            estimate_access(table, &tref.alias, &conjuncts, &used, &bound);
+        let mut step = build_step(
             db,
             select,
             outer,
@@ -141,6 +151,8 @@ pub fn plan_select(
             &mut used,
             &bound,
         );
+        step.est_fetched = est_fetched;
+        step.est_rows = est_rows;
         bound.push(tref.alias.clone());
         steps.push(step);
     }
@@ -203,12 +215,7 @@ fn probe_type_class(
                 .iter()
                 .find(|t| &t.alias == q)
                 .map(|t| t.table.as_str())
-                .or_else(|| {
-                    outer
-                        .iter()
-                        .find(|(a, _)| a == q)
-                        .map(|(_, t)| t.as_str())
-                })?;
+                .or_else(|| outer.iter().find(|(a, _)| a == q).map(|(_, t)| t.as_str()))?;
             let table = db.table(table_name)?;
             let ci = table.schema.col(name)?;
             Some(type_class(table.schema.columns[ci].ty))
@@ -232,7 +239,9 @@ fn probe_type_class(
 /// once every table is bound.
 fn has_unqualified(e: &Expr) -> bool {
     match e {
-        Expr::Column { qualifier: None, .. } => true,
+        Expr::Column {
+            qualifier: None, ..
+        } => true,
         Expr::Column { .. } | Expr::Literal(_) | Expr::CountStar => false,
         Expr::Cmp { lhs, rhs, .. } | Expr::Arith { lhs, rhs, .. } => {
             has_unqualified(lhs) || has_unqualified(rhs)
@@ -314,8 +323,7 @@ fn as_between<'e>(e: &'e Expr, alias: &str) -> Option<(&'e str, Expr, Expr)> {
     } = e
     {
         if let Some(col) = col_of(expr, alias) {
-            let foreign =
-                |x: &Expr| !refs(x).iter().any(|a| a == alias);
+            let foreign = |x: &Expr| !refs(x).iter().any(|a| a == alias);
             if foreign(lo) && foreign(hi) {
                 return Some((col, (**lo).clone(), (**hi).clone()));
             }
@@ -342,8 +350,7 @@ fn choose_order(
     let est = |idx: usize, bound: &[String]| -> (f64, f64) {
         let tref = &select.from[idx];
         let table = db.table(&tref.table).expect("validated by caller");
-        let (fetched, card, regexes) =
-            estimate_access(table, &tref.alias, conjuncts, &used, bound);
+        let (fetched, card, regexes) = estimate_access(table, &tref.alias, conjuncts, &used, bound);
         // Regular-expression filters are much costlier per row than
         // comparisons; charge them into the fetch cost so orders that
         // evaluate regexes over fewer rows win.
@@ -354,10 +361,13 @@ fn choose_order(
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut order: Vec<usize> = Vec::with_capacity(n);
         let mut remaining: Vec<usize> = (0..n).collect();
+        /// `(fetched, cardinality)` estimate for placing table `idx`
+        /// after the already-bound aliases.
+        type EstFn<'a> = dyn Fn(usize, &[String]) -> (f64, f64) + 'a;
+        #[allow(clippy::too_many_arguments)]
         fn recurse(
-            est: &dyn Fn(usize, &[String]) -> (f64, f64),
+            est: &EstFn<'_>,
             select: &Select,
-            outer: &[String],
             order: &mut Vec<usize>,
             remaining: &mut Vec<usize>,
             bound: &mut Vec<String>,
@@ -386,17 +396,7 @@ fn choose_order(
                 let product2 = product * card;
                 order.push(idx);
                 bound.push(select.from[idx].alias.clone());
-                recurse(
-                    est,
-                    select,
-                    outer,
-                    order,
-                    remaining,
-                    bound,
-                    product2,
-                    cost2,
-                    best,
-                );
+                recurse(est, select, order, remaining, bound, product2, cost2, best);
                 bound.pop();
                 order.pop();
                 remaining.insert(i, idx);
@@ -407,7 +407,6 @@ fn choose_order(
         recurse(
             &est,
             select,
-            &outer_aliases,
             &mut order,
             &mut remaining,
             &mut bound,
@@ -614,9 +613,7 @@ fn build_step(
         let mut keys = Vec::new();
         let mut consumed = Vec::new();
         for &kc in &ix.key_cols {
-            if let Some((_, ci_conj, probe)) =
-                eq_probes.iter().find(|(c, _, _)| *c == kc)
-            {
+            if let Some((_, ci_conj, probe)) = eq_probes.iter().find(|(c, _, _)| *c == kc) {
                 keys.push(probe.clone());
                 consumed.push(*ci_conj);
             } else {
@@ -625,7 +622,13 @@ fn build_step(
         }
         if keys.len() == ix.key_cols.len() && keys.len() > best_prefix {
             best_prefix = keys.len();
-            access = Some((Access::IndexEq { index: ix_pos, keys }, consumed));
+            access = Some((
+                Access::IndexEq {
+                    index: ix_pos,
+                    keys,
+                },
+                consumed,
+            ));
         }
     }
 
@@ -689,7 +692,14 @@ fn build_step(
                     consumed.push(i);
                     (e, inc)
                 });
-                access = Some((Access::IndexRange { index: ix_pos, lo, hi }, consumed));
+                access = Some((
+                    Access::IndexRange {
+                        index: ix_pos,
+                        lo,
+                        hi,
+                    },
+                    consumed,
+                ));
                 break;
             }
         }
@@ -740,6 +750,9 @@ fn build_step(
         table: table_name.to_string(),
         access,
         residuals,
+        // Filled in by `plan_select` from `estimate_access`.
+        est_fetched: 0.0,
+        est_rows: 0.0,
     }
 }
 
@@ -775,13 +788,18 @@ mod tests {
         .expect("create");
         db.create_table(TableSchema::new(
             "B",
-            &[("id", ColType::Int), ("par_id", ColType::Int), ("v", ColType::Str)],
+            &[
+                ("id", ColType::Int),
+                ("par_id", ColType::Int),
+                ("v", ColType::Str),
+            ],
         ))
         .expect("create");
         {
             let a = db.table_mut("A").expect("A");
             for i in 0..100 {
-                a.insert(vec![Value::Int(i), Value::Int(i % 10)]).expect("row");
+                a.insert(vec![Value::Int(i), Value::Int(i % 10)])
+                    .expect("row");
             }
             a.create_index("a_id", &["id"]).expect("idx");
         }
@@ -818,9 +836,7 @@ mod tests {
 
     #[test]
     fn every_conjunct_lands_exactly_once() {
-        let p = plan(
-            "select B.id from A, B where B.par_id = A.id and A.x = 3 and B.v <> 'v1'",
-        );
+        let p = plan("select B.id from A, B where B.par_id = A.id and A.x = 3 and B.v <> 'v1'");
         let total: usize = p
             .steps
             .iter()
@@ -847,8 +863,7 @@ mod tests {
             .expect("B")
             .create_index("b_id", &["id"])
             .expect("idx");
-        let stmt =
-            parse_sql("select B.id from B where B.id between 10 and 20").expect("parse");
+        let stmt = parse_sql("select B.id from B where B.id between 10 and 20").expect("parse");
         let p = plan_select(&dbx, &stmt.branches[0], &[]).expect("plan");
         assert!(matches!(p.steps[0].access, Access::IndexRange { .. }));
     }
@@ -873,7 +888,12 @@ mod tests {
         // probed by index using A.id even though A is not in this FROM.
         let dbx = db();
         let stmt = parse_sql("select B.id from B where B.par_id = A.id").expect("parse");
-        let p = plan_select(&dbx, &stmt.branches[0], &[("A".to_string(), "A".to_string())]).expect("plan");
+        let p = plan_select(
+            &dbx,
+            &stmt.branches[0],
+            &[("A".to_string(), "A".to_string())],
+        )
+        .expect("plan");
         assert!(matches!(p.steps[0].access, Access::IndexEq { .. }));
     }
 }

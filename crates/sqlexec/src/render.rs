@@ -208,7 +208,10 @@ mod tests {
             where_clause: Some(
                 Expr::eq(Expr::column("B", "path_id"), Expr::column("B_Paths", "id"))
                     .and(Expr::eq(Expr::column("B_Paths", "path"), Expr::str("/A/B")))
-                    .and(Expr::eq(Expr::column("B", "par_id"), Expr::column("A", "id")))
+                    .and(Expr::eq(
+                        Expr::column("B", "par_id"),
+                        Expr::column("A", "id"),
+                    ))
                     .and(Expr::eq(Expr::column("A", "x"), Expr::int(3))),
             ),
         };

@@ -37,7 +37,9 @@ fn sample_db() -> Database {
     .unwrap();
 
     let paths = db.table_mut("Paths").unwrap();
-    paths.insert(vec![Value::Int(1), Value::from("/A")]).unwrap();
+    paths
+        .insert(vec![Value::Int(1), Value::from("/A")])
+        .unwrap();
     paths
         .insert(vec![Value::Int(2), Value::from("/A/B/F")])
         .unwrap();
@@ -78,7 +80,8 @@ fn sample_db() -> Database {
     }
     f.create_index("f_id", &["id"]).unwrap();
     f.create_index("f_par", &["par_id"]).unwrap();
-    f.create_index("f_dewey_path", &["dewey_pos", "path_id"]).unwrap();
+    f.create_index("f_dewey_path", &["dewey_pos", "path_id"])
+        .unwrap();
     db
 }
 

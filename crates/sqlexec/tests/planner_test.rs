@@ -23,11 +23,8 @@ fn ancestor_db() -> Database {
     {
         let a = db.table_mut("anc").unwrap();
         for i in 0..20i64 {
-            a.insert(vec![
-                Value::Int(i),
-                Value::Bytes(vec![0, 0, i as u8 + 1]),
-            ])
-            .unwrap();
+            a.insert(vec![Value::Int(i), Value::Bytes(vec![0, 0, i as u8 + 1])])
+                .unwrap();
         }
         a.create_index("anc_dewey", &["dewey_pos"]).unwrap();
     }
@@ -63,7 +60,14 @@ fn ancestor_join_drives_from_the_small_side() {
     let plan = plan_select(&db, &stmt.branches[0], &[]).unwrap();
     assert_eq!(&*plan.steps[0].alias, "anc", "small side first");
     assert!(
-        matches!(plan.steps[1].access, Access::IndexRange { lo: Some(_), hi: Some(_), .. }),
+        matches!(
+            plan.steps[1].access,
+            Access::IndexRange {
+                lo: Some(_),
+                hi: Some(_),
+                ..
+            }
+        ),
         "descendant side must be probed with a two-sided range: {:?}",
         plan.steps[1].access
     );

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use relstore::Value;
-use sqlexec::ast::{
-    CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef,
-};
+use sqlexec::ast::{CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef};
 use sqlexec::{parse_sql, render_stmt};
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -22,12 +20,10 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_col() -> impl Strategy<Value = Expr> {
-    (prop_oneof![Just("t1"), Just("t2"), Just("F_Paths")], prop_oneof![
-        Just("id"),
-        Just("dewey_pos"),
-        Just("path"),
-        Just("x")
-    ])
+    (
+        prop_oneof![Just("t1"), Just("t2"), Just("F_Paths")],
+        prop_oneof![Just("id"), Just("dewey_pos"), Just("path"), Just("x")],
+    )
         .prop_map(|(q, n)| Expr::column(q, n))
 }
 
@@ -35,10 +31,8 @@ fn arb_scalar() -> impl Strategy<Value = Expr> {
     prop_oneof![
         arb_col(),
         arb_value().prop_map(Expr::Literal),
-        (arb_col(), arb_value()).prop_map(|(c, v)| Expr::Concat(
-            Box::new(c),
-            Box::new(Expr::Literal(v))
-        )),
+        (arb_col(), arb_value())
+            .prop_map(|(c, v)| Expr::Concat(Box::new(c), Box::new(Expr::Literal(v)))),
     ]
 }
 
@@ -60,14 +54,15 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
             lhs: Box::new(l),
             rhs: Box::new(r),
         });
-    let between = (arb_col(), arb_scalar(), arb_scalar(), any::<bool>()).prop_map(
-        |(e, lo, hi, negated)| Expr::Between {
-            expr: Box::new(e),
-            lo: Box::new(lo),
-            hi: Box::new(hi),
-            negated,
-        },
-    );
+    let between =
+        (arb_col(), arb_scalar(), arb_scalar(), any::<bool>()).prop_map(|(e, lo, hi, negated)| {
+            Expr::Between {
+                expr: Box::new(e),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            }
+        });
     let isnull = (arb_col(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
         expr: Box::new(e),
         negated,
@@ -79,14 +74,10 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![cmp, between, isnull, regexp];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(|v| v
-                .into_iter()
-                .reduce(|a, b| a.and(b))
-                .expect("non-empty")),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(|v| v
-                .into_iter()
-                .reduce(|a, b| a.or(b))
-                .expect("non-empty")),
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|v| v.into_iter().reduce(|a, b| a.and(b)).expect("non-empty")),
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|v| v.into_iter().reduce(|a, b| a.or(b)).expect("non-empty")),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.prop_map(|e| {
                 Expr::Exists(Box::new(Select {

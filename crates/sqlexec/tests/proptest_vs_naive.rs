@@ -14,23 +14,27 @@ fn build_db(r_rows: &[(i64, i64, String)], s_rows: &[(i64, i64, Vec<u8>)]) -> Da
     let mut db = Database::new();
     db.create_table(TableSchema::new(
         "R",
-        &[("id", ColType::Int), ("k", ColType::Int), ("s", ColType::Str)],
+        &[
+            ("id", ColType::Int),
+            ("k", ColType::Int),
+            ("s", ColType::Str),
+        ],
     ))
     .unwrap();
     db.create_table(TableSchema::new(
         "S",
-        &[("id", ColType::Int), ("rk", ColType::Int), ("b", ColType::Bytes)],
+        &[
+            ("id", ColType::Int),
+            ("rk", ColType::Int),
+            ("b", ColType::Bytes),
+        ],
     ))
     .unwrap();
     {
         let r = db.table_mut("R").unwrap();
         for (id, k, s) in r_rows {
-            r.insert(vec![
-                Value::Int(*id),
-                Value::Int(*k),
-                Value::Str(s.clone()),
-            ])
-            .unwrap();
+            r.insert(vec![Value::Int(*id), Value::Int(*k), Value::Str(s.clone())])
+                .unwrap();
         }
         r.create_index("r_id", &["id"]).unwrap();
         r.create_index("r_k", &["k"]).unwrap();
@@ -62,12 +66,11 @@ fn arb_predicate() -> impl Strategy<Value = Expr> {
         Just(CmpOp::Lt),
         Just(CmpOp::Ge)
     ];
-    let join = (cmp_op.clone(), r_k.clone(), s_rk.clone())
-        .prop_map(|(op, a, b)| Expr::cmp(op, a, b));
-    let filter_r = (cmp_op.clone(), r_k, lit_int.clone())
-        .prop_map(|(op, a, b)| Expr::cmp(op, a, b));
-    let filter_s = (cmp_op, s_rk, lit_int.clone())
-        .prop_map(|(op, a, b)| Expr::cmp(op, a, b));
+    let join =
+        (cmp_op.clone(), r_k.clone(), s_rk.clone()).prop_map(|(op, a, b)| Expr::cmp(op, a, b));
+    let filter_r =
+        (cmp_op.clone(), r_k, lit_int.clone()).prop_map(|(op, a, b)| Expr::cmp(op, a, b));
+    let filter_s = (cmp_op, s_rk, lit_int.clone()).prop_map(|(op, a, b)| Expr::cmp(op, a, b));
     let between = (0i64..6, 0i64..6).prop_map(|(a, b)| Expr::Between {
         expr: Box::new(Expr::column("s", "rk")),
         lo: Box::new(Expr::int(a.min(b))),

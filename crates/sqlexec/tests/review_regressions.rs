@@ -8,7 +8,11 @@ fn db() -> Database {
     let mut db = Database::new();
     db.create_table(TableSchema::new(
         "t",
-        &[("id", ColType::Int), ("s", ColType::Str), ("b", ColType::Bytes)],
+        &[
+            ("id", ColType::Int),
+            ("s", ColType::Str),
+            ("b", ColType::Bytes),
+        ],
     ))
     .unwrap();
     {
@@ -102,7 +106,10 @@ fn unqualified_columns_resolve_with_the_full_environment() {
         .unwrap();
     d.create_table(TableSchema::new("b", &[("v", ColType::Str)]))
         .unwrap();
-    d.table_mut("a").unwrap().insert(vec![Value::Int(1)]).unwrap();
+    d.table_mut("a")
+        .unwrap()
+        .insert(vec![Value::Int(1)])
+        .unwrap();
     d.table_mut("b")
         .unwrap()
         .insert(vec![Value::from("hit")])
@@ -114,9 +121,7 @@ fn unqualified_columns_resolve_with_the_full_environment() {
     let exec = Executor::new(&d);
     // `v` is unqualified and lives only in `b`; whatever join order the
     // planner picks, the filter must see it.
-    let rs = exec
-        .query("select a.x from a, b where v = 'hit'")
-        .unwrap();
+    let rs = exec.query("select a.x from a, b where v = 'hit'").unwrap();
     assert_eq!(rs.rows.len(), 1);
 }
 

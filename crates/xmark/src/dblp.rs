@@ -54,7 +54,14 @@ pub fn dblp_schema() -> Schema {
 pub const QD1_AUTHOR: &str = "Harold G. Longbotham";
 
 const SURNAMES: &[&str] = &[
-    "Vassalos", "Georgiadis", "Grust", "Teubner", "Boncz", "Keulen", "Naughton", "Kaushik",
+    "Vassalos",
+    "Georgiadis",
+    "Grust",
+    "Teubner",
+    "Boncz",
+    "Keulen",
+    "Naughton",
+    "Kaushik",
 ];
 
 struct Gen {
@@ -114,10 +121,7 @@ impl Gen {
             b.leaf("author", name);
         }
         self.title(b, kind == "article");
-        b.leaf(
-            "year",
-            format!("{}", year_lo + self.rng.gen_range(0..15)),
-        );
+        b.leaf("year", format!("{}", year_lo + self.rng.gen_range(0..15)));
         if self.rng.gen_bool(0.7) {
             b.leaf("pages", format!("{}-{}", key % 100, key % 100 + 12));
         }

@@ -220,7 +220,10 @@ impl Gen {
         }
         let has_phone = self.rng.gen_bool(0.5);
         if has_phone {
-            b.leaf("phone", format!("+30 210 {:07}", self.rng.gen_range(0..9_999_999)));
+            b.leaf(
+                "phone",
+                format!("+30 210 {:07}", self.rng.gen_range(0..9_999_999)),
+            );
         }
         if self.rng.gen_bool(0.75) {
             b.start_element("address");
@@ -240,7 +243,10 @@ impl Gen {
         }
         if self.rng.gen_bool(0.5) {
             b.start_element("profile");
-            b.attribute("income", format!("{:.2}", self.rng.gen_range(9000.0..99000.0)));
+            b.attribute(
+                "income",
+                format!("{:.2}", self.rng.gen_range(9000.0..99000.0)),
+            );
             for _ in 0..self.rng.gen_range(0..3) {
                 b.start_element("interest");
                 b.attribute("category", format!("category{}", self.rng.gen_range(0..20)));
@@ -250,7 +256,14 @@ impl Gen {
                 b.leaf("education", "Graduate School");
             }
             if self.rng.gen_bool(0.5) {
-                b.leaf("gender", if self.rng.gen_bool(0.5) { "male" } else { "female" });
+                b.leaf(
+                    "gender",
+                    if self.rng.gen_bool(0.5) {
+                        "male"
+                    } else {
+                        "female"
+                    },
+                );
             }
             if self.rng.gen_bool(0.6) {
                 b.leaf("age", format!("{}", self.rng.gen_range(18..80)));
@@ -293,19 +306,31 @@ impl Gen {
                 self.date()
             };
             b.leaf("date", d);
-            b.leaf("time", format!("{:02}:{:02}:00", self.rng.gen_range(0..24), i));
+            b.leaf(
+                "time",
+                format!("{:02}:{:02}:00", self.rng.gen_range(0..24), i),
+            );
             b.start_element("personref");
-            b.attribute("person", format!("person{}", self.rng.gen_range(0..n_people.max(1))));
+            b.attribute(
+                "person",
+                format!("person{}", self.rng.gen_range(0..n_people.max(1))),
+            );
             b.end_element();
             b.leaf("increase", format!("{:.2}", self.rng.gen_range(1.0..20.0)));
             b.end_element();
         }
         b.leaf("current", format!("{:.2}", self.rng.gen_range(1.0..300.0)));
         b.start_element("itemref");
-        b.attribute("item", format!("item{}", self.rng.gen_range(0..n_items.max(1))));
+        b.attribute(
+            "item",
+            format!("item{}", self.rng.gen_range(0..n_items.max(1))),
+        );
         b.end_element();
         b.start_element("seller");
-        b.attribute("person", format!("person{}", self.rng.gen_range(0..n_people.max(1))));
+        b.attribute(
+            "person",
+            format!("person{}", self.rng.gen_range(0..n_people.max(1))),
+        );
         b.end_element();
         self.annotation(b, n_people);
         b.leaf("quantity", format!("{}", self.rng.gen_range(1..5)));
@@ -321,7 +346,10 @@ impl Gen {
     fn annotation(&mut self, b: &mut TreeBuilder, n_people: usize) {
         b.start_element("annotation");
         b.start_element("author");
-        b.attribute("person", format!("person{}", self.rng.gen_range(0..n_people.max(1))));
+        b.attribute(
+            "person",
+            format!("person{}", self.rng.gen_range(0..n_people.max(1))),
+        );
         b.end_element();
         b.leaf("happiness", format!("{}", self.rng.gen_range(1..10)));
         self.description(b, true);
@@ -331,13 +359,22 @@ impl Gen {
     fn closed_auction(&mut self, b: &mut TreeBuilder, n_people: usize, n_items: usize) {
         b.start_element("closed_auction");
         b.start_element("seller");
-        b.attribute("person", format!("person{}", self.rng.gen_range(0..n_people.max(1))));
+        b.attribute(
+            "person",
+            format!("person{}", self.rng.gen_range(0..n_people.max(1))),
+        );
         b.end_element();
         b.start_element("buyer");
-        b.attribute("person", format!("person{}", self.rng.gen_range(0..n_people.max(1))));
+        b.attribute(
+            "person",
+            format!("person{}", self.rng.gen_range(0..n_people.max(1))),
+        );
         b.end_element();
         b.start_element("itemref");
-        b.attribute("item", format!("item{}", self.rng.gen_range(0..n_items.max(1))));
+        b.attribute(
+            "item",
+            format!("item{}", self.rng.gen_range(0..n_items.max(1))),
+        );
         b.end_element();
         b.leaf("price", format!("{:.2}", self.rng.gen_range(1.0..500.0)));
         let d = self.date();
@@ -496,7 +533,7 @@ mod tests {
     }
 
     #[test]
-    fn benchmark_queries_parse_and_match(){
+    fn benchmark_queries_parse_and_match() {
         let doc = generate_xmark(XMarkConfig {
             scale: 0.05,
             seed: 1,

@@ -158,8 +158,7 @@ impl Document {
             NodeKind::Text(t) => t.clone(),
             _ => {
                 let mut out = String::new();
-                let mut stack: Vec<NodeId> =
-                    self.children(id).iter().rev().copied().collect();
+                let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
                 while let Some(n) = stack.pop() {
                     match &self.node(n).kind {
                         NodeKind::Text(t) => out.push_str(t),
@@ -306,9 +305,7 @@ impl TreeBuilder {
     pub fn attribute(&mut self, name: impl Into<String>, value: impl Into<String>) {
         let id = self.current();
         match &mut self.nodes[id.index()].kind {
-            NodeKind::Element { attributes, .. } => {
-                attributes.push((name.into(), value.into()))
-            }
+            NodeKind::Element { attributes, .. } => attributes.push((name.into(), value.into())),
             _ => panic!("attribute() outside an open element"),
         }
     }

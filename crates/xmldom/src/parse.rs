@@ -18,7 +18,11 @@ pub struct XmlError {
 
 impl std::fmt::Display for XmlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -121,9 +125,9 @@ impl<'a> Parser<'a> {
                     }
                     let opened = open_names.pop().expect("depth > 0 implies open name");
                     if opened != name {
-                        return Err(self.err(format!(
-                            "closing tag </{name}> does not match <{opened}>"
-                        )));
+                        return Err(
+                            self.err(format!("closing tag </{name}> does not match <{opened}>"))
+                        );
                     }
                     builder.end_element();
                     depth -= 1;
@@ -230,9 +234,8 @@ impl<'a> Parser<'a> {
     fn read_name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if ok {
                 self.pos += 1;
             } else {

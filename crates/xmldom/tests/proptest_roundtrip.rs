@@ -11,7 +11,12 @@ fn arb_doc() -> impl Strategy<Value = Document> {
     let attr_val = "[ -~]{0,8}"; // printable ASCII incl. <>&"'
     let text_val = "[ -~]{1,10}";
     proptest::collection::vec(
-        (0u8..4, name, attr_val.prop_map(String::from), text_val.prop_map(String::from)),
+        (
+            0u8..4,
+            name,
+            attr_val.prop_map(String::from),
+            text_val.prop_map(String::from),
+        ),
         0..40,
     )
     .prop_map(|ops| {

@@ -72,9 +72,7 @@ pub fn parse_schema(input: &str) -> Result<Schema, SchemaError> {
                     None | Some("text") => Some(ValueType::Text),
                     Some("int") => Some(ValueType::Int),
                     Some("float") => Some(ValueType::Float),
-                    Some(other) => {
-                        return Err(err(&format!("unknown text type `{other}`")))
-                    }
+                    Some(other) => return Err(err(&format!("unknown text type `{other}`"))),
                 };
                 if tokens.peek().is_some() {
                     return Err(err("unexpected tokens after text type"));
@@ -84,9 +82,8 @@ pub fn parse_schema(input: &str) -> Result<Schema, SchemaError> {
             let attr = tok
                 .strip_prefix('@')
                 .ok_or_else(|| err(&format!("expected `@attr` or `:`, found `{tok}`")))?;
-            let (aname, ty) = parse_typed(attr).ok_or_else(|| {
-                err(&format!("invalid attribute declaration `@{attr}`"))
-            })?;
+            let (aname, ty) = parse_typed(attr)
+                .ok_or_else(|| err(&format!("invalid attribute declaration `@{attr}`")))?;
             attributes.push(AttrDef {
                 name: aname.to_string(),
                 ty,
@@ -140,7 +137,9 @@ fn parse_typed(s: &str) -> Option<(&str, ValueType)> {
 
 fn is_name(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
         && s.chars()
             .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
 }

@@ -28,7 +28,6 @@ pub fn parse_dtd(input: &str) -> Result<Schema, SchemaError> {
             .find('[')
             .ok_or_else(|| SchemaError("DOCTYPE without internal subset".into()))?;
         let name = rest[..open]
-            .trim()
             .split_whitespace()
             .next()
             .ok_or_else(|| SchemaError("DOCTYPE without a name".into()))?;
@@ -109,9 +108,9 @@ pub fn parse_dtd(input: &str) -> Result<Schema, SchemaError> {
                             .to_string();
                     }
                 }
-                let default = toks.next().ok_or_else(|| {
-                    SchemaError(format!("attribute `{aname}` missing a default"))
-                })?;
+                let default = toks
+                    .next()
+                    .ok_or_else(|| SchemaError(format!("attribute `{aname}` missing a default")))?;
                 if default == "#FIXED" {
                     toks.next(); // fixed value
                 }
@@ -188,19 +187,13 @@ mod tests {
 
     #[test]
     fn bare_declarations_default_root() {
-        let s = parse_dtd(
-            "<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>",
-        )
-        .expect("parse");
+        let s = parse_dtd("<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>").expect("parse");
         assert_eq!(s.root(), "a");
     }
 
     #[test]
     fn any_content_model() {
-        let s = parse_dtd(
-            "<!ELEMENT a ANY>\n<!ELEMENT b (#PCDATA)>",
-        )
-        .expect("parse");
+        let s = parse_dtd("<!ELEMENT a ANY>\n<!ELEMENT b (#PCDATA)>").expect("parse");
         let a = s.def("a").expect("a");
         assert!(a.children.contains(&"a".to_string()));
         assert!(a.children.contains(&"b".to_string()));
@@ -209,10 +202,8 @@ mod tests {
 
     #[test]
     fn recursive_dtd() {
-        let s = parse_dtd(
-            "<!ELEMENT list (item*)>\n<!ELEMENT item (#PCDATA | list)*>",
-        )
-        .expect("parse");
+        let s =
+            parse_dtd("<!ELEMENT list (item*)>\n<!ELEMENT item (#PCDATA | list)*>").expect("parse");
         assert_eq!(s.children_of("item"), &["list"]);
         let marking = crate::Marking::analyze(&s);
         assert_eq!(marking.mark("list"), Some(&crate::PathMark::Infinite));

@@ -180,9 +180,7 @@ impl Schema {
                 }
             }
             if def.text.is_none() && !doc.direct_text(n).trim().is_empty() {
-                return Err(SchemaError(format!(
-                    "text content not allowed in `{name}`"
-                )));
+                return Err(SchemaError(format!("text content not allowed in `{name}`")));
             }
             for c in doc.child_elements(n) {
                 let cname = doc.name(c).expect("element");

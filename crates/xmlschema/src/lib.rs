@@ -25,6 +25,6 @@ pub mod xsd;
 
 pub use dsl::parse_schema;
 pub use dtd::parse_dtd;
-pub use xsd::parse_xsd;
 pub use graph::{figure1_schema, AttrDef, ElemDef, Schema, SchemaBuilder, SchemaError, ValueType};
 pub use marking::{Marking, PathMark};
+pub use xsd::parse_xsd;

@@ -205,10 +205,7 @@ mod tests {
     #[test]
     fn mark_paths_accessor() {
         let m = Marking::analyze(&figure1_schema());
-        assert_eq!(
-            m.mark("B").and_then(|p| p.paths()),
-            Some(vec!["/A/B"])
-        );
+        assert_eq!(m.mark("B").and_then(|p| p.paths()), Some(vec!["/A/B"]));
         assert_eq!(m.mark("G").and_then(|p| p.paths()), None);
     }
 }

@@ -408,16 +408,14 @@ mod tests {
              </book></shelf></library>",
         )
         .expect("xml");
-        s.validate(&doc).expect("document validates against the XSD");
+        s.validate(&doc)
+            .expect("document validates against the XSD");
     }
 
     #[test]
     fn errors() {
         assert!(parse_xsd("<notaschema/>").is_err());
         assert!(parse_xsd("not xml").is_err());
-        assert!(parse_xsd(
-            r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#
-        )
-        .is_err());
+        assert!(parse_xsd(r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>"#).is_err());
     }
 }

@@ -108,9 +108,7 @@ fn eval_path(
         // predicate-free descendant/ancestor step over an all-element
         // context is answered with one pruned scan instead of per-node
         // traversals + dedup.
-        if step.predicates.is_empty()
-            && current.iter().all(|i| matches!(i, Item::Node(_)))
-        {
+        if step.predicates.is_empty() && current.iter().all(|i| matches!(i, Item::Node(_))) {
             let nodes: Vec<NodeId> = current
                 .iter()
                 .map(|i| match i {
@@ -147,8 +145,7 @@ fn eval_path(
                 let size = selected.len();
                 let mut filtered = Vec::with_capacity(size);
                 for (i, &cand) in selected.iter().enumerate() {
-                    let truth =
-                        predicate_truth(doc, pred, cand, i + 1, size)?;
+                    let truth = predicate_truth(doc, pred, cand, i + 1, size)?;
                     if truth {
                         filtered.push(cand);
                     }
@@ -221,7 +218,10 @@ fn axis_items(doc: &Document, item: Item, step: &Step) -> Result<Vec<Item>, Eval
         Axis::FollowingSibling => match doc.parent(node) {
             Some(p) => {
                 let sibs = doc.children(p);
-                let pos = sibs.iter().position(|&s| s == node).expect("child of parent");
+                let pos = sibs
+                    .iter()
+                    .position(|&s| s == node)
+                    .expect("child of parent");
                 filter_test(doc, sibs[pos + 1..].to_vec(), &step.test)
             }
             None => Vec::new(),
@@ -229,7 +229,10 @@ fn axis_items(doc: &Document, item: Item, step: &Step) -> Result<Vec<Item>, Eval
         Axis::PrecedingSibling => match doc.parent(node) {
             Some(p) => {
                 let sibs = doc.children(p);
-                let pos = sibs.iter().position(|&s| s == node).expect("child of parent");
+                let pos = sibs
+                    .iter()
+                    .position(|&s| s == node)
+                    .expect("child of parent");
                 let mut v: Vec<NodeId> = sibs[..pos].to_vec();
                 v.reverse(); // axis order: nearest sibling first
                 filter_test(doc, v, &step.test)

@@ -197,8 +197,7 @@ fn lex(input: &str) -> Result<Vec<Tok>, XPathError> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
                         i += 1;
@@ -527,8 +526,7 @@ impl Parser {
     fn starts_step(&self) -> bool {
         matches!(
             self.peek(),
-            Some(Tok::Name(_)) | Some(Tok::Star) | Some(Tok::At) | Some(Tok::Dot)
-                | Some(Tok::DDot)
+            Some(Tok::Name(_)) | Some(Tok::Star) | Some(Tok::At) | Some(Tok::Dot) | Some(Tok::DDot)
         )
     }
 
@@ -548,8 +546,8 @@ impl Parser {
                 Step::new(Axis::Attribute, test)
             }
             Some(Tok::Name(n)) if self.peek2() == Some(&Tok::DColon) => {
-                let axis = Axis::from_name(&n)
-                    .ok_or_else(|| self.err(format!("unknown axis `{n}`")))?;
+                let axis =
+                    Axis::from_name(&n).ok_or_else(|| self.err(format!("unknown axis `{n}`")))?;
                 self.pos += 2;
                 let test = self.node_test()?;
                 Step::new(axis, test)
@@ -651,7 +649,11 @@ mod tests {
         let p = path("//item[@featured='yes']");
         let pred = &p.steps[1].predicates[0];
         match pred {
-            Expr::Compare { op: CompOp::Eq, lhs, rhs } => {
+            Expr::Compare {
+                op: CompOp::Eq,
+                lhs,
+                rhs,
+            } => {
                 match lhs.as_ref() {
                     Expr::Path(ap) => {
                         assert_eq!(ap.steps[0].axis, Axis::Attribute);

@@ -128,16 +128,11 @@ mod tests {
     use super::*;
 
     fn doc() -> Document {
-        xmldom::parse(
-            "<r><a><b><c/><a><c/></a></b></a><a><c/></a><d><c/></d></r>",
-        )
-        .expect("xml")
+        xmldom::parse("<r><a><b><c/><a><c/></a></b></a><a><c/></a><d><c/></d></r>").expect("xml")
     }
 
     fn all_named(d: &Document, name: &str) -> Vec<NodeId> {
-        d.all_nodes()
-            .filter(|&n| d.name(n) == Some(name))
-            .collect()
+        d.all_nodes().filter(|&n| d.name(n) == Some(name)).collect()
     }
 
     #[test]

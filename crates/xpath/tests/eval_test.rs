@@ -59,7 +59,9 @@ fn paper_intro_example() {
     let doc = figure1();
     let hits = run(&doc, "/A/*[C//F=2]");
     assert_eq!(hits.len(), 1);
-    let Item::Node(b) = hits[0] else { panic!("element expected") };
+    let Item::Node(b) = hits[0] else {
+        panic!("element expected")
+    };
     assert_eq!(doc.dewey(b), vec![1, 1]);
 }
 
@@ -121,7 +123,9 @@ fn predicates_with_backward_paths() {
     .expect("xml");
     let hits = run(&doc, "//i[parent::*/parent::sub/ancestor::article]");
     assert_eq!(hits.len(), 1);
-    let Item::Node(n) = hits[0] else { panic!("node") };
+    let Item::Node(n) = hits[0] else {
+        panic!("node")
+    };
     assert_eq!(doc.string_value(n), "x");
 }
 
@@ -190,7 +194,10 @@ fn join_predicate_between_paths() {
          </open_auctions></site>",
     )
     .expect("xml");
-    let hits = run(&doc, "/site/open_auctions/open_auction[bidder/date = interval/start]");
+    let hits = run(
+        &doc,
+        "/site/open_auctions/open_auction[bidder/date = interval/start]",
+    );
     assert_eq!(hits.len(), 1);
 }
 

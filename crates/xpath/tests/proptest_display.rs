@@ -41,13 +41,12 @@ fn arb_leaf_path() -> impl Strategy<Value = Expr> {
 
 fn arb_predicate() -> impl Strategy<Value = Expr> {
     let leaf_path = arb_leaf_path();
-    let cmp = (arb_leaf_path(), prop_oneof![Just("v"), Just("42")]).prop_map(|(p, lit)| {
-        Expr::Compare {
+    let cmp =
+        (arb_leaf_path(), prop_oneof![Just("v"), Just("42")]).prop_map(|(p, lit)| Expr::Compare {
             op: xpath::CompOp::Eq,
             lhs: Box::new(p),
             rhs: Box::new(Expr::Literal(lit.to_string())),
-        }
-    });
+        });
     let leaf = prop_oneof![leaf_path, cmp];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
@@ -60,7 +59,11 @@ fn arb_predicate() -> impl Strategy<Value = Expr> {
 
 fn arb_path() -> impl Strategy<Value = Expr> {
     proptest::collection::vec(
-        (arb_axis(), arb_test(), proptest::option::of(arb_predicate())),
+        (
+            arb_axis(),
+            arb_test(),
+            proptest::option::of(arb_predicate()),
+        ),
         1..5,
     )
     .prop_map(|steps| {

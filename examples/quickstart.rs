@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let result = db.query(query)?;
         println!("XPath : {query}");
-        println!("SQL   : {}", result.sql.as_deref().unwrap_or("(statically empty)"));
+        println!(
+            "SQL   : {}",
+            result.sql.as_deref().unwrap_or("(statically empty)")
+        );
         println!(
             "rows  : {} (scanned {} rows, {} index probes)\n",
             result.rows.rows.len(),

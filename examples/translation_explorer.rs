@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("XPath: {q}\n");
         match ppf.sql_for(q)? {
             Some(sql) => {
-                println!("--- PPF, schema-aware, §4.5 marking ON ({} relations joined)", joins(&sql));
+                println!(
+                    "--- PPF, schema-aware, §4.5 marking ON ({} relations joined)",
+                    joins(&sql)
+                );
                 println!("{sql}\n");
             }
             None => println!("--- PPF: statically EMPTY against the schema\n"),
@@ -67,12 +70,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{sql}\n");
         }
         if let Some(sql) = edge.sql_for(q)? {
-            println!("--- PPF over the Edge mapping ({} relations joined)", joins(&sql));
+            println!(
+                "--- PPF over the Edge mapping ({} relations joined)",
+                joins(&sql)
+            );
             println!("{sql}\n");
         }
         match accel.sql_for(q) {
             Ok(sql) => {
-                println!("--- XPath Accelerator, one join per step ({} relations joined)", joins(&sql));
+                println!(
+                    "--- XPath Accelerator, one join per step ({} relations joined)",
+                    joins(&sql)
+                );
                 println!("{sql}\n");
             }
             Err(e) => println!("--- XPath Accelerator: {e}\n"),

@@ -13,19 +13,34 @@
 //! > //book[author='Codd']
 //! > .sql //book            show the generated SQL
 //! > .explain //book        show the physical plan
+//! > .analyze //book        execute and show the plan with actual rows/probes/time
+//! > .stats                 show the process-wide metrics registry
+//! > .trace on|off          print each query's phase trace
 //! > .publish 42            reconstruct element 42 as XML
 //! > .tables                list relations and row counts
 //! > .marking               show the §4.5 U-P/F-P/I-P marks
 //! > .help  .quit
 //! ```
+//!
+//! `--trace-json FILE` appends one JSON-lines trace record per query.
 
 use std::io::{BufRead, Write};
 
+use obs::TraceSink;
 use ppf_core::{publish_element, EdgeDb, XmlDb};
 
 enum Backend {
     Schema(Box<XmlDb>),
     Edge(Box<EdgeDb>),
+}
+
+/// REPL state: the database plus the observability switches.
+struct Session {
+    backend: Backend,
+    /// `.trace on` — print each query's span tree after the rows.
+    show_trace: bool,
+    /// `--trace-json FILE` — one JSON record per query.
+    trace_sink: Option<obs::JsonLinesSink<std::fs::File>>,
 }
 
 fn main() {
@@ -40,9 +55,16 @@ fn run() -> Result<(), String> {
     let mut schema: Option<xmlschema::Schema> = None;
     let mut edge = false;
     let mut docs: Vec<String> = Vec::new();
+    let mut trace_json: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trace-json" => {
+                trace_json = Some(
+                    args.next()
+                        .ok_or_else(|| format!("{arg} requires a file path"))?,
+                );
+            }
             "--schema" | "--dtd" | "--xsd" => {
                 let path = args
                     .next()
@@ -59,7 +81,7 @@ fn run() -> Result<(), String> {
             }
             "--edge" => edge = true,
             "--help" | "-h" => {
-                println!("usage: ppfx [--schema FILE | --dtd FILE | --xsd FILE | --edge] doc.xml...");
+                println!("usage: ppfx [--schema FILE | --dtd FILE | --xsd FILE | --edge] [--trace-json FILE] doc.xml...");
                 return Ok(());
             }
             other => docs.push(other.to_string()),
@@ -68,20 +90,16 @@ fn run() -> Result<(), String> {
 
     let mut backend = match (edge, schema) {
         (true, _) => Backend::Edge(Box::new(EdgeDb::new())),
-        (false, Some(s)) => {
-            Backend::Schema(Box::new(XmlDb::new(&s).map_err(|e| e.to_string())?))
-        }
+        (false, Some(s)) => Backend::Schema(Box::new(XmlDb::new(&s).map_err(|e| e.to_string())?)),
         (false, None) => {
             return Err(
-                "provide --schema/--dtd/--xsd (schema-aware) or --edge (oblivious)"
-                    .to_string(),
+                "provide --schema/--dtd/--xsd (schema-aware) or --edge (oblivious)".to_string(),
             )
         }
     };
 
     for path in &docs {
-        let xml = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let loaded = match &mut backend {
             Backend::Schema(db) => db.load_xml(&xml).map_err(|e| e.to_string())?,
             Backend::Edge(db) => db.load_xml(&xml).map_err(|e| e.to_string())?,
@@ -102,30 +120,54 @@ fn run() -> Result<(), String> {
         db_ref.total_rows()
     );
 
+    let trace_sink = match trace_json {
+        None => None,
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            eprintln!("writing query traces to {path}");
+            Some(obs::JsonLinesSink::new(file))
+        }
+    };
+    let mut session = Session {
+        backend,
+        show_trace: false,
+        trace_sink,
+    };
+
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
         print!("> ");
         out.flush().ok();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
             break;
         }
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        match handle(&backend, line) {
+        match handle(&mut session, line) {
             Ok(true) => break,
             Ok(false) => {}
             Err(e) => eprintln!("error: {e}"),
         }
     }
+    if let Some(sink) = &mut session.trace_sink {
+        sink.flush();
+    }
     Ok(())
 }
 
 /// Process one REPL line. Returns Ok(true) to quit.
-fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
+fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
+    let backend = &session.backend;
     if line == ".quit" || line == ".exit" {
         return Ok(true);
     }
@@ -133,11 +175,52 @@ fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
         println!(
             ".sql XPATH      show the generated SQL\n\
              .explain XPATH  show the physical plan\n\
+             .analyze XPATH  execute; show the plan with actual rows/probes/time\n\
+             .stats          show the process-wide metrics registry\n\
+             .trace on|off   print each query's phase trace (currently {})\n\
              .publish ID     reconstruct element ID as XML (schema-aware only)\n\
              .tables         list relations and row counts\n\
              .marking        show the §4.5 marks (schema-aware only)\n\
-             .quit           exit"
+             .quit           exit",
+            if session.show_trace { "on" } else { "off" }
         );
+        return Ok(false);
+    }
+    if line == ".stats" {
+        let snap = obs::Registry::global().snapshot();
+        if snap.counters.is_empty() && snap.histograms.is_empty() {
+            println!("(no metrics recorded yet)");
+        } else {
+            print!("{}", snap.render());
+        }
+        return Ok(false);
+    }
+    if let Some(arg) = line.strip_prefix(".trace") {
+        match arg.trim() {
+            "on" => {
+                session.show_trace = true;
+                println!("trace on");
+            }
+            "off" => {
+                session.show_trace = false;
+                println!("trace off");
+            }
+            _ => return Err("usage: .trace on|off".to_string()),
+        }
+        return Ok(false);
+    }
+    if let Some(q) = line.strip_prefix(".analyze ") {
+        let (db, t) = match backend {
+            Backend::Schema(db) => (db.db(), db.translate(q.trim()).map_err(|e| e.to_string())?),
+            Backend::Edge(db) => (db.db(), db.translate(q.trim()).map_err(|e| e.to_string())?),
+        };
+        match t.stmt {
+            None => println!("(statically empty)"),
+            Some(stmt) => print!(
+                "{}",
+                sqlexec::explain_analyze(db, &stmt).map_err(|e| e.to_string())?
+            ),
+        }
         return Ok(false);
     }
     if line == ".tables" {
@@ -171,7 +254,10 @@ fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
             .map_err(|_| "usage: .publish <element id>".to_string())?;
         match backend {
             Backend::Schema(db) => {
-                println!("{}", publish_element(db.store(), id).map_err(|e| e.to_string())?)
+                println!(
+                    "{}",
+                    publish_element(db.store(), id).map_err(|e| e.to_string())?
+                )
             }
             Backend::Edge(_) => println!("(publishing needs the schema-aware mapping)"),
         }
@@ -182,7 +268,10 @@ fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
             Backend::Schema(db) => db.sql_for(q.trim()).map_err(|e| e.to_string())?,
             Backend::Edge(db) => db.sql_for(q.trim()).map_err(|e| e.to_string())?,
         };
-        println!("{}", sql.unwrap_or_else(|| "(statically empty)".to_string()));
+        println!(
+            "{}",
+            sql.unwrap_or_else(|| "(statically empty)".to_string())
+        );
         return Ok(false);
     }
     if let Some(q) = line.strip_prefix(".explain ") {
@@ -205,11 +294,15 @@ fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
 
     // A bare XPath query.
     let t0 = std::time::Instant::now();
-    let result = match backend {
-        Backend::Schema(db) => db.query(line).map_err(|e| e.to_string())?,
-        Backend::Edge(db) => db.query(line).map_err(|e| e.to_string())?,
+    let (result, trace) = match backend {
+        Backend::Schema(db) => db.query_traced(line).map_err(|e| e.to_string())?,
+        Backend::Edge(db) => db.query_traced(line).map_err(|e| e.to_string())?,
     };
     let elapsed = t0.elapsed();
+    if let Some(sink) = &mut session.trace_sink {
+        sink.emit(&trace);
+        sink.flush();
+    }
     for row in result.rows.rows.iter().take(20) {
         let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("{}", cells.join(" | "));
@@ -218,11 +311,16 @@ fn handle(backend: &Backend, line: &str) -> Result<bool, String> {
         println!("... ({} more rows)", result.rows.rows.len() - 20);
     }
     println!(
-        "{} row(s) in {:.2}ms ({} rows scanned, {} index probes)",
+        "{} row(s) in {:.2}ms ({} rows scanned, {} index probes, {} path filters, {} regex matches)",
         result.rows.rows.len(),
         elapsed.as_secs_f64() * 1e3,
         result.stats.rows_scanned,
         result.stats.index_probes,
+        result.engine.path_filters,
+        result.engine.vm_match_calls,
     );
+    if session.show_trace {
+        print!("{}", trace.render());
+    }
     Ok(false)
 }

@@ -1,1 +1,3 @@
-pub use ppf_core; pub use xpath; pub use shred;
+pub use ppf_core;
+pub use shred;
+pub use xpath;

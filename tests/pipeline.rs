@@ -13,13 +13,12 @@ fn xmark_pipeline_all_systems_agree() {
         .validate(&data.doc)
         .expect("generated document validates");
     for (name, q) in xmark_queries() {
-        let expected = check_agreement(&data, q)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expected = check_agreement(&data, q).unwrap_or_else(|e| panic!("{name}: {e}"));
         // The accelerator reports owner elements for trailing text()
         // steps (Q21), so compare it only on element queries.
         if name != "Q21" {
-            let accel = run_query(&data, System::Accel, q)
-                .unwrap_or_else(|e| panic!("{name} accel: {e}"));
+            let accel =
+                run_query(&data, System::Accel, q).unwrap_or_else(|e| panic!("{name} accel: {e}"));
             assert_eq!(accel, expected, "{name}: accelerator disagrees");
         }
     }
@@ -32,10 +31,9 @@ fn dblp_pipeline_all_systems_agree() {
         .validate(&data.doc)
         .expect("generated document validates");
     for (name, q) in dblp_queries() {
-        let expected =
-            check_agreement(&data, q).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let accel = run_query(&data, System::Accel, q)
-            .unwrap_or_else(|e| panic!("{name} accel: {e}"));
+        let expected = check_agreement(&data, q).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let accel =
+            run_query(&data, System::Accel, q).unwrap_or_else(|e| panic!("{name} accel: {e}"));
         assert_eq!(accel, expected, "{name}: accelerator disagrees");
     }
 }

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of criterion's API the workspace benches
+//! use (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) on top of a plain wall-clock harness: calibrate,
+//! collect samples, report min/median/mean per iteration.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — per-benchmark measurement budget
+//!   (default 150 ms).
+//! * `CRITERION_SAMPLES` — overrides the sample count (default 10, or
+//!   whatever `sample_size()` set).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark timing state handed to the `|b| b.iter(...)` closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back invocations of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Identifier for one parameterized benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+fn measure_ms() -> u64 {
+    std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150)
+}
+
+fn sample_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// Run one benchmark: calibrate the per-iteration cost, split the
+/// measurement budget into samples, and print a one-line summary.
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut routine: F) {
+    let samples = sample_override().unwrap_or(samples).max(2);
+    // Calibration run (also serves as warm-up).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let per_iter_ns = (b.elapsed.as_nanos() as u64).max(1);
+    let budget_ns = measure_ms() * 1_000_000;
+    let iters = ((budget_ns / samples as u64) / per_iter_ns).clamp(1, 1_000_000);
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "bench: {name:<50} median {:>12} min {:>12} mean {:>12} ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        samples,
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_one(name, 10, routine);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size interval for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+pub trait IntoSizeRange {
+    fn into_size_range(self) -> SizeRange;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> SizeRange {
+        SizeRange {
+            lo: self,
+            hi_inclusive: self,
+        }
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn into_size_range(self) -> SizeRange {
+        assert!(self.start < self.end, "empty vec size range");
+        SizeRange {
+            lo: self.start,
+            hi_inclusive: self.end - 1,
+        }
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn into_size_range(self) -> SizeRange {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        SizeRange {
+            lo: *self.start(),
+            hi_inclusive: *self.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.hi_inclusive - self.size.lo + 1;
+        let len = self.size.lo + rng.below(span);
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into_size_range(),
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest's API its property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//!   `prop_recursive` / `boxed`, plus range, tuple, `&str`-pattern and
+//!   [`strategy::Just`] strategies and [`any`].
+//! * [`collection::vec`] and [`option::of`].
+//! * The `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//!   and `prop_assume!` macros.
+//!
+//! Differences from the real crate: generation is seeded deterministically
+//! per test (override with `PROPTEST_SEED`), there is **no shrinking** —
+//! a failing case reports the assertion message (which includes the
+//! offending values) and stops — and `.proptest-regressions` files are
+//! ignored.
+
+pub mod collection;
+pub mod option;
+pub mod pattern;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+ $(,)?) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20 + (rng.next_u64() % 0x5F) as u8) as char
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( ($weight, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} at {}:{}: {}",
+                    stringify!($cond),
+                    file!(),
+                    line!(),
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}` at {}:{}\n  left: {:?}\n right: {:?}",
+                    stringify!($lhs), stringify!($rhs), file!(), line!(), lhs, rhs
+                ),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}` at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($lhs), stringify!($rhs), file!(), line!(),
+                    format!($($fmt)*), lhs, rhs
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config $cfg; $($rest)* }
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases($cfg, stringify!($name), |rng| {
+                    $( let $pat = $crate::strategy::Strategy::gen_value(&($strat), rng); )+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}

@@ -1,0 +1,25 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        // Same bias as real proptest's default: Some three times in four.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}
+
+/// `proptest::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

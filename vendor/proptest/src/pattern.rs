@@ -1,0 +1,195 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supports the pattern subset the workspace tests use: literal
+//! characters, `\`-escapes, character classes (`[a-z' ]`, with ranges and
+//! escapes), and the quantifiers `{m,n}`, `{m,}`, `{m}`, `*`, `+`, `?`.
+//! `^` and `$` outside a class are ignored (anchors constrain matching,
+//! not generation). Unsupported constructs fall back to literal
+//! characters, which keeps bad patterns loud in the tests that consume
+//! them rather than silently empty.
+
+use crate::test_runner::TestRng;
+
+/// Cap for open-ended quantifiers (`*`, `+`, `{m,}`).
+const UNBOUNDED_CAP: u32 = 8;
+
+struct Atom {
+    /// The characters this atom can produce (singleton for a literal).
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        i += 1;
+        let choices = match c {
+            '^' | '$' => continue, // anchors: no output
+            '\\' if i < chars.len() => {
+                let e = chars[i];
+                i += 1;
+                vec![e]
+            }
+            '[' => {
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let item = chars[i];
+                    i += 1;
+                    if item == '\\' && i < chars.len() {
+                        set.push(chars[i]);
+                        i += 1;
+                    } else if i < chars.len()
+                        && chars[i] == '-'
+                        && i + 1 < chars.len()
+                        && chars[i + 1] != ']'
+                    {
+                        let hi = chars[i + 1];
+                        i += 2;
+                        for v in item as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                    } else {
+                        set.push(item);
+                    }
+                }
+                i += 1; // consume ']'
+                if set.is_empty() {
+                    continue;
+                }
+                set
+            }
+            other => vec![other],
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    i += 1;
+                    (0, UNBOUNDED_CAP)
+                }
+                '+' => {
+                    i += 1;
+                    (1, UNBOUNDED_CAP)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}');
+                    match close {
+                        Some(off) => {
+                            let body: String = chars[i + 1..i + off].iter().collect();
+                            i += off + 1;
+                            parse_bounds(&body)
+                        }
+                        None => (1, 1),
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_bounds(body: &str) -> (u32, u32) {
+    match body.split_once(',') {
+        None => {
+            let n = body.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+        Some((lo, hi)) => {
+            let lo: u32 = lo.trim().parse().unwrap_or(0);
+            let hi: u32 = match hi.trim() {
+                "" => lo + UNBOUNDED_CAP,
+                s => s.parse().unwrap_or(lo),
+            };
+            (lo, hi.max(lo))
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = atom.min + rng.below((atom.max - atom.min + 1) as usize) as u32;
+        for _ in 0..n {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn class_with_repeat() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ab]{0,2}", &mut r);
+            assert!(s.len() <= 2, "{s}");
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'), "{s}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_literals() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-c]x", &mut r);
+            assert_eq!(s.len(), 2);
+            assert!(('a'..='c').contains(&s.chars().next().expect("len 2")));
+            assert!(s.ends_with('x'));
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        let mut r = rng();
+        let allowed: Vec<char> = "az.*+?()[]{}|^$\\".chars().collect();
+        for _ in 0..200 {
+            let s = generate("[a-z.*+?()\\[\\]{}|^$\\\\]{0,10}", &mut r);
+            assert!(s.len() <= 10);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || allowed.contains(&c),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{1,10}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 10);
+            assert!(s.bytes().all(|b| (0x20..=0x7E).contains(&b)), "{s}");
+        }
+    }
+
+    #[test]
+    fn anchors_are_silent() {
+        let mut r = rng();
+        assert_eq!(generate("^$", &mut r), "");
+        assert_eq!(generate("^ab$", &mut r), "ab");
+    }
+}
