@@ -112,5 +112,54 @@ fn obs_micro(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, dewey_micro, regex_micro, obs_micro);
+/// Index probes must not allocate once the executor's key scratch and
+/// row-buffer pool are warm: `ExecStats::probe_allocs` counts every
+/// acquisition that had to fall back to the heap, and a warmed-up
+/// executor must keep it flat across thousands of probes.
+fn index_probe_micro(c: &mut Criterion) {
+    use relstore::{ColType, Database, TableSchema, Value};
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "t",
+        &[("id", ColType::Int), ("v", ColType::Int)],
+    ))
+    .expect("table");
+    {
+        let t = db.table_mut("t").expect("t");
+        for i in 0..10_000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i * 7)])
+                .expect("row");
+        }
+        t.create_index("t_id", &["id"]).expect("index");
+    }
+    let exec = sqlexec::Executor::new(&db);
+    let stmt = sqlexec::parse_sql("select t.v from t where t.id = 4321").expect("sql");
+    exec.run(&stmt).expect("warmup");
+    let warm_allocs = exec.stats().probe_allocs;
+    for _ in 0..1024 {
+        exec.run(&stmt).expect("probe");
+    }
+    assert_eq!(
+        exec.stats().probe_allocs,
+        warm_allocs,
+        "warm index probes must not allocate"
+    );
+    c.bench_function("index_eq_probe", |b| {
+        b.iter(|| exec.run(&stmt).expect("probe").rows.len())
+    });
+
+    let range =
+        sqlexec::parse_sql("select t.v from t where t.id between 4000 and 4100").expect("sql");
+    c.bench_function("index_range_probe_100", |b| {
+        b.iter(|| exec.run(&range).expect("range").rows.len())
+    });
+}
+
+criterion_group!(
+    benches,
+    dewey_micro,
+    regex_micro,
+    obs_micro,
+    index_probe_micro
+);
 criterion_main!(benches);

@@ -6,8 +6,12 @@
 //! patterns such as `^/A/B(/[^/]+)*/F$` and the SQL executor evaluates them
 //! against root-to-node path strings.
 //!
-//! Matching is implemented with a Pike VM over a Thompson NFA, so the
-//! worst case is `O(pattern × input)` — no catastrophic backtracking.
+//! Matching runs on a lazy DFA determinized on demand from a Thompson
+//! NFA — `O(bytes)` per match once the touched states are built — with a
+//! transparent fallback to a Pike VM (worst case `O(pattern × input)`,
+//! no catastrophic backtracking) when a pathological pattern exhausts the
+//! DFA state budget. [`set_dfa_enabled`] disables the DFA globally for
+//! baseline measurement.
 //!
 //! # Example
 //! ```
@@ -18,11 +22,28 @@
 //! ```
 
 pub mod ast;
+pub mod dfa;
 pub mod nfa;
 pub mod parser;
 pub mod stats;
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+/// Process-wide DFA kill switch, for measuring the Pike-VM baseline.
+static DFA_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable lazy-DFA execution process-wide. Disabled, every
+/// match runs on the Pike VM (the pre-DFA behaviour). Intended for
+/// benchmarks and tests; defaults to enabled.
+pub fn set_dfa_enabled(enabled: bool) {
+    DFA_ENABLED.store(enabled, Relaxed);
+}
+
+/// Whether lazy-DFA execution is currently enabled.
+pub fn dfa_enabled() -> bool {
+    DFA_ENABLED.load(Relaxed)
+}
 
 pub use ast::Ast;
 pub use parser::ParseError;
@@ -56,21 +77,32 @@ impl std::error::Error for Error {}
 pub struct Regex {
     pattern: String,
     program: nfa::Program,
-    // Pooled Pike-VM thread lists. RefCell keeps the public API `&self`
-    // like mainstream regex engines; the SQL executor runs one query per
-    // thread, so no Sync requirement.
+    // Pooled Pike-VM thread lists and memoized DFA states. RefCell keeps
+    // the public API `&self` like mainstream regex engines; the SQL
+    // executor runs one query per thread, so no Sync requirement.
     vm: RefCell<nfa::Vm>,
+    dfa: RefCell<dfa::LazyDfa>,
 }
 
 impl Regex {
     /// Compile a POSIX ERE pattern.
     pub fn new(pattern: &str) -> Result<Regex, Error> {
+        Regex::with_dfa_budget(pattern, dfa::DEFAULT_STATE_BUDGET)
+    }
+
+    /// Compile with an explicit lazy-DFA state budget. Matches that would
+    /// determinize past `budget` states fall back to the Pike VM; tests
+    /// use tiny budgets to exercise that path.
+    pub fn with_dfa_budget(pattern: &str, budget: usize) -> Result<Regex, Error> {
         let ast = parser::parse(pattern).map_err(Error::Parse)?;
         let program = nfa::compile(&ast).map_err(Error::Compile)?;
+        stats::record_compile();
+        let dfa = dfa::LazyDfa::with_budget(&program, budget);
         Ok(Regex {
             pattern: pattern.to_string(),
             program,
             vm: RefCell::new(nfa::Vm::new()),
+            dfa: RefCell::new(dfa),
         })
     }
 
@@ -87,6 +119,15 @@ impl Regex {
     /// Byte-level matching (root-to-node paths are ASCII, but any UTF-8
     /// passes through since class matching is per byte).
     pub fn is_match_bytes(&self, input: &[u8]) -> bool {
+        if dfa_enabled() {
+            match self.dfa.borrow_mut().try_match(&self.program, input) {
+                Some(matched) => {
+                    stats::record_dfa_match();
+                    return matched;
+                }
+                None => stats::record_dfa_fallback(),
+            }
+        }
         self.vm.borrow_mut().is_match(&self.program, input)
     }
 }
@@ -97,6 +138,10 @@ impl Clone for Regex {
             pattern: self.pattern.clone(),
             program: self.program.clone(),
             vm: RefCell::new(nfa::Vm::new()),
+            dfa: RefCell::new(dfa::LazyDfa::with_budget(
+                &self.program,
+                self.dfa.borrow().budget(),
+            )),
         }
     }
 }
@@ -160,8 +205,24 @@ mod tests {
         assert!(!re.is_match("/a/x"));
         let d = stats::snapshot().since(&before);
         assert!(d.match_calls >= 2, "{d:?}");
+        assert!(d.compiles >= 1, "{d:?}");
+        // Work lands on whichever engine answered: DFA transitions when
+        // the lazy DFA is on, Pike-VM steps otherwise.
+        assert!(
+            d.vm_steps + d.dfa_trans_hits + d.dfa_trans_misses > 0,
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn dfa_fallback_still_answers_correctly() {
+        let re = Regex::with_dfa_budget("^/a(/[^/]+)*/b$", 1).unwrap();
+        let before = stats::snapshot();
+        assert!(re.is_match("/a/x/b"));
+        assert!(!re.is_match("/a/x"));
+        let d = stats::snapshot().since(&before);
+        assert!(d.dfa_fallbacks >= 2, "{d:?}");
         assert!(d.vm_steps > 0, "{d:?}");
-        assert!(d.max_threads >= 1, "{d:?}");
     }
 
     #[test]

@@ -1,36 +1,92 @@
-//! Always-on Pike-VM execution counters.
+//! Always-on regex execution counters.
 //!
 //! Path filters run once per candidate row inside the SQL executor, so
 //! "how much regex work did this query do" is a first-class observability
-//! question. The VM accumulates counters in locals during a match and
-//! flushes them here exactly once per [`crate::Regex::is_match`] call —
-//! three relaxed atomic operations per match, cheap enough to keep
-//! compiled in unconditionally.
+//! question. The matchers accumulate counters in locals during a match and
+//! flush them here once per [`crate::Regex::is_match`] call — a handful of
+//! relaxed atomic operations per match, cheap enough to keep compiled in
+//! unconditionally.
+//!
+//! Two execution engines report here: the lazy DFA (`dfa_*` counters) and
+//! the Pike VM (`vm_steps` / `max_threads`). `match_calls` counts every
+//! completed `is_match` regardless of which engine answered, so
+//! `vm_steps / match_calls` dropping toward zero is the direct signature
+//! of the DFA taking over the hot path.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 static MATCH_CALLS: AtomicU64 = AtomicU64::new(0);
 static VM_STEPS: AtomicU64 = AtomicU64::new(0);
 static MAX_THREADS: AtomicU64 = AtomicU64::new(0);
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+static DFA_MATCHES: AtomicU64 = AtomicU64::new(0);
+static DFA_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static DFA_TRANS_HITS: AtomicU64 = AtomicU64::new(0);
+static DFA_TRANS_MISSES: AtomicU64 = AtomicU64::new(0);
+static DFA_STATES: AtomicU64 = AtomicU64::new(0);
 
-/// A snapshot of the process-wide VM counters.
+/// A snapshot of the process-wide regex counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VmStats {
-    /// Completed `is_match` executions.
+    /// Completed `is_match` executions (DFA- or Pike-answered).
     pub match_calls: u64,
-    /// Thread dispatches: one per live NFA thread per consumed input byte.
-    /// This is the Pike VM's unit of work — `O(pattern × input)` total.
+    /// Pike-VM thread dispatches: one per live NFA thread per consumed
+    /// input byte — `O(pattern × input)` total. Zero when the DFA handled
+    /// the match.
     pub vm_steps: u64,
-    /// High-water mark of simultaneously live threads in any single match
-    /// (bounded by the compiled program's instruction count).
+    /// High-water mark of simultaneously live Pike-VM threads in any
+    /// single match (bounded by the compiled program's instruction count).
     pub max_threads: u64,
+    /// Successful [`crate::Regex::new`] compilations (parse + NFA build).
+    pub compiles: u64,
+    /// Matches answered by the lazy DFA (one table lookup per byte).
+    pub dfa_matches: u64,
+    /// Matches that exhausted the DFA state budget and re-ran on the
+    /// Pike VM.
+    pub dfa_fallbacks: u64,
+    /// DFA transitions served from the memo table.
+    pub dfa_trans_hits: u64,
+    /// DFA transitions computed for the first time (NFA closure work).
+    pub dfa_trans_misses: u64,
+    /// Total DFA states constructed across all live regexes.
+    pub dfa_states: u64,
 }
 
-/// Flush one match's locally-accumulated counters.
+/// Flush one Pike-VM match's locally-accumulated counters.
 pub(crate) fn record(steps: u64, threads: u64) {
     MATCH_CALLS.fetch_add(1, Relaxed);
     VM_STEPS.fetch_add(steps, Relaxed);
     MAX_THREADS.fetch_max(threads, Relaxed);
+}
+
+/// Record one successful pattern compilation.
+pub(crate) fn record_compile() {
+    COMPILES.fetch_add(1, Relaxed);
+}
+
+/// Record a match fully answered by the lazy DFA. Counts toward
+/// `match_calls` so the caller sees one call per `is_match` regardless of
+/// engine.
+pub(crate) fn record_dfa_match() {
+    MATCH_CALLS.fetch_add(1, Relaxed);
+    DFA_MATCHES.fetch_add(1, Relaxed);
+}
+
+/// Record a DFA state-budget exhaustion (the match re-runs on the Pike
+/// VM, which adds its own `match_calls` increment).
+pub(crate) fn record_dfa_fallback() {
+    DFA_FALLBACKS.fetch_add(1, Relaxed);
+}
+
+/// Flush one DFA run's transition-cache counters.
+pub(crate) fn record_dfa_transitions(hits: u64, misses: u64) {
+    DFA_TRANS_HITS.fetch_add(hits, Relaxed);
+    DFA_TRANS_MISSES.fetch_add(misses, Relaxed);
+}
+
+/// Record construction of one new DFA state.
+pub(crate) fn record_dfa_state() {
+    DFA_STATES.fetch_add(1, Relaxed);
 }
 
 /// Read the current counter values.
@@ -39,6 +95,12 @@ pub fn snapshot() -> VmStats {
         match_calls: MATCH_CALLS.load(Relaxed),
         vm_steps: VM_STEPS.load(Relaxed),
         max_threads: MAX_THREADS.load(Relaxed),
+        compiles: COMPILES.load(Relaxed),
+        dfa_matches: DFA_MATCHES.load(Relaxed),
+        dfa_fallbacks: DFA_FALLBACKS.load(Relaxed),
+        dfa_trans_hits: DFA_TRANS_HITS.load(Relaxed),
+        dfa_trans_misses: DFA_TRANS_MISSES.load(Relaxed),
+        dfa_states: DFA_STATES.load(Relaxed),
     }
 }
 
@@ -47,17 +109,31 @@ pub fn reset() {
     MATCH_CALLS.store(0, Relaxed);
     VM_STEPS.store(0, Relaxed);
     MAX_THREADS.store(0, Relaxed);
+    COMPILES.store(0, Relaxed);
+    DFA_MATCHES.store(0, Relaxed);
+    DFA_FALLBACKS.store(0, Relaxed);
+    DFA_TRANS_HITS.store(0, Relaxed);
+    DFA_TRANS_MISSES.store(0, Relaxed);
+    DFA_STATES.store(0, Relaxed);
 }
 
 impl VmStats {
     /// Counter-wise difference against an earlier snapshot, for
-    /// attributing VM work to one measurement window. `max_threads` is a
-    /// high-water mark, not a sum, so the later value is kept as-is.
+    /// attributing regex work to one measurement window. `max_threads` is
+    /// a high-water mark, not a sum, so the later value is kept as-is.
     pub fn since(&self, earlier: &VmStats) -> VmStats {
         VmStats {
             match_calls: self.match_calls.saturating_sub(earlier.match_calls),
             vm_steps: self.vm_steps.saturating_sub(earlier.vm_steps),
             max_threads: self.max_threads,
+            compiles: self.compiles.saturating_sub(earlier.compiles),
+            dfa_matches: self.dfa_matches.saturating_sub(earlier.dfa_matches),
+            dfa_fallbacks: self.dfa_fallbacks.saturating_sub(earlier.dfa_fallbacks),
+            dfa_trans_hits: self.dfa_trans_hits.saturating_sub(earlier.dfa_trans_hits),
+            dfa_trans_misses: self
+                .dfa_trans_misses
+                .saturating_sub(earlier.dfa_trans_misses),
+            dfa_states: self.dfa_states.saturating_sub(earlier.dfa_states),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use crate::value::{ColType, Value};
 
@@ -76,32 +77,25 @@ impl Index {
     }
 
     /// Rows whose key is within the given bounds (composite keys compare
-    /// lexicographically). Used for `BETWEEN` on `dewey_pos`.
+    /// lexicographically). Used for `BETWEEN` on `dewey_pos`. Bounds are
+    /// borrowed straight through to the B-tree — no per-probe key copies.
     pub fn range(
         &self,
         lo: Bound<&[Value]>,
         hi: Bound<&[Value]>,
     ) -> impl Iterator<Item = RowId> + '_ {
-        fn own(b: Bound<&[Value]>) -> Bound<Vec<Value>> {
-            match b {
-                Bound::Included(k) => Bound::Included(k.to_vec()),
-                Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
-                Bound::Unbounded => Bound::Unbounded,
-            }
-        }
         self.map
-            .range((own(lo), own(hi)))
+            .range::<[Value], _>((lo, hi))
             .flat_map(|(_, rids)| rids.iter().copied())
     }
 
     /// Rows whose key starts with `prefix` (for composite indexes probed on
-    /// a leading-column equality).
-    pub fn prefix(&self, prefix: &[Value]) -> impl Iterator<Item = RowId> + '_ {
-        let lo = prefix.to_vec();
-        let prefix_owned = prefix.to_vec();
+    /// a leading-column equality). The prefix is borrowed for the life of
+    /// the iterator — no per-probe key copies.
+    pub fn prefix<'a>(&'a self, prefix: &'a [Value]) -> impl Iterator<Item = RowId> + 'a {
         self.map
-            .range((Bound::Included(lo), Bound::Unbounded))
-            .take_while(move |(k, _)| k.starts_with(&prefix_owned))
+            .range::<[Value], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
             .flat_map(|(_, rids)| rids.iter().copied())
     }
 
@@ -109,14 +103,50 @@ impl Index {
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// All (key, rows) entries in key order. The sort-merge structural
+    /// join materializes this once into a flat array and then advances a
+    /// monotonic cursor over it instead of re-probing the B-tree.
+    pub fn entries(&self) -> impl Iterator<Item = (&[Value], &[RowId])> {
+        self.map
+            .iter()
+            .map(|(k, rids)| (k.as_slice(), rids.as_slice()))
+    }
+}
+
+/// Process-wide source of table identities. Caches outside the store
+/// (e.g. the executor's path-filter memo) key on `(uid, version)`:
+/// `uid` distinguishes tables across `Database` instances and clones,
+/// `version` advances on every mutation of one table's contents.
+static NEXT_TABLE_UID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_table_uid() -> u64 {
+    NEXT_TABLE_UID.fetch_add(1, Relaxed)
 }
 
 /// A heap table plus its indexes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     pub schema: TableSchema,
     rows: Vec<Vec<Value>>,
     indexes: Vec<Index>,
+    uid: u64,
+    version: u64,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        // A clone is a distinct table as far as external caches are
+        // concerned: give it a fresh identity so memo entries for the
+        // original never alias onto the copy.
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            indexes: self.indexes.clone(),
+            uid: fresh_table_uid(),
+            version: 0,
+        }
+    }
 }
 
 /// Errors from table operations.
@@ -137,11 +167,26 @@ impl Table {
             schema,
             rows: Vec::new(),
             indexes: Vec::new(),
+            uid: fresh_table_uid(),
+            version: 0,
         }
     }
 
     pub fn name(&self) -> &str {
         &self.schema.name
+    }
+
+    /// Process-unique identity of this table instance (fresh per `new`
+    /// and per `clone`). Stable across mutations; pair with
+    /// [`Table::version`] to key external caches.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Mutation counter: bumped on every insert and index build, so
+    /// `(uid, version)` identifies one immutable snapshot of contents.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn len(&self) -> usize {
@@ -188,6 +233,7 @@ impl Table {
             idx.insert_row(rid, &row);
         }
         self.rows.push(row);
+        self.version += 1;
         Ok(rid)
     }
 
@@ -210,6 +256,7 @@ impl Table {
             idx.insert_row(rid, row);
         }
         self.indexes.push(idx);
+        self.version += 1;
         Ok(())
     }
 
@@ -333,5 +380,41 @@ mod tests {
     fn index_on_unknown_column_fails() {
         let mut t = people();
         assert!(t.create_index("x", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn version_tracks_mutations_and_uid_is_unique() {
+        let mut t = people();
+        let v0 = t.version();
+        t.insert(vec![Value::Int(9), Value::from("zed"), Value::Int(50)])
+            .expect("insert");
+        assert!(t.version() > v0);
+        let v1 = t.version();
+        t.create_index("people_age", &["age"]).expect("index");
+        assert!(t.version() > v1);
+
+        let clone = t.clone();
+        assert_ne!(clone.uid(), t.uid(), "clones must not alias cache keys");
+        let other = Table::new(TableSchema::new("people", &[("id", ColType::Int)]));
+        assert_ne!(other.uid(), t.uid());
+    }
+
+    #[test]
+    fn entries_iterates_in_key_order() {
+        let mut t = people();
+        t.create_index("people_age", &["age"]).expect("index");
+        let idx = &t.indexes()[0];
+        let keys: Vec<i64> = idx
+            .entries()
+            .map(|(k, _)| match k[0] {
+                Value::Int(v) => v,
+                _ => panic!("expected int key"),
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        let total: usize = idx.entries().map(|(_, rids)| rids.len()).sum();
+        assert_eq!(total, t.len());
     }
 }

@@ -122,9 +122,14 @@ fn explain_select(
                 }
                 out.push(')');
             }
-            Access::IndexRange { index, lo, hi } => {
+            Access::IndexRange { index, lo, hi } | Access::MergeRange { index, lo, hi } => {
                 let ix = &table.indexes()[*index];
-                out.push_str(&format!("index {} range[", ix.name));
+                let kind = if matches!(step.access, Access::MergeRange { .. }) {
+                    "merge"
+                } else {
+                    "range"
+                };
+                out.push_str(&format!("index {} {kind}[", ix.name));
                 match lo {
                     Some((e, inc)) => {
                         render_expr(e, out);

@@ -36,8 +36,11 @@ pub mod plan;
 pub mod render;
 
 pub use ast::{ArithOp, CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef};
-pub use exec::{compare, naive_select, ExecStats, Executor, OpStats, ResultSet};
+pub use exec::{
+    clear_thread_caches, compare, filter_caches_enabled, naive_select, set_filter_caches_enabled,
+    ExecStats, Executor, OpStats, ResultSet,
+};
 pub use explain::{explain_analyze, explain_stmt};
 pub use parser::parse_sql;
-pub use plan::{ExecError, SelectPlan};
+pub use plan::{merge_mode, set_merge_mode, ExecError, MergeMode, SelectPlan};
 pub use render::render_stmt;

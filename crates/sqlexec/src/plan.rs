@@ -52,6 +52,19 @@ pub enum Access {
     /// expression per outer row (classic hash join, build side = this
     /// table).
     HashEq { column: usize, key: Expr },
+    /// Sort-merge range probe over a flattened B-tree index: the executor
+    /// materializes the index once as a sorted array and advances a
+    /// monotonic cursor across outer invocations instead of descending
+    /// the B-tree per probe. Chosen for two-sided ranges (the Dewey
+    /// descendant/ancestor windows of the paper's structural joins) when
+    /// both the outer cardinality and this table are large — outer rows
+    /// arriving in document order turn the whole join into one
+    /// staircase-style forward pass.
+    MergeRange {
+        index: usize,
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+    },
 }
 
 /// One pipeline step: bind `alias` by scanning `table` via `access`, then
@@ -89,6 +102,53 @@ mod sel {
     pub const RANGE_ONE_SIDED: f64 = 0.5;
     pub const REGEX: f64 = 0.05;
     pub const OTHER: f64 = 0.5;
+}
+
+/// How the planner decides between the B-tree range probe and the
+/// sort-merge cursor for two-sided ranges. `Auto` applies the cardinality
+/// thresholds; the forced modes exist for equivalence tests and A/B
+/// benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeMode {
+    #[default]
+    Auto,
+    ForceOff,
+    ForceOn,
+}
+
+thread_local! {
+    static MERGE_MODE: std::cell::Cell<MergeMode> = const { std::cell::Cell::new(MergeMode::Auto) };
+}
+
+/// Set the structural-join strategy override for plans built on this
+/// thread (executors are single-threaded). Returns the previous mode.
+pub fn set_merge_mode(mode: MergeMode) -> MergeMode {
+    MERGE_MODE.with(|m| m.replace(mode))
+}
+
+/// The current structural-join strategy override.
+pub fn merge_mode() -> MergeMode {
+    MERGE_MODE.with(|m| m.get())
+}
+
+/// `Auto` thresholds: a merge cursor only pays off when the outer side
+/// re-probes often enough to amortize flattening the index (outer
+/// cardinality estimate) and the probed table is big enough that B-tree
+/// descents are the dominant cost.
+const MERGE_MIN_OUTER: f64 = 32.0;
+const MERGE_MIN_TABLE: usize = 256;
+
+/// Decide merge vs. index nested-loop for a two-sided range on `table`,
+/// given the planner's estimate of how many outer rows will drive the
+/// probe.
+fn want_merge(table: &Table, two_sided: bool, est_outer: f64) -> bool {
+    match merge_mode() {
+        MergeMode::ForceOff => false,
+        MergeMode::ForceOn => two_sided,
+        MergeMode::Auto => {
+            two_sided && est_outer >= MERGE_MIN_OUTER && table.len() >= MERGE_MIN_TABLE
+        }
+    }
 }
 
 /// Plan a select given the aliases already bound by outer queries
@@ -134,6 +194,9 @@ pub fn plan_select(
 
     let mut bound: Vec<String> = outer.iter().map(|(a, _)| a.clone()).collect();
     let mut steps: Vec<Step> = Vec::new();
+    // Running estimate of rows flowing into each step (product of the
+    // preceding steps' cardinalities) — drives the merge-join decision.
+    let mut est_outer = 1.0f64;
     for idx in order {
         let tref = &select.from[idx];
         let table = db.table(&tref.table).expect("validated above");
@@ -150,9 +213,11 @@ pub fn plan_select(
             &mut conjuncts,
             &mut used,
             &bound,
+            est_outer,
         );
         step.est_fetched = est_fetched;
         step.est_rows = est_rows;
+        est_outer = (est_outer * est_rows).max(1.0);
         bound.push(tref.alias.clone());
         steps.push(step);
     }
@@ -567,6 +632,7 @@ fn build_step(
     conjuncts: &mut [Expr],
     used: &mut [bool],
     bound: &[String],
+    est_outer: f64,
 ) -> Step {
     // Candidate equality probes: col -> (conjunct idx, probe expr).
     let mut eq_probes: Vec<(usize, usize, Expr)> = Vec::new(); // (col_idx, conj_idx, expr)
@@ -658,14 +724,20 @@ fn build_step(
         for (ix_pos, ix) in table.indexes().iter().enumerate() {
             let lead = ix.key_cols[0];
             if let Some((_, ci, lo, hi)) = between_probes.iter().find(|(c, ..)| *c == lead) {
-                access = Some((
+                let mk = if want_merge(table, true, est_outer) {
+                    Access::MergeRange {
+                        index: ix_pos,
+                        lo: Some((lo.clone(), true)),
+                        hi: Some((hi.clone(), true)),
+                    }
+                } else {
                     Access::IndexRange {
                         index: ix_pos,
                         lo: Some((lo.clone(), true)),
                         hi: Some((hi.clone(), true)),
-                    },
-                    vec![*ci],
-                ));
+                    }
+                };
+                access = Some((mk, vec![*ci]));
                 break;
             }
             let mut lo: Option<(Expr, bool, usize)> = None;
@@ -684,6 +756,7 @@ fn build_step(
             }
             if lo.is_some() || hi.is_some() {
                 let mut consumed = Vec::new();
+                let two_sided = lo.is_some() && hi.is_some();
                 let lo = lo.map(|(e, inc, i)| {
                     consumed.push(i);
                     (e, inc)
@@ -692,14 +765,20 @@ fn build_step(
                     consumed.push(i);
                     (e, inc)
                 });
-                access = Some((
+                let mk = if want_merge(table, two_sided, est_outer) {
+                    Access::MergeRange {
+                        index: ix_pos,
+                        lo,
+                        hi,
+                    }
+                } else {
                     Access::IndexRange {
                         index: ix_pos,
                         lo,
                         hi,
-                    },
-                    consumed,
-                ));
+                    }
+                };
+                access = Some((mk, consumed));
                 break;
             }
         }
@@ -710,7 +789,10 @@ fn build_step(
     // bound is widened to cover key suffixes), so their driving conjuncts
     // are re-checked as residuals. Equality probes are exact.
     let mut residuals = Vec::new();
-    if matches!(access, Access::IndexRange { .. }) {
+    if matches!(
+        access,
+        Access::IndexRange { .. } | Access::MergeRange { .. }
+    ) {
         for &i in &consumed {
             residuals.push(conjuncts[i].clone());
         }
@@ -846,7 +928,7 @@ mod tests {
                         Access::FullScan => 0,
                         Access::IndexEq { keys, .. } => keys.len(),
                         Access::HashEq { .. } => 1,
-                        Access::IndexRange { lo, hi, .. } => {
+                        Access::IndexRange { lo, hi, .. } | Access::MergeRange { lo, hi, .. } => {
                             lo.is_some() as usize + hi.is_some() as usize
                         }
                     }

@@ -1,0 +1,211 @@
+//! Hot-path cache behaviour: the path-filter memo must invalidate when
+//! the backing table changes (version bump) and must never alias across
+//! cloned databases (fresh table uid); the sort-merge structural join
+//! must return exactly what the index nested-loop join returns.
+//!
+//! These tests assert only per-executor `ExecStats` and thread-local
+//! state, so they are safe to run in parallel with each other.
+
+use relstore::{ColType, Database, TableSchema, Value};
+use sqlexec::{explain_stmt, parse_sql, Executor, MergeMode};
+
+fn paths_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "Paths",
+        &[("id", ColType::Int), ("path", ColType::Str)],
+    ))
+    .unwrap();
+    let t = db.table_mut("Paths").unwrap();
+    for (id, path) in [
+        (1, "/a"),
+        (2, "/a/b"),
+        (3, "/a/b/c"),
+        (4, "/a/x"),
+        (5, "/a/x/c"),
+    ] {
+        t.insert(vec![Value::Int(id), Value::from(path)]).unwrap();
+    }
+    db
+}
+
+const FILTER: &str = "select P.id from Paths P \
+                      where REGEXP_LIKE(P.path, '^/a(/[^/]+)*/c$') \
+                      order by P.id";
+
+fn ids(db: &Database, sql: &str) -> (Vec<i64>, sqlexec::ExecStats) {
+    let exec = Executor::new(db);
+    let rs = exec.query(sql).unwrap();
+    let ids = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    (ids, exec.stats())
+}
+
+#[test]
+fn path_memo_hits_then_invalidates_on_table_mutation() {
+    let mut db = paths_db();
+
+    let (cold_ids, cold) = ids(&db, FILTER);
+    assert_eq!(cold_ids, vec![3, 5]);
+    assert_eq!(cold.path_memo_misses, 1);
+    assert_eq!(cold.path_memo_hits, 0);
+
+    let (warm_ids, warm) = ids(&db, FILTER);
+    assert_eq!(warm_ids, vec![3, 5]);
+    assert_eq!(warm.path_memo_hits, 1);
+    assert_eq!(warm.path_memo_misses, 0);
+
+    // Any insert bumps the table version: the memo entry keyed by the
+    // old (uid, version) no longer matches, and the new row appears.
+    db.table_mut("Paths")
+        .unwrap()
+        .insert(vec![Value::Int(6), Value::from("/a/y/c")])
+        .unwrap();
+    let (fresh_ids, fresh) = ids(&db, FILTER);
+    assert_eq!(fresh_ids, vec![3, 5, 6]);
+    assert_eq!(fresh.path_memo_misses, 1);
+    assert_eq!(fresh.path_memo_hits, 0);
+}
+
+#[test]
+fn path_memo_does_not_alias_across_cloned_databases() {
+    let db = paths_db();
+    let (_, s) = ids(&db, FILTER);
+    assert_eq!(s.path_memo_misses, 1);
+
+    // A clone gets fresh table uids, so the memo populated for the
+    // original must not answer for it — even though the contents are
+    // identical right now (they can diverge at any time).
+    let mut clone = db.clone();
+    clone
+        .table_mut("Paths")
+        .unwrap()
+        .insert(vec![Value::Int(7), Value::from("/a/z/c")])
+        .unwrap();
+    let (clone_ids, cs) = ids(&clone, FILTER);
+    assert_eq!(clone_ids, vec![3, 5, 7]);
+    assert_eq!(cs.path_memo_misses, 1);
+    assert_eq!(cs.path_memo_hits, 0);
+}
+
+/// Shredded-style tables big enough to exercise the merge cursor: one
+/// outer table of "context" Dewey keys and one inner table of element
+/// rows, joined by the paper's `BETWEEN` containment condition.
+fn dewey_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "A",
+        &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+    ))
+    .unwrap();
+    db.create_table(TableSchema::new(
+        "F",
+        &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+    ))
+    .unwrap();
+    {
+        let a = db.table_mut("A").unwrap();
+        for i in 0..40i64 {
+            // Dewey prefix [0,0,i] — 40 ordered context nodes.
+            a.insert(vec![Value::Int(i), Value::Bytes(vec![0, 0, i as u8])])
+                .unwrap();
+        }
+        a.create_index("a_dewey", &["dewey_pos"]).unwrap();
+    }
+    {
+        let f = db.table_mut("F").unwrap();
+        let mut id = 1000i64;
+        for i in 0..40i64 {
+            for j in 0..8u8 {
+                // Children [0,0,i,0,0,j] under context i.
+                f.insert(vec![
+                    Value::Int(id),
+                    Value::Bytes(vec![0, 0, i as u8, 0, 0, j]),
+                ])
+                .unwrap();
+                id += 1;
+            }
+        }
+        f.create_index("f_dewey", &["dewey_pos"]).unwrap();
+    }
+    db
+}
+
+const DEWEY_JOIN: &str = "select F.id from A, F \
+     where F.dewey_pos between A.dewey_pos and A.dewey_pos || x'FF' \
+     order by F.dewey_pos, F.id";
+
+#[test]
+fn merge_join_matches_index_nested_loop_results() {
+    let db = dewey_db();
+
+    let prev = sqlexec::set_merge_mode(MergeMode::ForceOff);
+    let (nl_ids, nl_stats) = ids(&db, DEWEY_JOIN);
+    sqlexec::set_merge_mode(MergeMode::ForceOn);
+    let (merge_ids, merge_stats) = ids(&db, DEWEY_JOIN);
+    sqlexec::set_merge_mode(prev);
+
+    assert_eq!(nl_ids.len(), 40 * 8);
+    assert_eq!(merge_ids, nl_ids, "merge join must be result-identical");
+    assert_eq!(nl_stats.merge_probes, 0);
+    assert!(
+        merge_stats.merge_probes >= 40,
+        "every outer row probes the merge cursor: {merge_stats:?}"
+    );
+}
+
+#[test]
+fn planner_renders_merge_access_path_when_forced() {
+    let db = dewey_db();
+    let stmt = parse_sql(DEWEY_JOIN).unwrap();
+
+    let prev = sqlexec::set_merge_mode(MergeMode::ForceOn);
+    let plan = explain_stmt(&db, &stmt);
+    sqlexec::set_merge_mode(prev);
+    let plan = plan.unwrap();
+    assert!(plan.contains("merge["), "{plan}");
+
+    let prev = sqlexec::set_merge_mode(MergeMode::ForceOff);
+    let plan = explain_stmt(&db, &stmt);
+    sqlexec::set_merge_mode(prev);
+    let plan = plan.unwrap();
+    assert!(!plan.contains("merge["), "{plan}");
+}
+
+#[test]
+fn auto_mode_uses_merge_only_past_the_cardinality_thresholds() {
+    // dewey_db's F table has 320 rows (>= 256) and the A side feeds 40
+    // outer rows (>= 32): Auto picks the merge strategy.
+    let db = dewey_db();
+    let (_, stats) = ids(&db, DEWEY_JOIN);
+    assert!(stats.merge_probes > 0, "{stats:?}");
+
+    // A tiny table stays on the B-tree range probe.
+    let mut small = Database::new();
+    small
+        .create_table(TableSchema::new(
+            "A",
+            &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+        ))
+        .unwrap();
+    small
+        .create_table(TableSchema::new(
+            "F",
+            &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+        ))
+        .unwrap();
+    {
+        let a = small.table_mut("A").unwrap();
+        a.insert(vec![Value::Int(1), Value::Bytes(vec![0, 0, 1])])
+            .unwrap();
+        a.create_index("a_dewey", &["dewey_pos"]).unwrap();
+    }
+    {
+        let f = small.table_mut("F").unwrap();
+        f.insert(vec![Value::Int(2), Value::Bytes(vec![0, 0, 1, 0, 0, 1])])
+            .unwrap();
+        f.create_index("f_dewey", &["dewey_pos"]).unwrap();
+    }
+    let (small_ids, small_stats) = ids(&small, DEWEY_JOIN);
+    assert_eq!(small_ids, vec![2]);
+    assert_eq!(small_stats.merge_probes, 0, "{small_stats:?}");
+}

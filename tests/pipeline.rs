@@ -38,6 +38,53 @@ fn dblp_pipeline_all_systems_agree() {
     }
 }
 
+/// Run every workload query on two identically-seeded builds, one with
+/// the sort-merge structural join forced off and one with it forced on,
+/// and require identical element ids (document order included). The
+/// builds are separate because each `XmlDb` caches plans per XPath: the
+/// access paths are frozen the first time a query runs.
+fn assert_merge_equivalence(build: impl Fn() -> ppf_bench::BenchData, queries: &[(&str, &str)]) {
+    let prev = sqlexec::set_merge_mode(sqlexec::MergeMode::ForceOff);
+    let nl_data = build();
+    let nl: Vec<Vec<i64>> = queries
+        .iter()
+        .map(|(name, q)| {
+            nl_data
+                .ppf
+                .query(q)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .ids()
+        })
+        .collect();
+
+    sqlexec::set_merge_mode(sqlexec::MergeMode::ForceOn);
+    let merge_data = build();
+    let mut merge_probes = 0u64;
+    for ((name, q), expected) in queries.iter().zip(&nl) {
+        let r = merge_data
+            .ppf
+            .query(q)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        merge_probes += r.engine.merge_probes;
+        assert_eq!(&r.ids(), expected, "{name}: merge join changed the result");
+    }
+    sqlexec::set_merge_mode(prev);
+    assert!(
+        merge_probes > 0,
+        "forcing merge must exercise the merge cursor at least once"
+    );
+}
+
+#[test]
+fn xmark_merge_join_matches_index_nested_loop() {
+    assert_merge_equivalence(|| build_xmark(0.03, 7), &xmark_queries());
+}
+
+#[test]
+fn dblp_merge_join_matches_index_nested_loop() {
+    assert_merge_equivalence(|| build_dblp(0.05, 7), &dblp_queries());
+}
+
 #[test]
 fn naive_baseline_covers_the_paper_subset() {
     // The commercial-RDBMS proxy supports Q23/Q24/QA (like the paper) and
