@@ -1,0 +1,317 @@
+//! Thread-scaling gate for the parallel-execution work: runs the fig4
+//! (XMark) workload with the work-stealing pool sized at 1, 2 and 4
+//! threads, plus a concurrent multi-query throughput measurement against
+//! one `SharedEngine`, and emits `BENCH_3.json` with the full table.
+//!
+//! Exit is non-zero when an invariant fails:
+//!   * with ≥4 hardware cores, the 4-thread warm total must beat the
+//!     1-thread warm total by ≥1.5× (on smaller hosts the speedup gate is
+//!     skipped — partitioning cannot beat physics — but the table is
+//!     still emitted and the equivalence of results is still asserted);
+//!   * the 1-thread column must stay flat: when a same-scale
+//!     `BENCH_2.json` from the serial perf gate is present (CI runs
+//!     `perf_check` first, so it is fresh from the same machine), the
+//!     1-thread warm total may not regress past 1.5× of it;
+//!   * every configuration must return identical result cardinalities.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ppf_bench::{generate_xmark, xmark_queries, xmark_schema, XMarkConfig};
+use ppf_core::{SharedEngine, XmlDb};
+
+const OUTPUT_PATH: &str = "BENCH_3.json";
+const SERIAL_BENCH_PATH: &str = "BENCH_2.json";
+const THREADS: &[usize] = &[1, 2, 4];
+const COLD_ROUNDS: usize = 2;
+const WARM_ROUNDS: usize = 3;
+const CLIENTS: usize = 4;
+const CLIENT_ROUNDS: usize = 2;
+/// 4-thread speedup the gate demands when the hardware can deliver one.
+const MIN_SPEEDUP_AT_4: f64 = 1.5;
+/// Allowed 1-thread regression vs the serial gate's committed numbers.
+const MAX_SERIAL_REGRESSION: f64 = 1.5;
+
+fn bench_scale() -> f64 {
+    std::env::var("PPF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
+}
+
+fn build_db(doc: &xmldom::Document) -> XmlDb {
+    let mut db = XmlDb::new(&xmark_schema()).expect("schema db");
+    // Keep every REGEXP_LIKE in the generated SQL (as the serial perf
+    // gate does): the partitioned filter scan is half the machinery
+    // under test.
+    db.set_path_marking(false);
+    db.load(doc).expect("load");
+    db.finalize().expect("indexes");
+    db
+}
+
+/// One query measured at one pool size.
+#[derive(Clone, Copy, Default)]
+struct Cell {
+    cold_ns: u64,
+    warm_ns: u64,
+    rows: usize,
+    par_tasks: u64,
+    par_chunks: u64,
+}
+
+fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
+    ppf_pool::set_threads(threads);
+    let dbs: Vec<XmlDb> = (0..COLD_ROUNDS).map(|_| build_db(doc)).collect();
+    let mut cells = Vec::new();
+    for (name, query) in xmark_queries() {
+        let mut cell = Cell {
+            cold_ns: u64::MAX,
+            warm_ns: u64::MAX,
+            ..Cell::default()
+        };
+        for db in &dbs {
+            sqlexec::clear_filter_caches();
+            let t0 = Instant::now();
+            let r = db.query(query).expect(name);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if ns < cell.cold_ns {
+                cell.cold_ns = ns;
+            }
+            // Fan-out happens on the cold run (the warm path answers
+            // filter scans from the memo); keep the largest observation.
+            cell.par_tasks = cell.par_tasks.max(r.stats.par_tasks);
+            cell.par_chunks = cell.par_chunks.max(r.stats.par_chunks);
+            cell.rows = r.rows.rows.len();
+        }
+        for _ in 0..WARM_ROUNDS {
+            let t0 = Instant::now();
+            let r = dbs[0].query(query).expect(name);
+            cell.warm_ns = cell.warm_ns.min(t0.elapsed().as_nanos() as u64);
+            cell.par_tasks = cell.par_tasks.max(r.stats.par_tasks);
+            cell.par_chunks = cell.par_chunks.max(r.stats.par_chunks);
+        }
+        cells.push(cell);
+    }
+
+    // Concurrent multi-query throughput: CLIENTS threads replay the whole
+    // workload against one SharedEngine (already warm — this measures the
+    // engine under concurrency, not cache warm-up).
+    let engine = SharedEngine::new(dbs.into_iter().next().expect("one store"));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let engine = engine.clone();
+            s.spawn(move || {
+                for _ in 0..CLIENT_ROUNDS {
+                    for (name, query) in xmark_queries() {
+                        engine.query(query).expect(name);
+                    }
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let qps = (CLIENTS * CLIENT_ROUNDS * xmark_queries().len()) as f64 / secs.max(1e-9);
+    (cells, qps)
+}
+
+/// Extract this run's per-query warm total from the serial gate's
+/// `BENCH_2.json` (fig4 group only), without a JSON parser dependency.
+fn serial_fig4_warm_total(json: &str) -> Option<u64> {
+    let mut total = 0u64;
+    let mut found = false;
+    let mut in_fig4 = false;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"group\": ") {
+            in_fig4 = rest.starts_with("\"fig4\"");
+        }
+        if in_fig4 {
+            if let Some(rest) = line.strip_prefix("\"warm_ns\": ") {
+                total += rest.trim_end_matches(',').parse::<u64>().ok()?;
+                found = true;
+            }
+        }
+    }
+    found.then_some(total)
+}
+
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let scale = bench_scale();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = generate_xmark(XMarkConfig { scale, seed: 42 });
+
+    let queries = xmark_queries();
+    let mut columns: Vec<(usize, Vec<Cell>, f64)> = Vec::new();
+    for &t in THREADS {
+        let (cells, qps) = measure_at(&doc, t);
+        columns.push((t, cells, qps));
+    }
+    ppf_pool::set_threads(1);
+
+    // Result cardinalities must agree across every pool size.
+    let mut failures = Vec::new();
+    for (i, (name, _)) in queries.iter().enumerate() {
+        let rows: Vec<usize> = columns.iter().map(|(_, cells, _)| cells[i].rows).collect();
+        if rows.windows(2).any(|w| w[0] != w[1]) {
+            failures.push(format!(
+                "{name}: row counts diverge across pool sizes: {rows:?}"
+            ));
+        }
+    }
+
+    let warm_total = |t: usize| -> u64 {
+        columns
+            .iter()
+            .find(|(threads, _, _)| *threads == t)
+            .map(|(_, cells, _)| cells.iter().map(|c| c.warm_ns).sum())
+            .unwrap_or(0)
+    };
+    let par_total = |t: usize| -> (u64, u64) {
+        columns
+            .iter()
+            .find(|(threads, _, _)| *threads == t)
+            .map(|(_, cells, _)| {
+                (
+                    cells.iter().map(|c| c.par_tasks).sum(),
+                    cells.iter().map(|c| c.par_chunks).sum(),
+                )
+            })
+            .unwrap_or((0, 0))
+    };
+    let t1 = warm_total(1);
+    let t4 = warm_total(4);
+    let speedup4 = t1 as f64 / t4.max(1) as f64;
+    let gate_enforced = cores >= 4;
+
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"bench\": \"thread_scaling\",").unwrap();
+    writeln!(s, "  \"scale\": {scale},").unwrap();
+    writeln!(s, "  \"cores\": {cores},").unwrap();
+    writeln!(
+        s,
+        "  \"speedup_gate\": \"{}\",",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "skipped: fewer than 4 hardware cores"
+        }
+    )
+    .unwrap();
+    writeln!(s, "  \"totals\": {{").unwrap();
+    for &t in THREADS {
+        let (tasks, chunks) = par_total(t);
+        writeln!(s, "    \"warm_ns_t{t}\": {},", warm_total(t)).unwrap();
+        writeln!(s, "    \"par_tasks_t{t}\": {tasks},").unwrap();
+        writeln!(s, "    \"par_chunks_t{t}\": {chunks},").unwrap();
+    }
+    for (t, _, qps) in &columns {
+        writeln!(s, "    \"concurrent_qps_t{t}\": {qps:.1},").unwrap();
+    }
+    writeln!(s, "    \"speedup_t4_vs_t1\": {speedup4:.3}").unwrap();
+    writeln!(s, "  }},").unwrap();
+    writeln!(s, "  \"queries\": [").unwrap();
+    for (i, (name, query)) in queries.iter().enumerate() {
+        writeln!(s, "    {{").unwrap();
+        writeln!(s, "      \"name\": \"{name}\",").unwrap();
+        writeln!(s, "      \"query\": \"{}\",", query.replace('\"', "\\\"")).unwrap();
+        writeln!(s, "      \"rows\": {},", columns[0].1[i].rows).unwrap();
+        for (j, (t, cells, _)) in columns.iter().enumerate() {
+            let c = cells[i];
+            writeln!(s, "      \"cold_ns_t{t}\": {},", c.cold_ns).unwrap();
+            writeln!(s, "      \"warm_ns_t{t}\": {},", c.warm_ns).unwrap();
+            writeln!(
+                s,
+                "      \"par_t{t}\": \"{}/{}\"{}",
+                c.par_tasks,
+                c.par_chunks,
+                if j + 1 < columns.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(s, "    }}{}", if i + 1 < queries.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    std::fs::write(OUTPUT_PATH, &s).expect("write BENCH_3.json");
+
+    println!("thread_scaling: scale={scale} cores={cores}");
+    for &t in THREADS {
+        let (tasks, chunks) = par_total(t);
+        println!(
+            "  threads={t}: warm total {:>12}ns  par {}/{}  concurrent {:>7.1} q/s",
+            warm_total(t),
+            tasks,
+            chunks,
+            columns
+                .iter()
+                .find(|(th, _, _)| *th == t)
+                .map(|(_, _, q)| *q)
+                .unwrap_or(0.0)
+        );
+    }
+    println!(
+        "  speedup at 4 threads: {speedup4:.3}x (gate: {MIN_SPEEDUP_AT_4}x, {})",
+        if gate_enforced {
+            "enforced"
+        } else {
+            "skipped — fewer than 4 cores"
+        }
+    );
+
+    // Partitioning must actually engage once the pool has threads.
+    let (tasks4, _) = par_total(4);
+    if tasks4 == 0 {
+        failures.push("4-thread run never partitioned (par_tasks_t4 = 0)".into());
+    }
+    let (tasks1, chunks1) = par_total(1);
+    if tasks1 != 0 || chunks1 != 0 {
+        failures.push(format!(
+            "1-thread run partitioned: par {tasks1}/{chunks1} (must be the serial engine)"
+        ));
+    }
+    if gate_enforced && speedup4 < MIN_SPEEDUP_AT_4 {
+        failures.push(format!(
+            "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_AT_4}x gate"
+        ));
+    }
+    match std::fs::read_to_string(SERIAL_BENCH_PATH) {
+        Ok(serial) if extract_f64(&serial, "scale") == Some(scale) => {
+            if let Some(serial_warm) = serial_fig4_warm_total(&serial) {
+                let ratio = t1 as f64 / serial_warm.max(1) as f64;
+                println!("  1-thread warm vs serial gate ({SERIAL_BENCH_PATH}): {ratio:.3}x");
+                if ratio > MAX_SERIAL_REGRESSION {
+                    failures.push(format!(
+                        "1-thread warm total regressed {ratio:.3}x vs {SERIAL_BENCH_PATH} \
+                         (limit {MAX_SERIAL_REGRESSION}x)"
+                    ));
+                }
+            }
+        }
+        Ok(_) => println!(
+            "note: {SERIAL_BENCH_PATH} is from a different scale; skipping flat-serial check"
+        ),
+        Err(_) => println!("note: no {SERIAL_BENCH_PATH}; skipping flat-serial check"),
+    }
+
+    if failures.is_empty() {
+        println!("thread_scaling: OK (BENCH_3.json written)");
+    } else {
+        for f in &failures {
+            eprintln!("thread_scaling FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -5,9 +5,9 @@
 //! §5.1. Both run the generated SQL on the `sqlexec`/`relstore` engine and
 //! return element ids in document order.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 use obs::QueryTrace;
 use relstore::{Database, Value};
@@ -96,6 +96,44 @@ pub struct EngineStats {
     /// Heap allocations on the index-probe hot path (key buffers and
     /// probe row buffers acquired past their pools).
     pub probe_allocs: u64,
+    /// Parallel fan-outs during execution (partitioned path-filter scans
+    /// and partitioned branch pipelines).
+    pub par_tasks: u64,
+    /// Chunks executed across those fan-outs (`par_chunks / par_tasks` is
+    /// the average degree of partitioning achieved).
+    pub par_chunks: u64,
+    /// Threads in the process-wide work-stealing pool when this query ran
+    /// (1 ⇒ the serial pipeline, no fan-out possible).
+    pub pool_threads: u64,
+    /// Pool-wide steal-count delta observed across this query's
+    /// execution (approximate under concurrent queries — steals are a
+    /// process-global counter).
+    pub pool_steals: u64,
+    /// High-water mark of engine queries in flight at once, as of this
+    /// query's completion (process-wide, monotone).
+    pub concurrent_queries_peak: u64,
+}
+
+/// Engine queries currently in flight, and the high-water mark.
+static QUERIES_IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+static QUERIES_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// RAII in-flight counter; decrements on every exit path of `run_query`
+/// (errors included) so the gauge cannot drift.
+struct InFlight;
+
+impl InFlight {
+    fn enter() -> (InFlight, u64) {
+        let cur = QUERIES_IN_FLIGHT.fetch_add(1, Relaxed) + 1;
+        QUERIES_PEAK.fetch_max(cur, Relaxed);
+        (InFlight, cur)
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        QUERIES_IN_FLIGHT.fetch_sub(1, Relaxed);
+    }
 }
 
 /// A query answer: the SQL text that ran (if any), the rows, and
@@ -122,7 +160,7 @@ impl QueryResult {
 }
 
 /// A fully-prepared query, cached under its XPath text: the translated
-/// statement (behind `Rc`, so the `Select` addresses that key cached
+/// statement (behind `Arc`, so the `Select` addresses that key cached
 /// plans stay stable for the lifetime of the entry), the translate-time
 /// counters, and the plan snapshot captured from the first execution
 /// (top-level branches planned eagerly, subquery blocks as execution
@@ -130,16 +168,19 @@ impl QueryResult {
 /// store mutates — correctness also relies on the executor's own
 /// `(table uid, version)`-keyed memos, but the statement and plans
 /// themselves can go stale (path marking depends on loaded documents).
+///
+/// `Arc` + `Mutex` (not `Rc` + `RefCell`) because [`SharedEngine`] runs
+/// queries against one cache from many threads at once.
 struct CachedQuery {
-    stmt: Option<Rc<SelectStmt>>,
+    stmt: Option<Arc<SelectStmt>>,
     output: OutputKind,
     ppf_count: u64,
     union_branches: u64,
     path_filters: u64,
-    plans: RefCell<HashMap<usize, Rc<SelectPlan>>>,
+    plans: Mutex<HashMap<usize, Arc<SelectPlan>>>,
 }
 
-type QueryCache = RefCell<HashMap<String, Rc<CachedQuery>>>;
+type QueryCache = Mutex<HashMap<String, Arc<CachedQuery>>>;
 
 /// Cached distinct XPath strings before the cache is cleared wholesale.
 const QUERY_CACHE_CAP: usize = 256;
@@ -176,21 +217,21 @@ impl XmlDb {
     /// Toggle the §4.5 path-filter omission (for the ablation benchmark).
     pub fn set_path_marking(&mut self, on: bool) {
         self.opts.use_path_marking = on;
-        self.cache.borrow_mut().clear();
+        self.cache.lock().unwrap().clear();
     }
 
     /// Toggle FK joins for single child/parent steps (§4.2; off = always
     /// Dewey joins, for the ablation benchmark).
     pub fn set_fk_joins(&mut self, on: bool) {
         self.opts.use_fk_joins = on;
-        self.cache.borrow_mut().clear();
+        self.cache.lock().unwrap().clear();
     }
 
     /// Load a document; returns its tree-node → element-id mapping.
     /// Invalidates cached query plans (the translation itself can change:
     /// §4.5 path marking depends on which paths exist).
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
-        self.cache.borrow_mut().clear();
+        self.cache.lock().unwrap().clear();
         wrap_err!(self.store.load(doc))
     }
 
@@ -202,7 +243,7 @@ impl XmlDb {
 
     /// Build the §3.1 indexes; call once after bulk loading.
     pub fn finalize(&mut self) -> Result<(), EngineError> {
-        self.cache.borrow_mut().clear();
+        self.cache.lock().unwrap().clear();
         wrap_err!(self.store.create_indexes())
     }
 
@@ -276,7 +317,7 @@ impl EdgeDb {
     }
 
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
-        self.cache.borrow_mut().clear();
+        self.cache.lock().unwrap().clear();
         wrap_err!(self.store.load(doc))
     }
 
@@ -286,7 +327,7 @@ impl EdgeDb {
     }
 
     pub fn finalize(&mut self) -> Result<(), EngineError> {
-        self.cache.borrow_mut().clear();
+        self.cache.lock().unwrap().clear();
         wrap_err!(self.store.create_indexes())
     }
 
@@ -369,11 +410,12 @@ fn run_query(
     cache: &QueryCache,
     translate_expr: &dyn Fn(&xpath::Expr) -> Result<Translation, EngineError>,
 ) -> Result<(QueryResult, QueryTrace), EngineError> {
+    let (_in_flight, in_flight_now) = InFlight::enter();
     let mut trace = QueryTrace::new(xpath);
     let mut engine = EngineStats::default();
     let root = trace.start("query");
 
-    let cached = cache.borrow().get(xpath).cloned();
+    let cached = cache.lock().unwrap().get(xpath).cloned();
     let entry = match cached {
         Some(entry) => {
             // Warm hit: parse, translate and plan were all done the first
@@ -412,15 +454,15 @@ fn run_query(
             trace.counter(span, "path_filters", path_filters);
             trace.end(span);
 
-            let entry = Rc::new(CachedQuery {
-                stmt: t.stmt.map(Rc::new),
+            let entry = Arc::new(CachedQuery {
+                stmt: t.stmt.map(Arc::new),
                 output: t.output,
                 ppf_count: t.ppf_count as u64,
                 union_branches,
                 path_filters,
-                plans: RefCell::new(HashMap::new()),
+                plans: Mutex::new(HashMap::new()),
             });
-            let mut map = cache.borrow_mut();
+            let mut map = cache.lock().unwrap();
             if map.len() >= QUERY_CACHE_CAP {
                 map.clear();
             }
@@ -448,9 +490,9 @@ fn run_query(
             if engine.plan_cache_hits == 0 {
                 let t0 = std::time::Instant::now();
                 let mut plan_steps = 0u64;
-                let mut plans = entry.plans.borrow_mut();
+                let mut plans = entry.plans.lock().unwrap();
                 for branch in &stmt.branches {
-                    let plan = Rc::new(wrap_err!(sqlexec::plan::plan_select(db, branch, &[]))?);
+                    let plan = Arc::new(wrap_err!(sqlexec::plan::plan_select(db, branch, &[]))?);
                     plan_steps += plan.steps.len() as u64;
                     plans.insert(branch as *const Select as usize, plan);
                 }
@@ -460,15 +502,17 @@ fn run_query(
             trace.end(span);
 
             let span = trace.start("execute");
+            let pool = ppf_pool::global();
+            let steals_before = pool.steal_count();
             let vm_before = regexlite::stats::snapshot();
             let exec = Executor::new(db);
-            exec.seed_plans(&entry.plans.borrow());
+            exec.seed_plans(&entry.plans.lock().unwrap());
             let t0 = std::time::Instant::now();
             let rows = wrap_err!(exec.run(stmt))?;
             engine.execute_ns = t0.elapsed().as_nanos() as u64;
             // Keep every plan this run produced (subquery blocks are
             // planned lazily during execution) for future warm runs.
-            entry.plans.borrow_mut().extend(exec.plan_snapshot());
+            entry.plans.lock().unwrap().extend(exec.plan_snapshot());
             let vm = regexlite::stats::snapshot().since(&vm_before);
             engine.vm_match_calls = vm.match_calls;
             engine.vm_steps = vm.vm_steps;
@@ -492,6 +536,10 @@ fn run_query(
             engine.path_memo_misses = stats.path_memo_misses;
             engine.merge_probes = stats.merge_probes;
             engine.probe_allocs = stats.probe_allocs;
+            engine.par_tasks = stats.par_tasks;
+            engine.par_chunks = stats.par_chunks;
+            engine.pool_threads = pool.threads() as u64;
+            engine.pool_steals = pool.steal_count().saturating_sub(steals_before);
             trace.counter(span, "rows_scanned", stats.rows_scanned);
             trace.counter(span, "index_probes", stats.index_probes);
             trace.counter(span, "predicate_evals", stats.predicate_evals);
@@ -505,6 +553,10 @@ fn run_query(
             trace.counter(span, "dfa_matches", engine.dfa_matches);
             trace.counter(span, "path_memo_hits", engine.path_memo_hits);
             trace.counter(span, "merge_probes", engine.merge_probes);
+            trace.counter(span, "par_tasks", engine.par_tasks);
+            trace.counter(span, "par_chunks", engine.par_chunks);
+            trace.counter(span, "pool_threads", engine.pool_threads);
+            trace.counter(span, "pool_steals", engine.pool_steals);
             trace.end(span);
 
             let span = trace.start("publish");
@@ -524,6 +576,8 @@ fn run_query(
         }
     };
     trace.end(root);
+    engine.pool_threads = engine.pool_threads.max(ppf_pool::current_threads() as u64);
+    engine.concurrent_queries_peak = QUERIES_PEAK.load(Relaxed);
     result.engine = engine;
 
     let reg = obs::Registry::global();
@@ -546,6 +600,63 @@ fn run_query(
     reg.incr("engine.dfa_fallbacks", engine.dfa_fallbacks);
     reg.incr("engine.path_memo_hits", engine.path_memo_hits);
     reg.incr("engine.merge_probes", engine.merge_probes);
+    reg.incr("engine.par_tasks", engine.par_tasks);
+    reg.incr("engine.par_chunks", engine.par_chunks);
+    reg.incr("engine.pool_steals", engine.pool_steals);
+    // Histogram max = the observed high-water mark of concurrency.
+    reg.observe("engine.concurrent_queries", in_flight_now);
+    reg.observe("engine.pool_threads", engine.pool_threads);
 
     Ok((result, trace))
+}
+
+/// A cloneable, thread-safe handle over a loaded [`XmlDb`] for running
+/// **concurrent read-only queries** — the multi-query half of the PR's
+/// parallel story (partitioned scans and joins parallelize *within* one
+/// query; `SharedEngine` runs many queries at once *across* threads).
+///
+/// Construction consumes the `XmlDb` (load and finalize first; the
+/// mutating API takes `&mut self` and is therefore unreachable through
+/// the shared handle). All clones see one store snapshot, one XPath query
+/// cache, and one plan cache; per-query [`EngineStats`] merge into the
+/// process-wide [`obs::Registry`] exactly as serial queries do, plus the
+/// `engine.concurrent_queries` gauge whose histogram max is the peak
+/// concurrency actually reached.
+#[derive(Clone)]
+pub struct SharedEngine {
+    inner: Arc<XmlDb>,
+}
+
+impl SharedEngine {
+    /// Wrap a fully-loaded database for concurrent use.
+    pub fn new(db: XmlDb) -> SharedEngine {
+        SharedEngine {
+            inner: Arc::new(db),
+        }
+    }
+
+    /// Run an XPath query (safe from any thread, any number at a time).
+    pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
+        self.inner.query(xpath)
+    }
+
+    /// Run a query and return its span tree (see [`XmlDb::query_traced`]).
+    pub fn query_traced(&self, xpath: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
+        self.inner.query_traced(xpath)
+    }
+
+    /// The generated SQL for an XPath (`None` when statically empty).
+    pub fn sql_for(&self, xpath: &str) -> Result<Option<String>, EngineError> {
+        self.inner.sql_for(xpath)
+    }
+
+    /// The shared relational store (read-only).
+    pub fn db(&self) -> &Database {
+        self.inner.db()
+    }
+}
+
+/// Process-wide peak of simultaneously running engine queries.
+pub fn concurrent_queries_peak() -> u64 {
+    QUERIES_PEAK.load(Relaxed)
 }

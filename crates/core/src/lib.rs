@@ -19,7 +19,9 @@ pub mod ppf;
 pub mod publish;
 pub mod translate;
 
-pub use engine::{EdgeDb, EngineError, EngineStats, QueryResult, XmlDb};
+pub use engine::{
+    concurrent_queries_peak, EdgeDb, EngineError, EngineStats, QueryResult, SharedEngine, XmlDb,
+};
 pub use publish::publish_element;
 pub use translate::{
     translate, Mapping, OutputKind, TranslateError, TranslateOptions, Translation,

@@ -1,0 +1,470 @@
+//! `ppf-pool` — a small scoped work-stealing thread pool (std only).
+//!
+//! The PPF execution stack parallelizes three shapes of work: partitioned
+//! path-filter scans, partitioned structural joins (the outer run split
+//! at Dewey ancestor boundaries), and whole concurrent queries through
+//! `ppf_core::SharedEngine`. All three need the same primitive: run a
+//! batch of borrowing closures on a fixed set of worker threads and wait
+//! for all of them — rayon's `scope`, without the dependency (the build
+//! environment has no crates.io access).
+//!
+//! Design:
+//!
+//! * **Per-worker deques + an injector.** Each worker owns a deque; it
+//!   pops its own back (LIFO, cache-warm), then the shared injector,
+//!   then *steals* from the front of a sibling's deque (FIFO, oldest
+//!   work first — the classic Chase–Lev discipline, here with plain
+//!   mutexed `VecDeque`s since tasks are chunk-sized, not instruction-
+//!   sized). Steals are counted into [`Pool::steal_count`].
+//! * **Scoped tasks.** [`Pool::scope`] lets tasks borrow from the
+//!   caller's stack. The scope does not return until every spawned task
+//!   finished (even on panic), which is what makes the lifetime erasure
+//!   in `Scope::spawn` sound. While waiting, the calling thread executes
+//!   queued tasks itself — with `n` configured threads there are `n - 1`
+//!   workers plus the participating caller.
+//! * **Graceful single-thread fallback.** A pool of ≤ 1 thread spawns no
+//!   workers; `scope`/`parallel_map` run every task inline on the caller
+//!   with no queueing, no locks taken per item and no behaviour change.
+//!
+//! Configuration: the process-wide pool ([`global`]) sizes itself from
+//! the `PPF_THREADS` environment variable, falling back to
+//! `std::thread::available_parallelism`; [`set_threads`] replaces it at
+//! runtime (the programmatic knob benchmarks use for 1/2/4-way scaling
+//! tables).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicUsize,
+    Ordering::{Relaxed, SeqCst},
+};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// A queued unit of work. Tasks are lifetime-erased boxed closures; the
+/// scope machinery guarantees they complete before the borrows they
+/// capture go out of scope.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// One deque per worker thread. The owner pushes/pops the back;
+    /// thieves (and the participating caller) take from the front.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow queue for submitters that are not workers.
+    injector: Mutex<VecDeque<Job>>,
+    /// Parked-worker wakeup. Workers use a short timed wait, so a lost
+    /// wakeup costs at most one timeout period, never a hang.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for distributing submissions over deques.
+    next_queue: AtomicUsize,
+    steals: AtomicU64,
+    executed: AtomicU64,
+}
+
+impl Shared {
+    /// Take one job: own deque (LIFO), injector, then steal (FIFO).
+    /// `home` is the calling worker's deque index; `None` for the
+    /// scope-owning caller, which scans the injector and every deque.
+    fn pop_any(&self, home: Option<usize>) -> Option<Job> {
+        if let Some(h) = home {
+            if let Some(j) = self.locals[h].lock().unwrap().pop_back() {
+                return Some(j);
+            }
+        }
+        if let Some(j) = self.injector.lock().unwrap().pop_front() {
+            return Some(j);
+        }
+        let n = self.locals.len();
+        let start = home.unwrap_or(0);
+        for k in 0..n {
+            let v = (start + 1 + k) % n;
+            if Some(v) == home {
+                continue;
+            }
+            if let Some(j) = self.locals[v].lock().unwrap().pop_front() {
+                if home.is_some() {
+                    self.steals.fetch_add(1, Relaxed);
+                }
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Queue a job on the next deque in round-robin order and wake a
+    /// parked worker. Callers must only push when workers exist.
+    fn push(&self, job: Job) {
+        let i = self.next_queue.fetch_add(1, Relaxed) % self.locals.len();
+        self.locals[i].lock().unwrap().push_back(job);
+        self.wake.notify_one();
+    }
+
+    fn run(&self, job: Job) {
+        job();
+        self.executed.fetch_add(1, Relaxed);
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        if let Some(job) = shared.pop_any(Some(me)) {
+            shared.run(job);
+            continue;
+        }
+        if shared.shutdown.load(SeqCst) {
+            return;
+        }
+        // Timed wait: bounds the cost of the push-vs-park race to one
+        // millisecond instead of requiring a handshake on every push.
+        let guard = shared.sleep.lock().unwrap();
+        let _ = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with `threads` total parallelism: `threads - 1` worker
+    /// threads plus the scope-owning caller. `threads <= 1` spawns no
+    /// workers and runs everything inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_queue: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
+        for i in 0..workers {
+            let s = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("ppf-pool-{i}"))
+                .spawn(move || worker_loop(s, i))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, threads }
+    }
+
+    /// Configured parallelism (workers + participating caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tasks moved between deques by work stealing, since construction.
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Relaxed)
+    }
+
+    /// Tasks completed by worker threads (inline and caller-executed
+    /// tasks are not counted here).
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.executed.load(Relaxed)
+    }
+
+    /// Run a batch of scoped tasks. Tasks spawned via [`Scope::spawn`]
+    /// may borrow anything that outlives the `scope` call; the call
+    /// returns only after every task has finished. If any task panicked,
+    /// the panic is re-raised here (after all tasks completed).
+    pub fn scope<'env, R>(&'env self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let scope = Scope {
+            pool: self,
+            state: state.clone(),
+            _marker: std::marker::PhantomData,
+        };
+        // The closure itself may panic after spawning; tasks must still
+        // be drained before unwinding releases the borrowed stack.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&scope)));
+        while state.pending.load(SeqCst) != 0 {
+            // Participate instead of blocking: the caller is one of the
+            // pool's `threads()` lanes.
+            match self.shared.pop_any(None) {
+                Some(job) => self.shared.run(job),
+                None => std::thread::yield_now(),
+            }
+        }
+        if state.panicked.load(SeqCst) {
+            panic!("ppf-pool: a scoped task panicked");
+        }
+        match result {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Chunked data-parallel map: split `items` into up to `2 × threads`
+    /// contiguous chunks of at least `min_chunk` items, run `f(chunk_index,
+    /// chunk)` across the pool, and return the per-chunk results in chunk
+    /// order. Single-threaded pools (or inputs smaller than `2 ×
+    /// min_chunk`) make exactly one inline call.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        let ranges = even_ranges(items.len(), self.chunk_target(items.len(), min_chunk));
+        self.map_ranges(&ranges, |i, r| f(i, &items[r]))
+    }
+
+    /// Number of chunks `parallel_map` would split `len` items into.
+    pub fn chunk_target(&self, len: usize, min_chunk: usize) -> usize {
+        if self.threads <= 1 || len == 0 {
+            return 1;
+        }
+        (len / min_chunk.max(1)).clamp(1, self.threads * 2)
+    }
+
+    /// Run `f(task_index, range)` for each of the given index ranges
+    /// (caller-chosen boundaries — e.g. Dewey-aligned partitions) and
+    /// collect results in range order. One range, or a single-threaded
+    /// pool, runs inline.
+    pub fn map_ranges<R, F>(&self, ranges: &[std::ops::Range<usize>], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    {
+        if ranges.len() <= 1 || self.threads <= 1 {
+            return ranges
+                .iter()
+                .enumerate()
+                .map(|(i, r)| f(i, r.clone()))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (i, range) in ranges.iter().enumerate() {
+                let slot = &slots[i];
+                let f = &f;
+                let range = range.clone();
+                s.spawn(move || {
+                    *slot.lock().unwrap() = Some(f(i, range));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("scoped task completed"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Workers notice within one timed-wait period and exit; they are
+        // not joined (a pool replaced mid-flight may be dropped from a
+        // thread that must not block).
+        self.shared.shutdown.store(true, SeqCst);
+        self.shared.wake.notify_all();
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+/// Spawn handle passed to the closure of [`Pool::scope`].
+pub struct Scope<'env> {
+    pool: &'env Pool,
+    state: Arc<ScopeState>,
+    /// Invariant over 'env, like `std::thread::Scope`.
+    _marker: std::marker::PhantomData<std::cell::Cell<&'env ()>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a task that may borrow from the enclosing scope. With no
+    /// workers (single-thread pool) the task runs immediately inline.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        self.state.pending.fetch_add(1, SeqCst);
+        let state = self.state.clone();
+        let task = move || {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, SeqCst);
+            }
+            state.pending.fetch_sub(1, SeqCst);
+        };
+        if self.pool.shared.locals.is_empty() {
+            task();
+            return;
+        }
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(task);
+        // SAFETY: `Pool::scope` does not return until `pending` drops to
+        // zero — every spawned job has run to completion (or unwound) —
+        // so no borrow captured by `job` is dangling while it is queued
+        // or running. The lifetime is erased only for storage.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.pool.shared.push(job);
+    }
+}
+
+/// Split `0..len` into `chunks` contiguous ranges differing in length by
+/// at most one.
+pub fn even_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.clamp(1, len.max(1));
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut at = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(at..at + size);
+        at += size;
+    }
+    out
+}
+
+// ----- process-wide pool -----
+
+fn env_threads() -> Option<usize> {
+    std::env::var("PPF_THREADS").ok()?.trim().parse().ok()
+}
+
+/// Default parallelism: `PPF_THREADS` if set (0 and 1 both mean serial),
+/// else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    env_threads()
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+fn global_slot() -> &'static RwLock<Arc<Pool>> {
+    static GLOBAL: OnceLock<RwLock<Arc<Pool>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Arc::new(Pool::new(default_threads()))))
+}
+
+/// The process-wide pool. Cheap to call (one `RwLock` read + `Arc`
+/// clone); hold the handle across one operation, not forever — ­
+/// [`set_threads`] replaces the pool and old handles keep the old size.
+pub fn global() -> Arc<Pool> {
+    global_slot().read().unwrap().clone()
+}
+
+/// Replace the process-wide pool with one of `threads` total lanes (the
+/// programmatic counterpart of `PPF_THREADS`). In-flight scopes on the
+/// old pool finish unaffected; its workers then exit.
+pub fn set_threads(threads: usize) {
+    *global_slot().write().unwrap() = Arc::new(Pool::new(threads));
+}
+
+/// Configured parallelism of the current process-wide pool.
+pub fn current_threads() -> usize {
+    global().threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn even_ranges_cover_everything() {
+        for len in [0usize, 1, 7, 64, 65] {
+            for chunks in [1usize, 2, 3, 8, 100] {
+                let rs = even_ranges(len, chunks);
+                let mut at = 0;
+                for r in &rs {
+                    assert_eq!(r.start, at);
+                    at = r.end;
+                }
+                assert_eq!(at, len);
+                let max = rs.iter().map(|r| r.len()).max().unwrap_or(0);
+                let min = rs.iter().map(|r| r.len()).min().unwrap_or(0);
+                assert!(max - min <= 1, "len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let items: Vec<u64> = (0..10_000).collect();
+            let partials = pool.parallel_map(&items, 64, |_, chunk| chunk.iter().sum::<u64>());
+            let total: u64 = partials.iter().sum();
+            assert_eq!(total, items.iter().sum::<u64>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_and_complete() {
+        let pool = Pool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Relaxed), 100);
+    }
+
+    #[test]
+    fn map_ranges_preserves_order() {
+        let pool = Pool::new(3);
+        let ranges = even_ranges(1000, 7);
+        let got = pool.map_ranges(&ranges, |i, r| (i, r.start));
+        for (i, (idx, start)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*start, ranges[i].start);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.parallel_map(&items, 1, |_, c| c.len());
+        assert_eq!(out.iter().sum::<usize>(), 100);
+        assert_eq!(pool.tasks_executed(), 0, "no workers, no queued tasks");
+    }
+
+    #[test]
+    fn panic_propagates_after_drain() {
+        let pool = Pool::new(2);
+        let done = AtomicU64::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                for _ in 0..10 {
+                    s.spawn(|| {
+                        done.fetch_add(1, Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(done.load(Relaxed), 10, "non-panicking tasks still ran");
+    }
+
+    #[test]
+    fn global_pool_resizes() {
+        // Serialize against other tests touching the global pool.
+        set_threads(2);
+        assert_eq!(current_threads(), 2);
+        set_threads(1);
+        assert_eq!(current_threads(), 1);
+    }
+}

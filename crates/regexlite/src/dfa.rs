@@ -122,6 +122,42 @@ impl LazyDfa {
         result
     }
 
+    /// Read-only matching over the already-built states: never constructs
+    /// a state or fills a transition, so many threads can run it under a
+    /// shared (read) lock. Returns `None` when the walk reaches a
+    /// transition that has not been computed yet — the caller escalates to
+    /// an exclusive lock and re-runs with [`LazyDfa::try_match`].
+    pub fn try_match_frozen(&self, prog: &Program, input: &[u8]) -> Option<bool> {
+        let mut hits = 0u64;
+        let result = self.run_frozen(prog, input, &mut hits);
+        crate::stats::record_dfa_transitions(hits, 0);
+        result
+    }
+
+    fn run_frozen(&self, prog: &Program, input: &[u8], hits: &mut u64) -> Option<bool> {
+        let mut cur = self.start?;
+        if self.states[cur as usize].accept {
+            return Some(true);
+        }
+        for (at, &b) in input.iter().enumerate() {
+            let class = self.classes[b as usize] as usize;
+            let next = self.states[cur as usize].trans[class];
+            if next == UNSET {
+                return None;
+            }
+            *hits += 1;
+            cur = next;
+            let s = &self.states[cur as usize];
+            if s.accept {
+                return Some(true);
+            }
+            if s.set.is_empty() && prog.anchored_start && at + 1 < input.len() {
+                return Some(false);
+            }
+        }
+        Some(self.states[cur as usize].accept_at_end)
+    }
+
     fn run(
         &mut self,
         prog: &Program,

@@ -27,8 +27,8 @@ pub mod nfa;
 pub mod parser;
 pub mod stats;
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Mutex, RwLock};
 
 /// Process-wide DFA kill switch, for measuring the Pike-VM baseline.
 static DFA_ENABLED: AtomicBool = AtomicBool::new(true);
@@ -73,15 +73,20 @@ impl std::error::Error for Error {}
 ///
 /// Reusable across many inputs; the per-match scratch space is pooled
 /// internally so repeated [`Regex::is_match`] calls do not allocate.
+///
+/// `Regex` is `Send + Sync`: the SQL executor shares one compiled filter
+/// (behind an `Arc`) across every worker of a partitioned scan. The hot
+/// path takes the DFA's read lock and walks already-built states; only a
+/// walk that reaches an unbuilt transition upgrades to the write lock to
+/// extend the machine, so a warm DFA serves all threads concurrently.
 #[derive(Debug)]
 pub struct Regex {
     pattern: String,
     program: nfa::Program,
-    // Pooled Pike-VM thread lists and memoized DFA states. RefCell keeps
-    // the public API `&self` like mainstream regex engines; the SQL
-    // executor runs one query per thread, so no Sync requirement.
-    vm: RefCell<nfa::Vm>,
-    dfa: RefCell<dfa::LazyDfa>,
+    /// Pike-VM scratch pool: each concurrent fallback match pops one
+    /// (or allocates), then returns it.
+    vm: Mutex<Vec<nfa::Vm>>,
+    dfa: RwLock<dfa::LazyDfa>,
 }
 
 impl Regex {
@@ -101,8 +106,8 @@ impl Regex {
         Ok(Regex {
             pattern: pattern.to_string(),
             program,
-            vm: RefCell::new(nfa::Vm::new()),
-            dfa: RefCell::new(dfa),
+            vm: Mutex::new(Vec::new()),
+            dfa: RwLock::new(dfa),
         })
     }
 
@@ -120,15 +125,32 @@ impl Regex {
     /// passes through since class matching is per byte).
     pub fn is_match_bytes(&self, input: &[u8]) -> bool {
         if dfa_enabled() {
-            match self.dfa.borrow_mut().try_match(&self.program, input) {
+            // Fast path: walk already-built states under the shared lock.
+            let frozen = self
+                .dfa
+                .read()
+                .unwrap()
+                .try_match_frozen(&self.program, input);
+            match frozen {
                 Some(matched) => {
                     stats::record_dfa_match();
                     return matched;
                 }
-                None => stats::record_dfa_fallback(),
+                // The walk needs a state or transition that doesn't exist
+                // yet — take the exclusive lock and build as we go.
+                None => match self.dfa.write().unwrap().try_match(&self.program, input) {
+                    Some(matched) => {
+                        stats::record_dfa_match();
+                        return matched;
+                    }
+                    None => stats::record_dfa_fallback(),
+                },
             }
         }
-        self.vm.borrow_mut().is_match(&self.program, input)
+        let mut vm = self.vm.lock().unwrap().pop().unwrap_or_default();
+        let matched = vm.is_match(&self.program, input);
+        self.vm.lock().unwrap().push(vm);
+        matched
     }
 }
 
@@ -137,10 +159,10 @@ impl Clone for Regex {
         Regex {
             pattern: self.pattern.clone(),
             program: self.program.clone(),
-            vm: RefCell::new(nfa::Vm::new()),
-            dfa: RefCell::new(dfa::LazyDfa::with_budget(
+            vm: Mutex::new(Vec::new()),
+            dfa: RwLock::new(dfa::LazyDfa::with_budget(
                 &self.program,
-                self.dfa.borrow().budget(),
+                self.dfa.read().unwrap().budget(),
             )),
         }
     }
@@ -229,5 +251,61 @@ mod tests {
     fn error_display() {
         let err = Regex::new("(a").unwrap_err();
         assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn regex_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Regex>();
+    }
+
+    #[test]
+    fn concurrent_matching_agrees_with_serial() {
+        let re = std::sync::Arc::new(Regex::new("^/site(/[^/]+)*/keyword$").unwrap());
+        let inputs: Vec<String> = (0..400)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("/site/regions/r{i}/item/keyword")
+                } else {
+                    format!("/site/regions/r{i}/item/name")
+                }
+            })
+            .collect();
+        let serial: Vec<bool> = inputs.iter().map(|s| re.is_match(s)).collect();
+        let inputs = std::sync::Arc::new(inputs);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let re = re.clone();
+                let inputs = inputs.clone();
+                std::thread::spawn(move || {
+                    inputs.iter().map(|s| re.is_match(s)).collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn concurrent_matching_on_cold_dfa_with_tiny_budget() {
+        // Every thread races to build states and some matches exhaust the
+        // budget and fall back to the pooled Pike VMs; answers must still
+        // all be correct.
+        let re = std::sync::Arc::new(Regex::with_dfa_budget("^/a(/[^/]+)*/b$", 4).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let re = re.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        assert!(re.is_match(&format!("/a/x{i}/b")));
+                        assert!(!re.is_match(&format!("/a/x{i}")));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -1,0 +1,51 @@
+//! Thread-safety audit: the relational store is plain owned data with no
+//! interior mutability, so shared references to it may cross threads —
+//! the property the partitioned executor and the concurrent query engine
+//! are built on. These are compile-time assertions; if a field ever
+//! introduces `Rc`/`RefCell`/raw pointers, this file stops compiling.
+
+use relstore::{Database, Table, TableSchema, Value};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn store_types_are_send_and_sync() {
+    assert_send_sync::<Database>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<TableSchema>();
+    assert_send_sync::<Value>();
+}
+
+#[test]
+fn shared_table_reads_from_many_threads() {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "t",
+        &[
+            ("id", relstore::ColType::Int),
+            ("p", relstore::ColType::Str),
+        ],
+    ))
+    .unwrap();
+    {
+        let t = db.table_mut("t").unwrap();
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i), Value::Str(format!("/a/b{i}"))])
+                .unwrap();
+        }
+    }
+    let db = std::sync::Arc::new(db);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let t = db.table("t").unwrap();
+                let sum: i64 = t.rows().filter_map(|(_, r)| r[0].as_int()).sum();
+                assert_eq!(sum, (0..100).sum::<i64>());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

@@ -4,7 +4,9 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use regexlite::Regex;
 use relstore::{Database, RowId, Table, Value};
@@ -43,6 +45,30 @@ pub struct ExecStats {
     /// executor's pools (a steady-state hot loop should stop adding these
     /// after warm-up).
     pub probe_allocs: u64,
+    /// Parallel operations launched: partitioned path-filter scans and
+    /// partitioned branch executions (one per fan-out, regardless of how
+    /// many chunks it split into).
+    pub par_tasks: u64,
+    /// Chunks executed across all parallel operations — `par_chunks /
+    /// par_tasks` is the average degree of partitioning actually achieved.
+    pub par_chunks: u64,
+}
+
+impl ExecStats {
+    /// Field-wise accumulate — merges a partition worker's counters into
+    /// the coordinator's.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_probes += other.index_probes;
+        self.subqueries += other.subqueries;
+        self.predicate_evals += other.predicate_evals;
+        self.merge_probes += other.merge_probes;
+        self.path_memo_hits += other.path_memo_hits;
+        self.path_memo_misses += other.path_memo_misses;
+        self.probe_allocs += other.probe_allocs;
+        self.par_tasks += other.par_tasks;
+        self.par_chunks += other.par_chunks;
+    }
 }
 
 /// Per-plan-step execution counters. One `OpStats` accumulates across every
@@ -78,12 +104,12 @@ impl OpStats {
 }
 
 /// A cached hash-join build side: probe key -> matching row ids.
-type HashBuild = std::rc::Rc<std::collections::BTreeMap<Value, Vec<RowId>>>;
+type HashBuild = Arc<std::collections::BTreeMap<Value, Vec<RowId>>>;
 
 /// A flattened index: every (key, rows) pair in key order, for the
 /// sort-merge cursor. Borrows the B-tree's own keys — building one costs a
 /// single traversal and `len` pointer pairs, no key copies.
-type MergeEntries<'db> = std::rc::Rc<Vec<(&'db [Value], &'db [RowId])>>;
+type MergeEntries<'db> = Arc<Vec<(&'db [Value], &'db [RowId])>>;
 
 /// Path-filter memo key: table identity (uid + version — see
 /// `Table::uid`), subject column, and the pattern text. The version
@@ -93,28 +119,129 @@ type PathMemoKey = (u64, u64, usize, String);
 
 const REGEX_CACHE_CAP: usize = 1024;
 const PATH_MEMO_CAP: usize = 512;
+const CACHE_SHARDS: usize = 16;
 
-thread_local! {
-    /// Compiled-program cache for `REGEXP_LIKE`, keyed by pattern text.
-    /// Thread-local rather than per-executor so short-lived executors
-    /// (one per engine query) still hit warm programs — and with them the
-    /// pattern's already-built lazy-DFA states and pooled VM scratch.
-    static REGEX_CACHE: RefCell<HashMap<String, std::rc::Rc<Regex>>> =
-        RefCell::new(HashMap::new());
-    /// Memoized path-filter scans: which rows of a (table snapshot,
-    /// column) survive a pattern. Repeated queries skip the scan and the
-    /// regex work entirely.
-    static PATH_MEMO: RefCell<HashMap<PathMemoKey, std::rc::Rc<Vec<RowId>>>> =
-        RefCell::new(HashMap::new());
+/// A sharded, process-wide cache. Keys hash to one of [`CACHE_SHARDS`]
+/// independently locked maps, so pool workers and concurrent engine
+/// queries touching different keys rarely contend on the same lock.
+/// Replaces the earlier thread-local caches, which silently recompiled
+/// every pattern once per pool worker and kept per-thread hit counters
+/// that never added up.
+struct Sharded<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    per_shard_cap: usize,
 }
 
-/// Drop this thread's compiled-regex cache and path-filter memo.
+impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
+    fn new(cap: usize) -> Sharded<K, V> {
+        Sharded {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_cap: (cap / CACHE_SHARDS).max(1),
+        }
+    }
+
+    fn shard_of<Q: Hash + ?Sized>(&self, key: &Q) -> &Mutex<HashMap<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shard_of(key).lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert, clearing the target shard first when it is at capacity
+    /// (coarse but effective bound; entries re-warm on next use).
+    fn insert(&self, key: K, value: V) {
+        let mut map = self.shard_of(&key).lock().unwrap();
+        if map.len() >= self.per_shard_cap {
+            map.clear();
+        }
+        map.insert(key, value);
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+/// Compiled-program cache for `REGEXP_LIKE`, keyed by pattern text.
+/// Process-wide so every executor — including short-lived per-query ones
+/// and pool partition workers — shares one compiled program per pattern,
+/// and with it the pattern's already-built lazy-DFA states.
+fn regex_cache() -> &'static Sharded<String, Arc<Regex>> {
+    static CACHE: OnceLock<Sharded<String, Arc<Regex>>> = OnceLock::new();
+    CACHE.get_or_init(|| Sharded::new(REGEX_CACHE_CAP))
+}
+
+/// Memoized path-filter scans: which rows of a (table snapshot, column)
+/// survive a pattern. Repeated queries skip the scan and the regex work
+/// entirely. Two concurrent queries missing on the same key may both run
+/// the scan (last insert wins) — duplicated work once, never a wrong
+/// answer.
+fn path_memo() -> &'static Sharded<PathMemoKey, Arc<Vec<RowId>>> {
+    static CACHE: OnceLock<Sharded<PathMemoKey, Arc<Vec<RowId>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Sharded::new(PATH_MEMO_CAP))
+}
+
+/// Drop the process-wide compiled-regex cache and path-filter memo.
 /// Benchmarks call this to measure true cold-cache behaviour; correctness
 /// never requires it (memo keys embed the table version).
-pub fn clear_thread_caches() {
-    REGEX_CACHE.with(|c| c.borrow_mut().clear());
-    PATH_MEMO.with(|m| m.borrow_mut().clear());
+pub fn clear_filter_caches() {
+    regex_cache().clear();
+    path_memo().clear();
 }
+
+/// Intra-query parallelism strategy for this thread's executors: `Auto`
+/// partitions when the outer run (or filter scan) is large enough to pay
+/// for the fan-out, `ForceOff` pins the original serial pipeline, and
+/// `ForceOn` partitions whenever there are at least two rows to split —
+/// the A/B lever equivalence tests and `perf_check` use. Thread-local so
+/// concurrently running tests cannot perturb each other; partition
+/// workers inherit the coordinator's setting (pinned to `ForceOff`
+/// inside a worker — parallelism never nests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    #[default]
+    Auto,
+    ForceOff,
+    ForceOn,
+}
+
+thread_local! {
+    static PARALLEL_MODE: std::cell::Cell<ParallelMode> =
+        const { std::cell::Cell::new(ParallelMode::Auto) };
+}
+
+/// Set this thread's parallel-execution mode, returning the previous one.
+pub fn set_parallel_mode(mode: ParallelMode) -> ParallelMode {
+    PARALLEL_MODE.with(|m| m.replace(mode))
+}
+
+/// This thread's current parallel-execution mode.
+pub fn parallel_mode() -> ParallelMode {
+    PARALLEL_MODE.with(|m| m.get())
+}
+
+/// `Auto` floor on table rows before a path-filter scan is partitioned.
+const PAR_MIN_FILTER_ROWS: usize = 4096;
+/// Minimum rows per partitioned filter-scan chunk.
+const PAR_FILTER_CHUNK: usize = 1024;
+/// `Auto` floor on outer rows before a branch execution is partitioned.
+const PAR_MIN_OUTER_ROWS: usize = 64;
+/// Minimum outer rows per partitioned branch chunk under `Auto`.
+const PAR_OUTER_CHUNK: usize = 8;
+/// `Auto` alternative floor: few outer rows still fan out when the
+/// planner expects each to drive this much downstream row traffic.
+const PAR_MIN_BRANCH_WORK: f64 = 4096.0;
 
 thread_local! {
     static FILTER_CACHES: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
@@ -143,9 +270,100 @@ type EmitFn<'a, 'db> =
 /// One bound alias during execution.
 #[derive(Clone)]
 struct Binding<'db> {
-    alias: std::rc::Rc<str>,
+    alias: Arc<str>,
     table: &'db Table,
     rid: RowId,
+}
+
+/// A resolved ORDER BY key: a projected output column by position, or an
+/// expression computed against the branch's own bindings.
+enum KeyKind {
+    Output(usize),
+    Computed(Expr),
+}
+
+/// Evaluate one surviving binding into its `(sort_key, row)` pair — the
+/// per-row tail of statement execution, shared by the serial emit closure
+/// and partition workers.
+fn project_row<'db>(
+    exec: &Executor<'db>,
+    sel: &Select,
+    keys: &[(KeyKind, bool)],
+    env: &mut Vec<Binding<'db>>,
+) -> Result<(Vec<Value>, Vec<Value>), ExecError> {
+    let row: Vec<Value> = sel
+        .projections
+        .iter()
+        .map(|p| exec.eval(&p.expr, env))
+        .collect::<Result<_, _>>()?;
+    let mut sort_key = Vec::with_capacity(keys.len());
+    for (kind, _) in keys {
+        match kind {
+            KeyKind::Output(i) => sort_key.push(row[*i].clone()),
+            KeyKind::Computed(e) => sort_key.push(exec.eval(e, env)?),
+        }
+    }
+    Ok((sort_key, row))
+}
+
+/// The Dewey-position column structural joins window on (`shred`'s naming;
+/// duplicated here because `sqlexec` sits below `shred` in the crate DAG).
+const DEWEY_COL: &str = "dewey_pos";
+
+/// Nudge partition boundaries so no cut lands between a row and its Dewey
+/// descendant: while the row left of a boundary is a byte-prefix (i.e. an
+/// ancestor — the binary Dewey encoding is 3 bytes per component) of the
+/// row right of it, the boundary slides right, keeping each subtree run
+/// with its root. Correctness never depends on this — every outer row's
+/// whole join window is processed by the worker that owns the row — but
+/// aligned chunks keep each worker's merge cursor walking one contiguous,
+/// monotone Dewey range. Tables without a Dewey column are left as split.
+fn align_ranges_to_dewey(table: &Table, rows: &[RowId], ranges: &mut Vec<std::ops::Range<usize>>) {
+    let Some(ci) = table.schema.col(DEWEY_COL) else {
+        return;
+    };
+    if table.schema.columns[ci].ty != relstore::ColType::Bytes {
+        return;
+    }
+    let dewey = |i: usize| -> Option<&[u8]> {
+        match &table.row(rows[i])[ci] {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    };
+    let mut bounds: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+    for b in bounds.iter_mut().skip(1) {
+        while *b < rows.len() {
+            match (dewey(*b - 1), dewey(*b)) {
+                (Some(anc), Some(desc)) if desc.len() > anc.len() && desc.starts_with(anc) => {
+                    *b += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+    bounds.push(rows.len());
+    bounds.dedup();
+    *ranges = bounds
+        .windows(2)
+        .map(|w| w[0]..w[1])
+        .filter(|r| !r.is_empty())
+        .collect();
+}
+
+/// A projected result row paired with its sort keys.
+type KeyedRow = (Vec<Value>, Vec<Value>);
+
+/// Everything one partition worker hands back to the coordinator.
+struct WorkerResult {
+    outcome: Result<(), ExecError>,
+    rows: Vec<KeyedRow>,
+    /// Depth-0 row-loop counters (the worker's share of the outer run).
+    depth0: OpStats,
+    /// The worker executor's global counters (depths ≥ 1, subqueries).
+    stats: ExecStats,
+    step_stats: HashMap<usize, Vec<OpStats>>,
+    plans: HashMap<usize, Arc<SelectPlan>>,
 }
 
 /// The SQL executor. Borrow a database, run statements.
@@ -154,12 +372,12 @@ pub struct Executor<'db> {
     stats: RefCell<ExecStats>,
     /// Per-statement plan cache keyed by `Select` address; cleared at each
     /// top-level `run` so addresses cannot dangle across statements.
-    plans: RefCell<HashMap<usize, std::rc::Rc<SelectPlan>>>,
+    plans: RefCell<HashMap<usize, Arc<SelectPlan>>>,
     /// Plans seeded from a previous statement execution (the engine's
-    /// query cache re-uses `Select` ASTs behind `Rc`, keeping addresses
-    /// stable). Consulted by `plan_for` after `plans`; never cleared by
-    /// `run`.
-    seeded: RefCell<HashMap<usize, std::rc::Rc<SelectPlan>>>,
+    /// query cache re-uses `Select` ASTs behind shared pointers, keeping
+    /// addresses stable). Consulted by `plan_for` after `plans`; never
+    /// cleared by `run`.
+    seeded: RefCell<HashMap<usize, Arc<SelectPlan>>>,
     /// Slot holding the current `COUNT(*)` aggregate while its projection
     /// is evaluated.
     count_result: std::cell::Cell<Option<i64>>,
@@ -225,7 +443,7 @@ impl<'db> Executor<'db> {
     /// this plan so they are the very `Select` clones the executor
     /// profiled (re-planning would produce fresh clones whose addresses
     /// match no recorded counters).
-    pub fn cached_plan(&self, sel: &Select) -> Option<std::rc::Rc<SelectPlan>> {
+    pub fn cached_plan(&self, sel: &Select) -> Option<Arc<SelectPlan>> {
         self.plans
             .borrow()
             .get(&(sel as *const Select as usize))
@@ -237,7 +455,7 @@ impl<'db> Executor<'db> {
     /// no particular order. Lets callers roll counters up by table — e.g.
     /// "rows examined vs surviving on the `Paths` table" — without
     /// knowing the statement's shape.
-    pub fn profiled_steps(&self) -> Vec<(std::rc::Rc<SelectPlan>, Vec<OpStats>)> {
+    pub fn profiled_steps(&self) -> Vec<(Arc<SelectPlan>, Vec<OpStats>)> {
         let plans = self.plans.borrow();
         self.step_stats
             .borrow()
@@ -250,14 +468,14 @@ impl<'db> Executor<'db> {
     /// `Select` address. The engine's query cache captures this after the
     /// first execution and replays it via [`Executor::seed_plans`] into
     /// fresh executors — sound because the cached statement's `Select`s
-    /// live behind `Rc` and keep their addresses.
-    pub fn plan_snapshot(&self) -> HashMap<usize, std::rc::Rc<SelectPlan>> {
+    /// live behind shared pointers and keep their addresses.
+    pub fn plan_snapshot(&self) -> HashMap<usize, Arc<SelectPlan>> {
         self.plans.borrow().clone()
     }
 
     /// Pre-load plans captured by [`Executor::plan_snapshot`] so the next
     /// `run` skips planning for those `Select` blocks.
-    pub fn seed_plans(&self, snapshot: &HashMap<usize, std::rc::Rc<SelectPlan>>) {
+    pub fn seed_plans(&self, snapshot: &HashMap<usize, Arc<SelectPlan>>) {
         self.seeded
             .borrow_mut()
             .extend(snapshot.iter().map(|(k, v)| (*k, v.clone())));
@@ -300,10 +518,6 @@ impl<'db> Executor<'db> {
         // Resolve ORDER BY keys. Keys naming an output column sort on the
         // projected value (required for UNION); otherwise the key expression
         // is evaluated against the FROM bindings of the (single) branch.
-        enum KeyKind {
-            Output(usize),
-            Computed(Expr),
-        }
         let first = &stmt.branches[0];
         let mut keys: Vec<(KeyKind, bool)> = Vec::new();
         for k in &stmt.order_by {
@@ -333,24 +547,18 @@ impl<'db> Executor<'db> {
 
         let mut all_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (sort keys, row)
         for sel in &stmt.branches {
-            let mut env: Vec<Binding> = Vec::new();
-            let mut branch_rows = Vec::new();
-            self.select_rows(sel, &mut env, &mut |exec, env| {
-                let row: Vec<Value> = sel
-                    .projections
-                    .iter()
-                    .map(|p| exec.eval(&p.expr, env))
-                    .collect::<Result<_, _>>()?;
-                let mut sort_key = Vec::with_capacity(keys.len());
-                for (kind, _) in &keys {
-                    match kind {
-                        KeyKind::Output(i) => sort_key.push(row[*i].clone()),
-                        KeyKind::Computed(e) => sort_key.push(exec.eval(e, env)?),
-                    }
+            let mut branch_rows = match self.branch_rows_parallel(sel, &keys)? {
+                Some(rows) => rows,
+                None => {
+                    let mut env: Vec<Binding> = Vec::new();
+                    let mut rows = Vec::new();
+                    self.select_rows(sel, &mut env, &mut |exec, env| {
+                        rows.push(project_row(exec, sel, &keys, env)?);
+                        Ok(true)
+                    })?;
+                    rows
                 }
-                branch_rows.push((sort_key, row));
-                Ok(true)
-            })?;
+            };
             if sel.distinct {
                 dedup_rows(&mut branch_rows);
             }
@@ -391,6 +599,246 @@ impl<'db> Executor<'db> {
         })
     }
 
+    /// Partitioned execution of one top-level branch: fill the first
+    /// step's candidate rows once, split the run at Dewey-aligned
+    /// boundaries, and drive the remaining pipeline over each slice on a
+    /// pool worker with its own `Executor`. Chunk outputs concatenate in
+    /// range order, so the result is the serial emission order exactly.
+    ///
+    /// Returns `None` when this branch should take the serial path — the
+    /// mode is `ForceOff`, the pool has one thread, the projection is an
+    /// aggregate, or the plan has no steps. `PPF_THREADS=1` therefore
+    /// reproduces the pre-parallel engine byte for byte.
+    fn branch_rows_parallel(
+        &self,
+        sel: &Select,
+        keys: &[(KeyKind, bool)],
+    ) -> Result<Option<Vec<KeyedRow>>, ExecError> {
+        let mode = parallel_mode();
+        let pool = ppf_pool::global();
+        if mode == ParallelMode::ForceOff || pool.threads() <= 1 {
+            return Ok(None);
+        }
+        if sel
+            .projections
+            .iter()
+            .any(|p| matches!(p.expr, Expr::CountStar))
+        {
+            // COUNT(*) funnels through a single accumulator; the serial
+            // path owns it (the rows it counts are never materialized).
+            return Ok(None);
+        }
+        let plan = self.plan_for(sel, &[])?;
+        if plan.steps.is_empty() {
+            return Ok(None);
+        }
+        let step0 = &plan.steps[0];
+        let table = self
+            .db
+            .table(&step0.table)
+            .ok_or_else(|| ExecError(format!("no such table `{}`", step0.table)))?;
+
+        let t0 = self.profiling.get().then(std::time::Instant::now);
+        let mut fill_local = OpStats {
+            invocations: 1,
+            ..OpStats::default()
+        };
+        let mut env: Vec<Binding<'db>> = Vec::new();
+        let mut probe_rows = self.take_row_buf();
+        let memo_skip = match self.fill_probe_rows(
+            step0,
+            table,
+            sel,
+            0,
+            &mut env,
+            &mut fill_local,
+            &mut probe_rows,
+        ) {
+            Ok(skip) => skip,
+            Err(e) => {
+                self.put_row_buf(probe_rows);
+                return Err(e);
+            }
+        };
+
+        let n = probe_rows.len();
+        let go = match mode {
+            ParallelMode::ForceOn => n >= 2,
+            // Fan out for a wide outer run, or for a narrow one the planner
+            // expects to drive heavy downstream traffic (the PPF shape:
+            // few path rows, each joining a large subtree).
+            _ => {
+                let fanout: f64 = plan.steps[1..]
+                    .iter()
+                    .map(|s| s.est_fetched.max(1.0))
+                    .product();
+                n >= 2 && (n >= PAR_MIN_OUTER_ROWS || (n as f64) * fanout >= PAR_MIN_BRANCH_WORK)
+            }
+        };
+        let mut ranges = if go {
+            let chunks = match mode {
+                ParallelMode::ForceOn => n.min(pool.threads() * 2).max(2),
+                _ => pool.chunk_target(n, PAR_OUTER_CHUNK),
+            };
+            ppf_pool::even_ranges(n, chunks)
+        } else {
+            Vec::new()
+        };
+        if ranges.len() > 1 {
+            align_ranges_to_dewey(table, &probe_rows, &mut ranges);
+        }
+
+        if ranges.len() <= 1 {
+            // Not worth (or not able to) split: finish serially over the
+            // rows already fetched, accumulating into the same step slot.
+            let mut rows = Vec::new();
+            let outcome = self.run_probe_rows(
+                &plan,
+                0,
+                sel,
+                &mut env,
+                table,
+                &probe_rows,
+                memo_skip,
+                &mut |exec, env| {
+                    rows.push(project_row(exec, sel, keys, env)?);
+                    Ok(true)
+                },
+                &mut fill_local,
+            );
+            self.put_row_buf(probe_rows);
+            if let Some(t0) = t0 {
+                fill_local.elapsed_ns = t0.elapsed().as_nanos() as u64;
+            }
+            self.flush_depth0(sel, &plan, &fill_local);
+            outcome?;
+            return Ok(Some(rows));
+        }
+
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.par_tasks += 1;
+            stats.par_chunks += ranges.len() as u64;
+        }
+        // Workers run on pool threads *and* on this one (the coordinator
+        // helps drain the queue), so every thread-local the pipeline
+        // consults is captured here and restored on exit from each task.
+        let mm = crate::plan::merge_mode();
+        let fc = filter_caches_enabled();
+        let profiling = self.profiling.get();
+        let snapshot = {
+            let mut s = self.plan_snapshot();
+            s.extend(self.seeded.borrow().iter().map(|(k, v)| (*k, v.clone())));
+            s
+        };
+        let db = self.db;
+        let plan_ref = &plan;
+        let rows_ref = &probe_rows[..];
+        let parts: Vec<WorkerResult> = pool.map_ranges(&ranges, |_, range| {
+            let prev_mm = crate::plan::set_merge_mode(mm);
+            let prev_fc = set_filter_caches_enabled(fc);
+            let prev_pm = set_parallel_mode(ParallelMode::ForceOff);
+            let exec = Executor::new(db);
+            exec.seed_plans(&snapshot);
+            exec.set_profiling(profiling);
+            let mut env: Vec<Binding> = Vec::new();
+            let mut rows = Vec::new();
+            let mut depth0 = OpStats::default(); // invocations stay the coordinator's
+            let outcome = exec
+                .run_probe_rows(
+                    plan_ref,
+                    0,
+                    sel,
+                    &mut env,
+                    table,
+                    &rows_ref[range],
+                    memo_skip,
+                    &mut |e, env| {
+                        rows.push(project_row(e, sel, keys, env)?);
+                        Ok(true)
+                    },
+                    &mut depth0,
+                )
+                .map(|_| ());
+            let result = WorkerResult {
+                outcome,
+                rows,
+                depth0,
+                stats: exec.stats(),
+                step_stats: exec.step_stats.borrow().clone(),
+                plans: exec.plan_snapshot(),
+            };
+            crate::plan::set_merge_mode(prev_mm);
+            set_filter_caches_enabled(prev_fc);
+            set_parallel_mode(prev_pm);
+            result
+        });
+        self.put_row_buf(probe_rows);
+
+        let mut rows = Vec::new();
+        let mut first_err: Option<ExecError> = None;
+        for part in parts {
+            fill_local.absorb(&part.depth0);
+            self.stats.borrow_mut().absorb(&part.stats);
+            self.absorb_step_stats(&part.step_stats);
+            self.absorb_plans(&part.plans);
+            if let Err(e) = part.outcome {
+                first_err.get_or_insert(e);
+            }
+            rows.extend(part.rows);
+        }
+        if let Some(t0) = t0 {
+            fill_local.elapsed_ns = t0.elapsed().as_nanos() as u64;
+        }
+        self.flush_depth0(sel, &plan, &fill_local);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(Some(rows)),
+        }
+    }
+
+    /// Credit the coordinator-side depth-0 counters (candidate fill plus
+    /// any serial completion) to the step-stats slot and the global
+    /// counters, exactly as [`Self::exec_steps`] does on the serial path.
+    fn flush_depth0(&self, sel: &Select, plan: &SelectPlan, local: &OpStats) {
+        {
+            let mut map = self.step_stats.borrow_mut();
+            let slots = map
+                .entry(sel as *const Select as usize)
+                .or_insert_with(|| vec![OpStats::default(); plan.steps.len()]);
+            slots[0].absorb(local);
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.rows_scanned += local.rows_in;
+        stats.index_probes += local.index_probes;
+        stats.predicate_evals += local.predicate_evals;
+    }
+
+    /// Merge a partition worker's per-step counters into this executor's
+    /// (slot-wise; the worker profiled the same shared plans, so `Select`
+    /// addresses line up).
+    fn absorb_step_stats(&self, other: &HashMap<usize, Vec<OpStats>>) {
+        let mut map = self.step_stats.borrow_mut();
+        for (key, ops) in other {
+            let slots = map
+                .entry(*key)
+                .or_insert_with(|| vec![OpStats::default(); ops.len()]);
+            for (slot, op) in slots.iter_mut().zip(ops) {
+                slot.absorb(op);
+            }
+        }
+    }
+
+    /// Adopt plans a worker cached (subquery blocks the coordinator never
+    /// planned itself), so `EXPLAIN ANALYZE` can render every profiled
+    /// block.
+    fn absorb_plans(&self, other: &HashMap<usize, Arc<SelectPlan>>) {
+        let mut map = self.plans.borrow_mut();
+        for (key, plan) in other {
+            map.entry(*key).or_insert_with(|| plan.clone());
+        }
+    }
+
     /// Run one select block, calling `emit` per surviving binding (or once
     /// with the aggregate when the projection is `COUNT(*)`).
     /// `emit` returns `false` to stop early (EXISTS).
@@ -429,11 +877,7 @@ impl<'db> Executor<'db> {
         Ok(())
     }
 
-    fn plan_for(
-        &self,
-        sel: &Select,
-        env: &[Binding<'db>],
-    ) -> Result<std::rc::Rc<SelectPlan>, ExecError> {
+    fn plan_for(&self, sel: &Select, env: &[Binding<'db>]) -> Result<Arc<SelectPlan>, ExecError> {
         let key = sel as *const Select as usize;
         if let Some(p) = self.plans.borrow().get(&key) {
             return Ok(p.clone());
@@ -446,7 +890,7 @@ impl<'db> Executor<'db> {
             .iter()
             .map(|b| (b.alias.to_string(), b.table.schema.name.clone()))
             .collect();
-        let plan = std::rc::Rc::new(plan_select(self.db, sel, &outer)?);
+        let plan = Arc::new(plan_select(self.db, sel, &outer)?);
         self.plans.borrow_mut().insert(key, plan.clone());
         Ok(plan)
     }
@@ -542,8 +986,41 @@ impl<'db> Executor<'db> {
                 }
             };
 
+        let outcome = self.run_probe_rows(
+            plan,
+            depth,
+            sel,
+            env,
+            table,
+            &probe_rows,
+            memo_skip,
+            emit,
+            local,
+        );
+        self.put_row_buf(probe_rows);
+        outcome
+    }
+
+    /// The nested-loop row loop for one step invocation, over an
+    /// already-materialized candidate list. Shared by the serial pipeline
+    /// ([`Self::exec_steps_inner`]) and by partition workers, which run it
+    /// over disjoint slices of the coordinator's outer run.
+    #[allow(clippy::too_many_arguments)]
+    fn run_probe_rows<'e>(
+        &'e self,
+        plan: &SelectPlan,
+        depth: usize,
+        sel: &'e Select,
+        env: &mut Vec<Binding<'db>>,
+        table: &'db Table,
+        probe_rows: &[RowId],
+        memo_skip: Option<usize>,
+        emit: &mut EmitFn<'_, 'db>,
+        local: &mut OpStats,
+    ) -> Result<bool, ExecError> {
+        let step = &plan.steps[depth];
         let mut outcome = Ok(true);
-        'rows: for &rid in &probe_rows {
+        'rows: for &rid in probe_rows {
             local.rows_in += 1;
             env.push(Binding {
                 alias: step.alias.clone(),
@@ -588,7 +1065,6 @@ impl<'db> Executor<'db> {
                 break 'rows;
             }
         }
-        self.put_row_buf(probe_rows);
         outcome
     }
 
@@ -749,7 +1225,7 @@ impl<'db> Executor<'db> {
             return e.clone();
         }
         let entries: Vec<_> = table.indexes()[index].entries().collect();
-        let rc = std::rc::Rc::new(entries);
+        let rc = Arc::new(entries);
         self.merge_arrays.borrow_mut().insert(key, rc.clone());
         rc
     }
@@ -798,59 +1274,83 @@ impl<'db> Executor<'db> {
             return Ok(None);
         };
         let key: PathMemoKey = (table.uid(), table.version(), ci, pattern.to_string());
-        if let Some(rows) = PATH_MEMO.with(|m| m.borrow().get(&key).cloned()) {
+        if let Some(rows) = path_memo().get(&key) {
             self.stats.borrow_mut().path_memo_hits += 1;
             probe_rows.extend_from_slice(&rows);
             return Ok(Some(ri));
         }
         self.stats.borrow_mut().path_memo_misses += 1;
         let re = self.cached_regex(pattern)?;
-        let mut survivors = Vec::new();
-        for (rid, row) in table.rows() {
-            // NULLs never match (three-valued logic rejects the row).
-            if let Value::Str(s) = &row[ci] {
-                if re.is_match(s) {
-                    survivors.push(rid);
-                }
-            }
-        }
+        let survivors = self.filter_scan(table, ci, &re);
         // Rejected rows were examined here and never reach the row loop;
         // count them now so rows_in still totals the full scan, and
         // charge one predicate evaluation per row scanned.
         local.rows_in += (table.len() - survivors.len()) as u64;
         local.predicate_evals += table.len() as u64;
         probe_rows.extend_from_slice(&survivors);
-        PATH_MEMO.with(|m| {
-            let mut map = m.borrow_mut();
-            if map.len() >= PATH_MEMO_CAP {
-                map.clear();
-            }
-            map.insert(key, std::rc::Rc::new(survivors));
-        });
+        path_memo().insert(key, Arc::new(survivors));
         Ok(Some(ri))
     }
 
-    /// Fetch (or compile into) the thread-local program cache.
-    fn cached_regex(&self, pattern: &str) -> Result<std::rc::Rc<Regex>, ExecError> {
-        if !filter_caches_enabled() {
-            let compiled = Regex::new(pattern)
-                .map_err(|e| ExecError(format!("bad regex `{pattern}`: {e}")))?;
-            return Ok(std::rc::Rc::new(compiled));
+    /// Run one path-filter scan — every row of `table` against `re` —
+    /// partitioned across the pool when the table is large enough (all
+    /// workers share the one compiled program and its lazy DFA), serially
+    /// otherwise. Chunk results concatenate in chunk order, so the
+    /// surviving row ids come back in document order either way.
+    fn filter_scan(&self, table: &'db Table, ci: usize, re: &Arc<Regex>) -> Vec<RowId> {
+        let pool = ppf_pool::global();
+        let len = table.len();
+        let parallel = match parallel_mode() {
+            ParallelMode::ForceOff => false,
+            ParallelMode::ForceOn => pool.threads() > 1 && len >= 2,
+            ParallelMode::Auto => pool.threads() > 1 && len >= PAR_MIN_FILTER_ROWS,
+        };
+        if !parallel {
+            let mut out = Vec::new();
+            for (rid, row) in table.rows() {
+                // NULLs never match (three-valued logic rejects the row).
+                if let Value::Str(s) = &row[ci] {
+                    if re.is_match(s) {
+                        out.push(rid);
+                    }
+                }
+            }
+            return out;
         }
-        REGEX_CACHE.with(|c| {
-            if let Some(r) = c.borrow().get(pattern) {
-                return Ok(r.clone());
+        let ranges = ppf_pool::even_ranges(len, pool.chunk_target(len, PAR_FILTER_CHUNK));
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.par_tasks += 1;
+            stats.par_chunks += ranges.len() as u64;
+        }
+        let parts = pool.map_ranges(&ranges, |_, range| {
+            let mut out = Vec::new();
+            for rid in range {
+                if let Value::Str(s) = &table.row(rid)[ci] {
+                    if re.is_match(s) {
+                        out.push(rid);
+                    }
+                }
             }
-            let compiled = Regex::new(pattern)
-                .map_err(|e| ExecError(format!("bad regex `{pattern}`: {e}")))?;
-            let rc = std::rc::Rc::new(compiled);
-            let mut map = c.borrow_mut();
-            if map.len() >= REGEX_CACHE_CAP {
-                map.clear();
+            out
+        });
+        parts.concat()
+    }
+
+    /// Fetch (or compile into) the process-wide program cache.
+    fn cached_regex(&self, pattern: &str) -> Result<Arc<Regex>, ExecError> {
+        if filter_caches_enabled() {
+            if let Some(r) = regex_cache().get(pattern) {
+                return Ok(r);
             }
-            map.insert(pattern.to_string(), rc.clone());
-            Ok(rc)
-        })
+        }
+        let compiled =
+            Regex::new(pattern).map_err(|e| ExecError(format!("bad regex `{pattern}`: {e}")))?;
+        let rc = Arc::new(compiled);
+        if filter_caches_enabled() {
+            regex_cache().insert(pattern.to_string(), rc.clone());
+        }
+        Ok(rc)
     }
 
     fn take_row_buf(&self) -> Vec<RowId> {
@@ -887,7 +1387,7 @@ impl<'db> Executor<'db> {
             }
         }
         self.stats.borrow_mut().rows_scanned += table.len() as u64;
-        let rc = std::rc::Rc::new(map);
+        let rc = Arc::new(map);
         self.hash_builds.borrow_mut().insert(key, rc.clone());
         rc
     }
@@ -1332,7 +1832,7 @@ pub fn naive_select(db: &Database, sel: &Select) -> Result<Vec<Vec<Value>>, Exec
         let table = db
             .table(&tref.table)
             .ok_or_else(|| ExecError(format!("no such table `{}`", tref.table)))?;
-        let alias: std::rc::Rc<str> = std::rc::Rc::from(tref.alias.as_str());
+        let alias: Arc<str> = Arc::from(tref.alias.as_str());
         for (rid, _) in table.rows() {
             env.push(Binding {
                 alias: alias.clone(),

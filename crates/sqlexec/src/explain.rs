@@ -30,13 +30,16 @@ pub fn explain_analyze(db: &Database, stmt: &SelectStmt) -> Result<String, ExecE
     let mut out = render_stmt_plan(db, stmt, Some(&exec))?;
     let stats = exec.stats();
     out.push_str(&format!(
-        "actual: {} row(s) in {:.3} ms; rows_scanned={} index_probes={} predicate_evals={} subqueries={}\n",
+        "actual: {} row(s) in {:.3} ms; rows_scanned={} index_probes={} predicate_evals={} subqueries={} pool_threads={} par_tasks={} par_chunks={}\n",
         result.rows.len(),
         elapsed.as_secs_f64() * 1e3,
         stats.rows_scanned,
         stats.index_probes,
         stats.predicate_evals,
         stats.subqueries,
+        ppf_pool::current_threads(),
+        stats.par_tasks,
+        stats.par_chunks,
     ));
     Ok(out)
 }
@@ -88,7 +91,7 @@ fn explain_select(
     // step stats. Fall back to fresh planning for blocks that never ran.
     let plan = match exec.and_then(|e| e.cached_plan(sel)) {
         Some(p) => p,
-        None => std::rc::Rc::new(plan_select(db, sel, outer)?),
+        None => std::sync::Arc::new(plan_select(db, sel, outer)?),
     };
     let actuals = exec.map(|e| e.step_stats(sel));
     for (i, step) in plan.steps.iter().enumerate() {

@@ -69,9 +69,13 @@ pub enum Access {
 
 /// One pipeline step: bind `alias` by scanning `table` via `access`, then
 /// keep rows passing all `residuals`.
+///
+/// `Arc` rather than `Rc` so a whole [`SelectPlan`] is `Send + Sync`:
+/// partition workers execute the coordinator's plan directly instead of
+/// re-planning per thread.
 #[derive(Debug, Clone)]
 pub struct Step {
-    pub alias: std::rc::Rc<str>,
+    pub alias: std::sync::Arc<str>,
     pub table: String,
     pub access: Access,
     pub residuals: Vec<Expr>,
@@ -828,7 +832,7 @@ fn build_step(
     }
 
     Step {
-        alias: std::rc::Rc::from(alias),
+        alias: std::sync::Arc::from(alias),
         table: table_name.to_string(),
         access,
         residuals,

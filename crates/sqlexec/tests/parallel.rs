@@ -1,0 +1,237 @@
+//! Parallel-execution equivalence: partitioned path-filter scans and
+//! partitioned structural-join pipelines must return exactly what the
+//! serial engine returns — same rows, same document order — under every
+//! [`ParallelMode`], and the partition boundary handling must be correct
+//! even when an even split would land inside a Dewey subtree.
+//!
+//! The process pool is sized once for the whole test binary (the host
+//! running CI may have a single core; partitioning is a property of the
+//! pool's thread count, not the machine's). `ParallelMode` itself is
+//! thread-local, so `#[test]` threads cannot perturb each other.
+
+use relstore::{ColType, Database, TableSchema, Value};
+use sqlexec::{ExecStats, Executor, ParallelMode};
+
+fn pool4() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| ppf_pool::set_threads(4));
+}
+
+fn with_mode<R>(mode: ParallelMode, f: impl FnOnce() -> R) -> R {
+    let prev = sqlexec::set_parallel_mode(mode);
+    let r = f();
+    sqlexec::set_parallel_mode(prev);
+    r
+}
+
+fn ids(db: &Database, sql: &str) -> (Vec<i64>, ExecStats) {
+    let exec = Executor::new(db);
+    let rs = exec.query(sql).unwrap();
+    let ids = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    (ids, exec.stats())
+}
+
+/// A `Paths`-style table large enough that even `Auto` mode would want
+/// to fan out if the pool allowed it; `ForceOn` always does.
+fn paths_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "Paths",
+        &[("id", ColType::Int), ("path", ColType::Str)],
+    ))
+    .unwrap();
+    let t = db.table_mut("Paths").unwrap();
+    for i in 0..rows {
+        let path = if i % 3 == 0 {
+            format!("/site/regions/item{i}/keyword")
+        } else {
+            format!("/site/people/person{i}/name")
+        };
+        t.insert(vec![Value::Int(i), Value::Str(path)]).unwrap();
+    }
+    db
+}
+
+const FILTER: &str = "select P.id from Paths P \
+                      where REGEXP_LIKE(P.path, '^/site/regions(/[^/]+)*/keyword$') \
+                      order by P.id";
+
+#[test]
+fn partitioned_filter_scan_matches_serial() {
+    pool4();
+    let db = paths_db(600);
+    sqlexec::clear_filter_caches();
+    let (serial, s_stats) = with_mode(ParallelMode::ForceOff, || ids(&db, FILTER));
+    assert_eq!(serial.len(), 200);
+    assert_eq!(s_stats.par_tasks, 0);
+
+    sqlexec::clear_filter_caches();
+    let (par, p_stats) = with_mode(ParallelMode::ForceOn, || ids(&db, FILTER));
+    assert_eq!(par, serial, "partitioned scan changed the result");
+    assert!(p_stats.par_tasks >= 1, "{p_stats:?}");
+    assert!(p_stats.par_chunks >= 2, "{p_stats:?}");
+
+    sqlexec::clear_filter_caches();
+    let (auto, _) = with_mode(ParallelMode::Auto, || ids(&db, FILTER));
+    assert_eq!(auto, serial);
+}
+
+/// Shredded-style structural join: outer context nodes against their
+/// Dewey descendants, the shape `branch_rows_parallel` partitions.
+fn dewey_db(contexts: u8, children: u8) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "A",
+        &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+    ))
+    .unwrap();
+    db.create_table(TableSchema::new(
+        "F",
+        &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+    ))
+    .unwrap();
+    {
+        let a = db.table_mut("A").unwrap();
+        for i in 0..contexts {
+            a.insert(vec![Value::Int(i as i64), Value::Bytes(vec![0, 0, i])])
+                .unwrap();
+        }
+        a.create_index("a_dewey", &["dewey_pos"]).unwrap();
+    }
+    {
+        let f = db.table_mut("F").unwrap();
+        let mut id = 1000i64;
+        for i in 0..contexts {
+            for j in 0..children {
+                f.insert(vec![Value::Int(id), Value::Bytes(vec![0, 0, i, 0, 0, j])])
+                    .unwrap();
+                id += 1;
+            }
+        }
+        f.create_index("f_dewey", &["dewey_pos"]).unwrap();
+    }
+    db
+}
+
+const DEWEY_JOIN: &str = "select F.id from A, F \
+     where F.dewey_pos between A.dewey_pos and A.dewey_pos || x'FF' \
+     order by F.dewey_pos, F.id";
+
+#[test]
+fn partitioned_structural_join_matches_serial_in_every_mode() {
+    pool4();
+    let db = dewey_db(80, 6);
+
+    let (serial, s_stats) = with_mode(ParallelMode::ForceOff, || ids(&db, DEWEY_JOIN));
+    assert_eq!(serial.len(), 80 * 6);
+    assert_eq!(s_stats.par_tasks, 0);
+
+    let (forced, f_stats) = with_mode(ParallelMode::ForceOn, || ids(&db, DEWEY_JOIN));
+    assert_eq!(forced, serial, "forced partitioning changed the result");
+    assert!(f_stats.par_tasks >= 1, "{f_stats:?}");
+    assert!(f_stats.par_chunks >= 2, "{f_stats:?}");
+
+    let (auto, a_stats) = with_mode(ParallelMode::Auto, || ids(&db, DEWEY_JOIN));
+    assert_eq!(auto, serial, "auto partitioning changed the result");
+    // 80 outer rows clears the Auto floor, so Auto fans out too.
+    assert!(a_stats.par_tasks >= 1, "{a_stats:?}");
+}
+
+#[test]
+fn partitioned_join_preserves_work_counters() {
+    pool4();
+    let db = dewey_db(64, 8);
+
+    let (serial, s) = with_mode(ParallelMode::ForceOff, || ids(&db, DEWEY_JOIN));
+    let (par, p) = with_mode(ParallelMode::ForceOn, || ids(&db, DEWEY_JOIN));
+    assert_eq!(par, serial);
+    // Partitioning redistributes the work; it must not change its size.
+    assert_eq!(p.rows_scanned, s.rows_scanned, "serial {s:?} vs par {p:?}");
+    assert_eq!(p.index_probes, s.index_probes, "serial {s:?} vs par {p:?}");
+    assert_eq!(
+        p.predicate_evals, s.predicate_evals,
+        "serial {s:?} vs par {p:?}"
+    );
+}
+
+/// An outer run whose even split lands inside a Dewey subtree: ancestor
+/// contexts interleaved with their own descendants in the same table.
+/// The boundary alignment keeps each subtree's rows on one worker, and —
+/// whatever the boundaries — results must be byte-identical to serial.
+#[test]
+fn dewey_chunk_boundaries_do_not_corrupt_subtree_runs() {
+    pool4();
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "A",
+        &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+    ))
+    .unwrap();
+    db.create_table(TableSchema::new(
+        "F",
+        &[("id", ColType::Int), ("dewey_pos", ColType::Bytes)],
+    ))
+    .unwrap();
+    {
+        // Outer run: root [0,0,i] immediately followed by its own
+        // children [0,0,i,0,0,j] — any even boundary inside a run would
+        // separate a root from its descendants.
+        let a = db.table_mut("A").unwrap();
+        let mut id = 0i64;
+        for i in 0..10u8 {
+            a.insert(vec![Value::Int(id), Value::Bytes(vec![0, 0, i])])
+                .unwrap();
+            id += 1;
+            for j in 0..5u8 {
+                a.insert(vec![Value::Int(id), Value::Bytes(vec![0, 0, i, 0, 0, j])])
+                    .unwrap();
+                id += 1;
+            }
+        }
+        a.create_index("a_dewey", &["dewey_pos"]).unwrap();
+    }
+    {
+        let f = db.table_mut("F").unwrap();
+        let mut id = 1000i64;
+        for i in 0..10u8 {
+            for j in 0..5u8 {
+                // Leaves under both the child and (by prefix) the root.
+                f.insert(vec![
+                    Value::Int(id),
+                    Value::Bytes(vec![0, 0, i, 0, 0, j, 0, 0, 0]),
+                ])
+                .unwrap();
+                id += 1;
+            }
+        }
+        f.create_index("f_dewey", &["dewey_pos"]).unwrap();
+    }
+
+    let (serial, _) = with_mode(ParallelMode::ForceOff, || ids(&db, DEWEY_JOIN));
+    // Every leaf matches its parent chain: 50 leaves × (root + child).
+    assert_eq!(serial.len(), 100);
+    let (par, p) = with_mode(ParallelMode::ForceOn, || ids(&db, DEWEY_JOIN));
+    assert_eq!(par, serial, "chunk-edge handling changed the result");
+    assert!(p.par_chunks >= 2, "{p:?}");
+}
+
+#[test]
+fn mode_toggle_returns_previous() {
+    let prev = sqlexec::set_parallel_mode(ParallelMode::ForceOn);
+    assert_eq!(sqlexec::parallel_mode(), ParallelMode::ForceOn);
+    let back = sqlexec::set_parallel_mode(prev);
+    assert_eq!(back, ParallelMode::ForceOn);
+}
+
+#[test]
+fn explain_analyze_reports_parallel_counters() {
+    pool4();
+    let db = dewey_db(48, 4);
+    let stmt = sqlexec::parse_sql(DEWEY_JOIN).unwrap();
+    let out = with_mode(ParallelMode::ForceOn, || {
+        sqlexec::explain_analyze(&db, &stmt).unwrap()
+    });
+    assert!(out.contains("pool_threads="), "{out}");
+    assert!(out.contains("par_tasks="), "{out}");
+    assert!(out.contains("par_chunks="), "{out}");
+}
