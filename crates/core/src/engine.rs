@@ -13,28 +13,79 @@ use obs::QueryTrace;
 use relstore::{Database, Value};
 use shred::{EdgeStore, SchemaAwareStore};
 use sqlexec::plan::SelectPlan;
+pub use sqlexec::{CancelToken, QueryLimits};
 use sqlexec::{ExecStats, Executor, Expr as Sql, ResultSet, Select, SelectStmt};
 use xmldom::Document;
 use xmlschema::Schema;
 
+pub use crate::error::{EngineError, QueryError};
 use crate::translate::{translate, Mapping, OutputKind, TranslateOptions, Translation};
 
-/// Engine error (shredding, translation or execution).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EngineError(pub String);
+/// Engine-level query-cache locks recovered after being poisoned by a
+/// panicking holder (the cache is cleared on recovery: a panic mid-insert
+/// leaves no trustworthy entry set).
+static CACHE_POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "engine error: {}", self.0)
+/// Query-cache lock poison recoveries since process start.
+pub fn cache_poison_recoveries() -> u64 {
+    CACHE_POISON_RECOVERIES.load(Relaxed)
+}
+
+/// Lock a cache map, recovering from poisoning by clearing it. Losing
+/// warm plans costs a re-translate on the next query; keeping state a
+/// panicking thread may have half-written could serve wrong answers.
+fn lock_cache<'a, K: std::cmp::Eq + std::hash::Hash, V>(
+    m: &'a Mutex<HashMap<K, V>>,
+) -> std::sync::MutexGuard<'a, HashMap<K, V>> {
+    m.lock().unwrap_or_else(|poisoned| {
+        m.clear_poison();
+        CACHE_POISON_RECOVERIES.fetch_add(1, Relaxed);
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        guard
+    })
+}
+
+/// Best-effort human message out of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
-impl std::error::Error for EngineError {}
+/// Count a failed query in the process-wide registry, classified by
+/// lifecycle phase, and refresh the poison-recovery mirrors (a contained
+/// panic is exactly when they move).
+fn record_query_error(err: &QueryError) {
+    let reg = obs::Registry::global();
+    reg.incr("engine.query_errors", 1);
+    reg.incr(&format!("engine.query_errors.{}", err.kind()), 1);
+    match err {
+        QueryError::Limit(_) => reg.incr("engine.limit_aborts", 1),
+        QueryError::Cancelled(_) => reg.incr("engine.query_cancelled", 1),
+        _ => {}
+    }
+    mirror_poison_counters(reg);
+}
 
-macro_rules! wrap_err {
-    ($e:expr) => {
-        $e.map_err(|e| EngineError(e.to_string()))
-    };
+/// Mirror the monotone poison-recovery counters kept in crates that
+/// cannot depend on `obs` (pool, regexlite, sqlexec) into the registry,
+/// so one `.metrics` snapshot shows every layer's recoveries.
+fn mirror_poison_counters(reg: &obs::Registry) {
+    reg.set_max("pool.poison_recoveries", ppf_pool::poison_recoveries());
+    reg.set_max(
+        "regex.poison_recoveries",
+        regexlite::stats::poison_recoveries(),
+    );
+    reg.set_max(
+        "sqlexec.cache_poison_recoveries",
+        sqlexec::cache_poison_recoveries(),
+    );
+    reg.set_max("engine.cache_poison_recoveries", cache_poison_recoveries());
 }
 
 /// Pipeline-level counters, collected on every query (the hooks are
@@ -208,7 +259,7 @@ pub struct XmlDb {
 impl XmlDb {
     pub fn new(schema: &Schema) -> Result<XmlDb, EngineError> {
         Ok(XmlDb {
-            store: wrap_err!(SchemaAwareStore::new(schema))?,
+            store: SchemaAwareStore::new(schema).map_err(|e| QueryError::exec(e.to_string()))?,
             opts: TranslateOptions::default(),
             cache: QueryCache::default(),
         })
@@ -217,34 +268,38 @@ impl XmlDb {
     /// Toggle the §4.5 path-filter omission (for the ablation benchmark).
     pub fn set_path_marking(&mut self, on: bool) {
         self.opts.use_path_marking = on;
-        self.cache.lock().unwrap().clear();
+        lock_cache(&self.cache).clear();
     }
 
     /// Toggle FK joins for single child/parent steps (§4.2; off = always
     /// Dewey joins, for the ablation benchmark).
     pub fn set_fk_joins(&mut self, on: bool) {
         self.opts.use_fk_joins = on;
-        self.cache.lock().unwrap().clear();
+        lock_cache(&self.cache).clear();
     }
 
     /// Load a document; returns its tree-node → element-id mapping.
     /// Invalidates cached query plans (the translation itself can change:
     /// §4.5 path marking depends on which paths exist).
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
-        self.cache.lock().unwrap().clear();
-        wrap_err!(self.store.load(doc))
+        lock_cache(&self.cache).clear();
+        self.store
+            .load(doc)
+            .map_err(|e| QueryError::exec(e.to_string()))
     }
 
     /// Parse and load an XML string.
     pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, EngineError> {
-        let doc = wrap_err!(xmldom::parse(xml))?;
+        let doc = xmldom::parse(xml).map_err(|e| QueryError::parse(e.to_string()))?;
         self.load(&doc)
     }
 
     /// Build the §3.1 indexes; call once after bulk loading.
     pub fn finalize(&mut self) -> Result<(), EngineError> {
-        self.cache.lock().unwrap().clear();
-        wrap_err!(self.store.create_indexes())
+        lock_cache(&self.cache).clear();
+        self.store
+            .create_indexes()
+            .map_err(|e| QueryError::exec(e.to_string()))
     }
 
     pub fn db(&self) -> &Database {
@@ -257,19 +312,20 @@ impl XmlDb {
 
     /// Translate an XPath string to its SQL.
     pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
-        let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+        let expr = xpath::parse_xpath(xpath).map_err(|e| QueryError::parse(e.to_string()))?;
         self.translate_expr(&expr)
     }
 
     fn translate_expr(&self, expr: &xpath::Expr) -> Result<Translation, EngineError> {
-        wrap_err!(translate(
+        translate(
             expr,
             Mapping::SchemaAware {
                 schema: self.store.schema(),
                 marking: self.store.marking(),
             },
             self.opts,
-        ))
+        )
+        .map_err(|e| QueryError::translate(e.to_string()))
     }
 
     /// The SQL text for an XPath query (`None` when statically empty).
@@ -286,13 +342,49 @@ impl XmlDb {
         Ok(self.query_traced(xpath)?.0)
     }
 
+    /// Run an XPath query under resource limits: a deadline, a scanned-row
+    /// budget and/or a [`CancelToken`], checked cooperatively at the
+    /// executor's loop boundaries. Violations come back as
+    /// [`QueryError::Limit`] / [`QueryError::Cancelled`]; other in-flight
+    /// queries are unaffected.
+    pub fn query_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<QueryResult, EngineError> {
+        Ok(run_query(
+            self.db(),
+            xpath,
+            &self.cache,
+            &|e| self.translate_expr(e),
+            limits,
+        )?
+        .0)
+    }
+
     /// Run a query and also return its span tree (parse → translate →
     /// plan → execute → publish, with per-phase counters attached).
     /// Repeat runs of the same XPath hit the engine's query cache and
     /// skip the first three phases (their spans appear with zero
     /// duration; `EngineStats::plan_cache_hits` is set).
     pub fn query_traced(&self, xpath: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
-        run_query(self.db(), xpath, &self.cache, &|e| self.translate_expr(e))
+        self.query_traced_with_limits(xpath, QueryLimits::none())
+    }
+
+    /// [`XmlDb::query_traced`] under resource limits (see
+    /// [`XmlDb::query_with_limits`]).
+    pub fn query_traced_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<(QueryResult, QueryTrace), EngineError> {
+        run_query(
+            self.db(),
+            xpath,
+            &self.cache,
+            &|e| self.translate_expr(e),
+            limits,
+        )
     }
 }
 
@@ -317,18 +409,22 @@ impl EdgeDb {
     }
 
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
-        self.cache.lock().unwrap().clear();
-        wrap_err!(self.store.load(doc))
+        lock_cache(&self.cache).clear();
+        self.store
+            .load(doc)
+            .map_err(|e| QueryError::exec(e.to_string()))
     }
 
     pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, EngineError> {
-        let doc = wrap_err!(xmldom::parse(xml))?;
+        let doc = xmldom::parse(xml).map_err(|e| QueryError::parse(e.to_string()))?;
         self.load(&doc)
     }
 
     pub fn finalize(&mut self) -> Result<(), EngineError> {
-        self.cache.lock().unwrap().clear();
-        wrap_err!(self.store.create_indexes())
+        lock_cache(&self.cache).clear();
+        self.store
+            .create_indexes()
+            .map_err(|e| QueryError::exec(e.to_string()))
     }
 
     pub fn db(&self) -> &Database {
@@ -336,19 +432,20 @@ impl EdgeDb {
     }
 
     pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
-        let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+        let expr = xpath::parse_xpath(xpath).map_err(|e| QueryError::parse(e.to_string()))?;
         self.translate_expr(&expr)
     }
 
     fn translate_expr(&self, expr: &xpath::Expr) -> Result<Translation, EngineError> {
-        wrap_err!(translate(
+        translate(
             expr,
             Mapping::EdgeLike,
             TranslateOptions {
                 use_path_marking: false,
                 ..TranslateOptions::default()
             },
-        ))
+        )
+        .map_err(|e| QueryError::translate(e.to_string()))
     }
 
     pub fn sql_for(&self, xpath: &str) -> Result<Option<String>, EngineError> {
@@ -363,10 +460,42 @@ impl EdgeDb {
         Ok(self.query_traced(xpath)?.0)
     }
 
+    /// Run a query under resource limits (see [`XmlDb::query_with_limits`]).
+    pub fn query_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<QueryResult, EngineError> {
+        Ok(run_query(
+            self.db(),
+            xpath,
+            &self.cache,
+            &|e| self.translate_expr(e),
+            limits,
+        )?
+        .0)
+    }
+
     /// Run a query and also return its span tree (see
     /// [`XmlDb::query_traced`]).
     pub fn query_traced(&self, xpath: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
-        run_query(self.db(), xpath, &self.cache, &|e| self.translate_expr(e))
+        self.query_traced_with_limits(xpath, QueryLimits::none())
+    }
+
+    /// [`EdgeDb::query_traced`] under resource limits (see
+    /// [`XmlDb::query_with_limits`]).
+    pub fn query_traced_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<(QueryResult, QueryTrace), EngineError> {
+        run_query(
+            self.db(),
+            xpath,
+            &self.cache,
+            &|e| self.translate_expr(e),
+            limits,
+        )
     }
 }
 
@@ -409,13 +538,28 @@ fn run_query(
     xpath: &str,
     cache: &QueryCache,
     translate_expr: &dyn Fn(&xpath::Expr) -> Result<Translation, EngineError>,
+    limits: QueryLimits,
+) -> Result<(QueryResult, QueryTrace), EngineError> {
+    let result = run_query_inner(db, xpath, cache, translate_expr, limits);
+    if let Err(e) = &result {
+        record_query_error(e);
+    }
+    result
+}
+
+fn run_query_inner(
+    db: &Database,
+    xpath: &str,
+    cache: &QueryCache,
+    translate_expr: &dyn Fn(&xpath::Expr) -> Result<Translation, EngineError>,
+    limits: QueryLimits,
 ) -> Result<(QueryResult, QueryTrace), EngineError> {
     let (_in_flight, in_flight_now) = InFlight::enter();
     let mut trace = QueryTrace::new(xpath);
     let mut engine = EngineStats::default();
     let root = trace.start("query");
 
-    let cached = cache.lock().unwrap().get(xpath).cloned();
+    let cached = lock_cache(cache).get(xpath).cloned();
     let entry = match cached {
         Some(entry) => {
             // Warm hit: parse, translate and plan were all done the first
@@ -435,7 +579,7 @@ fn run_query(
         None => {
             let span = trace.start("parse");
             let t0 = std::time::Instant::now();
-            let expr = wrap_err!(xpath::parse_xpath(xpath))?;
+            let expr = xpath::parse_xpath(xpath).map_err(|e| QueryError::parse(e.to_string()))?;
             engine.parse_ns = t0.elapsed().as_nanos() as u64;
             trace.end(span);
 
@@ -462,7 +606,7 @@ fn run_query(
                 path_filters,
                 plans: Mutex::new(HashMap::new()),
             });
-            let mut map = cache.lock().unwrap();
+            let mut map = lock_cache(cache);
             if map.len() >= QUERY_CACHE_CAP {
                 map.clear();
             }
@@ -490,9 +634,11 @@ fn run_query(
             if engine.plan_cache_hits == 0 {
                 let t0 = std::time::Instant::now();
                 let mut plan_steps = 0u64;
-                let mut plans = entry.plans.lock().unwrap();
+                let mut plans = lock_cache(&entry.plans);
                 for branch in &stmt.branches {
-                    let plan = Arc::new(wrap_err!(sqlexec::plan::plan_select(db, branch, &[]))?);
+                    let plan = Arc::new(
+                        sqlexec::plan::plan_select(db, branch, &[]).map_err(QueryError::from)?,
+                    );
                     plan_steps += plan.steps.len() as u64;
                     plans.insert(branch as *const Select as usize, plan);
                 }
@@ -506,13 +652,30 @@ fn run_query(
             let steals_before = pool.steal_count();
             let vm_before = regexlite::stats::snapshot();
             let exec = Executor::new(db);
-            exec.seed_plans(&entry.plans.lock().unwrap());
+            exec.seed_plans(&lock_cache(&entry.plans));
+            exec.set_limits(limits.clone());
             let t0 = std::time::Instant::now();
-            let rows = wrap_err!(exec.run(stmt))?;
+            // Contain any panic that escapes the executor (its own pool
+            // workers are already caught per task): one bad query must
+            // degrade to an error, not take down every query in the
+            // process. The executor's shared caches recover from the
+            // resulting lock poisoning on their next use.
+            let run_outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.run(stmt)));
+            let rows = match run_outcome {
+                Ok(Ok(rows)) => rows,
+                Ok(Err(e)) => return Err(QueryError::from(e)),
+                Err(payload) => {
+                    return Err(QueryError::exec(format!(
+                        "panic during execution: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                }
+            };
             engine.execute_ns = t0.elapsed().as_nanos() as u64;
             // Keep every plan this run produced (subquery blocks are
             // planned lazily during execution) for future warm runs.
-            entry.plans.lock().unwrap().extend(exec.plan_snapshot());
+            lock_cache(&entry.plans).extend(exec.plan_snapshot());
             let vm = regexlite::stats::snapshot().since(&vm_before);
             engine.vm_match_calls = vm.match_calls;
             engine.vm_steps = vm.vm_steps;
@@ -603,9 +766,11 @@ fn run_query(
     reg.incr("engine.par_tasks", engine.par_tasks);
     reg.incr("engine.par_chunks", engine.par_chunks);
     reg.incr("engine.pool_steals", engine.pool_steals);
+    reg.incr("engine.par_degraded", result.stats.par_degraded);
     // Histogram max = the observed high-water mark of concurrency.
     reg.observe("engine.concurrent_queries", in_flight_now);
     reg.observe("engine.pool_threads", engine.pool_threads);
+    mirror_poison_counters(reg);
 
     Ok((result, trace))
 }
@@ -638,6 +803,19 @@ impl SharedEngine {
     /// Run an XPath query (safe from any thread, any number at a time).
     pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
         self.inner.query(xpath)
+    }
+
+    /// Run an XPath query under resource limits — a deadline, a
+    /// scanned-row budget and/or a [`CancelToken`] another thread can
+    /// fire. An aborted query returns [`QueryError::Limit`] /
+    /// [`QueryError::Cancelled`]; other in-flight queries on this engine
+    /// keep running.
+    pub fn query_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<QueryResult, EngineError> {
+        self.inner.query_with_limits(xpath, limits)
     }
 
     /// Run a query and return its span tree (see [`XmlDb::query_traced`]).

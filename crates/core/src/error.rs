@@ -1,0 +1,145 @@
+//! Typed error taxonomy for the whole query lifecycle.
+//!
+//! Every failure a query can hit — from XPath parsing through SQL
+//! execution, resource budgets and cancellation — surfaces as one
+//! [`QueryError`] variant, so callers (the shell, benchmarks, a future
+//! network front end) can branch on [`QueryError::kind`] instead of
+//! string-matching messages. Variants mirror the executor's
+//! [`sqlexec::exec`] phases plus the engine-only `Translate` phase.
+
+use sqlexec::ExecError;
+
+/// Where in the pipeline a query failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The XPath (or SQL) text failed to parse.
+    Parse(String),
+    /// XPath → SQL translation failed (unmapped name, unsupported axis).
+    Translate(String),
+    /// Planning failed: unknown table, malformed statement shape.
+    Plan(String),
+    /// Runtime failure: bad types, overflow, a store inconsistency, or a
+    /// contained worker panic.
+    Exec(String),
+    /// A resource budget aborted the query (deadline, row budget).
+    Limit(String),
+    /// The query's [`sqlexec::CancelToken`] fired.
+    Cancelled(String),
+}
+
+/// Historical name for [`QueryError`] (it used to be an opaque string
+/// wrapper); kept so downstream code and the published API stay valid.
+pub type EngineError = QueryError;
+
+impl QueryError {
+    pub fn parse(msg: impl Into<String>) -> QueryError {
+        QueryError::Parse(msg.into())
+    }
+
+    pub fn translate(msg: impl Into<String>) -> QueryError {
+        QueryError::Translate(msg.into())
+    }
+
+    pub fn plan(msg: impl Into<String>) -> QueryError {
+        QueryError::Plan(msg.into())
+    }
+
+    pub fn exec(msg: impl Into<String>) -> QueryError {
+        QueryError::Exec(msg.into())
+    }
+
+    pub fn limit(msg: impl Into<String>) -> QueryError {
+        QueryError::Limit(msg.into())
+    }
+
+    pub fn cancelled(msg: impl Into<String>) -> QueryError {
+        QueryError::Cancelled(msg.into())
+    }
+
+    /// The bare message, without the phase prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            QueryError::Parse(m)
+            | QueryError::Translate(m)
+            | QueryError::Plan(m)
+            | QueryError::Exec(m)
+            | QueryError::Limit(m)
+            | QueryError::Cancelled(m) => m,
+        }
+    }
+
+    /// Short lifecycle-phase tag, for counters and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryError::Parse(_) => "parse",
+            QueryError::Translate(_) => "translate",
+            QueryError::Plan(_) => "plan",
+            QueryError::Exec(_) => "exec",
+            QueryError::Limit(_) => "limit",
+            QueryError::Cancelled(_) => "cancelled",
+        }
+    }
+
+    /// True for the two cooperative-abort variants (the query was fine;
+    /// the caller bounded it).
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, QueryError::Limit(_) | QueryError::Cancelled(_))
+    }
+}
+
+impl From<ExecError> for QueryError {
+    fn from(e: ExecError) -> QueryError {
+        match e {
+            ExecError::Parse(m) => QueryError::Parse(m),
+            ExecError::Plan(m) => QueryError::Plan(m),
+            ExecError::Exec(m) => QueryError::Exec(m),
+            ExecError::Limit(m) => QueryError::Limit(m),
+            ExecError::Cancelled(m) => QueryError::Cancelled(m),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Every variant keeps the historical "engine error:" prefix so
+        // existing callers (and log scrapers) keep matching.
+        match self {
+            QueryError::Parse(m) => write!(f, "engine error: {m}"),
+            QueryError::Translate(m) => write!(f, "engine error: {m}"),
+            QueryError::Plan(m) => write!(f, "engine error: plan error: {m}"),
+            QueryError::Exec(m) => write!(f, "engine error: execution error: {m}"),
+            QueryError::Limit(m) => write!(f, "engine error: resource limit exceeded: {m}"),
+            QueryError::Cancelled(m) => write!(f, "engine error: query cancelled: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_error_variants_map_one_to_one() {
+        let pairs = [
+            (ExecError::parse("p"), "parse"),
+            (ExecError::plan("p"), "plan"),
+            (ExecError::exec("p"), "exec"),
+            (ExecError::limit("p"), "limit"),
+            (ExecError::cancelled("p"), "cancelled"),
+        ];
+        for (e, kind) in pairs {
+            let q: QueryError = e.into();
+            assert_eq!(q.kind(), kind);
+            assert_eq!(q.message(), "p");
+        }
+    }
+
+    #[test]
+    fn aborted_classification() {
+        assert!(QueryError::limit("x").is_aborted());
+        assert!(QueryError::cancelled("x").is_aborted());
+        assert!(!QueryError::exec("x").is_aborted());
+    }
+}

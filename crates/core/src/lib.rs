@@ -13,6 +13,7 @@
 //! * [`translate`](translate/index.html) — the XPath→SQL translation (Algorithm 1, §4.3–4.5)
 //! * [`engine`] — a high-level façade: load documents, run XPath, get rows
 pub mod engine;
+pub mod error;
 pub mod nav;
 pub mod pattern;
 pub mod ppf;
@@ -20,9 +21,12 @@ pub mod publish;
 pub mod translate;
 
 pub use engine::{
-    concurrent_queries_peak, EdgeDb, EngineError, EngineStats, QueryResult, SharedEngine, XmlDb,
+    cache_poison_recoveries, concurrent_queries_peak, EdgeDb, EngineError, EngineStats,
+    QueryResult, SharedEngine, XmlDb,
 };
+pub use error::QueryError;
 pub use publish::publish_element;
+pub use sqlexec::{CancelToken, QueryLimits};
 pub use translate::{
     translate, Mapping, OutputKind, TranslateError, TranslateOptions, Translation,
 };

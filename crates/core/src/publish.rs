@@ -17,7 +17,7 @@ use crate::engine::EngineError;
 pub fn publish_element(store: &SchemaAwareStore, id: i64) -> Result<String, EngineError> {
     let schema = store.schema();
     let (relation, rid) = find_row(store, schema, id)
-        .ok_or_else(|| EngineError(format!("no element with id {id}")))?;
+        .ok_or_else(|| EngineError::exec(format!("no element with id {id}")))?;
     let mut out = String::new();
     write_element(store, schema, &relation, rid, &mut out)?;
     Ok(out)
@@ -86,18 +86,18 @@ fn write_element(
     let table = store
         .db()
         .table(relation)
-        .ok_or_else(|| EngineError(format!("missing relation {relation}")))?;
+        .ok_or_else(|| EngineError::exec(format!("missing relation {relation}")))?;
     let def = schema
         .def(relation)
-        .ok_or_else(|| EngineError(format!("missing definition {relation}")))?;
+        .ok_or_else(|| EngineError::exec(format!("missing definition {relation}")))?;
     let row = table.row(rid);
     let idc = table
         .schema
         .col(COL_ID)
-        .ok_or_else(|| EngineError("missing id column".into()))?;
+        .ok_or_else(|| EngineError::exec("missing id column"))?;
     let my_id = row[idc]
         .as_int()
-        .ok_or_else(|| EngineError("id column is not an integer".into()))?;
+        .ok_or_else(|| EngineError::exec("id column is not an integer"))?;
 
     out.push('<');
     out.push_str(relation);
@@ -105,7 +105,7 @@ fn write_element(
         let c = table
             .schema
             .col(&attr_col(&attr.name))
-            .ok_or_else(|| EngineError(format!("missing column for @{}", attr.name)))?;
+            .ok_or_else(|| EngineError::exec(format!("missing column for @{}", attr.name)))?;
         if !row[c].is_null() {
             out.push(' ');
             out.push_str(&attr.name);
@@ -122,7 +122,7 @@ fn write_element(
         let ct = store
             .db()
             .table(child_rel)
-            .ok_or_else(|| EngineError(format!("missing relation {child_rel}")))?;
+            .ok_or_else(|| EngineError::exec(format!("missing relation {child_rel}")))?;
         collect_children(ct, child_rel, my_id, &mut children)?;
     }
     children.sort();
@@ -165,17 +165,17 @@ fn collect_children(
     let parc = table
         .schema
         .col(COL_PAR)
-        .ok_or_else(|| EngineError("missing par_id column".into()))?;
+        .ok_or_else(|| EngineError::exec("missing par_id column"))?;
     let idc = table
         .schema
         .col(COL_ID)
-        .ok_or_else(|| EngineError("missing id column".into()))?;
+        .ok_or_else(|| EngineError::exec("missing id column"))?;
     if let Some(ix) = table.index_on(&[parc]) {
         for rid in ix.get(&[Value::Int(parent_id)]).iter().copied() {
             let row = table.row(rid);
             let id = row[idc]
                 .as_int()
-                .ok_or_else(|| EngineError("id column is not an integer".into()))?;
+                .ok_or_else(|| EngineError::exec("id column is not an integer"))?;
             out.push((id, relation.to_string(), rid));
         }
     } else {
@@ -183,7 +183,7 @@ fn collect_children(
             if row[parc] == Value::Int(parent_id) {
                 let id = row[idc]
                     .as_int()
-                    .ok_or_else(|| EngineError("id column is not an integer".into()))?;
+                    .ok_or_else(|| EngineError::exec("id column is not an integer"))?;
                 out.push((id, relation.to_string(), rid));
             }
         }

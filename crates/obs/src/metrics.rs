@@ -147,15 +147,36 @@ impl Registry {
         GLOBAL.get_or_init(Registry::new)
     }
 
+    /// Lock the registry, recovering from poisoning: a reporter that
+    /// panicked mid-update leaves at worst one metric short — never a
+    /// corrupt map — so the data stays usable and later queries must not
+    /// be denied their metrics over it.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            self.inner.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
     /// Add `delta` to a named counter (creating it at zero).
     pub fn incr(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raise a named counter to `value` if it is currently below it.
+    /// Mirrors a monotone process-wide counter (e.g. lock poison
+    /// recoveries kept in crates that cannot depend on `obs`) into the
+    /// registry without double counting across reporters.
+    pub fn set_max(&self, name: &str, value: u64) {
+        let mut inner = self.lock_inner();
+        let slot = inner.counters.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
     }
 
     /// Record one sample into a named histogram.
     pub fn observe(&self, name: &str, value: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner
             .histograms
             .entry(name.to_string())
@@ -165,20 +186,12 @@ impl Registry {
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.lock_inner().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Digest of a histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
-        self.inner
-            .lock()
-            .unwrap()
+        self.lock_inner()
             .histograms
             .get(name)
             .map(Histogram::summary)
@@ -186,7 +199,7 @@ impl Registry {
 
     /// Snapshot of every metric, names sorted.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -203,7 +216,7 @@ impl Registry {
 
     /// Drop every metric (used between REPL `.stats` resets and tests).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.counters.clear();
         inner.histograms.clear();
     }

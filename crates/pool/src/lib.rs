@@ -37,13 +37,57 @@ use std::sync::atomic::{
     AtomicBool, AtomicU64, AtomicUsize,
     Ordering::{Relaxed, SeqCst},
 };
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Duration;
 
 /// A queued unit of work. Tasks are lifetime-erased boxed closures; the
 /// scope machinery guarantees they complete before the borrows they
 /// capture go out of scope.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Times a pool lock was recovered from poisoning (a panic while the
+/// lock was held). The protected state — job deques, the scope panic
+/// slot, the sleep token — is valid at every instruction boundary, so
+/// recovery is always safe; the counter makes it observable.
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Pool locks recovered from poisoning since process start.
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Relaxed)
+}
+
+/// Lock a mutex, recovering (and counting) if a previous holder panicked.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.fetch_add(1, Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// A scoped task panicked. Carries the panic payload's message when it
+/// was a `&str` or `String` (the overwhelmingly common case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a pool task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// State shared between the pool handle and its workers.
 struct Shared {
@@ -61,6 +105,9 @@ struct Shared {
     next_queue: AtomicUsize,
     steals: AtomicU64,
     executed: AtomicU64,
+    /// Scopes currently draining tasks (the saturation signal callers
+    /// use to degrade from parallel to serial execution).
+    active_scopes: AtomicUsize,
 }
 
 impl Shared {
@@ -69,11 +116,11 @@ impl Shared {
     /// scope-owning caller, which scans the injector and every deque.
     fn pop_any(&self, home: Option<usize>) -> Option<Job> {
         if let Some(h) = home {
-            if let Some(j) = self.locals[h].lock().unwrap().pop_back() {
+            if let Some(j) = lock_unpoisoned(&self.locals[h]).pop_back() {
                 return Some(j);
             }
         }
-        if let Some(j) = self.injector.lock().unwrap().pop_front() {
+        if let Some(j) = lock_unpoisoned(&self.injector).pop_front() {
             return Some(j);
         }
         let n = self.locals.len();
@@ -83,7 +130,7 @@ impl Shared {
             if Some(v) == home {
                 continue;
             }
-            if let Some(j) = self.locals[v].lock().unwrap().pop_front() {
+            if let Some(j) = lock_unpoisoned(&self.locals[v]).pop_front() {
                 if home.is_some() {
                     self.steals.fetch_add(1, Relaxed);
                 }
@@ -97,7 +144,7 @@ impl Shared {
     /// parked worker. Callers must only push when workers exist.
     fn push(&self, job: Job) {
         let i = self.next_queue.fetch_add(1, Relaxed) % self.locals.len();
-        self.locals[i].lock().unwrap().push_back(job);
+        lock_unpoisoned(&self.locals[i]).push_back(job);
         self.wake.notify_one();
     }
 
@@ -118,11 +165,14 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
         }
         // Timed wait: bounds the cost of the push-vs-park race to one
         // millisecond instead of requiring a handshake on every push.
-        let guard = shared.sleep.lock().unwrap();
+        let guard = lock_unpoisoned(&shared.sleep);
         let _ = shared
             .wake
             .wait_timeout(guard, Duration::from_millis(1))
-            .unwrap();
+            .unwrap_or_else(|poisoned| {
+                POISON_RECOVERIES.fetch_add(1, Relaxed);
+                poisoned.into_inner()
+            });
     }
 }
 
@@ -148,6 +198,7 @@ impl Pool {
             next_queue: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            active_scopes: AtomicUsize::new(0),
         });
         for i in 0..workers {
             let s = shared.clone();
@@ -175,14 +226,53 @@ impl Pool {
         self.shared.executed.load(Relaxed)
     }
 
+    /// Scopes currently executing on this pool (including the caller's
+    /// own, while inside one).
+    pub fn active_scopes(&self) -> usize {
+        self.shared.active_scopes.load(SeqCst)
+    }
+
+    /// Whether the pool already has at least `threads` concurrent scopes
+    /// draining. A saturated pool gains nothing from further fan-out —
+    /// callers should run their work serially instead of queueing chunks
+    /// behind every other query's chunks.
+    pub fn is_saturated(&self) -> bool {
+        self.threads <= 1 || self.shared.active_scopes.load(SeqCst) >= self.threads
+    }
+
     /// Run a batch of scoped tasks. Tasks spawned via [`Scope::spawn`]
     /// may borrow anything that outlives the `scope` call; the call
     /// returns only after every task has finished. If any task panicked,
     /// the panic is re-raised here (after all tasks completed).
     pub fn scope<'env, R>(&'env self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        match self.try_scope(f) {
+            Ok(r) => r,
+            Err(_) => panic!("ppf-pool: a scoped task panicked"),
+        }
+    }
+
+    /// Like [`Pool::scope`], but a panicking *task* surfaces as
+    /// `Err(TaskPanic)` (carrying the first panic's message) instead of
+    /// re-raising, so callers can degrade one query to a typed error
+    /// rather than unwinding the process. All tasks are still drained
+    /// before returning; a panic in the closure `f` itself (the caller's
+    /// own stack) is re-raised as before.
+    pub fn try_scope<'env, R>(
+        &'env self,
+        f: impl FnOnce(&Scope<'env>) -> R,
+    ) -> Result<R, TaskPanic> {
+        struct ActiveScope<'a>(&'a AtomicUsize);
+        impl Drop for ActiveScope<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, SeqCst);
+            }
+        }
+        self.shared.active_scopes.fetch_add(1, SeqCst);
+        let _active = ActiveScope(&self.shared.active_scopes);
         let state = Arc::new(ScopeState {
             pending: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         });
         let scope = Scope {
             pool: self,
@@ -201,10 +291,13 @@ impl Pool {
             }
         }
         if state.panicked.load(SeqCst) {
-            panic!("ppf-pool: a scoped task panicked");
+            let message = lock_unpoisoned(&state.panic_msg)
+                .take()
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            return Err(TaskPanic { message });
         }
         match result {
-            Ok(r) => r,
+            Ok(r) => Ok(r),
             Err(p) => std::panic::resume_unwind(p),
         }
     }
@@ -241,28 +334,50 @@ impl Pool {
         R: Send,
         F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
     {
+        match self.try_map_ranges(ranges, f) {
+            Ok(out) => out,
+            Err(_) => panic!("ppf-pool: a scoped task panicked"),
+        }
+    }
+
+    /// Like [`Pool::map_ranges`], but a panicking task yields
+    /// `Err(TaskPanic)` after all sibling tasks drained, instead of
+    /// re-raising the panic on the calling thread.
+    pub fn try_map_ranges<R, F>(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        f: F,
+    ) -> Result<Vec<R>, TaskPanic>
+    where
+        R: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    {
         if ranges.len() <= 1 || self.threads <= 1 {
-            return ranges
+            return Ok(ranges
                 .iter()
                 .enumerate()
                 .map(|(i, r)| f(i, r.clone()))
-                .collect();
+                .collect());
         }
         let slots: Vec<Mutex<Option<R>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
-        self.scope(|s| {
+        self.try_scope(|s| {
             for (i, range) in ranges.iter().enumerate() {
                 let slot = &slots[i];
                 let f = &f;
                 let range = range.clone();
                 s.spawn(move || {
-                    *slot.lock().unwrap() = Some(f(i, range));
+                    *lock_unpoisoned(slot) = Some(f(i, range));
                 });
             }
-        });
-        slots
+        })?;
+        Ok(slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("scoped task completed"))
-            .collect()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .expect("scoped task completed")
+            })
+            .collect())
     }
 }
 
@@ -279,6 +394,8 @@ impl Drop for Pool {
 struct ScopeState {
     pending: AtomicUsize,
     panicked: AtomicBool,
+    /// Message of the first task panic, for the `TaskPanic` error.
+    panic_msg: Mutex<Option<String>>,
 }
 
 /// Spawn handle passed to the closure of [`Pool::scope`].
@@ -296,7 +413,12 @@ impl<'env> Scope<'env> {
         self.state.pending.fetch_add(1, SeqCst);
         let state = self.state.clone();
         let task = move || {
-            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err() {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+                let mut slot = lock_unpoisoned(&state.panic_msg);
+                if slot.is_none() {
+                    *slot = Some(payload_message(payload.as_ref()));
+                }
+                drop(slot);
                 state.panicked.store(true, SeqCst);
             }
             state.pending.fetch_sub(1, SeqCst);
@@ -358,14 +480,23 @@ fn global_slot() -> &'static RwLock<Arc<Pool>> {
 /// clone); hold the handle across one operation, not forever — ­
 /// [`set_threads`] replaces the pool and old handles keep the old size.
 pub fn global() -> Arc<Pool> {
-    global_slot().read().unwrap().clone()
+    global_slot()
+        .read()
+        .unwrap_or_else(|poisoned| {
+            POISON_RECOVERIES.fetch_add(1, Relaxed);
+            poisoned.into_inner()
+        })
+        .clone()
 }
 
 /// Replace the process-wide pool with one of `threads` total lanes (the
 /// programmatic counterpart of `PPF_THREADS`). In-flight scopes on the
 /// old pool finish unaffected; its workers then exit.
 pub fn set_threads(threads: usize) {
-    *global_slot().write().unwrap() = Arc::new(Pool::new(threads));
+    *global_slot().write().unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.fetch_add(1, Relaxed);
+        poisoned.into_inner()
+    }) = Arc::new(Pool::new(threads));
 }
 
 /// Configured parallelism of the current process-wide pool.
@@ -457,6 +588,56 @@ mod tests {
         }));
         assert!(r.is_err());
         assert_eq!(done.load(Relaxed), 10, "non-panicking tasks still ran");
+    }
+
+    #[test]
+    fn try_scope_reports_task_panic_with_message() {
+        let pool = Pool::new(2);
+        let done = AtomicU64::new(0);
+        let r = pool.try_scope(|s| {
+            s.spawn(|| panic!("chunk 3 exploded"));
+            for _ in 0..10 {
+                s.spawn(|| {
+                    done.fetch_add(1, Relaxed);
+                });
+            }
+        });
+        let err = r.unwrap_err();
+        assert!(err.message.contains("chunk 3 exploded"), "{err}");
+        assert_eq!(done.load(Relaxed), 10, "non-panicking tasks still ran");
+        // The pool remains serviceable after the panic.
+        let items: Vec<u64> = (0..1000).collect();
+        let partials = pool.parallel_map(&items, 16, |_, c| c.iter().sum::<u64>());
+        assert_eq!(partials.iter().sum::<u64>(), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn try_map_ranges_reports_task_panic() {
+        let pool = Pool::new(4);
+        let ranges = even_ranges(1000, 8);
+        let r = pool.try_map_ranges(&ranges, |i, r| {
+            if i == 5 {
+                panic!("range {i} failed");
+            }
+            r.len()
+        });
+        assert!(r.is_err());
+        // And succeeds when nothing panics.
+        let ok = pool.try_map_ranges(&ranges, |_, r| r.len()).unwrap();
+        assert_eq!(ok.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn active_scopes_tracks_saturation() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.active_scopes(), 0);
+        assert!(!pool.is_saturated());
+        pool.scope(|_| {
+            assert_eq!(pool.active_scopes(), 1);
+        });
+        assert_eq!(pool.active_scopes(), 0);
+        let single = Pool::new(1);
+        assert!(single.is_saturated(), "serial pools never fan out");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod parser;
 pub mod stats;
 
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Process-wide DFA kill switch, for measuring the Pike-VM baseline.
 static DFA_ENABLED: AtomicBool = AtomicBool::new(true);
@@ -126,11 +126,7 @@ impl Regex {
     pub fn is_match_bytes(&self, input: &[u8]) -> bool {
         if dfa_enabled() {
             // Fast path: walk already-built states under the shared lock.
-            let frozen = self
-                .dfa
-                .read()
-                .unwrap()
-                .try_match_frozen(&self.program, input);
+            let frozen = self.dfa_read().try_match_frozen(&self.program, input);
             match frozen {
                 Some(matched) => {
                     stats::record_dfa_match();
@@ -138,7 +134,7 @@ impl Regex {
                 }
                 // The walk needs a state or transition that doesn't exist
                 // yet — take the exclusive lock and build as we go.
-                None => match self.dfa.write().unwrap().try_match(&self.program, input) {
+                None => match self.dfa_write().try_match(&self.program, input) {
                     Some(matched) => {
                         stats::record_dfa_match();
                         return matched;
@@ -147,10 +143,54 @@ impl Regex {
                 },
             }
         }
-        let mut vm = self.vm.lock().unwrap().pop().unwrap_or_default();
+        let mut vm = self.vm_pool().pop().unwrap_or_default();
         let matched = vm.is_match(&self.program, input);
-        self.vm.lock().unwrap().push(vm);
+        self.vm_pool().push(vm);
         matched
+    }
+
+    /// Lock the Pike-VM scratch pool, recovering from poisoning. The pool
+    /// is a plain `Vec` of self-contained scratch buffers — valid at every
+    /// instruction boundary — so a panic elsewhere while the lock was held
+    /// cannot have left it inconsistent.
+    fn vm_pool(&self) -> MutexGuard<'_, Vec<nfa::Vm>> {
+        self.vm.lock().unwrap_or_else(|poisoned| {
+            self.vm.clear_poison();
+            stats::record_poison_recovery();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Acquire the DFA read lock, rebuilding the machine first if a panic
+    /// poisoned it (a panic mid-determinization can leave half-built
+    /// states, so unlike the VM pool the state is *not* trustworthy).
+    fn dfa_read(&self) -> RwLockReadGuard<'_, dfa::LazyDfa> {
+        if self.dfa.is_poisoned() {
+            self.recover_dfa();
+        }
+        self.dfa.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Acquire the DFA write lock, rebuilding after poisoning (see
+    /// [`Regex::dfa_read`]).
+    fn dfa_write(&self) -> RwLockWriteGuard<'_, dfa::LazyDfa> {
+        if self.dfa.is_poisoned() {
+            self.recover_dfa();
+        }
+        self.dfa.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Replace a poisoned lazy DFA with a fresh one (same budget) and
+    /// clear the poison flag. Racing recoverers are harmless: the second
+    /// sees the flag already cleared and swaps in another empty machine at
+    /// worst (the DFA is a cache; it re-determinizes on demand).
+    fn recover_dfa(&self) {
+        let mut guard = self.dfa.write().unwrap_or_else(|p| p.into_inner());
+        if self.dfa.is_poisoned() {
+            *guard = dfa::LazyDfa::with_budget(&self.program, guard.budget());
+            self.dfa.clear_poison();
+            stats::record_poison_recovery();
+        }
     }
 }
 
@@ -162,7 +202,7 @@ impl Clone for Regex {
             vm: Mutex::new(Vec::new()),
             dfa: RwLock::new(dfa::LazyDfa::with_budget(
                 &self.program,
-                self.dfa.read().unwrap().budget(),
+                self.dfa_read().budget(),
             )),
         }
     }
@@ -285,6 +325,44 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), serial);
         }
+    }
+
+    #[test]
+    fn poisoned_dfa_lock_recovers_and_matching_still_works() {
+        let re = std::sync::Arc::new(Regex::new("^/a(/[^/]+)*/b$").unwrap());
+        assert!(re.is_match("/a/x/b"));
+        // Poison the DFA write lock by panicking while holding it.
+        {
+            let re = re.clone();
+            let _ = std::thread::spawn(move || {
+                let _guard = re.dfa.write().unwrap();
+                panic!("poison the dfa lock");
+            })
+            .join();
+        }
+        assert!(re.dfa.is_poisoned());
+        let before = stats::poison_recoveries();
+        // Matching recovers: the DFA is rebuilt and answers stay correct.
+        assert!(re.is_match("/a/x/y/b"));
+        assert!(!re.is_match("/a/x"));
+        assert!(!re.dfa.is_poisoned());
+        assert!(stats::poison_recoveries() > before);
+    }
+
+    #[test]
+    fn poisoned_vm_pool_recovers() {
+        let re = std::sync::Arc::new(Regex::with_dfa_budget("^/a(/[^/]+)*/b$", 1).unwrap());
+        {
+            let re = re.clone();
+            let _ = std::thread::spawn(move || {
+                let _guard = re.vm.lock().unwrap();
+                panic!("poison the vm pool");
+            })
+            .join();
+        }
+        // Budget 1 forces the Pike-VM path, which needs the pool lock.
+        assert!(re.is_match("/a/x/b"));
+        assert!(!re.is_match("/a/x"));
     }
 
     #[test]

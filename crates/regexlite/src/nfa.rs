@@ -42,7 +42,16 @@ pub struct Program {
 /// use counted bounds, so this only guards hand-written patterns.
 const MAX_REPEAT_EXPANSION: u32 = 1000;
 
-/// Compilation error (currently only repetition-size overflow).
+/// Upper bound on the total compiled program size, in instructions.
+/// The per-repetition bound above caps one `{m,n}` in isolation, but
+/// nesting multiplies — `(a{1000}){1000}` passes every individual bound
+/// check while expanding toward 10⁶ instructions. The compiler checks
+/// this budget on every `emit` call (the same shape as the DFA's state
+/// budget), so total work before a hostile pattern is rejected stays
+/// proportional to the budget, not to the nesting product.
+pub const MAX_PROGRAM_INSTS: usize = 32_768;
+
+/// Compilation error (repetition-size or program-size overflow).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileError(pub String);
 
@@ -124,6 +133,11 @@ impl Compiler {
     }
 
     fn emit(&mut self, ast: &Ast) -> Result<Frag, CompileError> {
+        if self.insts.len() > MAX_PROGRAM_INSTS {
+            return Err(CompileError(format!(
+                "pattern compiles past the {MAX_PROGRAM_INSTS}-instruction program budget"
+            )));
+        }
         match ast {
             Ast::Empty => {
                 let ip = self.push(Inst::Jmp { next: usize::MAX });
@@ -566,5 +580,23 @@ mod tests {
         // (a*)*b against aaaa...a — catastrophic for backtrackers.
         let input = "a".repeat(4000);
         assert!(!matches("^(a*)*b$", &input));
+    }
+
+    #[test]
+    fn huge_single_repetition_is_rejected() {
+        let err = crate::Regex::new("a{1000000}").unwrap_err();
+        assert!(err.to_string().contains("repetition bound"), "{err}");
+    }
+
+    #[test]
+    fn nested_repetition_blowup_hits_program_budget() {
+        // Each bound individually passes MAX_REPEAT_EXPANSION, but the
+        // product would be 10⁶ instructions.
+        let err = crate::Regex::new("(a{1000}){1000}").unwrap_err();
+        assert!(err.to_string().contains("program budget"), "{err}");
+        let err = crate::Regex::new("((a{100}){100}){100}").unwrap_err();
+        assert!(err.to_string().contains("program budget"), "{err}");
+        // A large-but-reasonable pattern still compiles.
+        assert!(crate::Regex::new("(a{10}){10}").is_ok());
     }
 }

@@ -30,9 +30,16 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum group-nesting depth. The parser (and the Thompson compiler
+/// after it) recurse once per `(`, so unbounded nesting in a hostile
+/// pattern would overflow the stack — a crash no `catch_unwind` can turn
+/// into an error. Bounding it keeps parsing panic-free by construction.
+const MAX_NEST_DEPTH: usize = 200;
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 /// Parse an ERE pattern into an [`Ast`].
@@ -40,6 +47,7 @@ pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
     let mut p = Parser {
         input: pattern.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let ast = p.alternation()?;
     if p.pos != p.input.len() {
@@ -69,6 +77,16 @@ impl<'a> Parser<'a> {
     }
 
     fn alternation(&mut self) -> Result<Ast, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(self.err("pattern nested too deeply"));
+        }
+        let result = self.alternation_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn alternation_inner(&mut self) -> Result<Ast, ParseError> {
         let mut branches = vec![self.concat()?];
         while self.peek() == Some(b'|') {
             self.bump();
@@ -383,6 +401,16 @@ mod tests {
         assert!(parse("a{4,2}").is_err());
         assert!(parse("^*").is_err());
         assert!(parse("\\").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        let deep = "(".repeat(100_000) + "a" + &")".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nested too deeply"), "{err}");
+        // Depth just under the limit still parses.
+        let ok = "(".repeat(150) + "a" + &")".repeat(150);
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

@@ -24,6 +24,7 @@ static DFA_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static DFA_TRANS_HITS: AtomicU64 = AtomicU64::new(0);
 static DFA_TRANS_MISSES: AtomicU64 = AtomicU64::new(0);
 static DFA_STATES: AtomicU64 = AtomicU64::new(0);
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the process-wide regex counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct VmStats {
     pub dfa_trans_misses: u64,
     /// Total DFA states constructed across all live regexes.
     pub dfa_states: u64,
+    /// Shared matcher locks (VM pool, lazy DFA) recovered after a panic
+    /// poisoned them; the DFA is rebuilt on recovery.
+    pub poison_recoveries: u64,
 }
 
 /// Flush one Pike-VM match's locally-accumulated counters.
@@ -89,6 +93,16 @@ pub(crate) fn record_dfa_state() {
     DFA_STATES.fetch_add(1, Relaxed);
 }
 
+/// Record recovery of a poisoned matcher lock.
+pub(crate) fn record_poison_recovery() {
+    POISON_RECOVERIES.fetch_add(1, Relaxed);
+}
+
+/// Matcher locks recovered from poisoning since process start.
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Relaxed)
+}
+
 /// Read the current counter values.
 pub fn snapshot() -> VmStats {
     VmStats {
@@ -101,6 +115,7 @@ pub fn snapshot() -> VmStats {
         dfa_trans_hits: DFA_TRANS_HITS.load(Relaxed),
         dfa_trans_misses: DFA_TRANS_MISSES.load(Relaxed),
         dfa_states: DFA_STATES.load(Relaxed),
+        poison_recoveries: POISON_RECOVERIES.load(Relaxed),
     }
 }
 
@@ -115,6 +130,7 @@ pub fn reset() {
     DFA_TRANS_HITS.store(0, Relaxed);
     DFA_TRANS_MISSES.store(0, Relaxed);
     DFA_STATES.store(0, Relaxed);
+    POISON_RECOVERIES.store(0, Relaxed);
 }
 
 impl VmStats {
@@ -134,6 +150,9 @@ impl VmStats {
                 .dfa_trans_misses
                 .saturating_sub(earlier.dfa_trans_misses),
             dfa_states: self.dfa_states.saturating_sub(earlier.dfa_states),
+            poison_recoveries: self
+                .poison_recoveries
+                .saturating_sub(earlier.poison_recoveries),
         }
     }
 }

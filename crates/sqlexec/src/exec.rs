@@ -2,11 +2,13 @@
 //! interpreter for [`SelectPlan`]s, plus `UNION` / `DISTINCT` / `ORDER BY`
 //! statement post-processing.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use regexlite::Regex;
 use relstore::{Database, RowId, Table, Value};
@@ -52,6 +54,13 @@ pub struct ExecStats {
     /// Chunks executed across all parallel operations — `par_chunks /
     /// par_tasks` is the average degree of partitioning actually achieved.
     pub par_chunks: u64,
+    /// Statements aborted by a resource limit (deadline or row budget).
+    pub limit_aborts: u64,
+    /// Statements aborted by their [`CancelToken`].
+    pub query_cancelled: u64,
+    /// Parallel fan-outs skipped because the pool was already saturated
+    /// with other queries' scopes (the branch ran serially instead).
+    pub par_degraded: u64,
 }
 
 impl ExecStats {
@@ -68,6 +77,9 @@ impl ExecStats {
         self.probe_allocs += other.probe_allocs;
         self.par_tasks += other.par_tasks;
         self.par_chunks += other.par_chunks;
+        self.limit_aborts += other.limit_aborts;
+        self.query_cancelled += other.query_cancelled;
+        self.par_degraded += other.par_degraded;
     }
 }
 
@@ -132,6 +144,31 @@ struct Sharded<K, V> {
     per_shard_cap: usize,
 }
 
+/// Cross-query cache locks recovered from poisoning. These caches are
+/// process-global, so before PR 4 a single panic while a shard lock was
+/// held bricked every subsequent query that hashed to that shard.
+static CACHE_POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Sharded-cache locks recovered from poisoning since process start.
+pub fn cache_poison_recoveries() -> u64 {
+    CACHE_POISON_RECOVERIES.load(Relaxed)
+}
+
+/// Lock one cache shard, recovering from poisoning. The poisoned shard is
+/// *cleared*: a panic mid-`insert` could in principle have left a
+/// half-updated map, and every entry is a pure cache that re-warms on the
+/// next miss — dropping them is always correct, keeping them is not
+/// provably so.
+fn lock_shard<K, V>(shard: &Mutex<HashMap<K, V>>) -> std::sync::MutexGuard<'_, HashMap<K, V>> {
+    shard.lock().unwrap_or_else(|poisoned| {
+        shard.clear_poison();
+        CACHE_POISON_RECOVERIES.fetch_add(1, Relaxed);
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        guard
+    })
+}
+
 impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
     fn new(cap: usize) -> Sharded<K, V> {
         Sharded {
@@ -153,13 +190,13 @@ impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
         K: std::borrow::Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        self.shard_of(key).lock().unwrap().get(key).cloned()
+        lock_shard(self.shard_of(key)).get(key).cloned()
     }
 
     /// Insert, clearing the target shard first when it is at capacity
     /// (coarse but effective bound; entries re-warm on next use).
     fn insert(&self, key: K, value: V) {
-        let mut map = self.shard_of(&key).lock().unwrap();
+        let mut map = lock_shard(self.shard_of(&key));
         if map.len() >= self.per_shard_cap {
             map.clear();
         }
@@ -168,7 +205,7 @@ impl<K: Hash + Eq, V: Clone> Sharded<K, V> {
 
     fn clear(&self) {
         for s in &self.shards {
-            s.lock().unwrap().clear();
+            lock_shard(s).clear();
         }
     }
 }
@@ -198,6 +235,123 @@ fn path_memo() -> &'static Sharded<PathMemoKey, Arc<Vec<RowId>>> {
 pub fn clear_filter_caches() {
     regex_cache().clear();
     path_memo().clear();
+}
+
+/// Cooperative cancellation handle for one query. Clone it, hand one copy
+/// to the executor via [`QueryLimits::cancel_token`], keep the other;
+/// [`CancelToken::cancel`] makes the executor abort with
+/// [`ExecError::Cancelled`] at its next loop-boundary check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Per-query resource limits, all optional and all enforced
+/// *cooperatively*: the executor checks them at scan/join/filter loop
+/// boundaries, so an over-budget query stops within one check interval
+/// ([`LIMIT_CHECK_INTERVAL`] rows) of crossing the line, not instantly.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLimits {
+    /// Abort with [`ExecError::Limit`] once `Instant::now()` passes this.
+    pub deadline: Option<Instant>,
+    /// Abort with [`ExecError::Limit`] once the statement has scanned
+    /// this many rows. Rows scanned bound the executor's materialized
+    /// state (candidate buffers, result rows), so this doubles as the
+    /// memory budget. Under partitioned execution each worker inherits
+    /// the full budget, so enforcement is approximate by up to the
+    /// fan-out factor.
+    pub max_rows_scanned: Option<u64>,
+    /// Abort with [`ExecError::Cancelled`] once this token fires.
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryLimits {
+    /// No limits — the default for every query that doesn't opt in.
+    pub fn none() -> QueryLimits {
+        QueryLimits::default()
+    }
+
+    /// Set a deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> QueryLimits {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Set an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> QueryLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the scanned-row budget.
+    pub fn with_max_rows(mut self, rows: u64) -> QueryLimits {
+        self.max_rows_scanned = Some(rows);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> QueryLimits {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True when every limit is absent (the executor skips all checks).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_rows_scanned.is_none() && self.cancel.is_none()
+    }
+
+    /// Poll the cancel token and the deadline (not the row budget, which
+    /// only the owning executor tracks). Usable from pool workers, which
+    /// hold a clone of the coordinator's limits.
+    pub(crate) fn check_interrupt(&self) -> Result<(), ExecError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(ExecError::cancelled("cancel token fired".to_string()));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(ExecError::limit("deadline exceeded".to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rows between deadline/cancel checks. Row-budget accounting is exact;
+/// only the clock read and the token load are decimated.
+const LIMIT_CHECK_INTERVAL: u64 = 256;
+
+/// Test-only fault injection, compiled in unconditionally so integration
+/// tests (and the CI poison-recovery stress step) can exercise the
+/// panic-containment path through the public API.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+
+    static PANIC_NEXT_WORKER: AtomicBool = AtomicBool::new(false);
+
+    /// Arm a one-shot panic in the next partitioned-branch pool task.
+    pub fn arm_worker_panic() {
+        PANIC_NEXT_WORKER.store(true, SeqCst);
+    }
+
+    pub(crate) fn take_worker_panic() -> bool {
+        PANIC_NEXT_WORKER.swap(false, SeqCst)
+    }
 }
 
 /// Intra-query parallelism strategy for this thread's executors: `Auto`
@@ -403,6 +557,15 @@ pub struct Executor<'db> {
     /// When true, `OpStats::elapsed_ns` is measured (two `Instant` reads
     /// per step invocation); counters are maintained regardless.
     profiling: std::cell::Cell<bool>,
+    /// Per-query limits ([`Executor::set_limits`]); `limits_active`
+    /// mirrors `!limits.is_unlimited()` so the per-row hot path pays one
+    /// `Cell` read when no limits are set.
+    limits: RefCell<QueryLimits>,
+    limits_active: Cell<bool>,
+    /// Rows charged against `QueryLimits::max_rows_scanned` so far.
+    rows_charged: Cell<u64>,
+    /// Rows since the last deadline/cancel check.
+    limit_tick: Cell<u64>,
 }
 
 impl<'db> Executor<'db> {
@@ -420,12 +583,74 @@ impl<'db> Executor<'db> {
             key_scratch: RefCell::new(Vec::new()),
             step_stats: RefCell::new(HashMap::new()),
             profiling: std::cell::Cell::new(false),
+            limits: RefCell::new(QueryLimits::none()),
+            limits_active: Cell::new(false),
+            rows_charged: Cell::new(0),
+            limit_tick: Cell::new(0),
         }
     }
 
     /// Enable per-step wall-time measurement (used by `EXPLAIN ANALYZE`).
     pub fn set_profiling(&self, on: bool) {
         self.profiling.set(on);
+    }
+
+    /// Install per-query resource limits. They apply to every statement
+    /// this executor runs until replaced; the row budget resets at each
+    /// top-level [`Executor::run`].
+    pub fn set_limits(&self, limits: QueryLimits) {
+        self.limits_active.set(!limits.is_unlimited());
+        *self.limits.borrow_mut() = limits;
+        self.rows_charged.set(0);
+        self.limit_tick.set(0);
+    }
+
+    /// The limits currently installed (cloned; used to propagate the
+    /// coordinator's limits into partition workers).
+    pub fn limits(&self) -> QueryLimits {
+        self.limits.borrow().clone()
+    }
+
+    /// Charge `n` scanned rows against the limits. Row-budget violations
+    /// surface immediately; the deadline and cancel token are polled every
+    /// [`LIMIT_CHECK_INTERVAL`] charged rows. Callers guard with
+    /// `limits_active` so the unlimited path costs one `Cell` read.
+    #[inline]
+    fn charge_rows(&self, n: u64) -> Result<(), ExecError> {
+        if !self.limits_active.get() {
+            return Ok(());
+        }
+        let charged = self.rows_charged.get() + n;
+        self.rows_charged.set(charged);
+        let limits = self.limits.borrow();
+        if let Some(max) = limits.max_rows_scanned {
+            if charged > max {
+                return Err(ExecError::limit(format!(
+                    "row budget exceeded: scanned {charged} rows (budget {max})"
+                )));
+            }
+        }
+        let tick = self.limit_tick.get() + n;
+        if tick >= LIMIT_CHECK_INTERVAL {
+            self.limit_tick.set(0);
+            self.check_deadline(&limits)?;
+        } else {
+            self.limit_tick.set(tick);
+        }
+        Ok(())
+    }
+
+    fn check_deadline(&self, limits: &QueryLimits) -> Result<(), ExecError> {
+        limits.check_interrupt()
+    }
+
+    /// Force a deadline/cancel poll now (loop boundaries that process an
+    /// unbounded amount of work per row, e.g. the branch fan-out).
+    fn check_limits_now(&self) -> Result<(), ExecError> {
+        if !self.limits_active.get() {
+            return Ok(());
+        }
+        self.check_deadline(&self.limits.borrow())
     }
 
     /// Per-step counters for a `Select` executed by the current statement
@@ -492,26 +717,45 @@ impl<'db> Executor<'db> {
 
     /// Parse and run a SQL string.
     pub fn query(&self, sql: &str) -> Result<ResultSet, ExecError> {
-        let stmt = crate::parser::parse_sql(sql).map_err(|e| ExecError(e.to_string()))?;
+        let stmt = crate::parser::parse_sql(sql).map_err(|e| ExecError::parse(e.to_string()))?;
         self.run(&stmt)
     }
 
-    /// Run a statement AST.
+    /// Run a statement AST. Limit and cancellation aborts are counted
+    /// into [`ExecStats`] here, on the way out.
     pub fn run(&self, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
+        self.rows_charged.set(0);
+        self.limit_tick.set(0);
+        // Up-front poll so an already-expired deadline or pre-fired token
+        // aborts deterministically, even for queries too small to ever
+        // reach an in-loop check.
+        let result = self.check_limits_now().and_then(|()| self.run_inner(stmt));
+        if let Err(e) = &result {
+            let mut stats = self.stats.borrow_mut();
+            match e {
+                ExecError::Limit(_) => stats.limit_aborts += 1,
+                ExecError::Cancelled(_) => stats.query_cancelled += 1,
+                _ => {}
+            }
+        }
+        result
+    }
+
+    fn run_inner(&self, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
         self.plans.borrow_mut().clear();
         self.hash_builds.borrow_mut().clear();
         self.merge_cursors.borrow_mut().clear();
         self.step_stats.borrow_mut().clear();
         if stmt.branches.is_empty() {
-            return Err(ExecError("statement has no SELECT branch".into()));
+            return Err(ExecError::exec("statement has no SELECT branch"));
         }
         let multi = stmt.branches.len() > 1;
         // UNION branches must agree on arity, or dedup/sort would index
         // out of bounds across rows of different widths.
         let arity = stmt.branches[0].projections.len();
         if stmt.branches.iter().any(|b| b.projections.len() != arity) {
-            return Err(ExecError(
-                "UNION branches project different numbers of columns".into(),
+            return Err(ExecError::exec(
+                "UNION branches project different numbers of columns",
             ));
         }
 
@@ -538,8 +782,8 @@ impl<'db> Executor<'db> {
                 other => KeyKind::Computed(other.clone()),
             };
             if multi && matches!(kind, KeyKind::Computed(_)) {
-                return Err(ExecError(
-                    "ORDER BY over UNION must reference an output column".into(),
+                return Err(ExecError::exec(
+                    "ORDER BY over UNION must reference an output column",
                 ));
             }
             keys.push((kind, k.desc));
@@ -619,6 +863,14 @@ impl<'db> Executor<'db> {
         if mode == ParallelMode::ForceOff || pool.threads() <= 1 {
             return Ok(None);
         }
+        if mode == ParallelMode::Auto && pool.is_saturated() {
+            // Every worker is already inside a scope for some other query;
+            // fanning out now would only queue behind them. Degrade this
+            // query to the serial path and record that we did.
+            self.stats.borrow_mut().par_degraded += 1;
+            return Ok(None);
+        }
+        self.check_limits_now()?;
         if sel
             .projections
             .iter()
@@ -636,7 +888,7 @@ impl<'db> Executor<'db> {
         let table = self
             .db
             .table(&step0.table)
-            .ok_or_else(|| ExecError(format!("no such table `{}`", step0.table)))?;
+            .ok_or_else(|| ExecError::exec(format!("no such table `{}`", step0.table)))?;
 
         let t0 = self.profiling.get().then(std::time::Instant::now);
         let mut fill_local = OpStats {
@@ -734,13 +986,18 @@ impl<'db> Executor<'db> {
         let db = self.db;
         let plan_ref = &plan;
         let rows_ref = &probe_rows[..];
-        let parts: Vec<WorkerResult> = pool.map_ranges(&ranges, |_, range| {
+        let limits = self.limits();
+        let parts = pool.try_map_ranges(&ranges, |_, range| {
+            if test_hooks::take_worker_panic() {
+                panic!("injected worker panic (test hook)");
+            }
             let prev_mm = crate::plan::set_merge_mode(mm);
             let prev_fc = set_filter_caches_enabled(fc);
             let prev_pm = set_parallel_mode(ParallelMode::ForceOff);
             let exec = Executor::new(db);
             exec.seed_plans(&snapshot);
             exec.set_profiling(profiling);
+            exec.set_limits(limits.clone());
             let mut env: Vec<Binding> = Vec::new();
             let mut rows = Vec::new();
             let mut depth0 = OpStats::default(); // invocations stay the coordinator's
@@ -774,6 +1031,8 @@ impl<'db> Executor<'db> {
             result
         });
         self.put_row_buf(probe_rows);
+        let parts: Vec<WorkerResult> = parts
+            .map_err(|p| ExecError::exec(format!("parallel worker panicked: {}", p.message)))?;
 
         let mut rows = Vec::new();
         let mut first_err: Option<ExecError> = None;
@@ -856,7 +1115,7 @@ impl<'db> Executor<'db> {
             .iter()
             .any(|p| matches!(p.expr, Expr::CountStar));
         if is_count && sel.projections.len() != 1 {
-            return Err(ExecError("COUNT(*) must be the only projection".into()));
+            return Err(ExecError::exec("COUNT(*) must be the only projection"));
         }
 
         let plan = self.plan_for(sel, env)?;
@@ -972,7 +1231,7 @@ impl<'db> Executor<'db> {
         let table = self
             .db
             .table(&step.table)
-            .ok_or_else(|| ExecError(format!("no such table `{}`", step.table)))?;
+            .ok_or_else(|| ExecError::exec(format!("no such table `{}`", step.table)))?;
 
         // Materialize candidate row ids from the access path into a
         // pooled buffer (returned to the pool on every exit path below).
@@ -1022,6 +1281,10 @@ impl<'db> Executor<'db> {
         let mut outcome = Ok(true);
         'rows: for &rid in probe_rows {
             local.rows_in += 1;
+            if let Err(e) = self.charge_rows(1) {
+                outcome = Err(e);
+                break 'rows;
+            }
             env.push(Binding {
                 alias: step.alias.clone(),
                 table,
@@ -1091,6 +1354,9 @@ impl<'db> Executor<'db> {
             }
             Access::HashEq { column, key } => {
                 let build = self.hash_build(&step.table, table, *column);
+                // A cold build just scanned the whole table; poll before
+                // the probe rather than mid-scan.
+                self.check_limits_now()?;
                 let k = self.eval(key, env)?;
                 // A NULL key matches nothing; no probe is performed.
                 if !k.is_null() {
@@ -1281,7 +1547,7 @@ impl<'db> Executor<'db> {
         }
         self.stats.borrow_mut().path_memo_misses += 1;
         let re = self.cached_regex(pattern)?;
-        let survivors = self.filter_scan(table, ci, &re);
+        let survivors = self.filter_scan(table, ci, &re)?;
         // Rejected rows were examined here and never reach the row loop;
         // count them now so rows_in still totals the full scan, and
         // charge one predicate evaluation per row scanned.
@@ -1297,17 +1563,31 @@ impl<'db> Executor<'db> {
     /// workers share the one compiled program and its lazy DFA), serially
     /// otherwise. Chunk results concatenate in chunk order, so the
     /// surviving row ids come back in document order either way.
-    fn filter_scan(&self, table: &'db Table, ci: usize, re: &Arc<Regex>) -> Vec<RowId> {
+    fn filter_scan(
+        &self,
+        table: &'db Table,
+        ci: usize,
+        re: &Arc<Regex>,
+    ) -> Result<Vec<RowId>, ExecError> {
         let pool = ppf_pool::global();
         let len = table.len();
         let parallel = match parallel_mode() {
             ParallelMode::ForceOff => false,
             ParallelMode::ForceOn => pool.threads() > 1 && len >= 2,
-            ParallelMode::Auto => pool.threads() > 1 && len >= PAR_MIN_FILTER_ROWS,
+            ParallelMode::Auto => {
+                let go = pool.threads() > 1 && len >= PAR_MIN_FILTER_ROWS;
+                if go && pool.is_saturated() {
+                    self.stats.borrow_mut().par_degraded += 1;
+                    false
+                } else {
+                    go
+                }
+            }
         };
         if !parallel {
             let mut out = Vec::new();
             for (rid, row) in table.rows() {
+                self.charge_rows(1)?;
                 // NULLs never match (three-valued logic rejects the row).
                 if let Value::Str(s) = &row[ci] {
                     if re.is_match(s) {
@@ -1315,7 +1595,7 @@ impl<'db> Executor<'db> {
                     }
                 }
             }
-            return out;
+            return Ok(out);
         }
         let ranges = ppf_pool::even_ranges(len, pool.chunk_target(len, PAR_FILTER_CHUNK));
         {
@@ -1323,18 +1603,34 @@ impl<'db> Executor<'db> {
             stats.par_tasks += 1;
             stats.par_chunks += ranges.len() as u64;
         }
-        let parts = pool.map_ranges(&ranges, |_, range| {
-            let mut out = Vec::new();
-            for rid in range {
-                if let Value::Str(s) = &table.row(rid)[ci] {
-                    if re.is_match(s) {
-                        out.push(rid);
+        let limits = self.limits();
+        let parts = pool
+            .try_map_ranges(&ranges, |_, range| {
+                // Chunk-boundary poll; the row budget stays coordinator-side
+                // (charged on the concatenated total below).
+                limits.check_interrupt()?;
+                let mut out = Vec::new();
+                for rid in range {
+                    if let Value::Str(s) = &table.row(rid)[ci] {
+                        if re.is_match(s) {
+                            out.push(rid);
+                        }
                     }
                 }
-            }
-            out
-        });
-        parts.concat()
+                Ok::<_, ExecError>(out)
+            })
+            .map_err(|p| {
+                ExecError::exec(format!(
+                    "parallel filter-scan worker panicked: {}",
+                    p.message
+                ))
+            })?;
+        let mut survivors = Vec::new();
+        for part in parts {
+            survivors.extend(part?);
+        }
+        self.charge_rows(len as u64)?;
+        Ok(survivors)
     }
 
     /// Fetch (or compile into) the process-wide program cache.
@@ -1344,8 +1640,8 @@ impl<'db> Executor<'db> {
                 return Ok(r);
             }
         }
-        let compiled =
-            Regex::new(pattern).map_err(|e| ExecError(format!("bad regex `{pattern}`: {e}")))?;
+        let compiled = Regex::new(pattern)
+            .map_err(|e| ExecError::exec(format!("bad regex `{pattern}`: {e}")))?;
         let rc = Arc::new(compiled);
         if filter_caches_enabled() {
             regex_cache().insert(pattern.to_string(), rc.clone());
@@ -1399,7 +1695,7 @@ impl<'db> Executor<'db> {
         match v {
             Value::Null => Ok(None),
             Value::Bool(b) => Ok(Some(b)),
-            other => Err(ExecError(format!(
+            other => Err(ExecError::exec(format!(
                 "predicate evaluated to non-boolean value {other}"
             ))),
         }
@@ -1467,8 +1763,8 @@ impl<'db> Executor<'db> {
             Expr::ScalarSubquery(sub) => {
                 self.stats.borrow_mut().subqueries += 1;
                 if sub.projections.len() != 1 {
-                    return Err(ExecError(
-                        "scalar subquery must project exactly one column".into(),
+                    return Err(ExecError::exec(
+                        "scalar subquery must project exactly one column",
                     ));
                 }
                 let mut result: Option<Value> = None;
@@ -1477,8 +1773,8 @@ impl<'db> Executor<'db> {
                 self.select_rows(sub, env, &mut |exec, env2| {
                     count += 1;
                     if count > 1 {
-                        return Err(ExecError(
-                            "scalar subquery returned more than one row".into(),
+                        return Err(ExecError::exec(
+                            "scalar subquery returned more than one row",
                         ));
                     }
                     result = Some(exec.eval(proj, env2)?);
@@ -1494,7 +1790,7 @@ impl<'db> Executor<'db> {
                         let re = self.cached_regex(pattern)?;
                         Ok(Value::Bool(re.is_match(&s)))
                     }
-                    other => Err(ExecError(format!(
+                    other => Err(ExecError::exec(format!(
                         "REGEXP_LIKE subject must be text, got {other}"
                     ))),
                 }
@@ -1527,7 +1823,7 @@ impl<'db> Executor<'db> {
             }
             Expr::CountStar => match self.count_result.get() {
                 Some(c) => Ok(Value::Int(c)),
-                None => Err(ExecError("COUNT(*) outside aggregate context".into())),
+                None => Err(ExecError::exec("COUNT(*) outside aggregate context")),
             },
         }
     }
@@ -1548,13 +1844,13 @@ impl<'db> Executor<'db> {
                 return Ok(b.table.row(b.rid)[ci].clone());
             }
             if qualifier.is_some() {
-                return Err(ExecError(format!(
+                return Err(ExecError::exec(format!(
                     "alias `{}` has no column `{name}`",
                     b.alias
                 )));
             }
         }
-        Err(ExecError(match qualifier {
+        Err(ExecError::exec(match qualifier {
             Some(q) => format!("unknown column `{q}.{name}`"),
             None => format!("unknown column `{name}`"),
         }))
@@ -1742,9 +2038,9 @@ fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
             Value::Float(f) => Ok((0, *f, false)),
             Value::Str(s) => match s.trim().parse::<f64>() {
                 Ok(f) => Ok((0, f, false)),
-                Err(_) => Err(ExecError(format!("cannot use {v} in arithmetic"))),
+                Err(_) => Err(ExecError::exec(format!("cannot use {v} in arithmetic"))),
             },
-            other => Err(ExecError(format!("cannot use {other} in arithmetic"))),
+            other => Err(ExecError::exec(format!("cannot use {other} in arithmetic"))),
         }
     };
     let (ai, af, a_int) = to_num(a)?;
@@ -1758,7 +2054,7 @@ fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
         };
         return r
             .map(Value::Int)
-            .ok_or_else(|| ExecError("integer overflow".into()));
+            .ok_or_else(|| ExecError::exec("integer overflow"));
     }
     let r = match op {
         ArithOp::Add => af + bf,
@@ -1831,7 +2127,7 @@ pub fn naive_select(db: &Database, sel: &Select) -> Result<Vec<Vec<Value>>, Exec
         let tref = &sel.from[depth];
         let table = db
             .table(&tref.table)
-            .ok_or_else(|| ExecError(format!("no such table `{}`", tref.table)))?;
+            .ok_or_else(|| ExecError::exec(format!("no such table `{}`", tref.table)))?;
         let alias: Arc<str> = Arc::from(tref.alias.as_str());
         for (rid, _) in table.rows() {
             env.push(Binding {

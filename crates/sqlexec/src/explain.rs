@@ -30,7 +30,7 @@ pub fn explain_analyze(db: &Database, stmt: &SelectStmt) -> Result<String, ExecE
     let mut out = render_stmt_plan(db, stmt, Some(&exec))?;
     let stats = exec.stats();
     out.push_str(&format!(
-        "actual: {} row(s) in {:.3} ms; rows_scanned={} index_probes={} predicate_evals={} subqueries={} pool_threads={} par_tasks={} par_chunks={}\n",
+        "actual: {} row(s) in {:.3} ms; rows_scanned={} index_probes={} predicate_evals={} subqueries={} pool_threads={} par_tasks={} par_chunks={} par_degraded={} limit_aborts={} cancelled={}\n",
         result.rows.len(),
         elapsed.as_secs_f64() * 1e3,
         stats.rows_scanned,
@@ -40,6 +40,9 @@ pub fn explain_analyze(db: &Database, stmt: &SelectStmt) -> Result<String, ExecE
         ppf_pool::current_threads(),
         stats.par_tasks,
         stats.par_chunks,
+        stats.par_degraded,
+        stats.limit_aborts,
+        stats.query_cancelled,
     ));
     Ok(out)
 }
@@ -98,7 +101,7 @@ fn explain_select(
         indent(out, depth);
         let table = db
             .require(&step.table)
-            .map_err(|e| ExecError(e.to_string()))?;
+            .map_err(|e| ExecError::exec(e.to_string()))?;
         let rows = table.len();
         out.push_str(&format!(
             "{} {} as {} ({} rows) via ",

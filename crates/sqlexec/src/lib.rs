@@ -37,9 +37,9 @@ pub mod render;
 
 pub use ast::{ArithOp, CmpOp, Expr, OrderKey, Projection, Select, SelectStmt, TableRef};
 pub use exec::{
-    clear_filter_caches, compare, filter_caches_enabled, naive_select, parallel_mode,
-    set_filter_caches_enabled, set_parallel_mode, ExecStats, Executor, OpStats, ParallelMode,
-    ResultSet,
+    cache_poison_recoveries, clear_filter_caches, compare, filter_caches_enabled, naive_select,
+    parallel_mode, set_filter_caches_enabled, set_parallel_mode, CancelToken, ExecStats, Executor,
+    OpStats, ParallelMode, QueryLimits, ResultSet,
 };
 pub use explain::{explain_analyze, explain_stmt};
 pub use parser::parse_sql;

@@ -35,7 +35,11 @@ pub fn parse_sql(input: &str) -> Result<SelectStmt, ParseError> {
     let tokens = lex(input).map_err(|e| ParseError {
         message: e.to_string(),
     })?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let stmt = p.stmt()?;
     if p.pos != p.tokens.len() {
         return Err(p.err("trailing tokens after statement"));
@@ -43,9 +47,19 @@ pub fn parse_sql(input: &str) -> Result<SelectStmt, ParseError> {
     Ok(stmt)
 }
 
+/// Maximum nesting depth of the recursive-descent parser (parenthesized
+/// expressions, `NOT` chains, subqueries). Hostile input like a million
+/// open parens must come back as a [`ParseError`], not a stack overflow —
+/// overflow aborts the whole process and cannot be caught. Each level
+/// costs ~9 stack frames (the whole precedence chain), so the cap is
+/// sized for a 2 MiB thread stack with a wide margin; translator-emitted
+/// SQL nests a handful of levels at most.
+const MAX_NEST_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -196,7 +210,14 @@ impl Parser {
     // ----- expressions, loosest to tightest binding -----
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("expression nested too deeply"));
+        }
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
@@ -218,12 +239,22 @@ impl Parser {
     }
 
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
-        if self.eat_kw("not") {
-            let inner = self.not_expr()?;
-            Ok(Expr::Not(Box::new(inner)))
-        } else {
-            self.cmp_expr()
+        // Iterative so a pathological `NOT NOT NOT …` chain can't recurse
+        // past the stack (the AST it builds is still linear in input size).
+        let mut negations = 0usize;
+        while self.eat_kw("not") {
+            negations += 1;
         }
+        if negations > MAX_NEST_DEPTH {
+            // The parse itself is iterative, but the AST it would build is
+            // that deep — and evaluation/drop of it would not be.
+            return Err(self.err("expression nested too deeply"));
+        }
+        let mut e = self.cmp_expr()?;
+        for _ in 0..negations {
+            e = Expr::Not(Box::new(e));
+        }
+        Ok(e)
     }
 
     fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
@@ -563,6 +594,55 @@ mod tests {
         assert!(parse_sql("select x from t where").is_err());
         assert!(parse_sql("select x from t extra junk !!!").is_err());
         assert!(parse_sql("select regexp_like(x, y) from t").is_err());
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_a_parse_error_not_a_stack_overflow() {
+        let bomb = format!(
+            "select t.x from t where {}1 = 1{}",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        let err = parse_sql(&bomb).expect_err("must not overflow the stack");
+        assert!(
+            err.to_string().contains("nested too deeply"),
+            "unexpected error: {err}"
+        );
+        // A depth well inside the limit still parses.
+        let ok = format!(
+            "select t.x from t where {}1 = 1{}",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        parse_sql(&ok).expect("moderate nesting parses");
+    }
+
+    #[test]
+    fn deep_not_chain_is_a_parse_error_not_a_stack_overflow() {
+        let bomb = format!("select t.x from t where {} 1 = 1", "not ".repeat(100_000));
+        let err = parse_sql(&bomb).expect_err("must not build an unboundedly deep AST");
+        assert!(err.to_string().contains("nested too deeply"));
+        let ok = format!("select t.x from t where {} 1 = 1", "not ".repeat(40));
+        parse_sql(&ok).expect("moderate NOT chain parses");
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for sql in [
+            "(",
+            ")",
+            "select t.x from t where (",
+            "select t.x from t where regexp_like(",
+            "select t.x from t where t.a between 1",
+            "select t.x from t where exists (select",
+            "select t.x from t order by",
+            "select t.x from t union",
+            "select count(* from t",
+            "select t.x from t where t.a = 'unterminated",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            assert!(parse_sql(sql).is_err(), "expected parse error for {sql:?}");
+        }
     }
 
     #[test]

@@ -18,13 +18,79 @@ use std::collections::BTreeSet;
 use crate::ast::{CmpOp, Expr, Select};
 use relstore::{Database, Table};
 
-/// Planner/executor error.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExecError(pub String);
+/// Planner/executor error, classified by lifecycle phase so callers (the
+/// engine, the shell, a future network front end) can distinguish "your
+/// SQL is wrong" from "your query ran out of budget" from "you cancelled
+/// it" without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The SQL text failed to parse ([`crate::Executor::query`] only).
+    Parse(String),
+    /// Planning failed: unknown table, duplicate alias, malformed shape.
+    Plan(String),
+    /// Runtime evaluation failed: bad types, unknown column, overflow.
+    Exec(String),
+    /// A resource budget was exceeded (deadline, row budget).
+    Limit(String),
+    /// The query's [`crate::CancelToken`] fired.
+    Cancelled(String),
+}
+
+impl ExecError {
+    pub fn parse(msg: impl Into<String>) -> ExecError {
+        ExecError::Parse(msg.into())
+    }
+
+    pub fn plan(msg: impl Into<String>) -> ExecError {
+        ExecError::Plan(msg.into())
+    }
+
+    pub fn exec(msg: impl Into<String>) -> ExecError {
+        ExecError::Exec(msg.into())
+    }
+
+    pub fn limit(msg: impl Into<String>) -> ExecError {
+        ExecError::Limit(msg.into())
+    }
+
+    pub fn cancelled(msg: impl Into<String>) -> ExecError {
+        ExecError::Cancelled(msg.into())
+    }
+
+    /// The bare message, without the phase prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            ExecError::Parse(m)
+            | ExecError::Plan(m)
+            | ExecError::Exec(m)
+            | ExecError::Limit(m)
+            | ExecError::Cancelled(m) => m,
+        }
+    }
+
+    /// Short lifecycle-phase tag (`parse` / `plan` / `exec` / `limit` /
+    /// `cancelled`), for counters and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::Parse(_) => "parse",
+            ExecError::Plan(_) => "plan",
+            ExecError::Exec(_) => "exec",
+            ExecError::Limit(_) => "limit",
+            ExecError::Cancelled(_) => "cancelled",
+        }
+    }
+}
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "execution error: {}", self.0)
+        match self {
+            // The parser's own Display already carries its prefix.
+            ExecError::Parse(m) => write!(f, "{m}"),
+            ExecError::Plan(m) => write!(f, "plan error: {m}"),
+            ExecError::Exec(m) => write!(f, "execution error: {m}"),
+            ExecError::Limit(m) => write!(f, "resource limit exceeded: {m}"),
+            ExecError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+        }
     }
 }
 
@@ -165,14 +231,14 @@ pub fn plan_select(
 ) -> Result<SelectPlan, ExecError> {
     for tref in &select.from {
         db.require(&tref.table)
-            .map_err(|e| ExecError(e.to_string()))?;
+            .map_err(|e| ExecError::plan(e.to_string()))?;
     }
     // Duplicate aliases would make column references ambiguous.
     {
         let mut seen = BTreeSet::new();
         for t in &select.from {
             if !seen.insert(&t.alias) {
-                return Err(ExecError(format!("duplicate alias `{}`", t.alias)));
+                return Err(ExecError::plan(format!("duplicate alias `{}`", t.alias)));
             }
         }
     }

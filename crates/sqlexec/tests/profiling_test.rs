@@ -34,7 +34,7 @@ fn stats_survive_scalar_subquery_error() {
             .unwrap();
     let exec = Executor::new(&db);
     let err = exec.run(&stmt).expect_err("scalar subquery must error");
-    assert!(err.0.contains("more than one row"), "{err}");
+    assert!(err.message().contains("more than one row"), "{err}");
     let stats = exec.stats();
     assert!(
         stats.rows_scanned > 0,

@@ -16,6 +16,8 @@
 //! > .analyze //book        execute and show the plan with actual rows/probes/time
 //! > .stats                 show the process-wide metrics registry
 //! > .trace on|off          print each query's phase trace
+//! > .timeout 250           abort queries after 250 ms (.timeout off to clear)
+//! > .maxrows 100000        abort queries past a scanned-row budget
 //! > .publish 42            reconstruct element 42 as XML
 //! > .tables                list relations and row counts
 //! > .marking               show the §4.5 U-P/F-P/I-P marks
@@ -27,7 +29,7 @@
 use std::io::{BufRead, Write};
 
 use obs::TraceSink;
-use ppf_core::{publish_element, EdgeDb, XmlDb};
+use ppf_core::{publish_element, EdgeDb, QueryLimits, XmlDb};
 
 enum Backend {
     Schema(Box<XmlDb>),
@@ -39,8 +41,25 @@ struct Session {
     backend: Backend,
     /// `.trace on` — print each query's span tree after the rows.
     show_trace: bool,
+    /// `.timeout MS` — per-query deadline.
+    timeout: Option<std::time::Duration>,
+    /// `.maxrows N` — per-query scanned-row budget.
+    max_rows: Option<u64>,
     /// `--trace-json FILE` — one JSON record per query.
     trace_sink: Option<obs::JsonLinesSink<std::fs::File>>,
+}
+
+impl Session {
+    fn limits(&self) -> QueryLimits {
+        let mut l = QueryLimits::none();
+        if let Some(t) = self.timeout {
+            l = l.with_timeout(t);
+        }
+        if let Some(n) = self.max_rows {
+            l = l.with_max_rows(n);
+        }
+        l
+    }
 }
 
 fn main() {
@@ -132,6 +151,8 @@ fn run() -> Result<(), String> {
     let mut session = Session {
         backend,
         show_trace: false,
+        timeout: None,
+        max_rows: None,
         trace_sink,
     };
 
@@ -178,11 +199,21 @@ fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
              .analyze XPATH  execute; show the plan with actual rows/probes/time\n\
              .stats          show the process-wide metrics registry\n\
              .trace on|off   print each query's phase trace (currently {})\n\
+             .timeout MS|off abort queries past a deadline (currently {})\n\
+             .maxrows N|off  abort queries past a scanned-row budget (currently {})\n\
              .publish ID     reconstruct element ID as XML (schema-aware only)\n\
              .tables         list relations and row counts\n\
              .marking        show the §4.5 marks (schema-aware only)\n\
              .quit           exit",
-            if session.show_trace { "on" } else { "off" }
+            if session.show_trace { "on" } else { "off" },
+            session
+                .timeout
+                .map(|t| format!("{}ms", t.as_millis()))
+                .unwrap_or_else(|| "off".to_string()),
+            session
+                .max_rows
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "off".to_string()),
         );
         return Ok(false);
     }
@@ -206,6 +237,38 @@ fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
                 println!("trace off");
             }
             _ => return Err("usage: .trace on|off".to_string()),
+        }
+        return Ok(false);
+    }
+    if let Some(arg) = line.strip_prefix(".timeout") {
+        match arg.trim() {
+            "off" => {
+                session.timeout = None;
+                println!("timeout off");
+            }
+            ms => match ms.parse::<u64>() {
+                Ok(ms) => {
+                    session.timeout = Some(std::time::Duration::from_millis(ms));
+                    println!("timeout {ms}ms");
+                }
+                Err(_) => return Err("usage: .timeout MILLIS|off".to_string()),
+            },
+        }
+        return Ok(false);
+    }
+    if let Some(arg) = line.strip_prefix(".maxrows") {
+        match arg.trim() {
+            "off" => {
+                session.max_rows = None;
+                println!("maxrows off");
+            }
+            n => match n.parse::<u64>() {
+                Ok(n) => {
+                    session.max_rows = Some(n);
+                    println!("maxrows {n}");
+                }
+                Err(_) => return Err("usage: .maxrows N|off".to_string()),
+            },
         }
         return Ok(false);
     }
@@ -292,11 +355,18 @@ fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
         return Err(format!("unknown command `{line}` (try .help)"));
     }
 
-    // A bare XPath query.
+    // A bare XPath query, under the session's .timeout/.maxrows limits.
+    // Typed failures print tagged by lifecycle phase, e.g.
+    // `[limit] engine error: resource limit exceeded: row budget exceeded`.
+    let limits = session.limits();
     let t0 = std::time::Instant::now();
     let (result, trace) = match backend {
-        Backend::Schema(db) => db.query_traced(line).map_err(|e| e.to_string())?,
-        Backend::Edge(db) => db.query_traced(line).map_err(|e| e.to_string())?,
+        Backend::Schema(db) => db
+            .query_traced_with_limits(line, limits)
+            .map_err(|e| format!("[{}] {e}", e.kind()))?,
+        Backend::Edge(db) => db
+            .query_traced_with_limits(line, limits)
+            .map_err(|e| format!("[{}] {e}", e.kind()))?,
     };
     let elapsed = t0.elapsed();
     if let Some(sink) = &mut session.trace_sink {
