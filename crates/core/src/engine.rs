@@ -77,6 +77,7 @@ fn record_query_error(err: &QueryError) {
 /// so one `.metrics` snapshot shows every layer's recoveries.
 fn mirror_poison_counters(reg: &obs::Registry) {
     reg.set_max("pool.poison_recoveries", ppf_pool::poison_recoveries());
+    reg.set_max("pool.env_parse_errors", ppf_pool::env_parse_errors());
     reg.set_max(
         "regex.poison_recoveries",
         regexlite::stats::poison_recoveries(),
@@ -823,6 +824,22 @@ impl SharedEngine {
         self.inner.query_traced(xpath)
     }
 
+    /// [`SharedEngine::query_traced`] under resource limits (see
+    /// [`XmlDb::query_with_limits`]).
+    pub fn query_traced_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<(QueryResult, QueryTrace), EngineError> {
+        self.inner.query_traced_with_limits(xpath, limits)
+    }
+
+    /// Translate an XPath to its SQL statement without executing it (the
+    /// server's `explain`/`analyze` verbs plan from this).
+    pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
+        self.inner.translate(xpath)
+    }
+
     /// The generated SQL for an XPath (`None` when statically empty).
     pub fn sql_for(&self, xpath: &str) -> Result<Option<String>, EngineError> {
         self.inner.sql_for(xpath)
@@ -837,4 +854,10 @@ impl SharedEngine {
 /// Process-wide peak of simultaneously running engine queries.
 pub fn concurrent_queries_peak() -> u64 {
     QUERIES_PEAK.load(Relaxed)
+}
+
+/// Engine queries in flight right now (the live gauge behind
+/// [`concurrent_queries_peak`]; the server's `health` verb reports it).
+pub fn concurrent_queries_in_flight() -> u64 {
+    QUERIES_IN_FLIGHT.load(Relaxed)
 }

@@ -455,12 +455,46 @@ pub fn even_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
 
 // ----- process-wide pool -----
 
-fn env_threads() -> Option<usize> {
-    std::env::var("PPF_THREADS").ok()?.trim().parse().ok()
+/// Invalid `PPF_THREADS` values seen (each also logs one warning line).
+/// Mirrored into the metrics registry as `pool.env_parse_errors` by
+/// `ppf_core` — a typo'd deployment must be visible, not silently run at
+/// a default thread count.
+static ENV_PARSE_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Malformed `PPF_THREADS` values observed since process start.
+pub fn env_parse_errors() -> u64 {
+    ENV_PARSE_ERRORS.load(Relaxed)
 }
 
-/// Default parallelism: `PPF_THREADS` if set (0 and 1 both mean serial),
-/// else the machine's available parallelism.
+/// Parse one `PPF_THREADS` value. Invalid input returns `None`, bumps
+/// [`env_parse_errors`], and logs a warning naming the fallback —
+/// split out from the env read so tests can exercise it directly.
+fn parse_env_threads(raw: &str) -> Option<usize> {
+    match raw.trim().parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            ENV_PARSE_ERRORS.fetch_add(1, Relaxed);
+            eprintln!(
+                "ppf-pool: ignoring invalid PPF_THREADS={raw:?} (want a non-negative \
+                 integer); falling back to available parallelism"
+            );
+            None
+        }
+    }
+}
+
+fn env_threads() -> Option<usize> {
+    parse_env_threads(&std::env::var("PPF_THREADS").ok()?)
+}
+
+/// Default parallelism: `PPF_THREADS` if set and valid (0 and 1 both
+/// mean serial), else the machine's available parallelism. An *invalid*
+/// `PPF_THREADS` also falls back, but is counted ([`env_parse_errors`])
+/// and logged rather than silently ignored.
+///
+/// Precedence: the environment variable is read once, when the global
+/// pool is first touched; a later [`set_threads`] call always wins (it
+/// replaces the pool outright and never re-reads the environment).
 pub fn default_threads() -> usize {
     env_threads()
         .unwrap_or_else(|| {
@@ -638,6 +672,19 @@ mod tests {
         assert_eq!(pool.active_scopes(), 0);
         let single = Pool::new(1);
         assert!(single.is_saturated(), "serial pools never fan out");
+    }
+
+    #[test]
+    fn invalid_env_threads_is_counted_not_silent() {
+        let before = env_parse_errors();
+        assert_eq!(parse_env_threads("not-a-number"), None);
+        assert_eq!(parse_env_threads("-3"), None);
+        assert_eq!(env_parse_errors(), before + 2);
+        // Valid values (including surrounding whitespace) parse cleanly
+        // and leave the counter alone.
+        assert_eq!(parse_env_threads(" 4 "), Some(4));
+        assert_eq!(parse_env_threads("0"), Some(0));
+        assert_eq!(env_parse_errors(), before + 2);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! A small blocking client for the `ppfd` protocol, used by
+//! `ppf-stress` and the integration tests.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{self, Response, Verb};
+
+/// One protocol connection. Supports sequential request/response via
+/// [`Client::request`] and explicit pipelining via [`Client::send`] /
+/// [`Client::recv`].
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect with the given I/O timeout on reads and writes.
+    pub fn connect(addr: &str, io_timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Fire one request without waiting for its response.
+    pub fn send(
+        &mut self,
+        id: &str,
+        verb: Verb,
+        options: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<()> {
+        let payload = proto::render_request(id, verb, options, body);
+        proto::write_frame(&mut self.writer, &payload)
+    }
+
+    /// Read the next response frame (responses arrive in completion
+    /// order, correlated by id). `InvalidData` means the server broke
+    /// framing — with chaos `drop` faults, an expected outcome.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        match proto::read_frame(&mut self.reader)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed",
+            )),
+            Some(payload) => proto::parse_response(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Sequential convenience: send, then wait for the matching response.
+    pub fn request(
+        &mut self,
+        id: &str,
+        verb: Verb,
+        options: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<Response> {
+        self.send(id, verb, options, body)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {:?} does not match request {id:?}", resp.id),
+            ));
+        }
+        Ok(resp)
+    }
+}

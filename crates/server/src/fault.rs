@@ -1,0 +1,357 @@
+//! Compile-time-off fault injection.
+//!
+//! With the `chaos` feature enabled, a [`FaultPlan`] — installed at
+//! startup (`ppfd --chaos SPEC`) or at runtime (the `chaos` protocol
+//! verb) — makes the server misbehave on purpose, with the configured
+//! probabilities, so `ppf-stress` can prove the robustness machinery
+//! holds: injected panics stay contained, slow queries trip admission
+//! control and deadlines, dropped connections never wedge the daemon,
+//! and forced lock poisoning is recovered and counted.
+//!
+//! Without the feature (the default, and every release build) the whole
+//! module collapses: [`ChaosState`] is a zero-sized type and
+//! [`ChaosState::next_query_fault`] is a `const`-foldable `Fault::None`,
+//! so the serving path carries zero chaos overhead.
+//!
+//! # Spec grammar
+//!
+//! Space-separated `kind=arg` tokens; probabilities in `[0,1]`:
+//!
+//! ```text
+//! panic=P            with probability P, panic inside the query worker
+//! poison=P           with probability P, arm a pool-worker panic while
+//!                    the partitioned pipeline holds shared-cache locks
+//!                    (forces lock poisoning + recovery)
+//! slow=P:MS          with probability P, sleep MS ms holding the
+//!                    admission slot before executing
+//! drop=P[:PHASE]     with probability P, sever the connection; PHASE is
+//!                    pre (before executing), post (after executing,
+//!                    before the response), or mid (inside the response
+//!                    frame); omitted = rotate through all three
+//! seed=N             RNG seed (deterministic runs)
+//! off                clear the plan
+//! ```
+
+use std::time::Duration;
+
+/// Where a `drop` fault severs the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPhase {
+    /// After the request was read and admitted, before executing.
+    PreExec,
+    /// After executing, before any response byte.
+    PreWrite,
+    /// After writing a deliberately truncated response frame.
+    MidWrite,
+}
+
+impl DropPhase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropPhase::PreExec => "pre",
+            DropPhase::PreWrite => "post",
+            DropPhase::MidWrite => "mid",
+        }
+    }
+}
+
+/// The fault chosen for one request. At most one fires per request, so
+/// the injected counts reconcile 1:1 with observed effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    None,
+    /// Panic inside the server's query worker mid-request.
+    Panic,
+    /// Sleep this long while holding the admission slot.
+    Slow(Duration),
+    /// Sever the connection at the given phase.
+    Drop(DropPhase),
+    /// Arm `sqlexec`'s one-shot pool-worker panic and force the
+    /// partitioned pipeline, poisoning shared locks for recovery.
+    Poison,
+}
+
+impl Fault {
+    /// Stable counter suffix (`server.faults.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Panic => "panic",
+            Fault::Slow(_) => "slow",
+            Fault::Drop(_) => "drop",
+            Fault::Poison => "poison",
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub use chaos_impl::{ChaosState, FaultPlan};
+
+#[cfg(feature = "chaos")]
+mod chaos_impl {
+    use super::{DropPhase, Fault};
+    use std::sync::{Mutex, PoisonError};
+    use std::time::Duration;
+
+    /// Parsed fault probabilities (see the module doc for the grammar).
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct FaultPlan {
+        pub panic_p: f64,
+        pub poison_p: f64,
+        pub slow_p: f64,
+        pub slow_ms: u64,
+        pub drop_p: f64,
+        /// `None` = rotate pre → post → mid.
+        pub drop_phase: Option<DropPhase>,
+        pub seed: u64,
+    }
+
+    impl FaultPlan {
+        pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+            let mut plan = FaultPlan {
+                seed: 0x9E37_79B9_7F4A_7C15,
+                ..FaultPlan::default()
+            };
+            for token in spec.split_whitespace() {
+                if token == "off" {
+                    return Ok(FaultPlan::default());
+                }
+                let (key, val) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed chaos token {token:?}"))?;
+                match key {
+                    "panic" => plan.panic_p = parse_prob(val)?,
+                    "poison" => plan.poison_p = parse_prob(val)?,
+                    "slow" => {
+                        let (p, ms) = val
+                            .split_once(':')
+                            .ok_or_else(|| format!("slow wants P:MS, got {val:?}"))?;
+                        plan.slow_p = parse_prob(p)?;
+                        plan.slow_ms = ms.parse().map_err(|_| format!("bad slow millis {ms:?}"))?;
+                    }
+                    "drop" => match val.split_once(':') {
+                        Some((p, phase)) => {
+                            plan.drop_p = parse_prob(p)?;
+                            plan.drop_phase = Some(match phase {
+                                "pre" => DropPhase::PreExec,
+                                "post" => DropPhase::PreWrite,
+                                "mid" => DropPhase::MidWrite,
+                                other => return Err(format!("bad drop phase {other:?}")),
+                            });
+                        }
+                        None => plan.drop_p = parse_prob(val)?,
+                    },
+                    "seed" => plan.seed = val.parse().map_err(|_| format!("bad seed {val:?}"))?,
+                    other => return Err(format!("unknown chaos key {other:?}")),
+                }
+            }
+            Ok(plan)
+        }
+
+        fn is_off(&self) -> bool {
+            self.panic_p == 0.0 && self.poison_p == 0.0 && self.slow_p == 0.0 && self.drop_p == 0.0
+        }
+    }
+
+    fn parse_prob(s: &str) -> Result<f64, String> {
+        let p: f64 = s.parse().map_err(|_| format!("bad probability {s:?}"))?;
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(format!("probability {p} outside [0,1]"))
+        }
+    }
+
+    struct Rng(u64);
+
+    impl Rng {
+        /// xorshift64*; plenty for fault sampling.
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    struct Active {
+        plan: FaultPlan,
+        rng: Rng,
+        /// Rotation cursor for phase-less `drop`.
+        drop_cursor: usize,
+    }
+
+    /// Server-wide chaos switchboard (chaos builds).
+    #[derive(Default)]
+    pub struct ChaosState {
+        active: Mutex<Option<Active>>,
+    }
+
+    impl ChaosState {
+        pub fn new() -> ChaosState {
+            ChaosState::default()
+        }
+
+        /// Install (or with `off`, clear) a plan. Returns a confirmation
+        /// line for the `chaos` response body.
+        pub fn install(&self, spec: &str) -> Result<String, String> {
+            let plan = FaultPlan::parse(spec)?;
+            let mut slot = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+            if plan.is_off() {
+                *slot = None;
+                return Ok("chaos off".to_string());
+            }
+            let summary = format!(
+                "chaos on: panic={} poison={} slow={}:{}ms drop={}{} seed={}",
+                plan.panic_p,
+                plan.poison_p,
+                plan.slow_p,
+                plan.slow_ms,
+                plan.drop_p,
+                plan.drop_phase
+                    .map(|p| format!(":{}", p.as_str()))
+                    .unwrap_or_default(),
+                plan.seed
+            );
+            let seed = plan.seed;
+            *slot = Some(Active {
+                plan,
+                rng: Rng(seed | 1),
+                drop_cursor: 0,
+            });
+            Ok(summary)
+        }
+
+        /// Decide the fault for one query-class request. First match in
+        /// drop → panic → poison → slow order wins (at most one fault per
+        /// request, for reconcilable counts).
+        pub fn next_query_fault(&self) -> Fault {
+            let mut slot = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(active) = slot.as_mut() else {
+                return Fault::None;
+            };
+            let roll = active.rng.next_f64();
+            let p = &active.plan;
+            if roll < p.drop_p {
+                let phase = p.drop_phase.unwrap_or_else(|| {
+                    let phases = [DropPhase::PreExec, DropPhase::PreWrite, DropPhase::MidWrite];
+                    let ph = phases[active.drop_cursor % phases.len()];
+                    active.drop_cursor += 1;
+                    ph
+                });
+                return Fault::Drop(phase);
+            }
+            if roll < p.drop_p + p.panic_p {
+                return Fault::Panic;
+            }
+            if roll < p.drop_p + p.panic_p + p.poison_p {
+                return Fault::Poison;
+            }
+            if roll < p.drop_p + p.panic_p + p.poison_p + p.slow_p {
+                return Fault::Slow(Duration::from_millis(p.slow_ms));
+            }
+            Fault::None
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_full_spec() {
+            let p =
+                FaultPlan::parse("panic=0.1 poison=0.05 slow=0.25:40 drop=0.2:mid seed=7").unwrap();
+            assert_eq!(p.panic_p, 0.1);
+            assert_eq!(p.poison_p, 0.05);
+            assert_eq!(p.slow_p, 0.25);
+            assert_eq!(p.slow_ms, 40);
+            assert_eq!(p.drop_p, 0.2);
+            assert_eq!(p.drop_phase, Some(DropPhase::MidWrite));
+            assert_eq!(p.seed, 7);
+        }
+
+        #[test]
+        fn rejects_bad_specs() {
+            assert!(FaultPlan::parse("panic=2").is_err());
+            assert!(FaultPlan::parse("slow=0.5").is_err());
+            assert!(FaultPlan::parse("drop=0.5:sideways").is_err());
+            assert!(FaultPlan::parse("frob=1").is_err());
+        }
+
+        #[test]
+        fn fault_mix_matches_probabilities_roughly() {
+            let chaos = ChaosState::new();
+            chaos
+                .install("panic=0.2 slow=0.3:1 drop=0.1 seed=42")
+                .unwrap();
+            let mut counts = [0u32; 4]; // none, panic, slow, drop
+            for _ in 0..10_000 {
+                match chaos.next_query_fault() {
+                    Fault::None => counts[0] += 1,
+                    Fault::Panic => counts[1] += 1,
+                    Fault::Slow(_) => counts[2] += 1,
+                    Fault::Drop(_) => counts[3] += 1,
+                    Fault::Poison => unreachable!("poison_p is 0"),
+                }
+            }
+            assert!((1500..2500).contains(&counts[1]), "panic ~20%: {counts:?}");
+            assert!((2500..3500).contains(&counts[2]), "slow ~30%: {counts:?}");
+            assert!((500..1500).contains(&counts[3]), "drop ~10%: {counts:?}");
+        }
+
+        #[test]
+        fn off_clears_the_plan() {
+            let chaos = ChaosState::new();
+            chaos.install("panic=1").unwrap();
+            assert_eq!(chaos.next_query_fault(), Fault::Panic);
+            assert_eq!(chaos.install("off").unwrap(), "chaos off");
+            assert_eq!(chaos.next_query_fault(), Fault::None);
+        }
+
+        #[test]
+        fn phaseless_drop_rotates_phases() {
+            let chaos = ChaosState::new();
+            chaos.install("drop=1 seed=3").unwrap();
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                match chaos.next_query_fault() {
+                    Fault::Drop(p) => seen.push(p),
+                    other => panic!("expected drop, got {other:?}"),
+                }
+            }
+            assert_eq!(
+                seen,
+                vec![DropPhase::PreExec, DropPhase::PreWrite, DropPhase::MidWrite]
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+mod no_chaos_impl {
+    use super::Fault;
+
+    /// Zero-sized stand-in: release builds carry no chaos state and the
+    /// fault decision constant-folds away.
+    #[derive(Default)]
+    pub struct ChaosState;
+
+    impl ChaosState {
+        pub fn new() -> ChaosState {
+            ChaosState
+        }
+
+        pub fn install(&self, _spec: &str) -> Result<String, String> {
+            Err("this build has no fault injection (rebuild with --features chaos)".to_string())
+        }
+
+        #[inline(always)]
+        pub fn next_query_fault(&self) -> Fault {
+            Fault::None
+        }
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+pub use no_chaos_impl::ChaosState;

@@ -1,0 +1,654 @@
+//! The serving loop: accept, admit, execute, respond, drain.
+//!
+//! One [`SharedEngine`] serves N connections, one OS thread per
+//! connection plus one short-lived worker thread per admitted query (so
+//! a connection can pipeline queries up to its cap, and `cancel` can
+//! reach a query mid-flight). Worker count is bounded by the admission
+//! controller's in-flight cap, not by connection count.
+//!
+//! Robustness properties the tests and the chaos harness hold us to:
+//!
+//! * a panicking query (injected or real) is contained by `catch_unwind`
+//!   in its worker and degrades to one `err exec` response — never a
+//!   process death;
+//! * every rejection is typed (`overload`, `shutdown`, `proto`) so
+//!   clients can back off instead of guessing;
+//! * sockets carry read/write timeouts and idle connections are reaped,
+//!   so slow or vanished clients cannot pin resources;
+//! * `shutdown`/SIGTERM drains gracefully: stop accepting, give
+//!   in-flight queries a grace period, cancel stragglers through their
+//!   [`CancelToken`]s, then exit with counters flushed.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use ppf_core::{CancelToken, QueryLimits, SharedEngine};
+
+use crate::admission::{Admission, AdmissionPolicy, ShedReason, Slot};
+use crate::fault::{ChaosState, DropPhase, Fault};
+use crate::proto::{self, ErrorKind, Request, Response, Verb};
+
+/// Tunables. `Default` is sized for a small daemon; `ppfd` exposes each
+/// knob as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission: queries allowed to run at once, process-wide.
+    pub max_inflight: usize,
+    /// Admission: requests allowed to wait for a slot (0 = pure shed).
+    pub queue_depth: usize,
+    /// Admission: longest a queued request waits before it is shed.
+    pub queue_wait: Duration,
+    /// Queue or shed when all slots are busy.
+    pub policy: AdmissionPolicy,
+    /// Queries one connection may have in flight at once (pipelining cap).
+    pub per_conn_cap: usize,
+    /// Deadline applied to queries that do not send `timeout=MS`.
+    pub default_deadline: Option<Duration>,
+    /// Socket write timeout: a stuck client forfeits its response.
+    pub write_timeout: Duration,
+    /// Close connections with no traffic and no queries for this long.
+    pub idle_timeout: Duration,
+    /// Drain: how long in-flight queries get to finish before their
+    /// cancel tokens fire (applied twice: once before, once after).
+    pub drain_grace: Duration,
+    /// Result rows rendered per query response (the rest is truncated
+    /// with a count; the frame cap is the hard bound).
+    pub max_response_rows: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_inflight: ppf_pool::current_threads().max(2) * 2,
+            queue_depth: 16,
+            queue_wait: Duration::from_millis(200),
+            policy: AdmissionPolicy::Queue,
+            per_conn_cap: 4,
+            default_deadline: Some(Duration::from_secs(10)),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            drain_grace: Duration::from_secs(2),
+            max_response_rows: 100_000,
+        }
+    }
+}
+
+/// How often blocked reads wake to check drain/idle state.
+const POLL_TICK: Duration = Duration::from_millis(50);
+/// How often the accept loop polls for new connections / drain.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+/// Shared server state.
+struct Inner {
+    engine: SharedEngine,
+    cfg: ServerConfig,
+    admission: Arc<Admission>,
+    chaos: ChaosState,
+    draining: AtomicBool,
+    active_conns: AtomicUsize,
+    /// In-flight queries by request id, for `cancel` and drain.
+    queries: Mutex<HashMap<String, CancelToken>>,
+}
+
+impl Inner {
+    fn lock_queries(&self) -> MutexGuard<'_, HashMap<String, CancelToken>> {
+        self.queries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Handle returned by [`serve`]: inspect the bound address, trigger a
+/// drain, wait for exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain (idempotent; also triggered by the
+    /// `shutdown` verb). Returns immediately; use [`ServerHandle::join`]
+    /// to wait for completion.
+    pub fn shutdown(&self) {
+        trigger_drain(&self.inner);
+    }
+
+    /// Install a chaos plan programmatically (tests; errors without the
+    /// `chaos` feature).
+    pub fn install_chaos(&self, spec: &str) -> Result<String, String> {
+        self.inner.chaos.install(spec)
+    }
+
+    /// Whether a drain has begun (via [`ServerHandle::shutdown`], the
+    /// `shutdown` verb, or a signal). `ppfd`'s main loop polls this to
+    /// notice protocol-initiated shutdowns.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(SeqCst)
+    }
+
+    /// Wait until the server has fully drained and stopped.
+    pub fn join(self) {
+        self.accept_thread.join().ok();
+    }
+}
+
+/// Bind `addr` and serve `engine` until a drain completes.
+pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let inner = Arc::new(Inner {
+        admission: Admission::new(
+            cfg.max_inflight,
+            cfg.queue_depth,
+            cfg.queue_wait,
+            cfg.policy,
+        ),
+        engine,
+        cfg,
+        chaos: ChaosState::new(),
+        draining: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
+        queries: Mutex::new(HashMap::new()),
+    });
+    let accept_inner = inner.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("ppfd-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_inner))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr: local,
+        inner,
+        accept_thread,
+    })
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let reg = obs::Registry::global();
+    while !inner.draining.load(SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                reg.incr("server.accepted", 1);
+                let n = inner.active_conns.fetch_add(1, SeqCst) + 1;
+                reg.observe("server.active", n as u64);
+                let conn_inner = inner.clone();
+                std::thread::Builder::new()
+                    .name("ppfd-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(stream, conn_inner);
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+    drop(listener); // stop accepting before waiting out the drain
+    let deadline = Instant::now() + inner.cfg.drain_grace * 2 + Duration::from_secs(1);
+    while (inner.active_conns.load(SeqCst) > 0 || inner.admission.inflight() > 0)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(ACCEPT_TICK);
+    }
+}
+
+/// Begin the drain exactly once: count and grace in-flight queries, then
+/// cancel the stragglers.
+fn trigger_drain(inner: &Arc<Inner>) {
+    if inner.draining.swap(true, SeqCst) {
+        return;
+    }
+    let reg = obs::Registry::global();
+    let in_flight = inner.admission.inflight() as u64;
+    reg.incr("server.drained", in_flight);
+    let drain_inner = inner.clone();
+    std::thread::Builder::new()
+        .name("ppfd-drain".to_string())
+        .spawn(move || {
+            let deadline = Instant::now() + drain_inner.cfg.drain_grace;
+            while drain_inner.admission.inflight() > 0 && Instant::now() < deadline {
+                std::thread::sleep(POLL_TICK);
+            }
+            let stragglers: Vec<CancelToken> =
+                drain_inner.lock_queries().values().cloned().collect();
+            if !stragglers.is_empty() {
+                obs::Registry::global().incr("server.drain_cancelled", stragglers.len() as u64);
+                for token in stragglers {
+                    token.cancel();
+                }
+            }
+        })
+        .expect("spawn drain thread");
+}
+
+/// Timeout-tolerant frame reader: accumulates bytes across read timeouts
+/// so a poll tick never corrupts a partially-received frame.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum ReadEvent {
+    Frame(String),
+    Eof,
+    /// The poll tick elapsed without completing a frame.
+    Idle,
+}
+
+impl FrameReader {
+    fn poll_frame(&mut self) -> io::Result<ReadEvent> {
+        loop {
+            if let Some(frame) = self.try_parse()? {
+                return Ok(ReadEvent::Frame(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(ReadEvent::Eof)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "connection closed inside a frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadEvent::Idle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Extract one complete frame from the buffer, if present.
+    fn try_parse(&mut self) -> io::Result<Option<String>> {
+        let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+            if self.buf.len() > 32 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame length header too long",
+                ));
+            }
+            return Ok(None);
+        };
+        let len: usize = std::str::from_utf8(&self.buf[..nl])
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad frame length header"))?;
+        if len > proto::MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame exceeds MAX_FRAME",
+            ));
+        }
+        if self.buf.len() < nl + 1 + len {
+            return Ok(None);
+        }
+        let payload = String::from_utf8(self.buf[nl + 1..nl + 1 + len].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+        self.buf.drain(..nl + 1 + len);
+        Ok(Some(payload))
+    }
+}
+
+/// Per-connection state shared with this connection's query workers.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    inflight: AtomicUsize,
+}
+
+impl Conn {
+    fn write_response(&self, resp: &Response) {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // A failed write (peer gone, write timeout) is the client's
+        // loss; the server must not wedge on it.
+        let _ = proto::write_frame(&mut *w, &resp.render());
+    }
+
+    /// Sever the socket abruptly (chaos `drop` faults, protocol errors).
+    fn sever(&self) {
+        let w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.shutdown(Shutdown::Both);
+    }
+}
+
+fn connection_loop(stream: TcpStream, inner: Arc<Inner>) {
+    let reg = obs::Registry::global();
+    stream.set_read_timeout(Some(POLL_TICK)).ok();
+    stream.set_write_timeout(Some(inner.cfg.write_timeout)).ok();
+    stream.set_nodelay(true).ok();
+    let conn = match stream.try_clone() {
+        Ok(w) => Arc::new(Conn {
+            writer: Mutex::new(w),
+            inflight: AtomicUsize::new(0),
+        }),
+        Err(_) => {
+            close_conn(&inner);
+            return;
+        }
+    };
+    let mut reader = FrameReader {
+        stream,
+        buf: Vec::new(),
+    };
+    let mut last_activity = Instant::now();
+    loop {
+        match reader.poll_frame() {
+            Ok(ReadEvent::Frame(payload)) => {
+                last_activity = Instant::now();
+                if !handle_frame(&inner, &conn, &payload) {
+                    break;
+                }
+            }
+            Ok(ReadEvent::Eof) => break,
+            Ok(ReadEvent::Idle) => {
+                let quiescent = conn.inflight.load(SeqCst) == 0;
+                if inner.draining.load(SeqCst) && quiescent {
+                    break;
+                }
+                if quiescent && last_activity.elapsed() > inner.cfg.idle_timeout {
+                    reg.incr("server.idle_reaped", 1);
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                reg.incr("server.proto_errors", 1);
+                conn.write_response(&Response::err("-", ErrorKind::Proto, e.to_string()));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    // Give this connection's in-flight workers a moment to finish their
+    // writes before the last stream handle drops.
+    let wait_until = Instant::now() + inner.cfg.drain_grace;
+    while conn.inflight.load(SeqCst) > 0 && Instant::now() < wait_until {
+        std::thread::sleep(POLL_TICK);
+    }
+    close_conn(&inner);
+}
+
+fn close_conn(inner: &Inner) {
+    let reg = obs::Registry::global();
+    let n = inner.active_conns.fetch_sub(1, SeqCst) - 1;
+    reg.incr("server.closed", 1);
+    reg.observe("server.active", n as u64);
+}
+
+/// Handle one decoded frame. Returns `false` to close the connection.
+fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
+    let reg = obs::Registry::global();
+    let req = match proto::parse_request(payload) {
+        Ok(req) => req,
+        Err(msg) => {
+            reg.incr("server.proto_errors", 1);
+            conn.write_response(&Response::err("-", ErrorKind::Proto, msg));
+            return true;
+        }
+    };
+    match req.verb {
+        Verb::Query | Verb::Explain | Verb::Analyze => start_query(inner, conn, req),
+        Verb::Stats => {
+            conn.write_response(&Response::ok(
+                &req.id,
+                obs::Registry::global().snapshot().render(),
+            ));
+        }
+        Verb::Health => {
+            let status = if inner.draining.load(SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            let body = format!(
+                "status: {status}\nactive_conns: {}\ninflight: {}\nwaiting: {}\npool_threads: {}",
+                inner.active_conns.load(SeqCst),
+                inner.admission.inflight(),
+                inner.admission.waiting(),
+                ppf_pool::current_threads(),
+            );
+            conn.write_response(&Response::ok(&req.id, body));
+        }
+        Verb::Cancel => {
+            reg.incr("server.cancel_requests", 1);
+            let target = req.body.trim();
+            let token = inner.lock_queries().get(target).cloned();
+            let body = match token {
+                Some(t) => {
+                    t.cancel();
+                    "cancelled"
+                }
+                None => "not-found",
+            };
+            conn.write_response(&Response::ok(&req.id, body));
+        }
+        Verb::Shutdown => {
+            conn.write_response(&Response::ok(&req.id, "draining"));
+            trigger_drain(inner);
+        }
+        Verb::Chaos => match inner.chaos.install(req.body.trim()) {
+            Ok(summary) => conn.write_response(&Response::ok(&req.id, summary)),
+            Err(msg) => conn.write_response(&Response::err(&req.id, ErrorKind::Unsupported, msg)),
+        },
+    }
+    true
+}
+
+/// Admission-gate a query-class request and, if admitted, run it on its
+/// own worker thread so the connection can keep reading (pipelining,
+/// `cancel`).
+fn start_query(inner: &Arc<Inner>, conn: &Arc<Conn>, req: Request) {
+    let reg = obs::Registry::global();
+    if inner.draining.load(SeqCst) {
+        reg.incr("server.rejected_shutdown", 1);
+        conn.write_response(&Response::err(
+            &req.id,
+            ErrorKind::Shutdown,
+            "server is draining",
+        ));
+        return;
+    }
+    if conn.inflight.load(SeqCst) >= inner.cfg.per_conn_cap {
+        reg.incr("server.shed", 1);
+        reg.incr("server.shed.conn_cap", 1);
+        conn.write_response(&Response::err(
+            &req.id,
+            ErrorKind::Overload,
+            format!("shed: conn_cap ({} in flight)", inner.cfg.per_conn_cap),
+        ));
+        return;
+    }
+    let slot = match inner.admission.admit() {
+        Ok(slot) => slot,
+        Err(reason) => {
+            reg.incr("server.shed", 1);
+            reg.incr(&format!("server.shed.{}", reason.as_str()), 1);
+            conn.write_response(&Response::err(
+                &req.id,
+                ErrorKind::Overload,
+                format!("shed: {}", shed_detail(reason)),
+            ));
+            return;
+        }
+    };
+    if slot.waited {
+        reg.incr("server.queued", 1);
+    }
+    reg.incr("server.queries", 1);
+    conn.inflight.fetch_add(1, SeqCst);
+    let token = CancelToken::new();
+    inner.lock_queries().insert(req.id.clone(), token.clone());
+    let inner = inner.clone();
+    let conn = conn.clone();
+    std::thread::Builder::new()
+        .name("ppfd-query".to_string())
+        .spawn(move || {
+            run_admitted(&inner, &conn, &req, token, slot);
+        })
+        .expect("spawn query worker");
+}
+
+fn shed_detail(reason: ShedReason) -> &'static str {
+    match reason {
+        ShedReason::Busy => "all slots busy (shed policy)",
+        ShedReason::QueueFull => "admission queue full",
+        ShedReason::QueueTimeout => "timed out waiting for a slot",
+    }
+}
+
+/// Run one admitted query to completion on the worker thread, applying
+/// any chaos fault, and deliver exactly one response unless a `drop`
+/// fault severs the connection first. Cleanup (query-table entry,
+/// per-connection gauge, admission slot) happens on every path.
+fn run_admitted(
+    inner: &Arc<Inner>,
+    conn: &Arc<Conn>,
+    req: &Request,
+    token: CancelToken,
+    slot: Slot,
+) {
+    let reg = obs::Registry::global();
+    let fault = inner.chaos.next_query_fault();
+    if fault != Fault::None {
+        reg.incr(&format!("server.faults.{}", fault.label()), 1);
+    }
+    match fault {
+        Fault::Drop(DropPhase::PreExec) => {
+            conn.sever();
+            finish_query(inner, conn, &req.id, slot);
+            return;
+        }
+        Fault::Slow(pause) => std::thread::sleep(pause),
+        _ => {}
+    }
+
+    let mut limits = QueryLimits::none().with_cancel_token(token);
+    match req.timeout_ms() {
+        Some(ms) => limits = limits.with_timeout(Duration::from_millis(ms)),
+        None => {
+            if let Some(d) = inner.cfg.default_deadline {
+                limits = limits.with_timeout(d);
+            }
+        }
+    }
+    if let Some(n) = req.max_rows() {
+        limits = limits.with_max_rows(n);
+    }
+
+    // `Poison` forces the partitioned pipeline on this thread and arms a
+    // one-shot pool-worker panic: the shared caches get poisoned under a
+    // real lock holder and must recover (counted in the registry).
+    let prev_mode = matches!(fault, Fault::Poison).then(|| {
+        sqlexec::exec::test_hooks::arm_worker_panic();
+        sqlexec::set_parallel_mode(sqlexec::ParallelMode::ForceOn)
+    });
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if matches!(fault, Fault::Panic) {
+            panic!("chaos: injected worker panic");
+        }
+        execute(inner, req, &limits)
+    }));
+    if let Some(prev) = prev_mode {
+        sqlexec::set_parallel_mode(prev);
+    }
+
+    let resp = match outcome {
+        Ok(Ok(body)) => Response::ok(&req.id, body),
+        Ok(Err(e)) => Response::err(
+            &req.id,
+            ErrorKind::from_engine_kind(e.kind()),
+            e.to_string(),
+        ),
+        Err(payload) => {
+            reg.incr("server.panics_contained", 1);
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Response::err(&req.id, ErrorKind::Exec, format!("panic contained: {msg}"))
+        }
+    };
+    match fault {
+        Fault::Drop(DropPhase::PreWrite) => conn.sever(),
+        Fault::Drop(DropPhase::MidWrite) => {
+            let full = resp.render();
+            let cut = full.len() / 2;
+            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = w.write_all(format!("{}\n", full.len()).as_bytes());
+            let _ = w.write_all(&full.as_bytes()[..cut]);
+            let _ = w.flush();
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        _ => conn.write_response(&resp),
+    }
+    finish_query(inner, conn, &req.id, slot);
+}
+
+fn finish_query(inner: &Inner, conn: &Conn, id: &str, slot: Slot) {
+    inner.lock_queries().remove(id);
+    conn.inflight.fetch_sub(1, SeqCst);
+    drop(slot);
+}
+
+/// Execute the engine work for one request; the body of the `ok`
+/// response on success, a typed engine error otherwise.
+fn execute(
+    inner: &Inner,
+    req: &Request,
+    limits: &QueryLimits,
+) -> Result<String, ppf_core::QueryError> {
+    match req.verb {
+        Verb::Query => {
+            let result = inner
+                .engine
+                .query_with_limits(req.body.trim(), limits.clone())?;
+            let ids = result.ids();
+            let cap = inner.cfg.max_response_rows;
+            let mut body = format!("rows {}\n", ids.len());
+            for id in ids.iter().take(cap) {
+                body.push_str(&id.to_string());
+                body.push('\n');
+            }
+            if ids.len() > cap {
+                body.push_str(&format!("truncated {}\n", ids.len() - cap));
+            }
+            Ok(body)
+        }
+        Verb::Explain => {
+            let t = inner.engine.translate(req.body.trim())?;
+            match t.stmt {
+                None => Ok("(statically empty)".to_string()),
+                Some(stmt) => sqlexec::explain_stmt(inner.engine.db(), &stmt)
+                    .map_err(ppf_core::QueryError::from),
+            }
+        }
+        Verb::Analyze => {
+            let t = inner.engine.translate(req.body.trim())?;
+            match t.stmt {
+                None => Ok("(statically empty)".to_string()),
+                Some(stmt) => {
+                    sqlexec::explain_analyze_with_limits(inner.engine.db(), &stmt, limits.clone())
+                        .map_err(ppf_core::QueryError::from)
+                }
+            }
+        }
+        _ => unreachable!("only query-class verbs reach execute()"),
+    }
+}

@@ -22,8 +22,22 @@ pub fn explain_stmt(db: &Database, stmt: &SelectStmt) -> Result<String, ExecErro
 /// Subquery blocks that never executed (short-circuited away) render with
 /// `actual: never executed`.
 pub fn explain_analyze(db: &Database, stmt: &SelectStmt) -> Result<String, ExecError> {
+    explain_analyze_with_limits(db, stmt, crate::exec::QueryLimits::none())
+}
+
+/// [`explain_analyze`] under resource limits: the profiled execution
+/// respects the same deadline / scanned-row budget / cancel token a
+/// plain query would, so an `ANALYZE` of a pathological statement cannot
+/// run away (the shell's `.timeout`/`.maxrows` knobs and the server's
+/// per-query deadline both route through here).
+pub fn explain_analyze_with_limits(
+    db: &Database,
+    stmt: &SelectStmt,
+    limits: crate::exec::QueryLimits,
+) -> Result<String, ExecError> {
     let exec = Executor::new(db);
     exec.set_profiling(true);
+    exec.set_limits(limits);
     let t0 = std::time::Instant::now();
     let result = exec.run(stmt)?;
     let elapsed = t0.elapsed();

@@ -41,7 +41,7 @@ pub use exec::{
     parallel_mode, set_filter_caches_enabled, set_parallel_mode, CancelToken, ExecStats, Executor,
     OpStats, ParallelMode, QueryLimits, ResultSet,
 };
-pub use explain::{explain_analyze, explain_stmt};
+pub use explain::{explain_analyze, explain_analyze_with_limits, explain_stmt};
 pub use parser::parse_sql;
 pub use plan::{merge_mode, set_merge_mode, ExecError, MergeMode, SelectPlan};
 pub use render::render_stmt;

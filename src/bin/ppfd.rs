@@ -1,0 +1,215 @@
+//! `ppfd` — the PPF XPath daemon: one [`ppf_core::SharedEngine`] served
+//! over TCP with admission control, per-query deadlines, and graceful
+//! drain on SIGTERM/SIGINT or the protocol `shutdown` verb.
+//!
+//! ```text
+//! ppfd --schema library.dsl data.xml            # serve loaded documents
+//! ppfd --xmark 0.05 --listen 127.0.0.1:7878     # serve a generated XMark doc
+//! ppfd --xmark 0.02 --max-inflight 4 --policy shed
+//! ```
+//!
+//! The bound address is announced on stdout as `ppfd listening on ADDR`
+//! (scripts wait for that line). On drain the final metrics snapshot is
+//! written to stderr and the process exits 0.
+//!
+//! Chaos builds (`--features chaos`) additionally accept `--chaos SPEC`
+//! to install a fault plan at startup; see `ppf_server::fault` for the
+//! spec grammar.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::time::Duration;
+
+use ppf_core::{SharedEngine, XmlDb};
+use ppf_server::{serve, AdmissionPolicy, ServerConfig};
+
+/// Set from the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: the handler only stores to an atomic, which is
+    // async-signal-safe; `signal` itself is a plain libc call.
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str =
+    "usage: ppfd [--schema FILE | --dtd FILE | --xsd FILE doc.xml... | --xmark SCALE [--seed N]]\n\
+     [--listen ADDR] [--threads N] [--max-inflight N] [--queue-depth N]\n\
+     [--queue-wait-ms MS] [--policy queue|shed] [--per-conn N]\n\
+     [--deadline-ms MS|0] [--idle-ms MS] [--drain-ms MS] [--chaos SPEC]";
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut schema: Option<xmlschema::Schema> = None;
+    let mut docs: Vec<String> = Vec::new();
+    let mut xmark_scale: Option<f64> = None;
+    let mut seed: u64 = 42;
+    let mut threads: Option<usize> = None;
+    let mut chaos: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = value(&arg)?,
+            "--xmark" => {
+                xmark_scale = Some(
+                    value(&arg)?
+                        .parse()
+                        .map_err(|_| "--xmark wants a scale factor".to_string())?,
+                )
+            }
+            "--seed" => {
+                seed = value(&arg)?
+                    .parse()
+                    .map_err(|_| "--seed wants an integer".to_string())?
+            }
+            "--threads" => {
+                threads = Some(
+                    value(&arg)?
+                        .parse()
+                        .map_err(|_| "--threads wants an integer".to_string())?,
+                )
+            }
+            "--max-inflight" => cfg.max_inflight = parse_num(&value(&arg)?, &arg)?,
+            "--queue-depth" => cfg.queue_depth = parse_num(&value(&arg)?, &arg)?,
+            "--queue-wait-ms" => {
+                cfg.queue_wait = Duration::from_millis(parse_num(&value(&arg)?, &arg)? as u64)
+            }
+            "--per-conn" => cfg.per_conn_cap = parse_num(&value(&arg)?, &arg)?,
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&value(&arg)?, &arg)? as u64;
+                cfg.default_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--idle-ms" => {
+                cfg.idle_timeout = Duration::from_millis(parse_num(&value(&arg)?, &arg)? as u64)
+            }
+            "--drain-ms" => {
+                cfg.drain_grace = Duration::from_millis(parse_num(&value(&arg)?, &arg)? as u64)
+            }
+            "--policy" => {
+                cfg.policy = match value(&arg)?.as_str() {
+                    "queue" => AdmissionPolicy::Queue,
+                    "shed" => AdmissionPolicy::Shed,
+                    other => return Err(format!("--policy queue|shed, got {other:?}")),
+                }
+            }
+            "--chaos" => chaos = Some(value(&arg)?),
+            "--schema" | "--dtd" | "--xsd" => {
+                let path = value(&arg)?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let parsed = match arg.as_str() {
+                    "--schema" => xmlschema::parse_schema(&text),
+                    "--dtd" => xmlschema::parse_dtd(&text),
+                    _ => xmlschema::parse_xsd(&text),
+                }
+                .map_err(|e| e.to_string())?;
+                schema = Some(parsed);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other if !other.starts_with('-') => docs.push(other.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+
+    if let Some(n) = threads {
+        ppf_pool::set_threads(n);
+    }
+
+    let mut db = match (xmark_scale, schema) {
+        (Some(scale), None) => {
+            eprintln!("generating XMark document at scale {scale} (seed {seed})");
+            let doc = xmark::generate_xmark(xmark::XMarkConfig { scale, seed });
+            let mut db = XmlDb::new(&xmark::xmark_schema()).map_err(|e| e.to_string())?;
+            db.load(&doc).map_err(|e| e.to_string())?;
+            db
+        }
+        (None, Some(schema)) => {
+            if docs.is_empty() {
+                return Err(format!("no documents to load\n{USAGE}"));
+            }
+            let mut db = XmlDb::new(&schema).map_err(|e| e.to_string())?;
+            for path in &docs {
+                let xml = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let loaded = db.load_xml(&xml).map_err(|e| e.to_string())?;
+                eprintln!("loaded {path} as document {}", loaded.doc_id);
+            }
+            db
+        }
+        (Some(_), Some(_)) => return Err("--xmark and --schema are mutually exclusive".into()),
+        (None, None) => return Err(format!("no data source\n{USAGE}")),
+    };
+    db.finalize().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} relations, {} rows total; pool threads: {}",
+        db.db().len(),
+        db.db().total_rows(),
+        ppf_pool::current_threads()
+    );
+
+    install_signal_handlers();
+    let engine = SharedEngine::new(db);
+    let handle = serve(engine, &listen, cfg).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    if let Some(spec) = chaos {
+        let summary = handle
+            .install_chaos(&spec)
+            .map_err(|e| format!("--chaos: {e}"))?;
+        eprintln!("{summary}");
+    }
+    // Announce readiness on stdout: scripts block on this exact prefix.
+    println!("ppfd listening on {}", handle.addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    while !SHUTDOWN.load(SeqCst) && !handle.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if SHUTDOWN.load(SeqCst) {
+        eprintln!("signal received; draining");
+    }
+    handle.shutdown();
+    handle.join();
+
+    // Flush the final counters where operators (and the CI smoke step)
+    // can see them.
+    eprintln!("--- final metrics ---");
+    eprint!("{}", obs::Registry::global().snapshot().render());
+    eprintln!("ppfd: drained cleanly");
+    Ok(())
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} wants a non-negative integer, got {s:?}"))
+}

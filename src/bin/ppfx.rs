@@ -277,11 +277,15 @@ fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
             Backend::Schema(db) => (db.db(), db.translate(q.trim()).map_err(|e| e.to_string())?),
             Backend::Edge(db) => (db.db(), db.translate(q.trim()).map_err(|e| e.to_string())?),
         };
+        // `.analyze` executes the statement, so the session's
+        // `.timeout`/`.maxrows` knobs apply exactly as they do to a
+        // bare query.
         match t.stmt {
             None => println!("(statically empty)"),
             Some(stmt) => print!(
                 "{}",
-                sqlexec::explain_analyze(db, &stmt).map_err(|e| e.to_string())?
+                sqlexec::explain_analyze_with_limits(db, &stmt, session.limits())
+                    .map_err(|e| format!("[{}] {e}", e.kind()))?
             ),
         }
         return Ok(false);
