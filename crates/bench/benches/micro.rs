@@ -110,6 +110,20 @@ fn obs_micro(c: &mut Criterion) {
             reg.observe("bench.execute_ns", 123_456);
         })
     });
+    // The profiler's overhead contract: a detached `record()` is one
+    // relaxed atomic load and a predicted branch (the hot-path cost every
+    // pool worker and chunk closure pays, always), and an attached one is
+    // a thread-local ring append. `profile_smoke` gates the detached
+    // number at <2% of a warm query.
+    c.bench_function("profile_record_detached", |b| {
+        assert!(!obs::profile::is_attached());
+        b.iter(|| obs::profile::record(obs::profile::EventKind::ChunkStart, 128))
+    });
+    c.bench_function("profile_record_attached", |b| {
+        assert!(obs::profile::attach(), "profiler already attached");
+        b.iter(|| obs::profile::record(obs::profile::EventKind::ChunkStart, 128));
+        obs::profile::detach();
+    });
 }
 
 /// Index probes must not allocate once the executor's key scratch and

@@ -3,11 +3,22 @@
 //! threads, plus a concurrent multi-query throughput measurement against
 //! one `SharedEngine`, and emits `BENCH_3.json` with the full table.
 //!
+//! After the scaling table, a profiled 4-thread pass re-runs the whole
+//! workload with the event profiler attached and writes the chrome trace
+//! to `BENCH_3_trace.json` (load it in Perfetto) plus a `profile` object
+//! in `BENCH_3.json` with per-worker utilization, steal-success rate and
+//! chunk skew — the attribution columns printed when a gate fails.
+//!
 //! Exit is non-zero when an invariant fails:
-//!   * with ≥4 hardware cores, the 4-thread warm total must beat the
-//!     1-thread warm total by ≥1.5× (on smaller hosts the speedup gate is
-//!     skipped — partitioning cannot beat physics — but the table is
-//!     still emitted and the equivalence of results is still asserted);
+//!   * on ANY host, 4 threads may not make the warm total more than 5%
+//!     slower than 1 thread (`speedup_t4_vs_t1 >= 0.95`) — the
+//!     no-regression floor that catches contention bugs even on small
+//!     CI hosts;
+//!   * with ≥4 hardware cores, the 4-thread warm total must additionally
+//!     beat the 1-thread warm total by ≥1.5× (on smaller hosts this
+//!     speedup gate is skipped — partitioning cannot beat physics — but
+//!     the table is still emitted and the equivalence of results is
+//!     still asserted);
 //!   * the 1-thread column must stay flat: when a same-scale
 //!     `BENCH_2.json` from the serial perf gate is present (CI runs
 //!     `perf_check` first, so it is fresh from the same machine), the
@@ -21,6 +32,7 @@ use ppf_bench::{generate_xmark, xmark_queries, xmark_schema, XMarkConfig};
 use ppf_core::{SharedEngine, XmlDb};
 
 const OUTPUT_PATH: &str = "BENCH_3.json";
+const TRACE_PATH: &str = "BENCH_3_trace.json";
 const SERIAL_BENCH_PATH: &str = "BENCH_2.json";
 const THREADS: &[usize] = &[1, 2, 4];
 const COLD_ROUNDS: usize = 2;
@@ -29,6 +41,9 @@ const CLIENTS: usize = 4;
 const CLIENT_ROUNDS: usize = 2;
 /// 4-thread speedup the gate demands when the hardware can deliver one.
 const MIN_SPEEDUP_AT_4: f64 = 1.5;
+/// No-regression floor enforced on every host: 4 threads may not be more
+/// than 5% slower than 1 thread, or the parallel path is costing us.
+const MIN_SPEEDUP_FLOOR: f64 = 0.95;
 /// Allowed 1-thread regression vs the serial gate's committed numbers.
 const MAX_SERIAL_REGRESSION: f64 = 1.5;
 
@@ -58,6 +73,21 @@ struct Cell {
     rows: usize,
     par_tasks: u64,
     par_chunks: u64,
+    par_rows: u64,
+    par_chunk_rows_max: u64,
+}
+
+impl Cell {
+    /// Largest chunk over the even-share chunk size: 1.0 means perfectly
+    /// balanced partitions, larger values mean one worker got the long
+    /// pole. Zero when the query never fanned out.
+    fn chunk_skew(&self) -> f64 {
+        if self.par_chunks == 0 || self.par_rows == 0 {
+            return 0.0;
+        }
+        let even = self.par_rows as f64 / self.par_chunks as f64;
+        self.par_chunk_rows_max as f64 / even.max(1e-9)
+    }
 }
 
 fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
@@ -82,6 +112,8 @@ fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
             // filter scans from the memo); keep the largest observation.
             cell.par_tasks = cell.par_tasks.max(r.stats.par_tasks);
             cell.par_chunks = cell.par_chunks.max(r.stats.par_chunks);
+            cell.par_rows = cell.par_rows.max(r.stats.par_rows);
+            cell.par_chunk_rows_max = cell.par_chunk_rows_max.max(r.stats.par_chunk_rows_max);
             cell.rows = r.rows.rows.len();
         }
         for _ in 0..WARM_ROUNDS {
@@ -90,6 +122,8 @@ fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
             cell.warm_ns = cell.warm_ns.min(t0.elapsed().as_nanos() as u64);
             cell.par_tasks = cell.par_tasks.max(r.stats.par_tasks);
             cell.par_chunks = cell.par_chunks.max(r.stats.par_chunks);
+            cell.par_rows = cell.par_rows.max(r.stats.par_rows);
+            cell.par_chunk_rows_max = cell.par_chunk_rows_max.max(r.stats.par_chunk_rows_max);
         }
         cells.push(cell);
     }
@@ -147,6 +181,74 @@ fn extract_f64(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Summary of the profiled 4-thread pass, emitted as the `profile`
+/// object in `BENCH_3.json` and printed as attribution when a gate
+/// fails.
+struct ProfileSummary {
+    events: u64,
+    dropped: u64,
+    window_ms: f64,
+    steal_attempts: u64,
+    steal_successes: u64,
+    chunk_skew: f64,
+    workers: Vec<obs::WorkerTimeline>,
+    window_ns: u64,
+}
+
+impl ProfileSummary {
+    fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steal_successes as f64 / self.steal_attempts as f64
+        }
+    }
+}
+
+/// Re-run the workload at 4 threads, cold db, with the event profiler
+/// attached; write the chrome trace and distill the attribution numbers.
+fn profiled_pass(doc: &xmldom::Document) -> ProfileSummary {
+    ppf_pool::set_threads(4);
+    let db = build_db(doc);
+    sqlexec::clear_filter_caches();
+    assert!(
+        obs::profile::attach(),
+        "profiler already attached (another profile in this process?)"
+    );
+    for (name, query) in xmark_queries() {
+        db.query(query).expect(name);
+    }
+    let profile = obs::profile::detach().expect("profiler was attached");
+    std::fs::write(TRACE_PATH, profile.to_chrome_trace()).expect("write chrome trace");
+
+    let window_ns = profile.window_ns();
+    let timelines = profile.timelines();
+    let (mut attempts, mut successes) = (0u64, 0u64);
+    let (mut chunk_rows, mut chunks, mut chunk_max) = (0u64, 0u64, 0u64);
+    for t in &timelines {
+        attempts += t.steal_attempts;
+        successes += t.steal_successes;
+        chunk_rows += t.chunk_rows;
+        chunks += t.chunks;
+        chunk_max = chunk_max.max(t.chunk_rows_max);
+    }
+    let chunk_skew = if chunks == 0 || chunk_rows == 0 {
+        0.0
+    } else {
+        chunk_max as f64 / (chunk_rows as f64 / chunks as f64).max(1e-9)
+    };
+    ProfileSummary {
+        events: profile.total_events() as u64,
+        dropped: profile.dropped,
+        window_ms: window_ns as f64 / 1e6,
+        steal_attempts: attempts,
+        steal_successes: successes,
+        chunk_skew,
+        workers: timelines,
+        window_ns,
+    }
+}
+
 fn main() {
     let scale = bench_scale();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -158,6 +260,7 @@ fn main() {
         let (cells, qps) = measure_at(&doc, t);
         columns.push((t, cells, qps));
     }
+    let prof = profiled_pass(&doc);
     ppf_pool::set_threads(1);
 
     // Result cardinalities must agree across every pool size.
@@ -220,7 +323,45 @@ fn main() {
     for (t, _, qps) in &columns {
         writeln!(s, "    \"concurrent_qps_t{t}\": {qps:.1},").unwrap();
     }
-    writeln!(s, "    \"speedup_t4_vs_t1\": {speedup4:.3}").unwrap();
+    writeln!(s, "    \"speedup_t4_vs_t1\": {speedup4:.3},").unwrap();
+    writeln!(s, "    \"speedup_floor\": {MIN_SPEEDUP_FLOOR}").unwrap();
+    writeln!(s, "  }},").unwrap();
+    writeln!(s, "  \"profile\": {{").unwrap();
+    writeln!(s, "    \"trace_file\": \"{TRACE_PATH}\",").unwrap();
+    writeln!(s, "    \"events\": {},", prof.events).unwrap();
+    writeln!(s, "    \"dropped_events\": {},", prof.dropped).unwrap();
+    writeln!(s, "    \"window_ms\": {:.3},", prof.window_ms).unwrap();
+    writeln!(s, "    \"steal_attempts\": {},", prof.steal_attempts).unwrap();
+    writeln!(s, "    \"steal_successes\": {},", prof.steal_successes).unwrap();
+    writeln!(
+        s,
+        "    \"steal_success_rate\": {:.3},",
+        prof.steal_success_rate()
+    )
+    .unwrap();
+    writeln!(s, "    \"chunk_skew\": {:.3},", prof.chunk_skew).unwrap();
+    writeln!(s, "    \"workers\": [").unwrap();
+    for (i, w) in prof.workers.iter().enumerate() {
+        writeln!(s, "      {{").unwrap();
+        writeln!(s, "        \"name\": \"{}\",", w.name).unwrap();
+        writeln!(
+            s,
+            "        \"utilization\": {:.3},",
+            w.utilization(prof.window_ns)
+        )
+        .unwrap();
+        writeln!(s, "        \"busy_ms\": {:.3},", w.busy_ns as f64 / 1e6).unwrap();
+        writeln!(s, "        \"park_ms\": {:.3},", w.park_ns as f64 / 1e6).unwrap();
+        writeln!(s, "        \"tasks\": {},", w.tasks).unwrap();
+        writeln!(s, "        \"chunks\": {}", w.chunks).unwrap();
+        writeln!(
+            s,
+            "      }}{}",
+            if i + 1 < prof.workers.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(s, "    ]").unwrap();
     writeln!(s, "  }},").unwrap();
     writeln!(s, "  \"queries\": [").unwrap();
     for (i, (name, query)) in queries.iter().enumerate() {
@@ -234,9 +375,15 @@ fn main() {
             writeln!(s, "      \"warm_ns_t{t}\": {},", c.warm_ns).unwrap();
             writeln!(
                 s,
-                "      \"par_t{t}\": \"{}/{}\"{}",
-                c.par_tasks,
-                c.par_chunks,
+                "      \"par_t{t}\": \"{}/{}\",",
+                c.par_tasks, c.par_chunks
+            )
+            .unwrap();
+            writeln!(s, "      \"par_rows_t{t}\": {},", c.par_rows).unwrap();
+            writeln!(
+                s,
+                "      \"chunk_skew_t{t}\": {:.3}{}",
+                c.chunk_skew(),
                 if j + 1 < columns.len() { "," } else { "" }
             )
             .unwrap();
@@ -263,12 +410,22 @@ fn main() {
         );
     }
     println!(
-        "  speedup at 4 threads: {speedup4:.3}x (gate: {MIN_SPEEDUP_AT_4}x, {})",
+        "  speedup at 4 threads: {speedup4:.3}x (floor: {MIN_SPEEDUP_FLOOR}x always; gate: {MIN_SPEEDUP_AT_4}x, {})",
         if gate_enforced {
             "enforced"
         } else {
             "skipped — fewer than 4 cores"
         }
+    );
+    println!(
+        "  profiled pass: {} events over {:.1} ms, steals {}/{} ({:.0}% hit), chunk skew {:.2} ({})",
+        prof.events,
+        prof.window_ms,
+        prof.steal_successes,
+        prof.steal_attempts,
+        prof.steal_success_rate() * 100.0,
+        prof.chunk_skew,
+        TRACE_PATH,
     );
 
     // Partitioning must actually engage once the pool has threads.
@@ -282,10 +439,51 @@ fn main() {
             "1-thread run partitioned: par {tasks1}/{chunks1} (must be the serial engine)"
         ));
     }
-    if gate_enforced && speedup4 < MIN_SPEEDUP_AT_4 {
+    if prof.events == 0 {
+        failures.push("profiled 4-thread pass recorded zero events".into());
+    }
+    // The no-regression floor holds everywhere; the speedup gate only
+    // where the hardware can deliver one. Either failure prints the
+    // attribution columns so the trace points at the culprit.
+    let speedup_failed = if speedup4 < MIN_SPEEDUP_FLOOR {
+        eprintln!(
+            "REGRESSION: 4 threads are {:.1}% slower than 1 thread \
+             (speedup {speedup4:.3}x < floor {MIN_SPEEDUP_FLOOR}x)",
+            (1.0 - speedup4) * 100.0
+        );
+        failures.push(format!(
+            "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_FLOOR}x no-regression floor"
+        ));
+        true
+    } else if gate_enforced && speedup4 < MIN_SPEEDUP_AT_4 {
+        eprintln!("REGRESSION: 4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_AT_4}x gate");
         failures.push(format!(
             "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_AT_4}x gate"
         ));
+        true
+    } else {
+        false
+    };
+    if speedup_failed {
+        eprintln!(
+            "  attribution (profiled 4-thread pass): steals {}/{} ({:.0}% hit), chunk skew {:.2}",
+            prof.steal_successes,
+            prof.steal_attempts,
+            prof.steal_success_rate() * 100.0,
+            prof.chunk_skew,
+        );
+        for w in &prof.workers {
+            eprintln!(
+                "    {:<14} util {:>5.1}%  busy {:>8.2} ms  park {:>8.2} ms  tasks {:>4}  chunks {:>4}",
+                w.name,
+                w.utilization(prof.window_ns) * 100.0,
+                w.busy_ns as f64 / 1e6,
+                w.park_ns as f64 / 1e6,
+                w.tasks,
+                w.chunks,
+            );
+        }
+        eprintln!("  full timeline: {TRACE_PATH} (load in Perfetto: ui.perfetto.dev)");
     }
     match std::fs::read_to_string(SERIAL_BENCH_PATH) {
         Ok(serial) if extract_f64(&serial, "scale") == Some(scale) => {

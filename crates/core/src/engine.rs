@@ -154,6 +154,11 @@ pub struct EngineStats {
     /// Chunks executed across those fan-outs (`par_chunks / par_tasks` is
     /// the average degree of partitioning achieved).
     pub par_chunks: u64,
+    /// Input rows distributed across parallel chunks.
+    pub par_rows: u64,
+    /// Largest single parallel chunk in input rows; against the even
+    /// share `par_rows / par_chunks` it measures partition skew.
+    pub par_chunk_rows_max: u64,
     /// Threads in the process-wide work-stealing pool when this query ran
     /// (1 ⇒ the serial pipeline, no fan-out possible).
     pub pool_threads: u64,
@@ -541,7 +546,15 @@ fn run_query(
     translate_expr: &dyn Fn(&xpath::Expr) -> Result<Translation, EngineError>,
     limits: QueryLimits,
 ) -> Result<(QueryResult, QueryTrace), EngineError> {
+    // End-to-end latency is recorded for *every* query — errors and
+    // limit aborts included — so the `engine.query_ns` histogram's
+    // p50/p95/p99 describe what callers actually experienced, not just
+    // the successes. Profiler query markers bracket the same window.
+    obs::profile::record(obs::profile::EventKind::QueryStart, 0);
+    let t0 = std::time::Instant::now();
     let result = run_query_inner(db, xpath, cache, translate_expr, limits);
+    obs::Registry::global().observe("engine.query_ns", t0.elapsed().as_nanos() as u64);
+    obs::profile::record(obs::profile::EventKind::QueryEnd, u64::from(result.is_ok()));
     if let Err(e) = &result {
         record_query_error(e);
     }
@@ -702,6 +715,8 @@ fn run_query_inner(
             engine.probe_allocs = stats.probe_allocs;
             engine.par_tasks = stats.par_tasks;
             engine.par_chunks = stats.par_chunks;
+            engine.par_rows = stats.par_rows;
+            engine.par_chunk_rows_max = stats.par_chunk_rows_max;
             engine.pool_threads = pool.threads() as u64;
             engine.pool_steals = pool.steal_count().saturating_sub(steals_before);
             trace.counter(span, "rows_scanned", stats.rows_scanned);
@@ -719,6 +734,8 @@ fn run_query_inner(
             trace.counter(span, "merge_probes", engine.merge_probes);
             trace.counter(span, "par_tasks", engine.par_tasks);
             trace.counter(span, "par_chunks", engine.par_chunks);
+            trace.counter(span, "par_rows", engine.par_rows);
+            trace.counter(span, "par_chunk_rows_max", engine.par_chunk_rows_max);
             trace.counter(span, "pool_threads", engine.pool_threads);
             trace.counter(span, "pool_steals", engine.pool_steals);
             trace.end(span);
@@ -766,6 +783,8 @@ fn run_query_inner(
     reg.incr("engine.merge_probes", engine.merge_probes);
     reg.incr("engine.par_tasks", engine.par_tasks);
     reg.incr("engine.par_chunks", engine.par_chunks);
+    reg.incr("engine.par_rows", engine.par_rows);
+    reg.set_max("engine.par_chunk_rows_max", engine.par_chunk_rows_max);
     reg.incr("engine.pool_steals", engine.pool_steals);
     reg.incr("engine.par_degraded", result.stats.par_degraded);
     // Histogram max = the observed high-water mark of concurrency.

@@ -1,0 +1,280 @@
+//! Profiler contract tests: the detached fast path records nothing,
+//! per-lane event order is monotonic under a multi-thread stress run,
+//! the chrome-trace export round-trips through `obs::json`, and the
+//! timeline aggregation math is what the docs promise.
+//!
+//! The profiler is a process-wide singleton, so every test that
+//! attaches it holds [`guard`] — `#[test]` threads would otherwise
+//! steal each other's events.
+
+use obs::profile::{self, Event, EventKind, Lane, Profile};
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn detached_profiler_records_zero_events() {
+    let _g = guard();
+    assert!(!profile::is_attached());
+    // Hammer the hook while detached: nothing may be buffered.
+    for i in 0..10_000 {
+        profile::record(EventKind::TaskStart, i);
+        profile::record(EventKind::TaskEnd, i);
+    }
+    assert!(profile::attach());
+    let p = profile::detach().expect("attached above");
+    assert_eq!(
+        p.total_events(),
+        0,
+        "events recorded while detached leaked into the next attach: {p:?}"
+    );
+    assert_eq!(p.dropped, 0);
+}
+
+#[test]
+fn attach_is_exclusive_and_detach_is_idempotent() {
+    let _g = guard();
+    assert!(profile::detach().is_none(), "no profiler attached yet");
+    assert!(profile::attach());
+    assert!(!profile::attach(), "second attach must be refused");
+    assert!(profile::is_attached());
+    assert!(profile::detach().is_some());
+    assert!(profile::detach().is_none());
+    assert!(!profile::is_attached());
+}
+
+#[test]
+fn event_order_is_monotonic_under_four_thread_stress() {
+    let _g = guard();
+    const THREADS: usize = 4;
+    const EVENTS: usize = 5_000;
+    assert!(profile::attach());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::Builder::new()
+                .name(format!("stress-{t}"))
+                .spawn(move || {
+                    for i in 0..EVENTS {
+                        profile::record(EventKind::TaskStart, i as u64);
+                        profile::record(EventKind::TaskEnd, i as u64);
+                    }
+                })
+                .unwrap()
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let p = profile::detach().expect("attached above");
+    let stress: Vec<_> = p
+        .lanes
+        .iter()
+        .filter(|l| l.name.starts_with("stress-"))
+        .collect();
+    assert_eq!(stress.len(), THREADS, "one lane per stress thread: {p:?}");
+    for lane in stress {
+        assert_eq!(lane.events.len(), 2 * EVENTS, "lane {}", lane.name);
+        let mut prev = 0u64;
+        for (i, ev) in lane.events.iter().enumerate() {
+            assert!(
+                ev.t_ns >= prev,
+                "lane {} event {i} went backwards: {} < {prev}",
+                lane.name,
+                ev.t_ns
+            );
+            prev = ev.t_ns;
+        }
+    }
+    assert_eq!(p.dropped, 0, "2*{EVENTS} fits the per-thread buffer");
+}
+
+#[test]
+fn reattach_does_not_resurrect_old_events() {
+    let _g = guard();
+    assert!(profile::attach());
+    for _ in 0..100 {
+        profile::record(EventKind::ChunkStart, 7);
+    }
+    let first = profile::detach().unwrap();
+    assert!(first.total_events() >= 100);
+
+    assert!(profile::attach());
+    profile::record(EventKind::Park, 0);
+    let second = profile::detach().unwrap();
+    let this_lane: usize = second.lanes.iter().map(|l| l.events.len()).sum();
+    assert_eq!(this_lane, 1, "stale generation leaked: {second:?}");
+    assert_eq!(second.lanes[0].events[0].kind, EventKind::Park);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_obs_json() {
+    let _g = guard();
+    assert!(profile::attach());
+    let worker = std::thread::Builder::new()
+        .name("trace-worker".into())
+        .spawn(|| {
+            profile::record(EventKind::TaskStart, 0);
+            profile::record(EventKind::ChunkStart, 128);
+            profile::record(EventKind::ChunkEnd, 40);
+            profile::record(EventKind::TaskEnd, 0);
+            profile::record(EventKind::StealAttempt, 0);
+            profile::record(EventKind::StealSuccess, 2);
+            profile::record(EventKind::Park, 0);
+            profile::record(EventKind::Unpark, 0);
+            profile::record(EventKind::LockWait, 1500);
+        })
+        .unwrap();
+    worker.join().unwrap();
+    profile::record(EventKind::QueryStart, 0);
+    profile::record(EventKind::QueryEnd, 1);
+    let p = profile::detach().expect("attached above");
+    assert!(p.total_events() >= 11, "{p:?}");
+
+    let json = p.to_chrome_trace();
+    let doc = obs::json::parse(&json).expect("chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Every lane gets a thread_name metadata record naming it.
+    let meta_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(meta_names.contains(&"trace-worker"), "{meta_names:?}");
+
+    // Span events are complete ("X") with numeric ts/dur and carry the
+    // kind-specific args the exporter promises.
+    let x_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .collect();
+    assert!(!x_events.is_empty());
+    for e in &x_events {
+        assert!(
+            matches!(e.get("ts"), Some(obs::json::Value::Number(_))),
+            "{e:?}"
+        );
+        assert!(
+            matches!(e.get("dur"), Some(obs::json::Value::Number(_))),
+            "{e:?}"
+        );
+    }
+    let names: Vec<&str> = x_events
+        .iter()
+        .filter_map(|e| e.get("name")?.as_str())
+        .collect();
+    for expected in ["task", "chunk", "steal", "park", "lock_wait", "query"] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+    let chunk = x_events
+        .iter()
+        .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("chunk"))
+        .unwrap();
+    assert_eq!(
+        chunk.get("args").unwrap().get("rows_in").unwrap().as_u64(),
+        Some(128)
+    );
+    assert_eq!(
+        chunk.get("args").unwrap().get("rows_out").unwrap().as_u64(),
+        Some(40)
+    );
+}
+
+/// Timeline math is testable without the global profiler: `Profile` is
+/// a plain value.
+#[test]
+fn timeline_aggregation_math() {
+    let lane = Lane {
+        name: "w0".into(),
+        events: vec![
+            Event {
+                t_ns: 0,
+                kind: EventKind::TaskStart,
+                arg: 0,
+            },
+            Event {
+                t_ns: 100,
+                kind: EventKind::ChunkStart,
+                arg: 50,
+            },
+            Event {
+                t_ns: 400,
+                kind: EventKind::ChunkEnd,
+                arg: 10,
+            },
+            Event {
+                t_ns: 500,
+                kind: EventKind::TaskEnd,
+                arg: 0,
+            },
+            Event {
+                t_ns: 600,
+                kind: EventKind::Park,
+                arg: 0,
+            },
+            Event {
+                t_ns: 900,
+                kind: EventKind::Unpark,
+                arg: 0,
+            },
+            Event {
+                t_ns: 900,
+                kind: EventKind::StealAttempt,
+                arg: 0,
+            },
+            Event {
+                t_ns: 950,
+                kind: EventKind::StealFail,
+                arg: 0,
+            },
+            Event {
+                t_ns: 960,
+                kind: EventKind::LockWait,
+                arg: 40,
+            },
+            Event {
+                t_ns: 1000,
+                kind: EventKind::TaskStart,
+                arg: 0,
+            },
+            Event {
+                t_ns: 1200,
+                kind: EventKind::TaskEnd,
+                arg: 0,
+            },
+        ],
+    };
+    let p = Profile {
+        lanes: vec![lane],
+        dropped: 3,
+    };
+    assert_eq!(p.window_ns(), 1200);
+    let t = &p.timelines()[0];
+    // Chunk [100,400] nests inside task [0,500]: busy is the union,
+    // 500 + the second task's 200.
+    assert_eq!(t.busy_ns, 700);
+    assert_eq!(t.park_ns, 300);
+    assert_eq!(t.tasks, 2);
+    assert_eq!(t.chunks, 1);
+    assert_eq!(t.chunk_rows, 50);
+    assert_eq!(t.chunk_rows_max, 50);
+    assert_eq!(t.steal_attempts, 1);
+    assert_eq!(t.steal_fails, 1);
+    assert_eq!(t.steal_wait_ns, 50);
+    assert_eq!(t.lock_waits, 1);
+    assert_eq!(t.lock_wait_ns, 40);
+    let util = t.utilization(p.window_ns());
+    assert!((util - 700.0 / 1200.0).abs() < 1e-9);
+
+    let table = p.utilization_table();
+    assert!(table.contains("w0"), "{table}");
+    assert!(table.contains("steal ok/try"), "{table}");
+    assert!(table.contains("(3 dropped)"), "{table}");
+}

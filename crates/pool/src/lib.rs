@@ -31,6 +31,14 @@
 //! `std::thread::available_parallelism`; [`set_threads`] replaces it at
 //! runtime (the programmatic knob benchmarks use for 1/2/4-way scaling
 //! tables).
+//!
+//! Profiling: when an `obs::profile` session is attached, workers emit
+//! task start/end, steal attempt/success/fail, park/unpark, and
+//! contended-lock-wait events onto their per-thread timelines. Detached,
+//! every hook is one relaxed atomic load and a branch (see the overhead
+//! contract on `obs::profile`).
+
+use obs::profile::{self, EventKind};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{
@@ -62,6 +70,27 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
         POISON_RECOVERIES.fetch_add(1, Relaxed);
         poisoned.into_inner()
     })
+}
+
+/// Lock-wait spans shorter than this are noise, not contention.
+const LOCK_WAIT_MIN_NS: u64 = 1_000;
+
+/// [`lock_unpoisoned`], plus a profiler `LockWait` event when a profiler
+/// is attached and the acquisition stalled measurably. The timing branch
+/// is gated on [`profile::is_attached`] so the detached hot path never
+/// reads the clock.
+fn lock_profiled<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    if profile::is_attached() {
+        let t0 = std::time::Instant::now();
+        let guard = lock_unpoisoned(m);
+        let waited = t0.elapsed().as_nanos() as u64;
+        if waited >= LOCK_WAIT_MIN_NS {
+            profile::record(EventKind::LockWait, waited);
+        }
+        guard
+    } else {
+        lock_unpoisoned(m)
+    }
 }
 
 /// A scoped task panicked. Carries the panic payload's message when it
@@ -104,6 +133,10 @@ struct Shared {
     /// Round-robin cursor for distributing submissions over deques.
     next_queue: AtomicUsize,
     steals: AtomicU64,
+    /// Sibling-deque scans started by workers while scopes were active
+    /// (the denominator of the steal-success rate; idle polling with no
+    /// scope in flight is not an attempt).
+    steal_attempts: AtomicU64,
     executed: AtomicU64,
     /// Scopes currently draining tasks (the saturation signal callers
     /// use to degrade from parallel to serial execution).
@@ -116,26 +149,41 @@ impl Shared {
     /// scope-owning caller, which scans the injector and every deque.
     fn pop_any(&self, home: Option<usize>) -> Option<Job> {
         if let Some(h) = home {
-            if let Some(j) = lock_unpoisoned(&self.locals[h]).pop_back() {
+            if let Some(j) = lock_profiled(&self.locals[h]).pop_back() {
                 return Some(j);
             }
         }
-        if let Some(j) = lock_unpoisoned(&self.injector).pop_front() {
+        if let Some(j) = lock_profiled(&self.injector).pop_front() {
             return Some(j);
         }
         let n = self.locals.len();
+        // A sibling scan only counts as a steal *attempt* when a worker
+        // (not the scope-owning caller) scans while work could exist —
+        // idle 1 ms polling with no active scope would otherwise drown
+        // the success rate (and the profile) in vacuous misses.
+        let stealing = home.is_some() && n > 1 && self.active_scopes.load(SeqCst) > 0;
+        if stealing {
+            self.steal_attempts.fetch_add(1, Relaxed);
+            profile::record(EventKind::StealAttempt, 0);
+        }
         let start = home.unwrap_or(0);
         for k in 0..n {
             let v = (start + 1 + k) % n;
             if Some(v) == home {
                 continue;
             }
-            if let Some(j) = lock_unpoisoned(&self.locals[v]).pop_front() {
+            if let Some(j) = lock_profiled(&self.locals[v]).pop_front() {
                 if home.is_some() {
                     self.steals.fetch_add(1, Relaxed);
                 }
+                if stealing {
+                    profile::record(EventKind::StealSuccess, v as u64);
+                }
                 return Some(j);
             }
+        }
+        if stealing {
+            profile::record(EventKind::StealFail, 0);
         }
         None
     }
@@ -144,12 +192,14 @@ impl Shared {
     /// parked worker. Callers must only push when workers exist.
     fn push(&self, job: Job) {
         let i = self.next_queue.fetch_add(1, Relaxed) % self.locals.len();
-        lock_unpoisoned(&self.locals[i]).push_back(job);
+        lock_profiled(&self.locals[i]).push_back(job);
         self.wake.notify_one();
     }
 
     fn run(&self, job: Job) {
+        profile::record(EventKind::TaskStart, 0);
         job();
+        profile::record(EventKind::TaskEnd, 0);
         self.executed.fetch_add(1, Relaxed);
     }
 }
@@ -165,6 +215,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
         }
         // Timed wait: bounds the cost of the push-vs-park race to one
         // millisecond instead of requiring a handshake on every push.
+        profile::record(EventKind::Park, 0);
         let guard = lock_unpoisoned(&shared.sleep);
         let _ = shared
             .wake
@@ -173,6 +224,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
                 POISON_RECOVERIES.fetch_add(1, Relaxed);
                 poisoned.into_inner()
             });
+        profile::record(EventKind::Unpark, 0);
     }
 }
 
@@ -197,6 +249,7 @@ impl Pool {
             shutdown: AtomicBool::new(false),
             next_queue: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            steal_attempts: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             active_scopes: AtomicUsize::new(0),
         });
@@ -218,6 +271,14 @@ impl Pool {
     /// Tasks moved between deques by work stealing, since construction.
     pub fn steal_count(&self) -> u64 {
         self.shared.steals.load(Relaxed)
+    }
+
+    /// Sibling-deque scans workers started while scopes were active,
+    /// since construction. `steal_count / steal_attempt_count` is the
+    /// steal-success rate; a low rate with high attempts means workers
+    /// burn their time scanning empty deques instead of executing.
+    pub fn steal_attempt_count(&self) -> u64 {
+        self.shared.steal_attempts.load(Relaxed)
     }
 
     /// Tasks completed by worker threads (inline and caller-executed
@@ -685,6 +746,34 @@ mod tests {
         assert_eq!(parse_env_threads(" 4 "), Some(4));
         assert_eq!(parse_env_threads("0"), Some(0));
         assert_eq!(env_parse_errors(), before + 2);
+    }
+
+    #[test]
+    fn profiler_hooks_emit_worker_timelines() {
+        // The profiler is process-global; no other test in this binary
+        // attaches it, so attach/detach here is race-free.
+        let pool = Pool::new(4);
+        assert!(obs::profile::attach(), "no other attachment expected");
+        let items: Vec<u64> = (0..50_000).collect();
+        for _ in 0..10 {
+            let partials = pool.parallel_map(&items, 512, |_, c| c.iter().sum::<u64>());
+            assert_eq!(partials.iter().sum::<u64>(), items.iter().sum::<u64>());
+        }
+        let p = obs::profile::detach().expect("attached above");
+        let timelines = p.timelines();
+        let workers: Vec<_> = timelines
+            .iter()
+            .filter(|t| t.name.starts_with("ppf-pool-"))
+            .collect();
+        assert!(
+            !workers.is_empty(),
+            "no worker lanes recorded: {timelines:?}"
+        );
+        let tasks: u64 = workers.iter().map(|t| t.tasks).sum();
+        assert!(tasks > 0, "workers recorded no task spans: {workers:?}");
+        // Steal accounting is live regardless of the profiler.
+        assert!(pool.tasks_executed() > 0);
+        let _ = pool.steal_attempt_count(); // accessor is wired
     }
 
     #[test]

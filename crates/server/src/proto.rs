@@ -16,7 +16,7 @@
 //! header  := id SP verb (SP option)*
 //! id      := [^ \n]+            client-chosen correlation token
 //! verb    := "query" | "explain" | "analyze" | "stats" | "health"
-//!          | "cancel" | "shutdown" | "chaos"
+//!          | "slowlog" | "cancel" | "shutdown" | "chaos"
 //! option  := key "=" value      e.g. timeout=250 maxrows=100000
 //! body    := the verb's argument (XPath text, cancel target id, chaos spec)
 //! ```
@@ -98,6 +98,8 @@ pub enum Verb {
     Stats,
     /// Liveness / drain-state probe.
     Health,
+    /// Render the server's bounded slow-query log, newest first.
+    Slowlog,
     /// Fire the cancel token of an in-flight query (body = its `id`).
     Cancel,
     /// Begin a graceful drain, then exit the serve loop.
@@ -114,6 +116,7 @@ impl Verb {
             Verb::Analyze => "analyze",
             Verb::Stats => "stats",
             Verb::Health => "health",
+            Verb::Slowlog => "slowlog",
             Verb::Cancel => "cancel",
             Verb::Shutdown => "shutdown",
             Verb::Chaos => "chaos",
@@ -127,6 +130,7 @@ impl Verb {
             "analyze" => Verb::Analyze,
             "stats" => Verb::Stats,
             "health" => Verb::Health,
+            "slowlog" => Verb::Slowlog,
             "cancel" => Verb::Cancel,
             "shutdown" => Verb::Shutdown,
             "chaos" => Verb::Chaos,
@@ -406,6 +410,25 @@ mod tests {
         let (kind, msg) = parsed.result.unwrap_err();
         assert_eq!(kind, ErrorKind::Overload);
         assert_eq!(msg, "shed: queue full");
+    }
+
+    #[test]
+    fn every_verb_roundtrips() {
+        let verbs = [
+            Verb::Query,
+            Verb::Explain,
+            Verb::Analyze,
+            Verb::Stats,
+            Verb::Health,
+            Verb::Slowlog,
+            Verb::Cancel,
+            Verb::Shutdown,
+            Verb::Chaos,
+        ];
+        for v in verbs {
+            assert_eq!(Verb::parse(v.as_str()), Some(v));
+        }
+        assert_eq!(Verb::parse("frobnicate"), None);
     }
 
     #[test]

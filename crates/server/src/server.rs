@@ -19,7 +19,7 @@
 //!   in-flight queries a grace period, cancel stragglers through their
 //!   [`CancelToken`]s, then exit with counters flushed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
@@ -58,6 +58,14 @@ pub struct ServerConfig {
     /// Result rows rendered per query response (the rest is truncated
     /// with a count; the frame cap is the hard bound).
     pub max_response_rows: usize,
+    /// Queries at or above this wall-clock duration enter the slow-query
+    /// log (`Duration::ZERO` logs every query; useful in tests).
+    pub slow_query: Duration,
+    /// Slots in the bounded slow-query ring (0 disables the log).
+    pub slowlog_capacity: usize,
+    /// When set, a background thread writes a metrics snapshot to stderr
+    /// at this interval until the server drains.
+    pub metrics_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +81,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             drain_grace: Duration::from_secs(2),
             max_response_rows: 100_000,
+            slow_query: Duration::from_millis(250),
+            slowlog_capacity: 64,
+            metrics_interval: None,
         }
     }
 }
@@ -92,13 +103,70 @@ struct Inner {
     active_conns: AtomicUsize,
     /// In-flight queries by request id, for `cancel` and drain.
     queries: Mutex<HashMap<String, CancelToken>>,
+    /// Bounded ring of the slowest recent queries, oldest evicted first.
+    slowlog: Mutex<VecDeque<SlowEntry>>,
+    /// Server start, the epoch for slowlog entry ages.
+    started: Instant,
 }
 
 impl Inner {
     fn lock_queries(&self) -> MutexGuard<'_, HashMap<String, CancelToken>> {
         self.queries.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    fn lock_slowlog(&self) -> MutexGuard<'_, VecDeque<SlowEntry>> {
+        self.slowlog.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
+
+/// One slow-query record: what ran, how long, and where the time went.
+struct SlowEntry {
+    /// Time since server start when the query finished.
+    at: Duration,
+    id: String,
+    verb: &'static str,
+    /// The query text, truncated to keep the ring small.
+    query: String,
+    total: Duration,
+    rows: u64,
+    /// `parse/translate/plan/execute/publish` nanoseconds, when the verb
+    /// surfaced engine stats (plain queries; explain/analyze and errors
+    /// carry `None`).
+    phases: Option<[u64; 5]>,
+    /// `ok`, or the response's error kind.
+    outcome: String,
+}
+
+impl SlowEntry {
+    fn render(&self) -> String {
+        let mut line = format!(
+            "[+{:.3}s] {} {} {:.1} ms rows={} {}",
+            self.at.as_secs_f64(),
+            self.id,
+            self.verb,
+            self.total.as_secs_f64() * 1e3,
+            self.rows,
+            self.outcome,
+        );
+        if let Some([parse, translate, plan, execute, publish]) = self.phases {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            line.push_str(&format!(
+                " parse={:.2} translate={:.2} plan={:.2} exec={:.2} publish={:.2}",
+                ms(parse),
+                ms(translate),
+                ms(plan),
+                ms(execute),
+                ms(publish),
+            ));
+        }
+        line.push_str(" :: ");
+        line.push_str(&self.query);
+        line
+    }
+}
+
+/// Longest query text kept per slowlog entry.
+const SLOWLOG_QUERY_CHARS: usize = 200;
 
 /// Handle returned by [`serve`]: inspect the bound address, trigger a
 /// drain, wait for exit.
@@ -158,7 +226,16 @@ pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<
         draining: AtomicBool::new(false),
         active_conns: AtomicUsize::new(0),
         queries: Mutex::new(HashMap::new()),
+        slowlog: Mutex::new(VecDeque::new()),
+        started: Instant::now(),
     });
+    if let Some(interval) = inner.cfg.metrics_interval {
+        let metrics_inner = inner.clone();
+        std::thread::Builder::new()
+            .name("ppfd-metrics".to_string())
+            .spawn(move || metrics_loop(metrics_inner, interval))
+            .expect("spawn metrics thread");
+    }
     let accept_inner = inner.clone();
     let accept_thread = std::thread::Builder::new()
         .name("ppfd-accept".to_string())
@@ -402,8 +479,16 @@ fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
             return true;
         }
     };
+    if matches!(req.verb, Verb::Query | Verb::Explain | Verb::Analyze) {
+        // Query-class verbs observe their latency in `run_admitted`,
+        // where the real work (and the slow-query log) lives.
+        start_query(inner, conn, req);
+        return true;
+    }
+    let t0 = Instant::now();
+    let verb = req.verb.as_str();
     match req.verb {
-        Verb::Query | Verb::Explain | Verb::Analyze => start_query(inner, conn, req),
+        Verb::Query | Verb::Explain | Verb::Analyze => unreachable!("handled above"),
         Verb::Stats => {
             conn.write_response(&Response::ok(
                 &req.id,
@@ -442,11 +527,35 @@ fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
             conn.write_response(&Response::ok(&req.id, "draining"));
             trigger_drain(inner);
         }
+        Verb::Slowlog => {
+            let threshold_ms = inner.cfg.slow_query.as_secs_f64() * 1e3;
+            let log = inner.lock_slowlog();
+            let body = if log.is_empty() {
+                format!("slowlog empty (threshold {threshold_ms:.0} ms)")
+            } else {
+                let mut body = format!(
+                    "slow queries (threshold {threshold_ms:.0} ms, {} of cap {}, newest first):\n",
+                    log.len(),
+                    inner.cfg.slowlog_capacity,
+                );
+                for entry in log.iter().rev() {
+                    body.push_str(&entry.render());
+                    body.push('\n');
+                }
+                body
+            };
+            drop(log);
+            conn.write_response(&Response::ok(&req.id, body));
+        }
         Verb::Chaos => match inner.chaos.install(req.body.trim()) {
             Ok(summary) => conn.write_response(&Response::ok(&req.id, summary)),
             Err(msg) => conn.write_response(&Response::err(&req.id, ErrorKind::Unsupported, msg)),
         },
     }
+    reg.observe(
+        &format!("server.verb_ns.{verb}"),
+        t0.elapsed().as_nanos() as u64,
+    );
     true
 }
 
@@ -558,23 +667,29 @@ fn run_admitted(
         sqlexec::exec::test_hooks::arm_worker_panic();
         sqlexec::set_parallel_mode(sqlexec::ParallelMode::ForceOn)
     });
+    let t0 = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if matches!(fault, Fault::Panic) {
             panic!("chaos: injected worker panic");
         }
         execute(inner, req, &limits)
     }));
+    let elapsed = t0.elapsed();
     if let Some(prev) = prev_mode {
         sqlexec::set_parallel_mode(prev);
     }
 
-    let resp = match outcome {
-        Ok(Ok(body)) => Response::ok(&req.id, body),
-        Ok(Err(e)) => Response::err(
-            &req.id,
-            ErrorKind::from_engine_kind(e.kind()),
-            e.to_string(),
-        ),
+    let (resp, rows, phases, verdict) = match outcome {
+        Ok(Ok((body, phases, rows))) => (Response::ok(&req.id, body), rows, phases, "ok"),
+        Ok(Err(e)) => {
+            let kind = ErrorKind::from_engine_kind(e.kind());
+            (
+                Response::err(&req.id, kind, e.to_string()),
+                0,
+                None,
+                kind.as_str(),
+            )
+        }
         Err(payload) => {
             reg.incr("server.panics_contained", 1);
             let msg = payload
@@ -582,9 +697,40 @@ fn run_admitted(
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
-            Response::err(&req.id, ErrorKind::Exec, format!("panic contained: {msg}"))
+            (
+                Response::err(&req.id, ErrorKind::Exec, format!("panic contained: {msg}")),
+                0,
+                None,
+                "panic",
+            )
         }
     };
+    reg.observe(
+        &format!("server.verb_ns.{}", req.verb.as_str()),
+        elapsed.as_nanos() as u64,
+    );
+    if inner.cfg.slowlog_capacity > 0 && elapsed >= inner.cfg.slow_query {
+        let mut query = req.body.trim().to_string();
+        if let Some((idx, _)) = query.char_indices().nth(SLOWLOG_QUERY_CHARS) {
+            query.truncate(idx);
+            query.push_str("...");
+        }
+        let entry = SlowEntry {
+            at: inner.started.elapsed(),
+            id: req.id.clone(),
+            verb: req.verb.as_str(),
+            query,
+            total: elapsed,
+            rows,
+            phases,
+            outcome: verdict.to_string(),
+        };
+        let mut log = inner.lock_slowlog();
+        while log.len() >= inner.cfg.slowlog_capacity {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
     match fault {
         Fault::Drop(DropPhase::PreWrite) => conn.sever(),
         Fault::Drop(DropPhase::MidWrite) => {
@@ -607,19 +753,29 @@ fn finish_query(inner: &Inner, conn: &Conn, id: &str, slot: Slot) {
     drop(slot);
 }
 
-/// Execute the engine work for one request; the body of the `ok`
-/// response on success, a typed engine error otherwise.
+/// Execute the engine work for one request. On success: the body of the
+/// `ok` response, the engine's phase breakdown when the verb surfaces
+/// one (plain queries), and the result row count — both feed the
+/// slow-query log.
 fn execute(
     inner: &Inner,
     req: &Request,
     limits: &QueryLimits,
-) -> Result<String, ppf_core::QueryError> {
+) -> Result<(String, Option<[u64; 5]>, u64), ppf_core::QueryError> {
     match req.verb {
         Verb::Query => {
             let result = inner
                 .engine
                 .query_with_limits(req.body.trim(), limits.clone())?;
             let ids = result.ids();
+            let e = &result.engine;
+            let phases = Some([
+                e.parse_ns,
+                e.translate_ns,
+                e.plan_ns,
+                e.execute_ns,
+                e.publish_ns,
+            ]);
             let cap = inner.cfg.max_response_rows;
             let mut body = format!("rows {}\n", ids.len());
             for id in ids.iter().take(cap) {
@@ -629,26 +785,45 @@ fn execute(
             if ids.len() > cap {
                 body.push_str(&format!("truncated {}\n", ids.len() - cap));
             }
-            Ok(body)
+            Ok((body, phases, ids.len() as u64))
         }
         Verb::Explain => {
             let t = inner.engine.translate(req.body.trim())?;
-            match t.stmt {
-                None => Ok("(statically empty)".to_string()),
+            let body = match t.stmt {
+                None => "(statically empty)".to_string(),
                 Some(stmt) => sqlexec::explain_stmt(inner.engine.db(), &stmt)
-                    .map_err(ppf_core::QueryError::from),
-            }
+                    .map_err(ppf_core::QueryError::from)?,
+            };
+            Ok((body, None, 0))
         }
         Verb::Analyze => {
             let t = inner.engine.translate(req.body.trim())?;
-            match t.stmt {
-                None => Ok("(statically empty)".to_string()),
+            let body = match t.stmt {
+                None => "(statically empty)".to_string(),
                 Some(stmt) => {
                     sqlexec::explain_analyze_with_limits(inner.engine.db(), &stmt, limits.clone())
-                        .map_err(ppf_core::QueryError::from)
+                        .map_err(ppf_core::QueryError::from)?
                 }
-            }
+            };
+            Ok((body, None, 0))
         }
         _ => unreachable!("only query-class verbs reach execute()"),
+    }
+}
+
+/// Background metrics reporter: a registry snapshot to stderr at a fixed
+/// interval until the server drains.
+fn metrics_loop(inner: Arc<Inner>, interval: Duration) {
+    let mut next = Instant::now() + interval;
+    while !inner.draining.load(SeqCst) {
+        std::thread::sleep(POLL_TICK);
+        if Instant::now() >= next {
+            next = Instant::now() + interval;
+            eprintln!(
+                "--- metrics snapshot (+{:.1}s) ---\n{}",
+                inner.started.elapsed().as_secs_f64(),
+                obs::Registry::global().snapshot().render()
+            );
+        }
     }
 }

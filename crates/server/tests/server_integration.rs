@@ -151,6 +151,121 @@ fn malformed_requests_get_proto_errors() {
 }
 
 #[test]
+fn slowlog_records_queries_with_phase_breakdown() {
+    // A zero threshold logs every query, so one query is enough to make
+    // the log deterministic.
+    let cfg = ServerConfig {
+        slow_query: Duration::ZERO,
+        slowlog_capacity: 8,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(50, cfg);
+    let mut c = Client::connect(&addr, IO).expect("connect");
+
+    // Before any query the log is empty but the verb still answers.
+    let body = c
+        .request("sl0", Verb::Slowlog, &[], "")
+        .expect("io")
+        .result
+        .expect("slowlog ok");
+    assert!(body.contains("slowlog empty"), "body: {body}");
+
+    assert!(c
+        .request("q1", Verb::Query, &[], "/lib/book")
+        .expect("io")
+        .result
+        .is_ok());
+    // Errors are logged too, with their typed outcome.
+    assert!(c
+        .request("q2", Verb::Query, &[("maxrows", "3")], "/lib/book")
+        .expect("io")
+        .result
+        .is_err());
+
+    let body = c
+        .request("sl1", Verb::Slowlog, &[], "")
+        .expect("io")
+        .result
+        .expect("slowlog ok");
+    assert!(body.contains("newest first"), "body: {body}");
+    assert!(body.contains("/lib/book"), "query text missing: {body}");
+    assert!(body.contains("exec="), "phase breakdown missing: {body}");
+    assert!(body.contains("rows=50"), "row count missing: {body}");
+    assert!(body.contains(" limit "), "error outcome missing: {body}");
+    // Newest first: the failed q2 renders before the successful q1.
+    let q2_pos = body.find(" q2 ").expect("q2 logged");
+    let q1_pos = body.find(" q1 ").expect("q1 logged");
+    assert!(q2_pos < q1_pos, "not newest-first: {body}");
+
+    // Satellite: per-verb latency histograms show up in `stats`.
+    let stats = c
+        .request("st", Verb::Stats, &[], "")
+        .expect("io")
+        .result
+        .expect("stats ok");
+    assert!(
+        stats.contains("server.verb_ns.query"),
+        "per-verb histogram missing: {stats}"
+    );
+    assert!(
+        stats.contains("engine.query_ns"),
+        "engine latency histogram missing: {stats}"
+    );
+    stop(handle);
+}
+
+#[test]
+fn slowlog_ring_is_bounded_and_can_be_disabled() {
+    let cfg = ServerConfig {
+        slow_query: Duration::ZERO,
+        slowlog_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(5, cfg);
+    let mut c = Client::connect(&addr, IO).expect("connect");
+    for n in 0..5 {
+        assert!(c
+            .request(&format!("q{n}"), Verb::Query, &[], "/lib/book")
+            .expect("io")
+            .result
+            .is_ok());
+    }
+    let body = c
+        .request("sl", Verb::Slowlog, &[], "")
+        .expect("io")
+        .result
+        .expect("slowlog ok");
+    assert!(body.contains("2 of cap 2"), "ring not bounded: {body}");
+    assert!(
+        body.contains(" q4 ") && body.contains(" q3 "),
+        "body: {body}"
+    );
+    assert!(!body.contains(" q0 "), "oldest entry not evicted: {body}");
+    stop(handle);
+
+    // Capacity zero disables logging entirely.
+    let cfg = ServerConfig {
+        slow_query: Duration::ZERO,
+        slowlog_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(5, cfg);
+    let mut c = Client::connect(&addr, IO).expect("connect");
+    assert!(c
+        .request("q", Verb::Query, &[], "/lib/book")
+        .expect("io")
+        .result
+        .is_ok());
+    let body = c
+        .request("sl", Verb::Slowlog, &[], "")
+        .expect("io")
+        .result
+        .expect("slowlog ok");
+    assert!(body.contains("slowlog empty"), "body: {body}");
+    stop(handle);
+}
+
+#[test]
 fn cancel_of_unknown_id_is_not_found() {
     let (handle, addr) = start(10, ServerConfig::default());
     let mut c = Client::connect(&addr, IO).expect("connect");

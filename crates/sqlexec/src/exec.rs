@@ -61,6 +61,13 @@ pub struct ExecStats {
     /// Parallel fan-outs skipped because the pool was already saturated
     /// with other queries' scopes (the branch ran serially instead).
     pub par_degraded: u64,
+    /// Input rows distributed across parallel chunks (all fan-outs).
+    pub par_rows: u64,
+    /// Largest single chunk, in input rows — `par_chunk_rows_max /
+    /// (par_rows / par_chunks)` is the partition skew: 1.0 means the
+    /// split was perfectly balanced, higher means one worker got a
+    /// disproportionate share (Dewey boundary alignment can force this).
+    pub par_chunk_rows_max: u64,
 }
 
 impl ExecStats {
@@ -80,6 +87,8 @@ impl ExecStats {
         self.limit_aborts += other.limit_aborts;
         self.query_cancelled += other.query_cancelled;
         self.par_degraded += other.par_degraded;
+        self.par_rows += other.par_rows;
+        self.par_chunk_rows_max = self.par_chunk_rows_max.max(other.par_chunk_rows_max);
     }
 }
 
@@ -971,6 +980,9 @@ impl<'db> Executor<'db> {
             let mut stats = self.stats.borrow_mut();
             stats.par_tasks += 1;
             stats.par_chunks += ranges.len() as u64;
+            stats.par_rows += ranges.iter().map(|r| r.len() as u64).sum::<u64>();
+            let widest = ranges.iter().map(|r| r.len() as u64).max().unwrap_or(0);
+            stats.par_chunk_rows_max = stats.par_chunk_rows_max.max(widest);
         }
         // Workers run on pool threads *and* on this one (the coordinator
         // helps drain the queue), so every thread-local the pipeline
@@ -991,6 +1003,7 @@ impl<'db> Executor<'db> {
             if test_hooks::take_worker_panic() {
                 panic!("injected worker panic (test hook)");
             }
+            obs::profile::record(obs::profile::EventKind::ChunkStart, range.len() as u64);
             let prev_mm = crate::plan::set_merge_mode(mm);
             let prev_fc = set_filter_caches_enabled(fc);
             let prev_pm = set_parallel_mode(ParallelMode::ForceOff);
@@ -1028,6 +1041,7 @@ impl<'db> Executor<'db> {
             crate::plan::set_merge_mode(prev_mm);
             set_filter_caches_enabled(prev_fc);
             set_parallel_mode(prev_pm);
+            obs::profile::record(obs::profile::EventKind::ChunkEnd, result.rows.len() as u64);
             result
         });
         self.put_row_buf(probe_rows);
@@ -1602,6 +1616,9 @@ impl<'db> Executor<'db> {
             let mut stats = self.stats.borrow_mut();
             stats.par_tasks += 1;
             stats.par_chunks += ranges.len() as u64;
+            stats.par_rows += ranges.iter().map(|r| r.len() as u64).sum::<u64>();
+            let widest = ranges.iter().map(|r| r.len() as u64).max().unwrap_or(0);
+            stats.par_chunk_rows_max = stats.par_chunk_rows_max.max(widest);
         }
         let limits = self.limits();
         let parts = pool
@@ -1609,6 +1626,7 @@ impl<'db> Executor<'db> {
                 // Chunk-boundary poll; the row budget stays coordinator-side
                 // (charged on the concatenated total below).
                 limits.check_interrupt()?;
+                obs::profile::record(obs::profile::EventKind::ChunkStart, range.len() as u64);
                 let mut out = Vec::new();
                 for rid in range {
                     if let Value::Str(s) = &table.row(rid)[ci] {
@@ -1617,6 +1635,7 @@ impl<'db> Executor<'db> {
                         }
                     }
                 }
+                obs::profile::record(obs::profile::EventKind::ChunkEnd, out.len() as u64);
                 Ok::<_, ExecError>(out)
             })
             .map_err(|p| {

@@ -70,6 +70,14 @@ fn partitioned_filter_scan_matches_serial() {
     assert_eq!(par, serial, "partitioned scan changed the result");
     assert!(p_stats.par_tasks >= 1, "{p_stats:?}");
     assert!(p_stats.par_chunks >= 2, "{p_stats:?}");
+    // Skew accounting: every input row of every fan-out (the 600-row
+    // filter scan, plus any downstream branch fan-out) is attributed to
+    // a chunk, and the widest chunk is at least one even share.
+    assert!(p_stats.par_rows >= 600, "{p_stats:?}");
+    assert!(
+        p_stats.par_chunk_rows_max >= p_stats.par_rows / p_stats.par_chunks.max(1),
+        "{p_stats:?}"
+    );
 
     sqlexec::clear_filter_caches();
     let (auto, _) = with_mode(ParallelMode::Auto, || ids(&db, FILTER));

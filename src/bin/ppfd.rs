@@ -58,7 +58,8 @@ const USAGE: &str =
     "usage: ppfd [--schema FILE | --dtd FILE | --xsd FILE doc.xml... | --xmark SCALE [--seed N]]\n\
      [--listen ADDR] [--threads N] [--max-inflight N] [--queue-depth N]\n\
      [--queue-wait-ms MS] [--policy queue|shed] [--per-conn N]\n\
-     [--deadline-ms MS|0] [--idle-ms MS] [--drain-ms MS] [--chaos SPEC]";
+     [--deadline-ms MS|0] [--idle-ms MS] [--drain-ms MS] [--chaos SPEC]\n\
+     [--slow-ms MS] [--slowlog-cap N] [--metrics-every-ms MS]";
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -119,6 +120,14 @@ fn run() -> Result<(), String> {
                     "shed" => AdmissionPolicy::Shed,
                     other => return Err(format!("--policy queue|shed, got {other:?}")),
                 }
+            }
+            "--slow-ms" => {
+                cfg.slow_query = Duration::from_millis(parse_num(&value(&arg)?, &arg)? as u64)
+            }
+            "--slowlog-cap" => cfg.slowlog_capacity = parse_num(&value(&arg)?, &arg)?,
+            "--metrics-every-ms" => {
+                let ms: u64 = parse_num(&value(&arg)?, &arg)? as u64;
+                cfg.metrics_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--chaos" => chaos = Some(value(&arg)?),
             "--schema" | "--dtd" | "--xsd" => {
