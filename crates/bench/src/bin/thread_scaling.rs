@@ -36,7 +36,7 @@ const TRACE_PATH: &str = "BENCH_3_trace.json";
 const SERIAL_BENCH_PATH: &str = "BENCH_2.json";
 const THREADS: &[usize] = &[1, 2, 4];
 const COLD_ROUNDS: usize = 2;
-const WARM_ROUNDS: usize = 3;
+const WARM_ROUNDS: usize = 5;
 const CLIENTS: usize = 4;
 const CLIENT_ROUNDS: usize = 2;
 /// 4-thread speedup the gate demands when the hardware can deliver one.
@@ -44,8 +44,14 @@ const MIN_SPEEDUP_AT_4: f64 = 1.5;
 /// No-regression floor enforced on every host: 4 threads may not be more
 /// than 5% slower than 1 thread, or the parallel path is costing us.
 const MIN_SPEEDUP_FLOOR: f64 = 0.95;
+/// Per-query no-harm bound, any host: no single query's warm 4-thread
+/// time may exceed 1.15× its warm 1-thread time (the totals floor can
+/// hide one query paying for the others' wins).
+const MAX_QUERY_HARM: f64 = 1.15;
 /// Allowed 1-thread regression vs the serial gate's committed numbers.
 const MAX_SERIAL_REGRESSION: f64 = 1.5;
+/// Interleaved t1/t4 rounds used to confirm a first-pass no-harm hit.
+const CONFIRM_ROUNDS: usize = 7;
 
 fn bench_scale() -> f64 {
     std::env::var("PPF_BENCH_SCALE")
@@ -90,8 +96,44 @@ impl Cell {
     }
 }
 
-fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
+/// Pool-counter deltas accumulated over one thread-count column (the
+/// pool is rebuilt by `set_threads`, so counters restart per column).
+#[derive(Clone, Copy, Default)]
+struct PoolCounters {
+    steals: u64,
+    steal_attempts: u64,
+    lifo_hits: u64,
+}
+
+impl PoolCounters {
+    fn steal_success_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steals as f64 / self.steal_attempts as f64
+        }
+    }
+}
+
+fn measure_at(
+    doc: &xmldom::Document,
+    threads: usize,
+    verify_failures: &mut Vec<String>,
+) -> (Vec<Cell>, f64, PoolCounters) {
     ppf_pool::set_threads(threads);
+    // Calibrate the cost model for this pool size before anything is
+    // timed: the first Auto decision would otherwise pay the one-time
+    // fork/chunk/efficiency measurement inside a timed cold round.
+    let m = sqlexec::par_cost::snapshot(threads);
+    if std::env::var_os("PPF_TS_DEBUG").is_some() {
+        eprintln!("DBG model(t{threads}) at column start: {m:?}");
+    }
+    let pool = ppf_pool::global();
+    let counters_before = (
+        pool.steal_count(),
+        pool.steal_attempt_count(),
+        pool.lifo_hit_count(),
+    );
     let dbs: Vec<XmlDb> = (0..COLD_ROUNDS).map(|_| build_db(doc)).collect();
     let mut cells = Vec::new();
     for (name, query) in xmark_queries() {
@@ -116,10 +158,39 @@ fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
             cell.par_chunk_rows_max = cell.par_chunk_rows_max.max(r.stats.par_chunk_rows_max);
             cell.rows = r.rows.rows.len();
         }
-        for _ in 0..WARM_ROUNDS {
+        for round in 0..WARM_ROUNDS {
             let t0 = Instant::now();
             let r = dbs[0].query(query).expect(name);
+            if std::env::var_os("PPF_TS_DEBUG").is_some() {
+                eprintln!(
+                    "DBG t{threads} {name} warm#{round}: {}ns par {}/{}",
+                    t0.elapsed().as_nanos(),
+                    r.stats.par_tasks,
+                    r.stats.par_chunks
+                );
+            }
             cell.warm_ns = cell.warm_ns.min(t0.elapsed().as_nanos() as u64);
+            cell.par_tasks = cell.par_tasks.max(r.stats.par_tasks);
+            cell.par_chunks = cell.par_chunks.max(r.stats.par_chunks);
+            cell.par_rows = cell.par_rows.max(r.stats.par_rows);
+            cell.par_chunk_rows_max = cell.par_chunk_rows_max.max(r.stats.par_chunk_rows_max);
+        }
+        if threads > 1 {
+            // Untimed ForceOn verification pass: every parallel operator
+            // must fork and still reproduce the Auto/serial result, even
+            // when the cost model would decline the fork on this host.
+            // Its par counters fold into the cell so the JSON shows what
+            // the query *can* partition, not just what Auto chose.
+            let prev = sqlexec::set_parallel_mode(sqlexec::ParallelMode::ForceOn);
+            let r = dbs[0].query(query).expect(name);
+            sqlexec::set_parallel_mode(prev);
+            if r.rows.rows.len() != cell.rows {
+                verify_failures.push(format!(
+                    "{name}: ForceOn at {threads} threads returned {} row(s), Auto returned {}",
+                    r.rows.rows.len(),
+                    cell.rows
+                ));
+            }
             cell.par_tasks = cell.par_tasks.max(r.stats.par_tasks);
             cell.par_chunks = cell.par_chunks.max(r.stats.par_chunks);
             cell.par_rows = cell.par_rows.max(r.stats.par_rows);
@@ -147,7 +218,12 @@ fn measure_at(doc: &xmldom::Document, threads: usize) -> (Vec<Cell>, f64) {
     });
     let secs = t0.elapsed().as_secs_f64();
     let qps = (CLIENTS * CLIENT_ROUNDS * xmark_queries().len()) as f64 / secs.max(1e-9);
-    (cells, qps)
+    let counters = PoolCounters {
+        steals: pool.steal_count().saturating_sub(counters_before.0),
+        steal_attempts: pool.steal_attempt_count().saturating_sub(counters_before.1),
+        lifo_hits: pool.lifo_hit_count().saturating_sub(counters_before.2),
+    };
+    (cells, qps, counters)
 }
 
 /// Extract this run's per-query warm total from the serial gate's
@@ -215,9 +291,15 @@ fn profiled_pass(doc: &xmldom::Document) -> ProfileSummary {
         obs::profile::attach(),
         "profiler already attached (another profile in this process?)"
     );
+    // ForceOn: the profiled pass is about the parallel machinery
+    // (worker timelines, steals, chunk balance), and on a small host
+    // Auto correctly declines most forks — which would leave nothing
+    // on the timeline to attribute.
+    let prev = sqlexec::set_parallel_mode(sqlexec::ParallelMode::ForceOn);
     for (name, query) in xmark_queries() {
         db.query(query).expect(name);
     }
+    sqlexec::set_parallel_mode(prev);
     let profile = obs::profile::detach().expect("profiler was attached");
     std::fs::write(TRACE_PATH, profile.to_chrome_trace()).expect("write chrome trace");
 
@@ -249,24 +331,54 @@ fn profiled_pass(doc: &xmldom::Document) -> ProfileSummary {
     }
 }
 
+/// Re-measure one query's warm time at 1 and 4 threads with the rounds
+/// interleaved back-to-back. The main columns are measured minutes
+/// apart, so on a noisy host (hypervisor steal, frequency shifts) a
+/// query's t4/t1 ratio can reflect *when* each column ran rather than
+/// what the engine did. Interleaving makes any drift hit both columns
+/// equally; the min over rounds is the drift-free estimate for each.
+fn confirm_pair(doc: &xmldom::Document, query: &str) -> (u64, u64) {
+    let db = build_db(doc);
+    // Fill the filter-scan memo before timing anything.
+    for _ in 0..2 {
+        let _ = db.query(query);
+    }
+    let mut best1 = u64::MAX;
+    let mut best4 = u64::MAX;
+    for _ in 0..CONFIRM_ROUNDS {
+        ppf_pool::set_threads(1);
+        let t0 = Instant::now();
+        let _ = db.query(query).expect("confirm t1");
+        best1 = best1.min(t0.elapsed().as_nanos() as u64);
+        ppf_pool::set_threads(4);
+        let t0 = Instant::now();
+        let _ = db.query(query).expect("confirm t4");
+        best4 = best4.min(t0.elapsed().as_nanos() as u64);
+    }
+    (best1, best4)
+}
+
 fn main() {
     let scale = bench_scale();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let doc = generate_xmark(XMarkConfig { scale, seed: 42 });
 
     let queries = xmark_queries();
-    let mut columns: Vec<(usize, Vec<Cell>, f64)> = Vec::new();
+    let mut failures = Vec::new();
+    let mut columns: Vec<(usize, Vec<Cell>, f64, PoolCounters)> = Vec::new();
     for &t in THREADS {
-        let (cells, qps) = measure_at(&doc, t);
-        columns.push((t, cells, qps));
+        let (cells, qps, counters) = measure_at(&doc, t, &mut failures);
+        columns.push((t, cells, qps, counters));
     }
     let prof = profiled_pass(&doc);
     ppf_pool::set_threads(1);
 
     // Result cardinalities must agree across every pool size.
-    let mut failures = Vec::new();
     for (i, (name, _)) in queries.iter().enumerate() {
-        let rows: Vec<usize> = columns.iter().map(|(_, cells, _)| cells[i].rows).collect();
+        let rows: Vec<usize> = columns
+            .iter()
+            .map(|(_, cells, _, _)| cells[i].rows)
+            .collect();
         if rows.windows(2).any(|w| w[0] != w[1]) {
             failures.push(format!(
                 "{name}: row counts diverge across pool sizes: {rows:?}"
@@ -274,18 +386,40 @@ fn main() {
         }
     }
 
+    // Confirmation pass: any query whose first-pass t4/t1 ratio exceeds
+    // the no-harm bound is re-measured with the two pool sizes
+    // interleaved, and the re-measured warm times replace the originals
+    // (in the gate *and* the JSON). A ratio that survives interleaving
+    // is a real regression; one that does not was clock drift between
+    // column measurements.
+    let idx_of = |t: usize| columns.iter().position(|(threads, ..)| *threads == t);
+    if let (Some(i1), Some(i4)) = (idx_of(1), idx_of(4)) {
+        for (qi, (name, query)) in queries.iter().enumerate() {
+            let w1 = columns[i1].1[qi].warm_ns;
+            let w4 = columns[i4].1[qi].warm_ns;
+            let ratio = w4 as f64 / w1.max(1) as f64;
+            if ratio > MAX_QUERY_HARM {
+                let (c1, c4) = confirm_pair(&doc, query);
+                println!(
+                    "  confirm {name}: first-pass t4/t1 {ratio:.3}x, interleaved {:.3}x",
+                    c4 as f64 / c1.max(1) as f64
+                );
+                columns[i1].1[qi].warm_ns = c1;
+                columns[i4].1[qi].warm_ns = c4;
+            }
+        }
+        ppf_pool::set_threads(1);
+    }
+
+    let column = |t: usize| columns.iter().find(|(threads, ..)| *threads == t);
     let warm_total = |t: usize| -> u64 {
-        columns
-            .iter()
-            .find(|(threads, _, _)| *threads == t)
-            .map(|(_, cells, _)| cells.iter().map(|c| c.warm_ns).sum())
+        column(t)
+            .map(|(_, cells, _, _)| cells.iter().map(|c| c.warm_ns).sum())
             .unwrap_or(0)
     };
     let par_total = |t: usize| -> (u64, u64) {
-        columns
-            .iter()
-            .find(|(threads, _, _)| *threads == t)
-            .map(|(_, cells, _)| {
+        column(t)
+            .map(|(_, cells, _, _)| {
                 (
                     cells.iter().map(|c| c.par_tasks).sum(),
                     cells.iter().map(|c| c.par_chunks).sum(),
@@ -297,6 +431,76 @@ fn main() {
     let t4 = warm_total(4);
     let speedup4 = t1 as f64 / t4.max(1) as f64;
     let gate_enforced = cores >= 4;
+
+    // ----- gates (all evaluated before the JSON is written, so the
+    // artifact can carry the outcome and is always on disk when the
+    // process exits nonzero) -----
+
+    // Partitioning must actually engage once the pool has threads.
+    let (tasks4, _) = par_total(4);
+    if tasks4 == 0 {
+        failures.push("4-thread run never partitioned (par_tasks_t4 = 0)".into());
+    }
+    let (tasks1, chunks1) = par_total(1);
+    if tasks1 != 0 || chunks1 != 0 {
+        failures.push(format!(
+            "1-thread run partitioned: par {tasks1}/{chunks1} (must be the serial engine)"
+        ));
+    }
+    if prof.events == 0 {
+        failures.push("profiled 4-thread pass recorded zero events".into());
+    }
+    // The no-regression floor holds everywhere; the speedup gate only
+    // where the hardware can deliver one.
+    let speedup_failed = if speedup4 < MIN_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_FLOOR}x no-regression floor"
+        ));
+        true
+    } else if gate_enforced && speedup4 < MIN_SPEEDUP_AT_4 {
+        failures.push(format!(
+            "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_AT_4}x gate"
+        ));
+        true
+    } else {
+        false
+    };
+    // Per-query no-harm: the totals can hide one query paying for the
+    // rest; no query may individually regress past the bound.
+    if let (Some((_, c1, _, _)), Some((_, c4, _, _))) = (column(1), column(4)) {
+        for (i, (name, _)) in queries.iter().enumerate() {
+            let ratio = c4[i].warm_ns as f64 / (c1[i].warm_ns.max(1)) as f64;
+            if ratio > MAX_QUERY_HARM {
+                failures.push(format!(
+                    "{name}: warm t4 is {ratio:.3}x warm t1 (per-query no-harm limit \
+                     {MAX_QUERY_HARM}x)"
+                ));
+            }
+        }
+    }
+    match std::fs::read_to_string(SERIAL_BENCH_PATH) {
+        Ok(serial) if extract_f64(&serial, "scale") == Some(scale) => {
+            if let Some(serial_warm) = serial_fig4_warm_total(&serial) {
+                let ratio = t1 as f64 / serial_warm.max(1) as f64;
+                println!("  1-thread warm vs serial gate ({SERIAL_BENCH_PATH}): {ratio:.3}x");
+                if ratio > MAX_SERIAL_REGRESSION {
+                    failures.push(format!(
+                        "1-thread warm total regressed {ratio:.3}x vs {SERIAL_BENCH_PATH} \
+                         (limit {MAX_SERIAL_REGRESSION}x)"
+                    ));
+                }
+            }
+        }
+        Ok(_) => println!(
+            "note: {SERIAL_BENCH_PATH} is from a different scale; skipping flat-serial check"
+        ),
+        Err(_) => println!("note: no {SERIAL_BENCH_PATH}; skipping flat-serial check"),
+    }
+    let gate_outcome = if failures.is_empty() {
+        "pass".to_string()
+    } else {
+        format!("fail: {}", failures.join("; ").replace('"', "'"))
+    };
 
     let mut s = String::new();
     writeln!(s, "{{").unwrap();
@@ -313,6 +517,7 @@ fn main() {
         }
     )
     .unwrap();
+    writeln!(s, "  \"gate_outcome\": \"{gate_outcome}\",").unwrap();
     writeln!(s, "  \"totals\": {{").unwrap();
     for &t in THREADS {
         let (tasks, chunks) = par_total(t);
@@ -320,10 +525,22 @@ fn main() {
         writeln!(s, "    \"par_tasks_t{t}\": {tasks},").unwrap();
         writeln!(s, "    \"par_chunks_t{t}\": {chunks},").unwrap();
     }
-    for (t, _, qps) in &columns {
+    for (t, _, qps, _) in &columns {
         writeln!(s, "    \"concurrent_qps_t{t}\": {qps:.1},").unwrap();
     }
+    for (t, _, _, pc) in &columns {
+        writeln!(s, "    \"steal_attempts_t{t}\": {},", pc.steal_attempts).unwrap();
+        writeln!(s, "    \"steal_successes_t{t}\": {},", pc.steals).unwrap();
+        writeln!(
+            s,
+            "    \"steal_success_rate_t{t}\": {:.3},",
+            pc.steal_success_rate()
+        )
+        .unwrap();
+        writeln!(s, "    \"lifo_hits_t{t}\": {},", pc.lifo_hits).unwrap();
+    }
     writeln!(s, "    \"speedup_t4_vs_t1\": {speedup4:.3},").unwrap();
+    writeln!(s, "    \"per_query_harm_limit\": {MAX_QUERY_HARM},").unwrap();
     writeln!(s, "    \"speedup_floor\": {MIN_SPEEDUP_FLOOR}").unwrap();
     writeln!(s, "  }},").unwrap();
     writeln!(s, "  \"profile\": {{").unwrap();
@@ -369,7 +586,7 @@ fn main() {
         writeln!(s, "      \"name\": \"{name}\",").unwrap();
         writeln!(s, "      \"query\": \"{}\",", query.replace('\"', "\\\"")).unwrap();
         writeln!(s, "      \"rows\": {},", columns[0].1[i].rows).unwrap();
-        for (j, (t, cells, _)) in columns.iter().enumerate() {
+        for (j, (t, cells, _, _)) in columns.iter().enumerate() {
             let c = cells[i];
             writeln!(s, "      \"cold_ns_t{t}\": {},", c.cold_ns).unwrap();
             writeln!(s, "      \"warm_ns_t{t}\": {},", c.warm_ns).unwrap();
@@ -395,18 +612,17 @@ fn main() {
     std::fs::write(OUTPUT_PATH, &s).expect("write BENCH_3.json");
 
     println!("thread_scaling: scale={scale} cores={cores}");
-    for &t in THREADS {
-        let (tasks, chunks) = par_total(t);
+    for (t, _, qps, pc) in &columns {
+        let (tasks, chunks) = par_total(*t);
         println!(
-            "  threads={t}: warm total {:>12}ns  par {}/{}  concurrent {:>7.1} q/s",
-            warm_total(t),
+            "  threads={t}: warm total {:>12}ns  par {}/{}  concurrent {:>7.1} q/s  steals {}/{}  lifo {}",
+            warm_total(*t),
             tasks,
             chunks,
-            columns
-                .iter()
-                .find(|(th, _, _)| *th == t)
-                .map(|(_, _, q)| *q)
-                .unwrap_or(0.0)
+            qps,
+            pc.steals,
+            pc.steal_attempts,
+            pc.lifo_hits,
         );
     }
     println!(
@@ -428,43 +644,13 @@ fn main() {
         TRACE_PATH,
     );
 
-    // Partitioning must actually engage once the pool has threads.
-    let (tasks4, _) = par_total(4);
-    if tasks4 == 0 {
-        failures.push("4-thread run never partitioned (par_tasks_t4 = 0)".into());
-    }
-    let (tasks1, chunks1) = par_total(1);
-    if tasks1 != 0 || chunks1 != 0 {
-        failures.push(format!(
-            "1-thread run partitioned: par {tasks1}/{chunks1} (must be the serial engine)"
-        ));
-    }
-    if prof.events == 0 {
-        failures.push("profiled 4-thread pass recorded zero events".into());
-    }
-    // The no-regression floor holds everywhere; the speedup gate only
-    // where the hardware can deliver one. Either failure prints the
-    // attribution columns so the trace points at the culprit.
-    let speedup_failed = if speedup4 < MIN_SPEEDUP_FLOOR {
-        eprintln!(
-            "REGRESSION: 4 threads are {:.1}% slower than 1 thread \
-             (speedup {speedup4:.3}x < floor {MIN_SPEEDUP_FLOOR}x)",
-            (1.0 - speedup4) * 100.0
-        );
-        failures.push(format!(
-            "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_FLOOR}x no-regression floor"
-        ));
-        true
-    } else if gate_enforced && speedup4 < MIN_SPEEDUP_AT_4 {
-        eprintln!("REGRESSION: 4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_AT_4}x gate");
-        failures.push(format!(
-            "4-thread speedup {speedup4:.3}x below the {MIN_SPEEDUP_AT_4}x gate"
-        ));
-        true
-    } else {
-        false
-    };
     if speedup_failed {
+        // Print the attribution columns so the trace points at the
+        // culprit without re-running anything.
+        eprintln!(
+            "REGRESSION: 4-thread speedup {speedup4:.3}x (floor {MIN_SPEEDUP_FLOOR}x, gate \
+             {MIN_SPEEDUP_AT_4}x when enforced)"
+        );
         eprintln!(
             "  attribution (profiled 4-thread pass): steals {}/{} ({:.0}% hit), chunk skew {:.2}",
             prof.steal_successes,
@@ -484,24 +670,6 @@ fn main() {
             );
         }
         eprintln!("  full timeline: {TRACE_PATH} (load in Perfetto: ui.perfetto.dev)");
-    }
-    match std::fs::read_to_string(SERIAL_BENCH_PATH) {
-        Ok(serial) if extract_f64(&serial, "scale") == Some(scale) => {
-            if let Some(serial_warm) = serial_fig4_warm_total(&serial) {
-                let ratio = t1 as f64 / serial_warm.max(1) as f64;
-                println!("  1-thread warm vs serial gate ({SERIAL_BENCH_PATH}): {ratio:.3}x");
-                if ratio > MAX_SERIAL_REGRESSION {
-                    failures.push(format!(
-                        "1-thread warm total regressed {ratio:.3}x vs {SERIAL_BENCH_PATH} \
-                         (limit {MAX_SERIAL_REGRESSION}x)"
-                    ));
-                }
-            }
-        }
-        Ok(_) => println!(
-            "note: {SERIAL_BENCH_PATH} is from a different scale; skipping flat-serial check"
-        ),
-        Err(_) => println!("note: no {SERIAL_BENCH_PATH}; skipping flat-serial check"),
     }
 
     if failures.is_empty() {

@@ -166,6 +166,13 @@ pub struct EngineStats {
     /// execution (approximate under concurrent queries — steals are a
     /// process-global counter).
     pub pool_steals: u64,
+    /// Pool-wide steal-attempt delta across this query's execution (same
+    /// caveat); `pool_steals / pool_steal_attempts` is the steal success
+    /// rate the steal-half mechanic is meant to raise.
+    pub pool_steal_attempts: u64,
+    /// Pool-wide LIFO-slot hit delta across this query's execution —
+    /// tasks a worker picked back up while still cache-warm.
+    pub pool_lifo_hits: u64,
     /// High-water mark of engine queries in flight at once, as of this
     /// query's completion (process-wide, monotone).
     pub concurrent_queries_peak: u64,
@@ -664,6 +671,8 @@ fn run_query_inner(
             let span = trace.start("execute");
             let pool = ppf_pool::global();
             let steals_before = pool.steal_count();
+            let steal_attempts_before = pool.steal_attempt_count();
+            let lifo_hits_before = pool.lifo_hit_count();
             let vm_before = regexlite::stats::snapshot();
             let exec = Executor::new(db);
             exec.seed_plans(&lock_cache(&entry.plans));
@@ -719,6 +728,10 @@ fn run_query_inner(
             engine.par_chunk_rows_max = stats.par_chunk_rows_max;
             engine.pool_threads = pool.threads() as u64;
             engine.pool_steals = pool.steal_count().saturating_sub(steals_before);
+            engine.pool_steal_attempts = pool
+                .steal_attempt_count()
+                .saturating_sub(steal_attempts_before);
+            engine.pool_lifo_hits = pool.lifo_hit_count().saturating_sub(lifo_hits_before);
             trace.counter(span, "rows_scanned", stats.rows_scanned);
             trace.counter(span, "index_probes", stats.index_probes);
             trace.counter(span, "predicate_evals", stats.predicate_evals);
@@ -738,6 +751,8 @@ fn run_query_inner(
             trace.counter(span, "par_chunk_rows_max", engine.par_chunk_rows_max);
             trace.counter(span, "pool_threads", engine.pool_threads);
             trace.counter(span, "pool_steals", engine.pool_steals);
+            trace.counter(span, "pool_steal_attempts", engine.pool_steal_attempts);
+            trace.counter(span, "pool_lifo_hits", engine.pool_lifo_hits);
             trace.end(span);
 
             let span = trace.start("publish");
@@ -786,6 +801,8 @@ fn run_query_inner(
     reg.incr("engine.par_rows", engine.par_rows);
     reg.set_max("engine.par_chunk_rows_max", engine.par_chunk_rows_max);
     reg.incr("engine.pool_steals", engine.pool_steals);
+    reg.incr("engine.pool_steal_attempts", engine.pool_steal_attempts);
+    reg.incr("engine.pool_lifo_hits", engine.pool_lifo_hits);
     reg.incr("engine.par_degraded", result.stats.par_degraded);
     // Histogram max = the observed high-water mark of concurrency.
     reg.observe("engine.concurrent_queries", in_flight_now);

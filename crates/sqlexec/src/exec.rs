@@ -14,6 +14,7 @@ use regexlite::Regex;
 use relstore::{Database, RowId, Table, Value};
 
 use crate::ast::{ArithOp, CmpOp, Expr, Select, SelectStmt};
+use crate::par_cost;
 use crate::plan::{plan_select, Access, ExecError, SelectPlan, Step};
 
 /// A query result: named columns and rows.
@@ -394,17 +395,17 @@ pub fn parallel_mode() -> ParallelMode {
     PARALLEL_MODE.with(|m| m.get())
 }
 
-/// `Auto` floor on table rows before a path-filter scan is partitioned.
-const PAR_MIN_FILTER_ROWS: usize = 4096;
-/// Minimum rows per partitioned filter-scan chunk.
-const PAR_FILTER_CHUNK: usize = 1024;
-/// `Auto` floor on outer rows before a branch execution is partitioned.
-const PAR_MIN_OUTER_ROWS: usize = 64;
-/// Minimum outer rows per partitioned branch chunk under `Auto`.
-const PAR_OUTER_CHUNK: usize = 8;
-/// `Auto` alternative floor: few outer rows still fan out when the
-/// planner expects each to drive this much downstream row traffic.
-const PAR_MIN_BRANCH_WORK: f64 = 4096.0;
+// `Auto` fork decisions are priced by the measured cost model in
+// [`crate::par_cost`] — there are no fixed row thresholds anymore. The
+// only remaining constant is the `ForceOn` chunking rule (at least two
+// chunks, at most 2 × threads), computed inline at each fan-out site.
+
+/// `ForceOn` chunk count for `n` partitionable rows: always ≥ 2 chunks
+/// (ForceOn means "partition whenever there is anything to split"),
+/// capped at twice the pool width.
+fn force_on_chunks(n: usize, threads: usize) -> usize {
+    n.min(threads * 2).max(2)
+}
 
 thread_local! {
     static FILTER_CACHES: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
@@ -459,11 +460,20 @@ fn project_row<'db>(
         .iter()
         .map(|p| exec.eval(&p.expr, env))
         .collect::<Result<_, _>>()?;
-    let mut sort_key = Vec::with_capacity(keys.len());
-    for (kind, _) in keys {
-        match kind {
-            KeyKind::Output(i) => sort_key.push(row[*i].clone()),
-            KeyKind::Computed(e) => sort_key.push(exec.eval(e, env)?),
+    // Only computed keys are materialized; keys naming an output column
+    // compare on the row in place (`cmp_keyed`), so the common
+    // ORDER-BY-an-output-column case allocates no key vector at all.
+    let n_computed = keys
+        .iter()
+        .filter(|(k, _)| matches!(k, KeyKind::Computed(_)))
+        .count();
+    let mut sort_key = Vec::new();
+    if n_computed > 0 {
+        sort_key.reserve_exact(n_computed);
+        for (kind, _) in keys {
+            if let KeyKind::Computed(e) = kind {
+                sort_key.push(exec.eval(e, env)?);
+            }
         }
     }
     Ok((sort_key, row))
@@ -514,19 +524,73 @@ fn align_ranges_to_dewey(table: &Table, rows: &[RowId], ranges: &mut Vec<std::op
         .collect();
 }
 
-/// A projected result row paired with its sort keys.
+/// A projected result row paired with its *computed* sort keys (keys
+/// naming an output column compare directly on the row — see
+/// [`cmp_keyed`] — so they are not materialized per row).
 type KeyedRow = (Vec<Value>, Vec<Value>);
+
+/// Compare two keyed rows under the statement's ORDER BY keys. Output
+/// keys index the projected row in place; computed keys consume the
+/// precomputed key vector positionally. Matches the serial executor's
+/// ordering exactly (total order via `cmp_total`, DESC by reversal).
+fn cmp_keyed(keys: &[(KeyKind, bool)], a: &KeyedRow, b: &KeyedRow) -> std::cmp::Ordering {
+    let mut ci = 0;
+    for (kind, desc) in keys {
+        let ord = match kind {
+            KeyKind::Output(i) => a.1[*i].cmp_total(&b.1[*i]),
+            KeyKind::Computed(_) => {
+                let ord = a.0[ci].cmp_total(&b.0[ci]);
+                ci += 1;
+                ord
+            }
+        };
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
 
 /// Everything one partition worker hands back to the coordinator.
 struct WorkerResult {
     outcome: Result<(), ExecError>,
     rows: Vec<KeyedRow>,
+    /// COUNT(*) partial aggregate (partitioned aggregation only).
+    count: i64,
+    /// Wall time this worker spent on its chunk; the coordinator sums
+    /// these into the fork's "work" side of the work/span efficiency
+    /// observation ([`par_cost::note_fork`]).
+    busy_ns: u64,
     /// Depth-0 row-loop counters (the worker's share of the outer run).
     depth0: OpStats,
     /// The worker executor's global counters (depths ≥ 1, subqueries).
     stats: ExecStats,
     step_stats: HashMap<usize, Vec<OpStats>>,
     plans: HashMap<usize, Arc<SelectPlan>>,
+}
+
+/// Caches shared by every worker executor of one fan-out (and seeded
+/// from the coordinator's own). Before this existed, each partition
+/// worker's fresh `Executor` re-flattened merge index arrays and rebuilt
+/// hash-join build sides per chunk — O(index) work per chunk that
+/// dwarfed the chunk itself on small queries (BENCH_3's Q1 regression).
+/// The map locks are held across a build, so a side is built exactly
+/// once per fan-out and its `rows_scanned` are charged exactly once,
+/// keeping parallel stats byte-identical to serial.
+struct SharedExecCaches<'db> {
+    merge: Mutex<HashMap<(String, usize), MergeEntries<'db>>>,
+    hash: Mutex<HashMap<(String, usize), HashBuild>>,
+}
+
+/// Lock a shared-cache map, recovering from poisoning (entries are pure
+/// caches; a panicking builder leaves no partial entry because inserts
+/// happen after construction completes).
+fn lock_cache<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        CACHE_POISON_RECOVERIES.fetch_add(1, Relaxed);
+        poisoned.into_inner()
+    })
 }
 
 /// The SQL executor. Borrow a database, run statements.
@@ -541,6 +605,18 @@ pub struct Executor<'db> {
     /// addresses stable). Consulted by `plan_for` after `plans`; never
     /// cleared by `run`.
     seeded: RefCell<HashMap<usize, Arc<SelectPlan>>>,
+    /// Zero-copy variant of `seeded` for partition workers: the whole
+    /// coordinator snapshot behind one `Arc`, consulted read-only by
+    /// `plan_for` instead of being cloned entry-by-entry into each
+    /// worker executor.
+    seeded_shared: RefCell<Option<Arc<HashMap<usize, Arc<SelectPlan>>>>>,
+    /// Caches shared with (or inherited from) a fan-out's sibling
+    /// executors; see [`SharedExecCaches`]. Reset per statement.
+    shared_caches: RefCell<Option<Arc<SharedExecCaches<'db>>>>,
+    /// `par_decision` log for EXPLAIN ANALYZE: one compact entry per
+    /// fork-or-serial decision the cost model (or ForceOn) made while
+    /// executing the current statement. Cleared per statement.
+    par_log: RefCell<Vec<String>>,
     /// Slot holding the current `COUNT(*)` aggregate while its projection
     /// is evaluated.
     count_result: std::cell::Cell<Option<i64>>,
@@ -584,6 +660,9 @@ impl<'db> Executor<'db> {
             stats: RefCell::new(ExecStats::default()),
             plans: RefCell::new(HashMap::new()),
             seeded: RefCell::new(HashMap::new()),
+            seeded_shared: RefCell::new(None),
+            shared_caches: RefCell::new(None),
+            par_log: RefCell::new(Vec::new()),
             count_result: std::cell::Cell::new(None),
             hash_builds: RefCell::new(HashMap::new()),
             merge_arrays: RefCell::new(HashMap::new()),
@@ -715,6 +794,57 @@ impl<'db> Executor<'db> {
             .extend(snapshot.iter().map(|(k, v)| (*k, v.clone())));
     }
 
+    /// Zero-copy [`Executor::seed_plans`]: share the whole snapshot map
+    /// behind one `Arc` instead of rebuilding it per worker executor.
+    fn seed_plans_shared(&self, snapshot: Arc<HashMap<usize, Arc<SelectPlan>>>) {
+        *self.seeded_shared.borrow_mut() = Some(snapshot);
+    }
+
+    /// The shared-cache handle for a fan-out launched by this executor,
+    /// created on first use and pre-seeded with everything this executor
+    /// already built. Repeated fan-outs within one statement reuse it.
+    fn share_caches(&self) -> Arc<SharedExecCaches<'db>> {
+        if let Some(sc) = self.shared_caches.borrow().as_ref() {
+            return sc.clone();
+        }
+        let sc = Arc::new(SharedExecCaches {
+            merge: Mutex::new(self.merge_arrays.borrow().clone()),
+            hash: Mutex::new(self.hash_builds.borrow().clone()),
+        });
+        *self.shared_caches.borrow_mut() = Some(sc.clone());
+        sc
+    }
+
+    /// Attach a sibling fan-out's shared caches (worker side).
+    fn attach_shared_caches(&self, sc: Arc<SharedExecCaches<'db>>) {
+        *self.shared_caches.borrow_mut() = Some(sc);
+    }
+
+    /// The coordinator plan snapshot handed to one fan-out's workers:
+    /// current plans plus anything seeded, shared behind one `Arc`.
+    fn snapshot_for_workers(&self) -> Arc<HashMap<usize, Arc<SelectPlan>>> {
+        let mut s = self.plan_snapshot();
+        s.extend(self.seeded.borrow().iter().map(|(k, v)| (*k, v.clone())));
+        if let Some(shared) = self.seeded_shared.borrow().as_ref() {
+            for (k, v) in shared.iter() {
+                s.entry(*k).or_insert_with(|| v.clone());
+            }
+        }
+        Arc::new(s)
+    }
+
+    /// Record one fork-or-serial decision for EXPLAIN ANALYZE.
+    fn log_par_decision(&self, entry: String) {
+        self.par_log.borrow_mut().push(entry);
+    }
+
+    /// The `par_decision` entries the current statement recorded, in
+    /// decision order (empty when no fan-out site was reached — e.g.
+    /// `ForceOff` or a single-thread pool).
+    pub fn par_decisions(&self) -> Vec<String> {
+        self.par_log.borrow().clone()
+    }
+
     /// Counters accumulated since construction (or the last reset).
     pub fn stats(&self) -> ExecStats {
         *self.stats.borrow()
@@ -755,6 +885,8 @@ impl<'db> Executor<'db> {
         self.hash_builds.borrow_mut().clear();
         self.merge_cursors.borrow_mut().clear();
         self.step_stats.borrow_mut().clear();
+        self.par_log.borrow_mut().clear();
+        *self.shared_caches.borrow_mut() = None;
         if stmt.branches.is_empty() {
             return Err(ExecError::exec("statement has no SELECT branch"));
         }
@@ -798,41 +930,36 @@ impl<'db> Executor<'db> {
             keys.push((kind, k.desc));
         }
 
-        let mut all_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (sort keys, row)
-        for sel in &stmt.branches {
-            let mut branch_rows = match self.branch_rows_parallel(sel, &keys)? {
-                Some(rows) => rows,
-                None => {
-                    let mut env: Vec<Binding> = Vec::new();
-                    let mut rows = Vec::new();
-                    self.select_rows(sel, &mut env, &mut |exec, env| {
-                        rows.push(project_row(exec, sel, &keys, env)?);
-                        Ok(true)
-                    })?;
-                    rows
+        let mut all_rows: Vec<KeyedRow> = match self.union_rows_parallel(stmt, &keys)? {
+            Some(rows) => rows,
+            None => {
+                let mut all = Vec::new();
+                for sel in &stmt.branches {
+                    let mut branch_rows = match self.branch_rows_parallel(sel, &keys)? {
+                        Some(rows) => rows,
+                        None => {
+                            let mut env: Vec<Binding> = Vec::new();
+                            let mut rows = Vec::new();
+                            self.select_rows(sel, &mut env, &mut |exec, env| {
+                                rows.push(project_row(exec, sel, &keys, env)?);
+                                Ok(true)
+                            })?;
+                            rows
+                        }
+                    };
+                    if sel.distinct {
+                        dedup_rows(&mut branch_rows);
+                    }
+                    all.extend(branch_rows);
                 }
-            };
-            if sel.distinct {
-                dedup_rows(&mut branch_rows);
+                all
             }
-            all_rows.extend(branch_rows);
-        }
+        };
         if multi {
             // UNION has set semantics.
             dedup_rows(&mut all_rows);
         }
-        if !keys.is_empty() {
-            all_rows.sort_by(|(ka, _), (kb, _)| {
-                for (i, (_, desc)) in keys.iter().enumerate() {
-                    let ord = ka[i].cmp_total(&kb[i]);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-        }
+        self.sort_keyed_rows(&mut all_rows, &keys)?;
 
         let columns = first
             .projections
@@ -850,6 +977,280 @@ impl<'db> Executor<'db> {
             columns,
             rows: all_rows.into_iter().map(|(_, r)| r).collect(),
         })
+    }
+
+    /// Run the arms of a UNION concurrently, one pool task per arm, each
+    /// on its own worker executor (pinned serial — parallelism never
+    /// nests) sharing the coordinator's plan snapshot and caches. Arm
+    /// outputs concatenate in arm order and worker stats are absorbed
+    /// slot-wise, so rows, order, and core counters are byte-identical
+    /// to the serial arm loop.
+    ///
+    /// Returns `None` when the statement has one branch, the mode or
+    /// pool rules out fan-out, or the cost model prices the arms below
+    /// the fork overhead — the caller then runs the serial loop.
+    fn union_rows_parallel(
+        &self,
+        stmt: &SelectStmt,
+        keys: &[(KeyKind, bool)],
+    ) -> Result<Option<Vec<KeyedRow>>, ExecError> {
+        let arms = stmt.branches.len();
+        if arms < 2 {
+            return Ok(None);
+        }
+        let mode = parallel_mode();
+        let pool = ppf_pool::global();
+        let threads = pool.threads();
+        if mode == ParallelMode::ForceOff || threads <= 1 {
+            return Ok(None);
+        }
+        if mode == ParallelMode::Auto && pool.is_saturated() {
+            self.stats.borrow_mut().par_degraded += 1;
+            return Ok(None);
+        }
+        self.check_limits_now()?;
+        // Plan every arm up front: the planner's estimates drive the
+        // decision, and the plans ride to the workers in the snapshot.
+        let mut est_work = 0.0f64;
+        for sel in &stmt.branches {
+            let plan = self.plan_for(sel, &[])?;
+            est_work += plan
+                .steps
+                .iter()
+                .map(|s| s.est_fetched.max(1.0))
+                .product::<f64>();
+        }
+        let decision = match mode {
+            ParallelMode::ForceOn => par_cost::ParDecision::Fork {
+                chunks: arms,
+                est_ns: 0.0,
+            },
+            _ => {
+                let d = par_cost::decide(par_cost::WorkKind::Union, est_work, arms, threads);
+                self.log_par_decision(par_cost::describe(par_cost::WorkKind::Union, &d));
+                d
+            }
+        };
+        if !decision.is_fork() {
+            return Ok(None);
+        }
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.par_tasks += 1;
+            stats.par_chunks += arms as u64;
+        }
+        let mm = crate::plan::merge_mode();
+        let fc = filter_caches_enabled();
+        let profiling = self.profiling.get();
+        let snapshot = self.snapshot_for_workers();
+        let sc = self.share_caches();
+        let db = self.db;
+        let limits = self.limits();
+        let ranges: Vec<std::ops::Range<usize>> = (0..arms).map(|i| i..i + 1).collect();
+        let t0 = Instant::now();
+        let parts = pool
+            .try_map_ranges(&ranges, |i, _| {
+                let t_chunk = Instant::now();
+                obs::profile::record(obs::profile::EventKind::ChunkStart, 1);
+                let prev_mm = crate::plan::set_merge_mode(mm);
+                let prev_fc = set_filter_caches_enabled(fc);
+                let prev_pm = set_parallel_mode(ParallelMode::ForceOff);
+                let sel = &stmt.branches[i];
+                let exec = Executor::new(db);
+                exec.seed_plans_shared(snapshot.clone());
+                exec.attach_shared_caches(sc.clone());
+                exec.set_profiling(profiling);
+                exec.set_limits(limits.clone());
+                let mut env: Vec<Binding> = Vec::new();
+                let mut rows = Vec::new();
+                let outcome = exec.select_rows(sel, &mut env, &mut |e, env| {
+                    rows.push(project_row(e, sel, keys, env)?);
+                    Ok(true)
+                });
+                if outcome.is_ok() && sel.distinct {
+                    // Per-arm DISTINCT is order-insensitive within the
+                    // arm, so it can run on the worker.
+                    dedup_rows(&mut rows);
+                }
+                let result = WorkerResult {
+                    outcome,
+                    rows,
+                    count: 0,
+                    busy_ns: t_chunk.elapsed().as_nanos() as u64,
+                    depth0: OpStats::default(),
+                    stats: exec.stats(),
+                    step_stats: exec.step_stats.borrow().clone(),
+                    plans: exec.plan_snapshot(),
+                };
+                crate::plan::set_merge_mode(prev_mm);
+                set_filter_caches_enabled(prev_fc);
+                set_parallel_mode(prev_pm);
+                obs::profile::record(obs::profile::EventKind::ChunkEnd, result.rows.len() as u64);
+                result
+            })
+            .map_err(|p| {
+                ExecError::exec(format!("parallel UNION arm panicked: {}", p.message))
+            })?;
+        let wall = t0.elapsed().as_nanos() as u64;
+        let busy: u64 = parts.iter().map(|p| p.busy_ns).sum();
+        let mut all = Vec::new();
+        let mut first_err: Option<ExecError> = None;
+        for part in parts {
+            self.stats.borrow_mut().absorb(&part.stats);
+            self.absorb_step_stats(&part.step_stats);
+            self.absorb_plans(&part.plans);
+            if let Err(e) = part.outcome {
+                first_err.get_or_insert(e);
+            }
+            all.extend(part.rows);
+        }
+        if mode == ParallelMode::Auto {
+            par_cost::note_fork(busy, wall, threads);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(Some(all)),
+        }
+    }
+
+    /// Final ORDER BY: a stable parallel merge sort over the collected
+    /// rows. Chunks are stable-sorted in place on the pool, then merged
+    /// left-first, which reproduces the serial stable `sort_by` order
+    /// byte for byte. Serial (and a no-op for keyless statements) when
+    /// the mode, pool, or cost model says the fan-out won't pay.
+    fn sort_keyed_rows(
+        &self,
+        rows: &mut Vec<KeyedRow>,
+        keys: &[(KeyKind, bool)],
+    ) -> Result<(), ExecError> {
+        if keys.is_empty() || rows.len() < 2 {
+            return Ok(());
+        }
+        let n = rows.len();
+        let mode = parallel_mode();
+        let pool = ppf_pool::global();
+        let threads = pool.threads();
+        // Comparison count of a merge sort: n·log₂n.
+        let work = (n as f64) * (n as f64).log2().max(1.0);
+        let mut decision = par_cost::ParDecision::Serial("off");
+        match mode {
+            ParallelMode::ForceOff => {}
+            ParallelMode::ForceOn => {
+                if threads > 1 {
+                    decision = par_cost::ParDecision::Fork {
+                        chunks: force_on_chunks(n, threads),
+                        est_ns: 0.0,
+                    };
+                }
+            }
+            ParallelMode::Auto => {
+                if threads > 1 {
+                    if pool.is_saturated() {
+                        self.stats.borrow_mut().par_degraded += 1;
+                    } else {
+                        decision = par_cost::decide(par_cost::WorkKind::Sort, work, n, threads);
+                        self.log_par_decision(par_cost::describe(
+                            par_cost::WorkKind::Sort,
+                            &decision,
+                        ));
+                    }
+                }
+            }
+        }
+        let par_cost::ParDecision::Fork { chunks, .. } = decision else {
+            let t0 = (mode == ParallelMode::Auto && threads > 1).then(Instant::now);
+            rows.sort_by(|a, b| cmp_keyed(keys, a, b));
+            if let Some(t0) = t0 {
+                par_cost::note_serial(
+                    par_cost::WorkKind::Sort,
+                    work,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+            return Ok(());
+        };
+        self.check_limits_now()?;
+        let ranges = ppf_pool::even_ranges(n, chunks);
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.par_tasks += 1;
+            stats.par_chunks += ranges.len() as u64;
+        }
+        let t0 = Instant::now();
+        let busy = std::sync::atomic::AtomicU64::new(0);
+        {
+            // Carve the buffer into disjoint &mut chunks and stable-sort
+            // each on the pool.
+            let mut rest: &mut [KeyedRow] = &mut rows[..];
+            let mut slices: Vec<&mut [KeyedRow]> = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                slices.push(head);
+                rest = tail;
+            }
+            let busy = &busy;
+            pool.try_scope(|s| {
+                let tasks: Vec<_> = slices
+                    .into_iter()
+                    .map(|slice| {
+                        move || {
+                            let t_chunk = Instant::now();
+                            obs::profile::record(
+                                obs::profile::EventKind::ChunkStart,
+                                slice.len() as u64,
+                            );
+                            slice.sort_by(|a, b| cmp_keyed(keys, a, b));
+                            obs::profile::record(
+                                obs::profile::EventKind::ChunkEnd,
+                                slice.len() as u64,
+                            );
+                            busy.fetch_add(t_chunk.elapsed().as_nanos() as u64, Relaxed);
+                        }
+                    })
+                    .collect();
+                s.spawn_batch(tasks);
+            })
+            .map_err(|p| {
+                ExecError::exec(format!("parallel sort worker panicked: {}", p.message))
+            })?;
+        }
+        let t_merge = Instant::now();
+        // Stable left-first k-way merge: on ties the leftmost chunk wins,
+        // which is exactly the serial stable sort's tie-break.
+        let mut out = Vec::with_capacity(n);
+        let mut pos: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        loop {
+            let mut best: Option<usize> = None;
+            for (k, r) in ranges.iter().enumerate() {
+                if pos[k] < r.end {
+                    best = match best {
+                        None => Some(k),
+                        Some(b)
+                            if cmp_keyed(keys, &rows[pos[k]], &rows[pos[b]])
+                                == std::cmp::Ordering::Less =>
+                        {
+                            Some(k)
+                        }
+                        other => other,
+                    };
+                }
+            }
+            let Some(b) = best else { break };
+            out.push(std::mem::take(&mut rows[pos[b]]));
+            pos[b] += 1;
+        }
+        *rows = out;
+        if mode == ParallelMode::Auto {
+            // The serial merge is work the parallel path does too: count
+            // it on both sides of the work/span ratio.
+            let merge_ns = t_merge.elapsed().as_nanos() as u64;
+            par_cost::note_fork(
+                busy.load(Relaxed) + merge_ns,
+                t0.elapsed().as_nanos() as u64,
+                threads,
+            );
+        }
+        Ok(())
     }
 
     /// Partitioned execution of one top-level branch: fill the first
@@ -880,13 +1281,13 @@ impl<'db> Executor<'db> {
             return Ok(None);
         }
         self.check_limits_now()?;
-        if sel
+        let is_count = sel
             .projections
             .iter()
-            .any(|p| matches!(p.expr, Expr::CountStar))
-        {
-            // COUNT(*) funnels through a single accumulator; the serial
-            // path owns it (the rows it counts are never materialized).
+            .any(|p| matches!(p.expr, Expr::CountStar));
+        if is_count && sel.projections.len() != 1 {
+            // Mixed COUNT(*)/column projections are a statement error; the
+            // serial path owns raising it.
             return Ok(None);
         }
         let plan = self.plan_for(sel, &[])?;
@@ -923,27 +1324,29 @@ impl<'db> Executor<'db> {
         };
 
         let n = probe_rows.len();
-        let go = match mode {
-            ParallelMode::ForceOn => n >= 2,
-            // Fan out for a wide outer run, or for a narrow one the planner
-            // expects to drive heavy downstream traffic (the PPF shape:
-            // few path rows, each joining a large subtree).
+        let threads = pool.threads();
+        // Downstream traffic estimate: each outer row drives the planner's
+        // expected fetch fan-out through the remaining steps.
+        let fanout: f64 = plan.steps[1..]
+            .iter()
+            .map(|s| s.est_fetched.max(1.0))
+            .product();
+        let work = (n as f64) * fanout;
+        let decision = match mode {
+            ParallelMode::ForceOn if n >= 2 => par_cost::ParDecision::Fork {
+                chunks: force_on_chunks(n, threads),
+                est_ns: 0.0,
+            },
+            ParallelMode::ForceOn => par_cost::ParDecision::Serial("tiny"),
             _ => {
-                let fanout: f64 = plan.steps[1..]
-                    .iter()
-                    .map(|s| s.est_fetched.max(1.0))
-                    .product();
-                n >= 2 && (n >= PAR_MIN_OUTER_ROWS || (n as f64) * fanout >= PAR_MIN_BRANCH_WORK)
+                let d = par_cost::decide(par_cost::WorkKind::Branch, work, n, threads);
+                self.log_par_decision(par_cost::describe(par_cost::WorkKind::Branch, &d));
+                d
             }
         };
-        let mut ranges = if go {
-            let chunks = match mode {
-                ParallelMode::ForceOn => n.min(pool.threads() * 2).max(2),
-                _ => pool.chunk_target(n, PAR_OUTER_CHUNK),
-            };
-            ppf_pool::even_ranges(n, chunks)
-        } else {
-            Vec::new()
+        let mut ranges = match decision {
+            par_cost::ParDecision::Fork { chunks, .. } => ppf_pool::even_ranges(n, chunks),
+            par_cost::ParDecision::Serial(_) => Vec::new(),
         };
         if ranges.len() > 1 {
             align_ranges_to_dewey(table, &probe_rows, &mut ranges);
@@ -952,30 +1355,65 @@ impl<'db> Executor<'db> {
         if ranges.len() <= 1 {
             // Not worth (or not able to) split: finish serially over the
             // rows already fetched, accumulating into the same step slot.
+            // The wall time feeds the cost model so future Auto decisions
+            // price this operator from observed per-row cost.
+            let t_serial =
+                (mode == ParallelMode::Auto && threads > 1).then(std::time::Instant::now);
             let mut rows = Vec::new();
-            let outcome = self.run_probe_rows(
-                &plan,
-                0,
-                sel,
-                &mut env,
-                table,
-                &probe_rows,
-                memo_skip,
-                &mut |exec, env| {
-                    rows.push(project_row(exec, sel, keys, env)?);
-                    Ok(true)
-                },
-                &mut fill_local,
-            );
+            let mut count: i64 = 0;
+            let outcome = if is_count {
+                self.run_probe_rows(
+                    &plan,
+                    0,
+                    sel,
+                    &mut env,
+                    table,
+                    &probe_rows,
+                    memo_skip,
+                    &mut |_, _| {
+                        count += 1;
+                        Ok(true)
+                    },
+                    &mut fill_local,
+                )
+            } else {
+                self.run_probe_rows(
+                    &plan,
+                    0,
+                    sel,
+                    &mut env,
+                    table,
+                    &probe_rows,
+                    memo_skip,
+                    &mut |exec, env| {
+                        rows.push(project_row(exec, sel, keys, env)?);
+                        Ok(true)
+                    },
+                    &mut fill_local,
+                )
+            };
             self.put_row_buf(probe_rows);
+            if let Some(t) = t_serial {
+                par_cost::note_serial(
+                    par_cost::WorkKind::Branch,
+                    work,
+                    t.elapsed().as_nanos() as u64,
+                );
+            }
             if let Some(t0) = t0 {
                 fill_local.elapsed_ns = t0.elapsed().as_nanos() as u64;
             }
             self.flush_depth0(sel, &plan, &fill_local);
             outcome?;
+            if is_count {
+                self.count_result.set(Some(count));
+                let mut env2: Vec<Binding> = Vec::new();
+                let row = project_row(self, sel, keys, &mut env2);
+                self.count_result.set(None);
+                return Ok(Some(vec![row?]));
+            }
             return Ok(Some(rows));
         }
-
         {
             let mut stats = self.stats.borrow_mut();
             stats.par_tasks += 1;
@@ -990,32 +1428,49 @@ impl<'db> Executor<'db> {
         let mm = crate::plan::merge_mode();
         let fc = filter_caches_enabled();
         let profiling = self.profiling.get();
-        let snapshot = {
-            let mut s = self.plan_snapshot();
-            s.extend(self.seeded.borrow().iter().map(|(k, v)| (*k, v.clone())));
-            s
-        };
+        let snapshot = self.snapshot_for_workers();
+        let sc = self.share_caches();
         let db = self.db;
         let plan_ref = &plan;
         let rows_ref = &probe_rows[..];
         let limits = self.limits();
+        let t_fork = std::time::Instant::now();
         let parts = pool.try_map_ranges(&ranges, |_, range| {
             if test_hooks::take_worker_panic() {
                 panic!("injected worker panic (test hook)");
             }
+            let t_chunk = std::time::Instant::now();
             obs::profile::record(obs::profile::EventKind::ChunkStart, range.len() as u64);
             let prev_mm = crate::plan::set_merge_mode(mm);
             let prev_fc = set_filter_caches_enabled(fc);
             let prev_pm = set_parallel_mode(ParallelMode::ForceOff);
             let exec = Executor::new(db);
-            exec.seed_plans(&snapshot);
+            exec.seed_plans_shared(snapshot.clone());
+            exec.attach_shared_caches(sc.clone());
             exec.set_profiling(profiling);
             exec.set_limits(limits.clone());
             let mut env: Vec<Binding> = Vec::new();
             let mut rows = Vec::new();
+            let mut count: i64 = 0;
             let mut depth0 = OpStats::default(); // invocations stay the coordinator's
-            let outcome = exec
-                .run_probe_rows(
+            let outcome = if is_count {
+                exec.run_probe_rows(
+                    plan_ref,
+                    0,
+                    sel,
+                    &mut env,
+                    table,
+                    &rows_ref[range],
+                    memo_skip,
+                    &mut |_, _| {
+                        count += 1;
+                        Ok(true)
+                    },
+                    &mut depth0,
+                )
+                .map(|_| ())
+            } else {
+                exec.run_probe_rows(
                     plan_ref,
                     0,
                     sel,
@@ -1029,10 +1484,13 @@ impl<'db> Executor<'db> {
                     },
                     &mut depth0,
                 )
-                .map(|_| ());
+                .map(|_| ())
+            };
             let result = WorkerResult {
                 outcome,
                 rows,
+                count,
+                busy_ns: t_chunk.elapsed().as_nanos() as u64,
                 depth0,
                 stats: exec.stats(),
                 step_stats: exec.step_stats.borrow().clone(),
@@ -1047,8 +1505,13 @@ impl<'db> Executor<'db> {
         self.put_row_buf(probe_rows);
         let parts: Vec<WorkerResult> = parts
             .map_err(|p| ExecError::exec(format!("parallel worker panicked: {}", p.message)))?;
+        if mode == ParallelMode::Auto {
+            let busy: u64 = parts.iter().map(|p| p.busy_ns).sum();
+            par_cost::note_fork(busy, t_fork.elapsed().as_nanos() as u64, threads);
+        }
 
         let mut rows = Vec::new();
+        let mut total_count: i64 = 0;
         let mut first_err: Option<ExecError> = None;
         for part in parts {
             fill_local.absorb(&part.depth0);
@@ -1058,16 +1521,26 @@ impl<'db> Executor<'db> {
             if let Err(e) = part.outcome {
                 first_err.get_or_insert(e);
             }
+            total_count += part.count;
             rows.extend(part.rows);
         }
         if let Some(t0) = t0 {
             fill_local.elapsed_ns = t0.elapsed().as_nanos() as u64;
         }
         self.flush_depth0(sel, &plan, &fill_local);
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(Some(rows)),
+        if let Some(e) = first_err {
+            return Err(e);
         }
+        if is_count {
+            // Combine the per-chunk partial counts and evaluate the single
+            // COUNT(*) projection once, exactly like the serial funnel.
+            self.count_result.set(Some(total_count));
+            let mut env2: Vec<Binding> = Vec::new();
+            let row = project_row(self, sel, keys, &mut env2);
+            self.count_result.set(None);
+            return Ok(Some(vec![row?]));
+        }
+        Ok(Some(rows))
     }
 
     /// Credit the coordinator-side depth-0 counters (candidate fill plus
@@ -1158,6 +1631,12 @@ impl<'db> Executor<'db> {
         if let Some(p) = self.seeded.borrow().get(&key) {
             self.plans.borrow_mut().insert(key, p.clone());
             return Ok(p.clone());
+        }
+        if let Some(shared) = self.seeded_shared.borrow().as_ref() {
+            if let Some(p) = shared.get(&key) {
+                self.plans.borrow_mut().insert(key, p.clone());
+                return Ok(p.clone());
+            }
         }
         let outer: Vec<(String, String)> = env
             .iter()
@@ -1367,7 +1846,7 @@ impl<'db> Executor<'db> {
                 probe_rows.extend(table.rows().map(|(rid, _)| rid));
             }
             Access::HashEq { column, key } => {
-                let build = self.hash_build(&step.table, table, *column);
+                let build = self.hash_build(&step.table, table, *column)?;
                 // A cold build just scanned the whole table; poll before
                 // the probe rather than mid-scan.
                 self.check_limits_now()?;
@@ -1494,6 +1973,9 @@ impl<'db> Executor<'db> {
     }
 
     /// Flatten (and cache) an index as a sorted array for merge probing.
+    /// Under a shared fan-out cache the flattening happens once per
+    /// statement across all sibling executors instead of once per chunk
+    /// — the dominant per-chunk setup cost the profiler flagged.
     fn merge_entries(
         &self,
         table_name: &str,
@@ -1503,6 +1985,22 @@ impl<'db> Executor<'db> {
         let key = (table_name.to_string(), index);
         if let Some(e) = self.merge_arrays.borrow().get(&key) {
             return e.clone();
+        }
+        let shared = self.shared_caches.borrow().clone();
+        if let Some(sc) = shared {
+            let mut map = lock_cache(&sc.merge);
+            let rc = match map.get(&key) {
+                Some(e) => e.clone(),
+                None => {
+                    let rc: MergeEntries<'db> =
+                        Arc::new(table.indexes()[index].entries().collect::<Vec<_>>());
+                    map.insert(key.clone(), rc.clone());
+                    rc
+                }
+            };
+            drop(map);
+            self.merge_arrays.borrow_mut().insert(key, rc.clone());
+            return rc;
         }
         let entries: Vec<_> = table.indexes()[index].entries().collect();
         let rc = Arc::new(entries);
@@ -1585,20 +2083,36 @@ impl<'db> Executor<'db> {
     ) -> Result<Vec<RowId>, ExecError> {
         let pool = ppf_pool::global();
         let len = table.len();
-        let parallel = match parallel_mode() {
-            ParallelMode::ForceOff => false,
-            ParallelMode::ForceOn => pool.threads() > 1 && len >= 2,
-            ParallelMode::Auto => {
-                let go = pool.threads() > 1 && len >= PAR_MIN_FILTER_ROWS;
-                if go && pool.is_saturated() {
-                    self.stats.borrow_mut().par_degraded += 1;
-                    false
-                } else {
-                    go
+        let mode = parallel_mode();
+        let threads = pool.threads();
+        let mut decision = par_cost::ParDecision::Serial("off");
+        match mode {
+            ParallelMode::ForceOff => {}
+            ParallelMode::ForceOn => {
+                if threads > 1 && len >= 2 {
+                    decision = par_cost::ParDecision::Fork {
+                        chunks: force_on_chunks(len, threads),
+                        est_ns: 0.0,
+                    };
                 }
             }
-        };
-        if !parallel {
+            ParallelMode::Auto => {
+                if threads > 1 {
+                    if pool.is_saturated() {
+                        self.stats.borrow_mut().par_degraded += 1;
+                    } else {
+                        decision =
+                            par_cost::decide(par_cost::WorkKind::FilterScan, len as f64, len, threads);
+                        self.log_par_decision(par_cost::describe(
+                            par_cost::WorkKind::FilterScan,
+                            &decision,
+                        ));
+                    }
+                }
+            }
+        }
+        let par_cost::ParDecision::Fork { chunks, .. } = decision else {
+            let t0 = (mode == ParallelMode::Auto && threads > 1).then(std::time::Instant::now);
             let mut out = Vec::new();
             for (rid, row) in table.rows() {
                 self.charge_rows(1)?;
@@ -1609,9 +2123,16 @@ impl<'db> Executor<'db> {
                     }
                 }
             }
+            if let Some(t0) = t0 {
+                par_cost::note_serial(
+                    par_cost::WorkKind::FilterScan,
+                    len as f64,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
             return Ok(out);
-        }
-        let ranges = ppf_pool::even_ranges(len, pool.chunk_target(len, PAR_FILTER_CHUNK));
+        };
+        let ranges = ppf_pool::even_ranges(len, chunks);
         {
             let mut stats = self.stats.borrow_mut();
             stats.par_tasks += 1;
@@ -1621,11 +2142,14 @@ impl<'db> Executor<'db> {
             stats.par_chunk_rows_max = stats.par_chunk_rows_max.max(widest);
         }
         let limits = self.limits();
+        let busy = std::sync::atomic::AtomicU64::new(0);
+        let t_fork = std::time::Instant::now();
         let parts = pool
             .try_map_ranges(&ranges, |_, range| {
                 // Chunk-boundary poll; the row budget stays coordinator-side
                 // (charged on the concatenated total below).
                 limits.check_interrupt()?;
+                let t_chunk = std::time::Instant::now();
                 obs::profile::record(obs::profile::EventKind::ChunkStart, range.len() as u64);
                 let mut out = Vec::new();
                 for rid in range {
@@ -1636,6 +2160,7 @@ impl<'db> Executor<'db> {
                     }
                 }
                 obs::profile::record(obs::profile::EventKind::ChunkEnd, out.len() as u64);
+                busy.fetch_add(t_chunk.elapsed().as_nanos() as u64, Relaxed);
                 Ok::<_, ExecError>(out)
             })
             .map_err(|p| {
@@ -1644,6 +2169,13 @@ impl<'db> Executor<'db> {
                     p.message
                 ))
             })?;
+        if mode == ParallelMode::Auto {
+            par_cost::note_fork(
+                busy.load(Relaxed),
+                t_fork.elapsed().as_nanos() as u64,
+                threads,
+            );
+        }
         let mut survivors = Vec::new();
         for part in parts {
             survivors.extend(part?);
@@ -1689,22 +2221,156 @@ impl<'db> Executor<'db> {
     }
 
     /// Build (or fetch the cached) hash-join build side for a column.
-    fn hash_build(&self, table_name: &str, table: &Table, column: usize) -> HashBuild {
+    ///
+    /// With a shared cache attached (partitioned fan-out), the shared
+    /// map's lock is held *across* the build so exactly one sibling
+    /// builds — and charges `rows_scanned` for — each side; everyone
+    /// else gets the cached `Arc`. That keeps the core counters
+    /// byte-identical to the serial single-executor run.
+    fn hash_build(
+        &self,
+        table_name: &str,
+        table: &'db Table,
+        column: usize,
+    ) -> Result<HashBuild, ExecError> {
         let key = (table_name.to_string(), column);
         if let Some(b) = self.hash_builds.borrow().get(&key) {
-            return b.clone();
+            return Ok(b.clone());
         }
-        let mut map: std::collections::BTreeMap<Value, Vec<RowId>> =
-            std::collections::BTreeMap::new();
-        for (rid, row) in table.rows() {
-            if !row[column].is_null() {
-                map.entry(row[column].clone()).or_default().push(rid);
+        let shared = self.shared_caches.borrow().clone();
+        if let Some(sc) = shared {
+            let mut map = lock_cache(&sc.hash);
+            let rc = match map.get(&key) {
+                Some(b) => b.clone(),
+                None => {
+                    // Build serially while holding the lock: forking here
+                    // would let the coordinator help-drain foreign tasks
+                    // that want another statement's cache lock — a cycle.
+                    // Sibling chunk workers are pinned serial anyway.
+                    let prev = set_parallel_mode(ParallelMode::ForceOff);
+                    let built = self.build_hash_side(table, column);
+                    set_parallel_mode(prev);
+                    let rc = built?;
+                    map.insert(key.clone(), rc.clone());
+                    rc
+                }
+            };
+            drop(map);
+            self.hash_builds.borrow_mut().insert(key, rc.clone());
+            return Ok(rc);
+        }
+        let rc = self.build_hash_side(table, column)?;
+        self.hash_builds.borrow_mut().insert(key, rc.clone());
+        Ok(rc)
+    }
+
+    /// Scan `table` into a build-side map, partitioned across the pool
+    /// when the cost model (or ForceOn) says the scan is wide enough.
+    /// Row ids are dense indices, so per-range maps merged in range
+    /// order reproduce the serial ascending-rid postings exactly;
+    /// `rows_scanned` is charged once for the whole table either way.
+    fn build_hash_side(&self, table: &'db Table, column: usize) -> Result<HashBuild, ExecError> {
+        let len = table.len();
+        let mode = parallel_mode();
+        let pool = ppf_pool::global();
+        let threads = pool.threads();
+        let mut decision = par_cost::ParDecision::Serial("off");
+        match mode {
+            ParallelMode::ForceOff => {}
+            ParallelMode::ForceOn => {
+                if threads > 1 && len >= 2 {
+                    decision = par_cost::ParDecision::Fork {
+                        chunks: force_on_chunks(len, threads),
+                        est_ns: 0.0,
+                    };
+                }
+            }
+            ParallelMode::Auto => {
+                if threads > 1 {
+                    if pool.is_saturated() {
+                        self.stats.borrow_mut().par_degraded += 1;
+                    } else {
+                        decision = par_cost::decide(
+                            par_cost::WorkKind::HashBuild,
+                            len as f64,
+                            len,
+                            threads,
+                        );
+                        self.log_par_decision(par_cost::describe(
+                            par_cost::WorkKind::HashBuild,
+                            &decision,
+                        ));
+                    }
+                }
             }
         }
-        self.stats.borrow_mut().rows_scanned += table.len() as u64;
-        let rc = Arc::new(map);
-        self.hash_builds.borrow_mut().insert(key, rc.clone());
-        rc
+        let par_cost::ParDecision::Fork { chunks, .. } = decision else {
+            let t0 = (mode == ParallelMode::Auto && threads > 1).then(std::time::Instant::now);
+            let mut map: std::collections::BTreeMap<Value, Vec<RowId>> =
+                std::collections::BTreeMap::new();
+            for (rid, row) in table.rows() {
+                if !row[column].is_null() {
+                    map.entry(row[column].clone()).or_default().push(rid);
+                }
+            }
+            self.stats.borrow_mut().rows_scanned += len as u64;
+            if let Some(t0) = t0 {
+                par_cost::note_serial(
+                    par_cost::WorkKind::HashBuild,
+                    len as f64,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+            return Ok(Arc::new(map));
+        };
+        let ranges = ppf_pool::even_ranges(len, chunks);
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.par_tasks += 1;
+            stats.par_chunks += ranges.len() as u64;
+            stats.par_rows += len as u64;
+            let widest = ranges.iter().map(|r| r.len() as u64).max().unwrap_or(0);
+            stats.par_chunk_rows_max = stats.par_chunk_rows_max.max(widest);
+        }
+        let limits = self.limits();
+        let busy = std::sync::atomic::AtomicU64::new(0);
+        let t_fork = std::time::Instant::now();
+        let parts = pool
+            .try_map_ranges(&ranges, |_, range| {
+                limits.check_interrupt()?;
+                let t_chunk = std::time::Instant::now();
+                obs::profile::record(obs::profile::EventKind::ChunkStart, range.len() as u64);
+                let mut map: std::collections::BTreeMap<Value, Vec<RowId>> =
+                    std::collections::BTreeMap::new();
+                for rid in range {
+                    let row = table.row(rid);
+                    if !row[column].is_null() {
+                        map.entry(row[column].clone()).or_default().push(rid);
+                    }
+                }
+                obs::profile::record(obs::profile::EventKind::ChunkEnd, map.len() as u64);
+                busy.fetch_add(t_chunk.elapsed().as_nanos() as u64, Relaxed);
+                Ok::<_, ExecError>(map)
+            })
+            .map_err(|p| {
+                ExecError::exec(format!("parallel hash-build worker panicked: {}", p.message))
+            })?;
+        if mode == ParallelMode::Auto {
+            par_cost::note_fork(
+                busy.load(Relaxed),
+                t_fork.elapsed().as_nanos() as u64,
+                threads,
+            );
+        }
+        let mut merged: std::collections::BTreeMap<Value, Vec<RowId>> =
+            std::collections::BTreeMap::new();
+        for part in parts {
+            for (k, mut v) in part? {
+                merged.entry(k).or_default().append(&mut v);
+            }
+        }
+        self.stats.borrow_mut().rows_scanned += len as u64;
+        Ok(Arc::new(merged))
     }
 
     // ----- expression evaluation -----

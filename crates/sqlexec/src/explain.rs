@@ -60,6 +60,12 @@ pub fn explain_analyze_with_limits(
         stats.limit_aborts,
         stats.query_cancelled,
     ));
+    // One compact entry per fork-or-serial decision the cost model made
+    // while running this statement, in execution order.
+    let decisions = exec.par_decisions();
+    if !decisions.is_empty() {
+        out.push_str(&format!("par_decision: {}\n", decisions.join(" ")));
+    }
     Ok(out)
 }
 

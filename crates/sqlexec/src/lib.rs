@@ -31,6 +31,7 @@ pub mod ast;
 pub mod exec;
 pub mod explain;
 pub mod lexer;
+pub mod par_cost;
 pub mod parser;
 pub mod plan;
 pub mod render;
@@ -42,6 +43,7 @@ pub use exec::{
     OpStats, ParallelMode, QueryLimits, ResultSet,
 };
 pub use explain::{explain_analyze, explain_analyze_with_limits, explain_stmt};
+pub use par_cost::{set_cost_override, CostModel, ParDecision};
 pub use parser::parse_sql;
 pub use plan::{merge_mode, set_merge_mode, ExecError, MergeMode, SelectPlan};
 pub use render::render_stmt;

@@ -139,9 +139,21 @@ fn partitioned_structural_join_matches_serial_in_every_mode() {
     assert!(f_stats.par_tasks >= 1, "{f_stats:?}");
     assert!(f_stats.par_chunks >= 2, "{f_stats:?}");
 
+    // Pin the cost model to one that always prefers forking: the Auto
+    // path must then fan out deterministically, regardless of what the
+    // process-wide model has learned from earlier tests.
+    let prev = sqlexec::set_cost_override(Some(sqlexec::CostModel {
+        row_ns: 1e6,
+        scan_ns: 1e6,
+        hash_ns: 1e6,
+        sort_cmp_ns: 1e6,
+        fork_ns: 0.0,
+        chunk_ns: 1.0,
+        efficiency: 1.0,
+    }));
     let (auto, a_stats) = with_mode(ParallelMode::Auto, || ids(&db, DEWEY_JOIN));
+    sqlexec::set_cost_override(prev);
     assert_eq!(auto, serial, "auto partitioning changed the result");
-    // 80 outer rows clears the Auto floor, so Auto fans out too.
     assert!(a_stats.par_tasks >= 1, "{a_stats:?}");
 }
 
