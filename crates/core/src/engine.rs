@@ -46,6 +46,22 @@ fn lock_cache<'a, K: std::cmp::Eq + std::hash::Hash, V>(
     })
 }
 
+/// Recompute planner statistics for every table in `db` — called after
+/// any load/finalize mutation, right where the plan cache is also
+/// invalidated, so the stats cache tracks the same `(uid, version)`
+/// lifecycle. Build effort is mirrored into the registry:
+/// `engine.stats_builds` (rebuild passes), `engine.stats_tables`
+/// (tables covered last pass), `engine.stats_build_ns` (per-pass wall
+/// time histogram).
+fn rebuild_stats(db: &Database) {
+    let t0 = std::time::Instant::now();
+    let tables = relstore::stats::analyze_db(db);
+    let reg = obs::Registry::global();
+    reg.incr("engine.stats_builds", 1);
+    reg.set_max("engine.stats_tables", tables as u64);
+    reg.observe("engine.stats_build_ns", t0.elapsed().as_nanos() as u64);
+}
+
 /// Best-effort human message out of a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -293,12 +309,16 @@ impl XmlDb {
 
     /// Load a document; returns its tree-node → element-id mapping.
     /// Invalidates cached query plans (the translation itself can change:
-    /// §4.5 path marking depends on which paths exist).
+    /// §4.5 path marking depends on which paths exist) and refreshes
+    /// planner statistics for the mutated tables.
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
         lock_cache(&self.cache).clear();
-        self.store
+        let loaded = self
+            .store
             .load(doc)
-            .map_err(|e| QueryError::exec(e.to_string()))
+            .map_err(|e| QueryError::exec(e.to_string()))?;
+        rebuild_stats(self.store.db());
+        Ok(loaded)
     }
 
     /// Parse and load an XML string.
@@ -307,12 +327,17 @@ impl XmlDb {
         self.load(&doc)
     }
 
-    /// Build the §3.1 indexes; call once after bulk loading.
+    /// Build the §3.1 indexes; call once after bulk loading. Also the
+    /// canonical statistics collection point: indexing bumps every
+    /// table's version, so stats are recomputed here for the final
+    /// loaded shape.
     pub fn finalize(&mut self) -> Result<(), EngineError> {
         lock_cache(&self.cache).clear();
         self.store
             .create_indexes()
-            .map_err(|e| QueryError::exec(e.to_string()))
+            .map_err(|e| QueryError::exec(e.to_string()))?;
+        rebuild_stats(self.store.db());
+        Ok(())
     }
 
     pub fn db(&self) -> &Database {
@@ -423,9 +448,12 @@ impl EdgeDb {
 
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
         lock_cache(&self.cache).clear();
-        self.store
+        let loaded = self
+            .store
             .load(doc)
-            .map_err(|e| QueryError::exec(e.to_string()))
+            .map_err(|e| QueryError::exec(e.to_string()))?;
+        rebuild_stats(self.store.db());
+        Ok(loaded)
     }
 
     pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, EngineError> {
@@ -437,7 +465,9 @@ impl EdgeDb {
         lock_cache(&self.cache).clear();
         self.store
             .create_indexes()
-            .map_err(|e| QueryError::exec(e.to_string()))
+            .map_err(|e| QueryError::exec(e.to_string()))?;
+        rebuild_stats(self.store.db());
+        Ok(())
     }
 
     pub fn db(&self) -> &Database {

@@ -181,9 +181,14 @@ fn explain_analyze_is_structurally_stable_on_figure1_queries() {
                 "`{q}` step missing actuals: {line}"
             );
         }
-        // At least one step actually executed with full counters.
+        // At least one step actually executed with full counters and
+        // the estimation-quality columns.
         assert!(
-            out.contains(" in, ") && out.contains(" probes, ") && out.contains(" ms]"),
+            out.contains(" in, ") && out.contains(" probes, ") && out.contains(" ms, est="),
+            "`{q}`:\n{out}"
+        );
+        assert!(
+            out.contains(" act=") && out.contains(" q="),
             "`{q}`:\n{out}"
         );
         // The summary line totals the whole statement.

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod db;
+pub mod stats;
 pub mod table;
 pub mod value;
 

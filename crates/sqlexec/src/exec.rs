@@ -593,6 +593,10 @@ fn lock_cache<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     })
 }
 
+/// A coordinator's whole plan snapshot behind one `Arc`, keyed by
+/// `Select` address.
+type PlanSnapshot = Arc<HashMap<usize, Arc<SelectPlan>>>;
+
 /// The SQL executor. Borrow a database, run statements.
 pub struct Executor<'db> {
     db: &'db Database,
@@ -609,7 +613,7 @@ pub struct Executor<'db> {
     /// coordinator snapshot behind one `Arc`, consulted read-only by
     /// `plan_for` instead of being cloned entry-by-entry into each
     /// worker executor.
-    seeded_shared: RefCell<Option<Arc<HashMap<usize, Arc<SelectPlan>>>>>,
+    seeded_shared: RefCell<Option<PlanSnapshot>>,
     /// Caches shared with (or inherited from) a fan-out's sibling
     /// executors; see [`SharedExecCaches`]. Reset per statement.
     shared_caches: RefCell<Option<Arc<SharedExecCaches<'db>>>>,
@@ -869,15 +873,38 @@ impl<'db> Executor<'db> {
         // aborts deterministically, even for queries too small to ever
         // reach an in-loop check.
         let result = self.check_limits_now().and_then(|()| self.run_inner(stmt));
-        if let Err(e) = &result {
-            let mut stats = self.stats.borrow_mut();
-            match e {
-                ExecError::Limit(_) => stats.limit_aborts += 1,
-                ExecError::Cancelled(_) => stats.query_cancelled += 1,
-                _ => {}
+        match &result {
+            Ok(_) => self.record_plan_qerror(),
+            Err(e) => {
+                let mut stats = self.stats.borrow_mut();
+                match e {
+                    ExecError::Limit(_) => stats.limit_aborts += 1,
+                    ExecError::Cancelled(_) => stats.query_cancelled += 1,
+                    _ => {}
+                }
             }
         }
         result
+    }
+
+    /// Feed per-step estimation quality into the global registry
+    /// histogram `sqlexec.plan_qerror` (fixed-point ×100, so 100 = a
+    /// perfect estimate). Per-step counters are always recorded —
+    /// profiling only gates timing — so this costs one map walk per
+    /// statement. Actual rows-per-invocation is compared against the
+    /// planner's `est_rows` for the same step.
+    fn record_plan_qerror(&self) {
+        let reg = obs::Registry::global();
+        for (plan, ops) in self.profiled_steps() {
+            for (step, op) in plan.steps.iter().zip(&ops) {
+                if op.invocations == 0 {
+                    continue;
+                }
+                let act = op.rows_out as f64 / op.invocations as f64;
+                let q = crate::plan::qerror(step.est_rows, act);
+                reg.observe("sqlexec.plan_qerror", (q * 100.0) as u64);
+            }
+        }
     }
 
     fn run_inner(&self, stmt: &SelectStmt) -> Result<ResultSet, ExecError> {
@@ -1088,9 +1115,7 @@ impl<'db> Executor<'db> {
                 obs::profile::record(obs::profile::EventKind::ChunkEnd, result.rows.len() as u64);
                 result
             })
-            .map_err(|p| {
-                ExecError::exec(format!("parallel UNION arm panicked: {}", p.message))
-            })?;
+            .map_err(|p| ExecError::exec(format!("parallel UNION arm panicked: {}", p.message)))?;
         let wall = t0.elapsed().as_nanos() as u64;
         let busy: u64 = parts.iter().map(|p| p.busy_ns).sum();
         let mut all = Vec::new();
@@ -2065,6 +2090,12 @@ impl<'db> Executor<'db> {
         // charge one predicate evaluation per row scanned.
         local.rows_in += (table.len() - survivors.len()) as u64;
         local.predicate_evals += table.len() as u64;
+        // The observed survivor ratio is the ground truth the planner's
+        // regex selectivity guess was standing in for — feed it back.
+        crate::plan::note_regex_selectivity(
+            pattern,
+            survivors.len() as f64 / table.len().max(1) as f64,
+        );
         probe_rows.extend_from_slice(&survivors);
         path_memo().insert(key, Arc::new(survivors));
         Ok(Some(ri))
@@ -2101,8 +2132,12 @@ impl<'db> Executor<'db> {
                     if pool.is_saturated() {
                         self.stats.borrow_mut().par_degraded += 1;
                     } else {
-                        decision =
-                            par_cost::decide(par_cost::WorkKind::FilterScan, len as f64, len, threads);
+                        decision = par_cost::decide(
+                            par_cost::WorkKind::FilterScan,
+                            len as f64,
+                            len,
+                            threads,
+                        );
                         self.log_par_decision(par_cost::describe(
                             par_cost::WorkKind::FilterScan,
                             &decision,
@@ -2353,7 +2388,10 @@ impl<'db> Executor<'db> {
                 Ok::<_, ExecError>(map)
             })
             .map_err(|p| {
-                ExecError::exec(format!("parallel hash-build worker panicked: {}", p.message))
+                ExecError::exec(format!(
+                    "parallel hash-build worker panicked: {}",
+                    p.message
+                ))
             })?;
         if mode == ParallelMode::Auto {
             par_cost::note_fork(

@@ -179,21 +179,35 @@ fn explain_select(
         if !step.residuals.is_empty() {
             out.push_str(&format!(" + {} filter(s)", step.residuals.len()));
         }
+        out.push_str(&format!(
+            " (est {:.1} fetched, {:.1} out)",
+            step.est_fetched, step.est_rows
+        ));
         if exec.is_some() {
-            out.push_str(&format!(
-                " (est {:.1} fetched, {:.1} out)",
-                step.est_fetched, step.est_rows
-            ));
             match actuals.as_ref().and_then(|a| a.as_ref()).map(|a| a[i]) {
-                Some(op) => out.push_str(&format!(
-                    " [actual: {} invocation(s), {} in, {} out, {} probes, {} evals, {:.3} ms]",
-                    op.invocations,
-                    op.rows_in,
-                    op.rows_out,
-                    op.index_probes,
-                    op.predicate_evals,
-                    op.elapsed_ns as f64 / 1e6,
-                )),
+                Some(op) => {
+                    out.push_str(&format!(
+                        " [actual: {} invocation(s), {} in, {} out, {} probes, {} evals, {:.3} ms",
+                        op.invocations,
+                        op.rows_in,
+                        op.rows_out,
+                        op.index_probes,
+                        op.predicate_evals,
+                        op.elapsed_ns as f64 / 1e6,
+                    ));
+                    // Estimation-quality columns: actual rows per
+                    // invocation vs. the planner's per-step estimate.
+                    if op.invocations > 0 {
+                        let act = op.rows_out as f64 / op.invocations as f64;
+                        out.push_str(&format!(
+                            ", est={:.1} act={:.1} q={:.2}",
+                            step.est_rows,
+                            act,
+                            crate::plan::qerror(step.est_rows, act),
+                        ));
+                    }
+                    out.push(']');
+                }
                 None => out.push_str(" [actual: never executed]"),
             }
         }

@@ -52,6 +52,13 @@
 //! Tests pin the model with [`set_cost_override`] (thread-local), which
 //! also disables exploration so decisions are a pure function of the
 //! override and the inputs.
+//!
+//! The `work` fed into `decide()` is the executor's fork-work product
+//! of per-step `est_fetched` estimates — so table statistics
+//! (`relstore::stats`, consumed by `plan::estimate_access`) sharpen
+//! Auto's fork decisions for free: better cardinalities in, better
+//! nanosecond estimates out. Nothing in this module reads the
+//! statistics directly.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
@@ -244,9 +251,10 @@ fn cost_override() -> Option<CostModel> {
 
 /// Measured `(fork_ns, chunk_ns, efficiency_prior)` per pool thread
 /// count.
-fn calibrations() -> &'static Mutex<std::collections::HashMap<usize, (f64, f64, f64)>> {
-    static CAL: OnceLock<Mutex<std::collections::HashMap<usize, (f64, f64, f64)>>> =
-        OnceLock::new();
+type CalibrationMap = std::collections::HashMap<usize, (f64, f64, f64)>;
+
+fn calibrations() -> &'static Mutex<CalibrationMap> {
+    static CAL: OnceLock<Mutex<CalibrationMap>> = OnceLock::new();
     CAL.get_or_init(|| Mutex::new(std::collections::HashMap::new()))
 }
 
@@ -277,7 +285,9 @@ const CAL_BUSY_ITERS: usize = 2_000_000;
 fn busy_work(range: std::ops::Range<usize>) -> u64 {
     let mut x = 0x9e37_79b9_7f4a_7c15u64;
     for i in range {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(i as u64 | 1);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i as u64 | 1);
     }
     x
 }
@@ -451,7 +461,7 @@ pub fn decide(kind: WorkKind, work: f64, rows: usize, threads: usize) -> ParDeci
             // Periodically run a would-be fork serial so `note_serial`
             // gets an unbiased per-row sample; see `PROBE_PERIOD`.
             let tick = PROBE_TICK.fetch_add(1, Relaxed) + 1;
-            if tick % PROBE_PERIOD == 0 {
+            if tick.is_multiple_of(PROBE_PERIOD) {
                 ParDecision::Serial("probe")
             } else {
                 d
@@ -462,7 +472,7 @@ pub fn decide(kind: WorkKind, work: f64, rows: usize, threads: usize) -> ParDeci
             // Partitionable work we chose not to fork: occasionally fork
             // anyway so `efficiency` tracks reality instead of history.
             let tick = EXPLORE_TICK.fetch_add(1, Relaxed) + 1;
-            if tick % EXPLORE_PERIOD == 0 {
+            if tick.is_multiple_of(EXPLORE_PERIOD) {
                 EXPLORE_FORKS.fetch_add(1, Relaxed);
                 let chunks = rows.min(threads * 2).max(2).min(rows.max(2));
                 ParDecision::Fork { chunks, est_ns }

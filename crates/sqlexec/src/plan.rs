@@ -16,7 +16,7 @@
 use std::collections::BTreeSet;
 
 use crate::ast::{CmpOp, Expr, Select};
-use relstore::{Database, Table};
+use relstore::{Database, Table, Value};
 
 /// Planner/executor error, classified by lifecycle phase so callers (the
 /// engine, the shell, a future network front end) can distinguish "your
@@ -162,8 +162,11 @@ pub struct SelectPlan {
     pub late_filters: Vec<Expr>,
 }
 
-/// Selectivity guesses, in lieu of real statistics. The absolute values
-/// matter less than the ordering: equality < range < regex < everything.
+/// Fallback selectivity guesses, used when table statistics are absent
+/// (nothing analyzed for the table's current `(uid, version)`) or when
+/// statistics consumption is disabled via [`set_stats_enabled`]. The
+/// absolute values matter less than the ordering: equality < range <
+/// regex < everything.
 mod sel {
     pub const EQ_UNINDEXED: f64 = 0.1;
     /// A bounded interval (Dewey descendant window): very tight.
@@ -172,6 +175,76 @@ mod sel {
     pub const RANGE_ONE_SIDED: f64 = 0.5;
     pub const REGEX: f64 = 0.05;
     pub const OTHER: f64 = 0.5;
+}
+
+thread_local! {
+    static STATS_ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Enable or disable consumption of `relstore::stats` table statistics
+/// by this thread's planner, returning the previous setting. Disabled,
+/// every estimate falls back to the fixed `sel::*` constants and the
+/// legacy merge thresholds — the pre-statistics planner, kept for A/B
+/// benchmarking (`plan_quality`) and regression triage.
+pub fn set_stats_enabled(on: bool) -> bool {
+    STATS_ENABLED.with(|c| c.replace(on))
+}
+
+/// Whether this thread's planner consumes table statistics.
+pub fn stats_enabled() -> bool {
+    STATS_ENABLED.with(|c| c.get())
+}
+
+/// The q-error of one estimate: `max(est, act) / min(est, act)`, both
+/// floored at half a row so empty-vs-empty reads as a perfect 1.0
+/// instead of dividing by zero. ≥ 1.0 by construction; 1.0 is exact.
+pub fn qerror(est: f64, act: f64) -> f64 {
+    let e = est.max(0.5);
+    let a = act.max(0.5);
+    (e / a).max(a / e)
+}
+
+/// Learned regex selectivities: observed survivor ratios of
+/// `REGEXP_LIKE` path-filter scans, EWMA'd per pattern text. Populated
+/// by the executor ([`note_regex_selectivity`]) every time a filter
+/// scan actually runs, consumed by [`estimate_access`] the next time a
+/// plan prices that pattern — the one feedback loop in the planner
+/// (histograms cannot see into a regex).
+fn regex_sel_map() -> &'static std::sync::Mutex<std::collections::HashMap<String, f64>> {
+    static MAP: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<String, f64>>> =
+        std::sync::OnceLock::new();
+    MAP.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()))
+}
+
+/// Patterns retained before the learned-selectivity map resets
+/// (bounds memory under adversarial pattern churn).
+const REGEX_SEL_CAP: usize = 4096;
+
+/// EWMA weight of one new survivor-ratio observation.
+const REGEX_SEL_ALPHA: f64 = 0.3;
+
+/// Record that a `REGEXP_LIKE(col, pattern)` scan kept `ratio` of the
+/// rows it examined (`survivors / scanned`, in `[0, 1]`).
+pub fn note_regex_selectivity(pattern: &str, ratio: f64) {
+    let ratio = ratio.clamp(1e-4, 1.0);
+    let mut map = regex_sel_map()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if map.len() >= REGEX_SEL_CAP && !map.contains_key(pattern) {
+        map.clear();
+    }
+    map.entry(pattern.to_string())
+        .and_modify(|v| *v += REGEX_SEL_ALPHA * (ratio - *v))
+        .or_insert(ratio);
+}
+
+/// The learned survivor ratio for a pattern, if any scan has reported.
+pub fn learned_regex_selectivity(pattern: &str) -> Option<f64> {
+    regex_sel_map()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .get(pattern)
+        .copied()
 }
 
 /// How the planner decides between the B-tree range probe and the
@@ -201,22 +274,42 @@ pub fn merge_mode() -> MergeMode {
     MERGE_MODE.with(|m| m.get())
 }
 
-/// `Auto` thresholds: a merge cursor only pays off when the outer side
-/// re-probes often enough to amortize flattening the index (outer
-/// cardinality estimate) and the probed table is big enough that B-tree
-/// descents are the dominant cost.
+/// Legacy `Auto` thresholds (used when no statistics exist for the
+/// table): a merge cursor only pays off when the outer side re-probes
+/// often enough to amortize flattening the index (outer cardinality
+/// estimate) and the probed table is big enough that B-tree descents
+/// are the dominant cost.
 const MERGE_MIN_OUTER: f64 = 32.0;
 const MERGE_MIN_TABLE: usize = 256;
 
 /// Decide merge vs. index nested-loop for a two-sided range on `table`,
 /// given the planner's estimate of how many outer rows will drive the
-/// probe.
+/// probe. With statistics available, compare the two strategies' actual
+/// cost models: index-NL pays one B-tree descent (`log₂ n + 1`) per
+/// outer row; merge pays one flattening pass over the table (`n`) plus
+/// one amortized cursor advance per outer row. The legacy constants are
+/// the n = 256 corner of the same inequality (crossover at
+/// `est_outer = 32`), so un-analyzed tables behave exactly as before.
 fn want_merge(table: &Table, two_sided: bool, est_outer: f64) -> bool {
     match merge_mode() {
         MergeMode::ForceOff => false,
         MergeMode::ForceOn => two_sided,
         MergeMode::Auto => {
-            two_sided && est_outer >= MERGE_MIN_OUTER && table.len() >= MERGE_MIN_TABLE
+            if !two_sided {
+                return false;
+            }
+            let st = if stats_enabled() {
+                relstore::stats::lookup(table)
+            } else {
+                None
+            };
+            match st {
+                Some(st) => {
+                    let n = st.rows.max(1) as f64;
+                    est_outer * (n.log2() + 1.0) > n + est_outer
+                }
+                None => est_outer >= MERGE_MIN_OUTER && table.len() >= MERGE_MIN_TABLE,
+            }
         }
     }
 }
@@ -271,8 +364,16 @@ pub fn plan_select(
         let tref = &select.from[idx];
         let table = db.table(&tref.table).expect("validated above");
         // Estimate before build_step consumes conjuncts from `used`.
-        let (est_fetched, est_rows, _) =
-            estimate_access(table, &tref.alias, &conjuncts, &used, &bound);
+        let (est_fetched, est_rows, _) = estimate_access(
+            db,
+            select,
+            outer,
+            table,
+            &tref.alias,
+            &conjuncts,
+            &used,
+            &bound,
+        );
         let mut step = build_step(
             db,
             select,
@@ -485,7 +586,16 @@ fn choose_order(
     let est = |idx: usize, bound: &[String]| -> (f64, f64) {
         let tref = &select.from[idx];
         let table = db.table(&tref.table).expect("validated by caller");
-        let (fetched, card, regexes) = estimate_access(table, &tref.alias, conjuncts, &used, bound);
+        let (fetched, card, regexes) = estimate_access(
+            db,
+            select,
+            outer,
+            table,
+            &tref.alias,
+            conjuncts,
+            &used,
+            bound,
+        );
         // Regular-expression filters are much costlier per row than
         // comparisons; charge them into the fetch cost so orders that
         // evaluate regexes over fewer rows win.
@@ -574,11 +684,46 @@ fn choose_order(
     out
 }
 
+/// `expr` is a plain literal value?
+fn literal_of(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Literal(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// One column's accumulated range bounds during estimation.
+struct RangeEst {
+    col: usize,
+    lo: bool,
+    hi: bool,
+    lo_lit: Option<Value>,
+    hi_lit: Option<Value>,
+    /// Alias a correlated (non-literal) bound references — the table
+    /// driving a Dewey window probe.
+    driver: Option<String>,
+    indexed: bool,
+}
+
 /// Cost estimate for scanning `alias` next: `fetched` approximates the
 /// rows the chosen access path materializes (mirroring `build_step`'s
 /// priority: full-prefix index equality, then an indexed range, then a
 /// full scan), `card` the rows surviving all residual filters.
+///
+/// When statistics exist for the table's current `(uid, version)` (and
+/// [`stats_enabled`] holds), selectivities come from equi-depth
+/// histograms: literal equality probes read the containing bucket's
+/// rows-per-distinct, correlated probes use the column-wide average
+/// depth, literal range/BETWEEN bounds interpolate cumulative bucket
+/// mass, correlated two-sided windows on byte columns use the measured
+/// Dewey prefix fanout, and regex filters use survivor ratios learned
+/// from prior scans. Otherwise every selectivity falls back to the
+/// fixed `sel::*` constants — the pre-statistics planner.
+#[allow(clippy::too_many_arguments)]
 fn estimate_access(
+    db: &Database,
+    select: &Select,
+    outer: &[(String, String)],
     table: &Table,
     alias: &str,
     conjuncts: &[Expr],
@@ -586,12 +731,53 @@ fn estimate_access(
     bound: &[String],
 ) -> (f64, f64, usize) {
     let rows = table.len().max(1) as f64;
+    let stats = if stats_enabled() {
+        relstore::stats::lookup(table)
+    } else {
+        None
+    };
+    let col_stats = |ci: usize| {
+        stats
+            .as_ref()
+            .and_then(|s| s.columns.get(ci).map(|c| (c, s.rows)))
+    };
+    // Resolve an alias (FROM list first, then the outer context) to its
+    // table — for sizing the driving side of a correlated window probe.
+    let table_of_alias = |a: &str| -> Option<&Table> {
+        let name = select
+            .from
+            .iter()
+            .find(|t| t.alias == a)
+            .map(|t| t.table.as_str())
+            .or_else(|| {
+                outer
+                    .iter()
+                    .find(|(al, _)| al == a)
+                    .map(|(_, t)| t.as_str())
+            })?;
+        db.table(name)
+    };
+    // The alias a correlated bound expression is driven by.
+    let driver_of = |e: &Expr| -> Option<String> {
+        if literal_of(e).is_some() {
+            None
+        } else {
+            refs(e).into_iter().next()
+        }
+    };
+    // A near-zero (not exact-zero) floor for stats-derived fractions: an
+    // out-of-domain literal may honestly estimate empty, but keep cost
+    // products totally ordered. A twentieth of a row — matching the
+    // final `card.max(0.05)` — so sub-row expectations (e.g. mostly-empty
+    // descendant windows) stay visible to the join-order search. The
+    // constant fallbacks stay unfloored so disabling stats reproduces
+    // the legacy planner bit-for-bit.
+    let floor = 0.05 / rows;
     let mut card = rows;
     let mut regex_filters = 0usize;
     // (column index, selectivity) of equality probes; range bounds per column.
-    let mut eq_cols: Vec<usize> = Vec::new();
-    let mut ranges: Vec<(String, bool, bool, bool)> = Vec::new(); // (col, lo, hi, indexed)
-    let mut eq_best: Option<f64> = None;
+    let mut eq_sels: Vec<(usize, f64)> = Vec::new();
+    let mut ranges: Vec<RangeEst> = Vec::new();
 
     for (i, c) in conjuncts.iter().enumerate() {
         if used[i] || !evaluable(c, alias, bound) {
@@ -600,74 +786,156 @@ fn estimate_access(
         if !refs(c).iter().any(|a| a == alias) {
             continue;
         }
-        if let Some((col, op, _)) = as_probe(c, alias) {
+        if let Some((col, op, probe)) = as_probe(c, alias) {
+            let ci = table.schema.col(col);
             match op {
                 CmpOp::Eq => {
-                    let f = if let Some(ci) = table.schema.col(col) {
-                        eq_cols.push(ci);
-                        if let Some(ix) = table.index_on(&[ci]) {
-                            let d = ix.distinct_keys().max(1) as f64;
-                            (1.0 / d).max(1.0 / rows)
-                        } else {
-                            sel::EQ_UNINDEXED
+                    let f = match ci {
+                        Some(ci) => match col_stats(ci) {
+                            Some((cs, trows)) => {
+                                cs.eq_fraction(literal_of(&probe), trows).clamp(floor, 1.0)
+                            }
+                            None => {
+                                if let Some(ix) = table.index_on(&[ci]) {
+                                    let d = ix.distinct_keys().max(1) as f64;
+                                    (1.0 / d).max(1.0 / rows)
+                                } else {
+                                    sel::EQ_UNINDEXED
+                                }
+                            }
+                        },
+                        None => sel::EQ_UNINDEXED,
+                    };
+                    if let Some(ci) = ci {
+                        eq_sels.push((ci, f));
+                    }
+                    card *= f;
+                }
+                CmpOp::Ne => {
+                    let f = match ci.and_then(&col_stats) {
+                        Some((cs, trows)) => {
+                            (1.0 - cs.eq_fraction(literal_of(&probe), trows)).clamp(floor, 1.0)
                         }
-                    } else {
-                        sel::EQ_UNINDEXED
+                        None => sel::OTHER,
                     };
                     card *= f;
                 }
-                CmpOp::Ne => card *= sel::OTHER,
-                CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le => {
-                    let indexed = table
-                        .schema
-                        .col(col)
-                        .and_then(|ci| table.index_on(&[ci]))
-                        .is_some();
-                    let lo = matches!(op, CmpOp::Gt | CmpOp::Ge);
-                    match ranges.iter_mut().find(|(rc, ..)| rc == col) {
-                        Some(r) => {
-                            if lo {
-                                r.1 = true;
-                            } else {
-                                r.2 = true;
+                CmpOp::Gt | CmpOp::Ge | CmpOp::Lt | CmpOp::Le => match ci {
+                    Some(ci) => {
+                        let indexed = table.index_on(&[ci]).is_some();
+                        let is_lo = matches!(op, CmpOp::Gt | CmpOp::Ge);
+                        let lit = literal_of(&probe).cloned();
+                        let drv = driver_of(&probe);
+                        match ranges.iter_mut().find(|r| r.col == ci) {
+                            Some(r) => {
+                                if is_lo {
+                                    r.lo = true;
+                                    r.lo_lit = r.lo_lit.take().or(lit);
+                                } else {
+                                    r.hi = true;
+                                    r.hi_lit = r.hi_lit.take().or(lit);
+                                }
+                                if r.driver.is_none() {
+                                    r.driver = drv;
+                                }
                             }
+                            None => ranges.push(RangeEst {
+                                col: ci,
+                                lo: is_lo,
+                                hi: !is_lo,
+                                lo_lit: if is_lo { lit.clone() } else { None },
+                                hi_lit: if is_lo { None } else { lit },
+                                driver: drv,
+                                indexed,
+                            }),
                         }
-                        None => ranges.push((col.to_string(), lo, !lo, indexed)),
                     }
-                }
+                    None => card *= sel::OTHER,
+                },
             }
-        } else if let Some((col, _, _)) = as_between(c, alias) {
-            let indexed = table
-                .schema
-                .col(col)
-                .and_then(|ci| table.index_on(&[ci]))
-                .is_some();
-            ranges.push((col.to_string(), true, true, indexed));
-        } else if matches!(c, Expr::RegexpLike { .. }) {
-            card *= sel::REGEX;
+        } else if let Some((col, lo, hi)) = as_between(c, alias) {
+            match table.schema.col(col) {
+                Some(ci) => ranges.push(RangeEst {
+                    col: ci,
+                    lo: true,
+                    hi: true,
+                    lo_lit: literal_of(&lo).cloned(),
+                    hi_lit: literal_of(&hi).cloned(),
+                    driver: driver_of(&lo).or_else(|| driver_of(&hi)),
+                    indexed: table.index_on(&[ci]).is_some(),
+                }),
+                None => card *= sel::RANGE_TWO_SIDED,
+            }
+        } else if let Expr::RegexpLike { pattern, .. } = c {
+            let f = if stats_enabled() {
+                learned_regex_selectivity(pattern).unwrap_or(sel::REGEX)
+            } else {
+                sel::REGEX
+            };
+            card *= f;
             regex_filters += 1;
+        } else if let Expr::IsNull { expr, negated } = c {
+            let f = match col_of(expr, alias)
+                .and_then(|n| table.schema.col(n))
+                .and_then(col_stats)
+            {
+                Some((cs, trows)) => {
+                    let nf = cs.nulls as f64 / trows.max(1) as f64;
+                    if *negated { 1.0 - nf } else { nf }.clamp(floor, 1.0)
+                }
+                None => sel::OTHER,
+            };
+            card *= f;
         } else {
             card *= sel::OTHER;
         }
     }
 
     let mut best_range: Option<f64> = None;
-    for (_, lo, hi, indexed) in &ranges {
-        let f = if *lo && *hi {
-            sel::RANGE_TWO_SIDED
-        } else {
-            sel::RANGE_ONE_SIDED
+    for r in &ranges {
+        let f = match col_stats(r.col) {
+            Some((cs, trows)) => {
+                if r.lo_lit.is_some() || r.hi_lit.is_some() {
+                    cs.range_fraction(r.lo_lit.as_ref(), r.hi_lit.as_ref(), trows)
+                        .max(floor)
+                } else if r.lo && r.hi {
+                    // Correlated two-sided window — the Dewey descendant
+                    // probe `d BETWEEN a.pos AND a.pos || 0xFF`. Driven
+                    // by a *different* table, containment says each probe
+                    // matches ~rows/driver_rows of this table (fraction
+                    // 1/driver_rows). A self-window's expected size is
+                    // the table's own measured Dewey prefix fanout.
+                    let driver = r.driver.as_deref().and_then(table_of_alias);
+                    match driver {
+                        Some(dt) if dt.uid() != table.uid() => {
+                            (1.0 / dt.len().max(1) as f64).clamp(floor, 1.0)
+                        }
+                        _ => match cs.prefix_fanout {
+                            Some(fan) => ((fan + 1.0) / rows).clamp(floor, 1.0),
+                            None => sel::RANGE_TWO_SIDED,
+                        },
+                    }
+                } else {
+                    sel::RANGE_ONE_SIDED
+                }
+            }
+            None => {
+                if r.lo && r.hi {
+                    sel::RANGE_TWO_SIDED
+                } else {
+                    sel::RANGE_ONE_SIDED
+                }
+            }
         };
         card *= f;
-        if *indexed {
+        if r.indexed {
             best_range = Some(best_range.map_or(f, |b: f64| b.min(f)));
         }
     }
     // Best indexed equality access (build_step prefers these).
-    for &ci in &eq_cols {
-        if let Some(ix) = table.index_on(&[ci]) {
-            let d = ix.distinct_keys().max(1) as f64;
-            let f = (1.0 / d).max(1.0 / rows);
+    let mut eq_best: Option<f64> = None;
+    for &(ci, f) in &eq_sels {
+        if table.index_on(&[ci]).is_some() {
             eq_best = Some(eq_best.map_or(f, |b: f64| b.min(f)));
         }
     }
@@ -675,10 +943,14 @@ fn estimate_access(
         rows * f
     } else if let Some(f) = best_range {
         rows * f
-    } else if !eq_cols.is_empty() {
+    } else if !eq_sels.is_empty() {
         // hash join on an unindexed equality: the build is amortized, the
         // probe returns ~rows × selectivity.
-        rows * sel::EQ_UNINDEXED
+        let f = eq_sels
+            .iter()
+            .map(|&(_, f)| f)
+            .fold(f64::INFINITY, f64::min);
+        rows * f
     } else {
         rows
     };
@@ -1032,6 +1304,112 @@ mod tests {
         let dbx = db();
         let stmt = parse_sql("select T.id from A T, B T").expect("parse");
         assert!(plan_select(&dbx, &stmt.branches[0], &[]).is_err());
+    }
+
+    /// Estimate the first FROM table of `sql` against `db`, returning
+    /// (fetched, card).
+    fn estimate(db: &Database, sql: &str) -> (f64, f64) {
+        let stmt = parse_sql(sql).expect("parse");
+        let sel = &stmt.branches[0];
+        let mut conjuncts = Vec::new();
+        if let Some(w) = &sel.where_clause {
+            flatten_and(w, &mut conjuncts);
+        }
+        let used = vec![false; conjuncts.len()];
+        let table = db.table(&sel.from[0].table).expect("table");
+        let alias = sel.from[0].alias.clone();
+        let (f, c, _) = estimate_access(db, sel, &[], table, &alias, &conjuncts, &used, &[]);
+        (f, c)
+    }
+
+    #[test]
+    fn empty_table_estimates_stay_positive_and_finite() {
+        let mut dbx = db();
+        dbx.create_table(TableSchema::new(
+            "E",
+            &[("id", ColType::Int), ("x", ColType::Int)],
+        ))
+        .expect("create");
+        relstore::stats::analyze_db(&dbx);
+        for sql in [
+            "select E.id from E",
+            "select E.id from E where E.x = 7",
+            "select E.id from E where E.x between 1 and 5",
+        ] {
+            let (fetched, card) = estimate(&dbx, sql);
+            assert!(fetched.is_finite() && fetched >= 0.5, "{sql}: {fetched}");
+            assert!(card.is_finite() && card > 0.0, "{sql}: {card}");
+            assert!(card <= fetched, "{sql}: card {card} > fetched {fetched}");
+        }
+    }
+
+    #[test]
+    fn one_row_table_equality_estimates_at_most_one_row() {
+        let mut dbx = db();
+        dbx.create_table(TableSchema::new(
+            "O",
+            &[("id", ColType::Int), ("x", ColType::Int)],
+        ))
+        .expect("create");
+        dbx.table_mut("O")
+            .expect("O")
+            .insert(vec![Value::Int(1), Value::Int(42)])
+            .expect("row");
+        relstore::stats::analyze_db(&dbx);
+        let (_, hit) = estimate(&dbx, "select O.id from O where O.x = 42");
+        assert!(hit > 0.0 && hit <= 1.0, "hit: {hit}");
+        // A literal outside the histogram domain reads as near-empty,
+        // not as a constant fraction of the table.
+        let (_, miss) = estimate(&dbx, "select O.id from O where O.x = 999");
+        assert!(miss <= hit, "miss {miss} > hit {hit}");
+    }
+
+    #[test]
+    fn unindexed_range_conjunct_uses_histogram_mass() {
+        // B.id is 0..1000 uniform and unindexed: the histogram puts
+        // `id >= 900` at ~10% where the constant fallback says 50%.
+        let dbx = db();
+        relstore::stats::analyze_db(&dbx);
+        let (_, with_stats) = estimate(&dbx, "select B.id from B where B.id >= 900");
+        assert!(
+            (50.0..200.0).contains(&with_stats),
+            "expected ~100 rows, got {with_stats}"
+        );
+        let prev = set_stats_enabled(false);
+        let (_, without) = estimate(&dbx, "select B.id from B where B.id >= 900");
+        set_stats_enabled(prev);
+        assert!(
+            (without - sel::RANGE_ONE_SIDED * 1000.0).abs() < 1e-9,
+            "constant fallback: {without}"
+        );
+    }
+
+    #[test]
+    fn equality_at_histogram_bucket_boundary() {
+        // B.par_id has 100 distinct values × 10 rows each; bucket
+        // boundaries land on exact values, and an equality probe there
+        // must still read ~rows-per-distinct, not a whole bucket.
+        let dbx = db();
+        relstore::stats::analyze_db(&dbx);
+        for v in [0, 50, 99] {
+            let sql = format!("select B.id from B where B.par_id = {v}");
+            let (_, card) = estimate(&dbx, &sql);
+            assert!((2.0..50.0).contains(&card), "par_id = {v}: {card}");
+        }
+    }
+
+    #[test]
+    fn stats_disabled_reproduces_constant_estimates() {
+        let dbx = db();
+        relstore::stats::analyze_db(&dbx);
+        let prev = set_stats_enabled(false);
+        // B.v is unindexed: equality falls back to EQ_UNINDEXED exactly.
+        let (_, card) = estimate(&dbx, "select B.id from B where B.v = 'v1'");
+        set_stats_enabled(prev);
+        assert!(
+            (card - sel::EQ_UNINDEXED * 1000.0).abs() < 1e-9,
+            "card: {card}"
+        );
     }
 
     #[test]

@@ -99,8 +99,7 @@ fn paths_db(rows: i64) -> Database {
 
 /// Sorts on a non-projected (computed) key plus a projected tiebreak,
 /// descending — the shape that exercises both arms of `cmp_keyed`.
-const ORDER_BY: &str =
-    "select P.id from Paths P where P.id >= 0 order by P.path desc, P.id";
+const ORDER_BY: &str = "select P.id from Paths P where P.id >= 0 order by P.path desc, P.id";
 
 #[test]
 fn parallel_order_by_matches_serial_in_every_mode() {
@@ -144,7 +143,10 @@ fn parallel_sort_is_stable_on_ties() {
     let sql = "select T.id from T where T.id >= 0 order by T.k";
     let (serial, _) = with_mode(ParallelMode::ForceOff, || run(&db, sql));
     let (forced, f) = with_mode(ParallelMode::ForceOn, || run(&db, sql));
-    assert_eq!(forced, serial, "tie-break order changed under parallel sort");
+    assert_eq!(
+        forced, serial,
+        "tie-break order changed under parallel sort"
+    );
     assert!(f.par_tasks >= 1, "{f:?}");
 }
 
@@ -232,8 +234,7 @@ fn hash_join_db(build_rows: i64, probe_rows: i64) -> Database {
     db
 }
 
-const HASH_JOIN: &str =
-    "select S.id from R, S where S.k = R.k and R.id < 8 order by S.id, R.id";
+const HASH_JOIN: &str = "select S.id from R, S where S.k = R.k and R.id < 8 order by S.id, R.id";
 
 #[test]
 fn parallel_hash_build_matches_serial_in_every_mode() {

@@ -219,7 +219,9 @@ fn explain_analyze_renders_estimates_and_actuals() {
     assert!(out.contains("(est "), "{out}");
     assert!(out.contains("[actual: "), "{out}");
     assert!(out.contains("probes"), "{out}");
-    assert!(out.contains("ms]"), "{out}");
+    assert!(out.contains(" ms, est="), "{out}");
+    assert!(out.contains(" act="), "{out}");
+    assert!(out.contains(" q="), "{out}");
     assert!(out.contains("sort: a.id"), "{out}");
     assert!(
         out.contains("actual: 10 row(s) in "),

@@ -14,7 +14,7 @@
 //! > .sql //book            show the generated SQL
 //! > .explain //book        show the physical plan
 //! > .analyze //book        execute and show the plan with actual rows/probes/time
-//! > .stats                 show the process-wide metrics registry
+//! > .stats                 show the metrics registry + per-table planner statistics
 //! > .trace on|off          print each query's phase trace
 //! > .profile on            start the low-overhead event profiler
 //! > .profile off           stop it and print the per-worker utilization table
@@ -200,7 +200,7 @@ fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
             ".sql XPATH      show the generated SQL\n\
              .explain XPATH  show the physical plan\n\
              .analyze XPATH  execute; show the plan with actual rows/probes/time\n\
-             .stats          show the process-wide metrics registry\n\
+             .stats          show the metrics registry + per-table planner statistics\n\
              .trace on|off   print each query's phase trace (currently {})\n\
              .profile on|off|save PATH  event profiler: worker timelines + chrome trace (currently {})\n\
              .timeout MS|off abort queries past a deadline (currently {})\n\
@@ -232,6 +232,40 @@ fn handle(session: &mut Session, line: &str) -> Result<bool, String> {
             println!("(no metrics recorded yet)");
         } else {
             print!("{}", snap.render());
+        }
+        // Planner statistics for the loaded document's tables: one line
+        // per table, one indented line per column with data.
+        let db = match backend {
+            Backend::Schema(db) => db.db(),
+            Backend::Edge(db) => db.db(),
+        };
+        for name in db.table_names() {
+            let Some(table) = db.table(name) else {
+                continue;
+            };
+            let Some(st) = relstore::stats::lookup(table) else {
+                continue;
+            };
+            println!(
+                "table {name}: {} rows (stats v{})",
+                st.rows, st.table_version
+            );
+            for (col, cs) in table.schema.columns.iter().zip(&st.columns) {
+                if cs.non_null == 0 {
+                    continue;
+                }
+                let fanout = match cs.prefix_fanout {
+                    Some(f) => format!(", prefix_fanout={f:.2}"),
+                    None => String::new(),
+                };
+                println!(
+                    "    {}: distinct={} nulls={} buckets={}{fanout}",
+                    col.name,
+                    cs.distinct,
+                    cs.nulls,
+                    cs.buckets.len(),
+                );
+            }
         }
         return Ok(false);
     }
