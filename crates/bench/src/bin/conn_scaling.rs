@@ -1,0 +1,521 @@
+//! Connection-scaling gate for the event-driven server core: holds 100,
+//! 1 000 and 10 000 idle connections against the sync
+//! (thread-per-connection) and async (event-loop) cores of a real
+//! `ppfd` process, recording the server's resident thread count and
+//! probe-query p99 latency at each tier, and emits `BENCH_5.json` with
+//! the full table.
+//!
+//! The server runs as a child process (`ppfd` from the same target
+//! directory), for two reasons. First, fd budget: this environment caps
+//! `RLIMIT_NOFILE` at a hard 20 000 even for root, and 10 000
+//! in-process connections would need two fds each; split across two
+//! processes each side fits. Second, measurement hygiene: reading
+//! `/proc/<ppfd>/status` counts only the server's threads — the bench's
+//! own client machinery cannot pollute the number being gated.
+//!
+//! The sync core's tier ladder is capped (default 1 000,
+//! `PPF_SYNC_TIER_CAP` overrides): past a few thousand connections its
+//! per-connection threads — each waking on a 50 ms read tick — starve
+//! the accept loop of CPU and the herd stops growing at all. That
+//! cliff is the scaling wall this bench documents; the async core runs
+//! the full ladder.
+//!
+//! Exit is non-zero when an invariant fails:
+//!   * the async core must hold the largest tier with no more than
+//!     `event_threads + 8` resident threads over its idle baseline —
+//!     connections are rows in the loops' maps, not stacks;
+//!   * the sync core must demonstrate the contrast: at least half the
+//!     largest tier's connections show up as threads (it is, by design,
+//!     thread-per-connection);
+//!   * at the 100-connection tier the async core's probe p99 may not
+//!     regress more than 10% (plus a 500µs absolute slack for scheduler
+//!     jitter) against the sync core's — measured as the best of
+//!     several rounds so one noisy round cannot fail the gate.
+//!
+//! `PPF_CONN_TIERS=100,1000` overrides the tier list for quick local
+//! runs; the committed artifact must come from the full list.
+
+use std::fmt::Write as _;
+use std::io::BufRead;
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ppf_server::{Client, ServerConfig, Verb};
+
+const OUTPUT_PATH: &str = "BENCH_5.json";
+const DEFAULT_TIERS: &[usize] = &[100, 1_000, 10_000];
+/// Probe requests per latency round.
+const PROBE_REQUESTS: usize = 200;
+/// Latency rounds at the gated tier; the best p99 of these is compared.
+const GATE_ROUNDS: usize = 3;
+/// Allowed async/sync p99 ratio at the smallest tier...
+const MAX_P99_RATIO: f64 = 1.10;
+/// ...plus this absolute slack, so microsecond-scale jitter on an idle
+/// server cannot fail the gate on ratio alone.
+const P99_SLACK_US: f64 = 500.0;
+/// Resident-thread allowance for the async core over its baseline:
+/// event loops + the metrics thread + transient query workers.
+const ASYNC_THREAD_SLACK: usize = 8;
+/// Connections opened per batch before waiting for the server to adopt
+/// them — paces the client against accept/spawn throughput.
+const CONNECT_BATCH: usize = 256;
+/// The probe query: one row against the generated XMark document.
+const PROBE_QUERY: &str = "/site";
+/// Largest tier the sync core is asked to hold (see module docs).
+const SYNC_TIER_CAP: usize = 1_000;
+
+fn tiers() -> Vec<usize> {
+    match std::env::var("PPF_CONN_TIERS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => DEFAULT_TIERS.to_vec(),
+    }
+}
+
+/// Raise this process's soft `RLIMIT_NOFILE` to its hard limit. Plain
+/// libc symbols, no crate dependency — the same pattern `ppfd` uses for
+/// `signal`. Returns the resulting soft limit.
+#[cfg(unix)]
+fn raise_nofile() -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut cur = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut cur) != 0 {
+            return 0;
+        }
+        if cur.cur < cur.max {
+            let lim = RLimit {
+                cur: cur.max,
+                max: cur.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &lim) == 0 {
+                return cur.max;
+            }
+        }
+        cur.cur
+    }
+}
+
+#[cfg(not(unix))]
+fn raise_nofile() -> u64 {
+    u64::MAX
+}
+
+/// Resident thread count of the server process.
+#[cfg(target_os = "linux")]
+fn server_threads(pid: u32) -> usize {
+    std::fs::read_to_string(format!("/proc/{pid}/status"))
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn server_threads(_pid: u32) -> usize {
+    0
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Launch `ppfd` (from this binary's own target directory) on an
+/// ephemeral port and wait for its readiness line.
+fn spawn_server(sync: bool) -> Result<Server, String> {
+    let ppfd = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("ppfd")))
+        .filter(|p| p.exists())
+        .ok_or("ppfd not found next to conn_scaling — build the workspace bins first")?;
+    let mut cmd = Command::new(ppfd);
+    cmd.args([
+        "--xmark",
+        "0.001",
+        "--listen",
+        "127.0.0.1:0",
+        // The herd must not be reaped mid-bench.
+        "--idle-ms",
+        "3600000",
+    ]);
+    if sync {
+        cmd.arg("--sync-conns");
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().map_err(|e| format!("spawn ppfd: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { return };
+            if let Some(addr) = line.strip_prefix("ppfd listening on ") {
+                let _ = tx.send(addr.trim().to_string());
+                // Keep draining so the child never blocks on a full pipe.
+            }
+        }
+    });
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(addr) => Ok(Server { child, addr }),
+        Err(_) => {
+            let _ = child.kill();
+            Err("ppfd did not announce readiness within 60s".into())
+        }
+    }
+}
+
+/// Poll the server's health view until it counts `want` live conns.
+fn wait_active(probe: &mut Client, want: usize, deadline: Duration) -> Result<(), String> {
+    let t0 = Instant::now();
+    loop {
+        let body = probe
+            .request("adopt-wait", Verb::Health, &[], "")
+            .map_err(|e| format!("health probe failed: {e}"))?
+            .result
+            .map_err(|(k, m)| format!("health rejected ({}): {m}", k.as_str()))?;
+        let live: usize = body
+            .lines()
+            .find_map(|l| l.strip_prefix("active_conns: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if live >= want {
+            return Ok(());
+        }
+        if t0.elapsed() > deadline {
+            return Err(format!(
+                "server adopted only {live}/{want} connections in {deadline:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Grow the idle herd to `target` connections, pacing against adoption.
+fn grow_herd(
+    herd: &mut Vec<TcpStream>,
+    addr: &str,
+    target: usize,
+    probe: &mut Client,
+) -> Result<(), String> {
+    while herd.len() < target {
+        let batch = CONNECT_BATCH.min(target - herd.len());
+        for _ in 0..batch {
+            let s = TcpStream::connect(addr)
+                .map_err(|e| format!("idle conn {} failed: {e}", herd.len()))?;
+            herd.push(s);
+        }
+        // +1: the probe client is a connection too.
+        wait_active(probe, herd.len() + 1, Duration::from_secs(120))?;
+    }
+    Ok(())
+}
+
+/// One latency round: PROBE_REQUESTS sequential queries, p50/p99 in µs.
+fn probe_latency(probe: &mut Client) -> Result<(f64, f64), String> {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(PROBE_REQUESTS);
+    for n in 0..PROBE_REQUESTS {
+        let t0 = Instant::now();
+        let resp = probe
+            .request(&format!("p{n}"), Verb::Query, &[], PROBE_QUERY)
+            .map_err(|e| format!("probe query failed: {e}"))?;
+        resp.result
+            .map_err(|(k, m)| format!("probe rejected ({}): {m}", k.as_str()))?;
+        lat_us.push(t0.elapsed().as_nanos() as f64 / 1e3);
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |p: f64| lat_us[((lat_us.len() as f64 * p) as usize).min(lat_us.len() - 1)];
+    Ok((pick(0.50), pick(0.99)))
+}
+
+/// What one core looked like at one tier.
+struct TierRow {
+    conns: usize,
+    threads: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct CoreRun {
+    core: &'static str,
+    baseline_threads: usize,
+    rows: Vec<TierRow>,
+}
+
+/// Run one core through every tier. The herd only grows between tiers;
+/// connections are dropped (and the server drained) at the end.
+fn run_core(sync: bool, tiers: &[usize]) -> Result<CoreRun, String> {
+    let core = if sync { "sync" } else { "async" };
+    let server = spawn_server(sync)?;
+    let pid = server.child.id();
+    let io = Duration::from_secs(30);
+    let mut probe =
+        Client::connect(&server.addr, io).map_err(|e| format!("probe connect failed: {e}"))?;
+    // Warm the query path (plan caches, first worker spawn) before any
+    // baseline or latency observation.
+    probe
+        .request("warm", Verb::Query, &[], PROBE_QUERY)
+        .map_err(|e| format!("warm-up failed: {e}"))?
+        .result
+        .map_err(|(k, m)| format!("warm-up rejected ({}): {m}", k.as_str()))?;
+    std::thread::sleep(Duration::from_millis(200));
+    let baseline_threads = server_threads(pid);
+
+    let mut herd: Vec<TcpStream> = Vec::new();
+    let mut rows = Vec::new();
+    for &tier in tiers {
+        let t0 = Instant::now();
+        grow_herd(&mut herd, &server.addr, tier, &mut probe)?;
+        eprintln!(
+            "  {core}: {tier} conns held after {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        // Gate tier gets the best of several rounds; larger tiers one
+        // round each (recorded, not gated).
+        let rounds = if tier == tiers[0] { GATE_ROUNDS } else { 1 };
+        let (mut p50, mut p99) = (f64::MAX, f64::MAX);
+        for _ in 0..rounds {
+            let (a, b) = probe_latency(&mut probe)?;
+            p50 = p50.min(a);
+            p99 = p99.min(b);
+        }
+        // Query workers are per-request and short-lived; let the last
+        // one retire before counting resident threads.
+        std::thread::sleep(Duration::from_millis(300));
+        rows.push(TierRow {
+            conns: tier,
+            threads: server_threads(pid),
+            p50_us: p50,
+            p99_us: p99,
+        });
+    }
+
+    drop(herd);
+    // Graceful drain; the Drop impl kills the child if this stalls.
+    let _ = probe.request("drain", Verb::Shutdown, &[], "");
+    drop(probe);
+    let mut server = server;
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_secs(60) {
+        match server.child.try_wait() {
+            Ok(Some(_)) => break,
+            Ok(None) => std::thread::sleep(Duration::from_millis(100)),
+            Err(_) => break,
+        }
+    }
+    Ok(CoreRun {
+        core,
+        baseline_threads,
+        rows,
+    })
+}
+
+fn emit_core(s: &mut String, run: &CoreRun, last: bool) {
+    writeln!(s, "  \"{}\": {{", run.core).unwrap();
+    writeln!(s, "    \"baseline_threads\": {},", run.baseline_threads).unwrap();
+    writeln!(s, "    \"tiers\": [").unwrap();
+    for (i, r) in run.rows.iter().enumerate() {
+        writeln!(
+            s,
+            "      {{ \"conns\": {}, \"threads\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{}",
+            r.conns,
+            r.threads,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < run.rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(s, "    ]").unwrap();
+    writeln!(s, "  }}{}", if last { "" } else { "," }).unwrap();
+}
+
+fn main() {
+    let tiers = tiers();
+    if tiers.is_empty() {
+        eprintln!("conn_scaling: PPF_CONN_TIERS parsed to nothing");
+        std::process::exit(1);
+    }
+    let max_tier = *tiers.iter().max().unwrap();
+    // One client fd per connection, plus stdio/probe headroom. The
+    // server pays its own fds in its own process.
+    let nofile = raise_nofile();
+    if nofile < (max_tier as u64) + 64 {
+        eprintln!("conn_scaling: RLIMIT_NOFILE {nofile} too low for {max_tier} client conns");
+        std::process::exit(1);
+    }
+    if !cfg!(target_os = "linux") {
+        // Thread accounting reads /proc; without it the gates are
+        // meaningless. Emit nothing rather than a vacuous pass.
+        eprintln!("conn_scaling: skipped (needs /proc)");
+        return;
+    }
+
+    let sync_cap: usize = std::env::var("PPF_SYNC_TIER_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SYNC_TIER_CAP);
+    let sync_tiers: Vec<usize> = tiers.iter().copied().filter(|&t| t <= sync_cap).collect();
+    if sync_tiers.is_empty() {
+        eprintln!("conn_scaling: sync tier cap {sync_cap} leaves no sync tiers");
+        std::process::exit(1);
+    }
+
+    eprintln!("conn_scaling: tiers {tiers:?} (sync capped at {sync_cap}), nofile {nofile}");
+    let sync = match run_core(true, &sync_tiers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conn_scaling FAILED (sync core): {e}");
+            std::process::exit(1);
+        }
+    };
+    let async_ = match run_core(false, &tiers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conn_scaling FAILED (async core): {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let event_threads = ServerConfig::default().event_threads;
+    let mut failures: Vec<String> = Vec::new();
+
+    // Gate 1: the async core holds the largest tier in O(event_threads)
+    // resident threads.
+    let async_last = async_.rows.last().unwrap();
+    let async_delta = async_last.threads.saturating_sub(async_.baseline_threads);
+    if async_delta > event_threads + ASYNC_THREAD_SLACK {
+        failures.push(format!(
+            "async core grew {async_delta} threads holding {} conns \
+             (allowed: event_threads {event_threads} + {ASYNC_THREAD_SLACK})",
+            async_last.conns
+        ));
+    }
+
+    // Gate 2: the sync core really is thread-per-connection — the
+    // contrast the table exists to show.
+    let sync_last = sync.rows.last().unwrap();
+    let sync_delta = sync_last.threads.saturating_sub(sync.baseline_threads);
+    if sync_delta < sync_last.conns / 2 {
+        failures.push(format!(
+            "sync core grew only {sync_delta} threads for {} conns — \
+             not thread-per-connection? (bench assumption broken)",
+            sync_last.conns
+        ));
+    }
+
+    // Gate 3: no p99 regression at the smallest tier.
+    let (sync_p99, async_p99) = (sync.rows[0].p99_us, async_.rows[0].p99_us);
+    let allowed = sync_p99 * MAX_P99_RATIO + P99_SLACK_US;
+    if async_p99 > allowed {
+        failures.push(format!(
+            "async p99 {async_p99:.1}µs at {} conns exceeds sync {sync_p99:.1}µs \
+             by more than {MAX_P99_RATIO}x + {P99_SLACK_US}µs",
+            sync.rows[0].conns
+        ));
+    }
+
+    let gate_outcome = if failures.is_empty() {
+        "pass".to_string()
+    } else {
+        format!("fail: {}", failures.join("; ").replace('"', "'"))
+    };
+
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"bench\": \"conn_scaling\",").unwrap();
+    writeln!(
+        s,
+        "  \"sync_tier_cap\": {sync_cap}, \
+         \"sync_tier_cap_reason\": \"per-conn poll-tick threads starve the accept loop\","
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "  \"cores_hw\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    )
+    .unwrap();
+    writeln!(s, "  \"event_threads\": {event_threads},").unwrap();
+    writeln!(s, "  \"gate_outcome\": \"{gate_outcome}\",").unwrap();
+    writeln!(s, "  \"gates\": {{").unwrap();
+    writeln!(
+        s,
+        "    \"async_thread_ceiling\": {},",
+        event_threads + ASYNC_THREAD_SLACK
+    )
+    .unwrap();
+    writeln!(s, "    \"async_thread_delta\": {async_delta},").unwrap();
+    writeln!(s, "    \"sync_thread_delta\": {sync_delta},").unwrap();
+    writeln!(s, "    \"p99_ratio_limit\": {MAX_P99_RATIO},").unwrap();
+    writeln!(s, "    \"p99_slack_us\": {P99_SLACK_US},").unwrap();
+    writeln!(
+        s,
+        "    \"p99_at_{}_sync_us\": {sync_p99:.1},",
+        sync.rows[0].conns
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "    \"p99_at_{}_async_us\": {async_p99:.1}",
+        async_.rows[0].conns
+    )
+    .unwrap();
+    writeln!(s, "  }},").unwrap();
+    emit_core(&mut s, &sync, false);
+    emit_core(&mut s, &async_, true);
+    writeln!(s, "}}").unwrap();
+    std::fs::write(OUTPUT_PATH, &s).expect("write BENCH_5.json");
+
+    println!("conn_scaling:");
+    println!(
+        "  {:>7} {:>14} {:>14} {:>12} {:>12}",
+        "conns", "sync threads", "async threads", "sync p99", "async p99"
+    );
+    for b in &async_.rows {
+        match sync.rows.iter().find(|a| a.conns == b.conns) {
+            Some(a) => println!(
+                "  {:>7} {:>14} {:>14} {:>9.1}µs {:>9.1}µs",
+                a.conns, a.threads, b.threads, a.p99_us, b.p99_us
+            ),
+            None => println!(
+                "  {:>7} {:>14} {:>14} {:>12} {:>9.1}µs",
+                b.conns, "(capped)", b.threads, "-", b.p99_us
+            ),
+        }
+    }
+    println!(
+        "  async thread delta at {} conns: {async_delta} (ceiling {}); sync: {sync_delta}",
+        async_last.conns,
+        event_threads + ASYNC_THREAD_SLACK
+    );
+
+    if failures.is_empty() {
+        println!("conn_scaling: OK ({OUTPUT_PATH} written)");
+    } else {
+        for f in &failures {
+            eprintln!("conn_scaling FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

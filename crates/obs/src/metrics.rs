@@ -126,6 +126,10 @@ pub struct HistogramSummary {
 #[derive(Default)]
 struct RegistryInner {
     counters: BTreeMap<String, u64>,
+    /// Point-in-time levels (`set_gauge` overwrites, never accumulates):
+    /// current connections, queue depths — anything that goes *down* as
+    /// well as up and whose latest value is the only interesting one.
+    gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -174,6 +178,20 @@ impl Registry {
         *slot = (*slot).max(value);
     }
 
+    /// Overwrite a named gauge with its current level. Unlike counters
+    /// (monotone) and histograms (distributions), a gauge answers "what
+    /// is the value *right now*" — use it for live connection counts and
+    /// other levels that fall as well as rise.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut inner = self.lock_inner();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.lock_inner().gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Record one sample into a named histogram.
     pub fn observe(&self, name: &str, value: u64) {
         let mut inner = self.lock_inner();
@@ -206,6 +224,7 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: inner
                 .histograms
                 .iter()
@@ -218,6 +237,7 @@ impl Registry {
     pub fn reset(&self) {
         let mut inner = self.lock_inner();
         inner.counters.clear();
+        inner.gauges.clear();
         inner.histograms.clear();
     }
 }
@@ -226,6 +246,7 @@ impl Registry {
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
     pub histograms: Vec<(String, HistogramSummary)>,
 }
 
@@ -233,13 +254,19 @@ impl MetricsSnapshot {
     /// Plain-text rendering for the REPL's `.stats` command.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        if self.counters.is_empty() && self.histograms.is_empty() {
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty() {
             out.push_str("no metrics recorded\n");
             return out;
         }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<40} {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
                 out.push_str(&format!("  {name:<40} {value}\n"));
             }
         }

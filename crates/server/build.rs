@@ -1,0 +1,12 @@
+//! Sets `ppf_epoll` on targets where the raw epoll syscall shim exists:
+//! Linux on the two architectures the inline-asm wrappers cover. Every
+//! other target gets the portable fallback poller only.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(ppf_epoll)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    if os == "linux" && (arch == "x86_64" || arch == "aarch64") {
+        println!("cargo::rustc-cfg=ppf_epoll");
+    }
+}

@@ -46,6 +46,18 @@ impl ShedReason {
     }
 }
 
+/// Outcome of the non-blocking [`Admission::try_admit`] fast path.
+#[derive(Debug)]
+pub enum TryAdmit {
+    /// A slot was free; the caller holds it.
+    Admitted(Slot),
+    /// All slots busy but the queue has room under the Queue policy —
+    /// park a worker in the blocking [`Admission::admit`] instead.
+    WouldQueue,
+    /// Definite rejection (shed policy, or the queue is full).
+    Shed(ShedReason),
+}
+
 #[derive(Default)]
 struct Gauge {
     inflight: usize,
@@ -120,6 +132,29 @@ impl Admission {
     /// Requests currently parked in the wait queue.
     pub fn waiting(&self) -> usize {
         self.lock_gauge().waiting
+    }
+
+    /// Non-blocking admission for callers that must never sleep (event
+    /// threads): a free slot is taken immediately, a definite rejection
+    /// is returned immediately, and only the genuinely ambiguous case —
+    /// the queue has room and policy allows waiting — is deferred to a
+    /// thread that can afford the blocking [`Admission::admit`].
+    pub fn try_admit(self: &Arc<Admission>) -> TryAdmit {
+        let mut g = self.lock_gauge();
+        if g.inflight < self.max_inflight {
+            g.inflight += 1;
+            return TryAdmit::Admitted(Slot {
+                admission: self.clone(),
+                waited: false,
+            });
+        }
+        if self.policy == AdmissionPolicy::Shed {
+            return TryAdmit::Shed(ShedReason::Busy);
+        }
+        if g.waiting >= self.queue_depth {
+            return TryAdmit::Shed(ShedReason::QueueFull);
+        }
+        TryAdmit::WouldQueue
     }
 
     /// Acquire a slot or learn why not. Never blocks longer than
@@ -232,6 +267,35 @@ mod tests {
         // The parked waiter eventually times out (the slot is never freed).
         assert_eq!(t.join().unwrap(), ShedReason::QueueTimeout);
         assert_eq!(adm.waiting(), 0);
+    }
+
+    #[test]
+    fn try_admit_never_blocks_and_mirrors_admit() {
+        let adm = Admission::new(1, 1, Duration::from_secs(5), AdmissionPolicy::Queue);
+        let a = match adm.try_admit() {
+            TryAdmit::Admitted(slot) => slot,
+            other => panic!("free slot must admit, got {other:?}"),
+        };
+        // Slots busy, queue empty → the ambiguous case defers.
+        assert!(matches!(adm.try_admit(), TryAdmit::WouldQueue));
+        // Fill the queue with a real waiter; try_admit now sheds.
+        let t = {
+            let adm = adm.clone();
+            std::thread::spawn(move || adm.admit().map(|_| ()))
+        };
+        while adm.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        assert!(matches!(
+            adm.try_admit(),
+            TryAdmit::Shed(ShedReason::QueueFull)
+        ));
+        drop(a);
+        t.join().unwrap().unwrap();
+
+        let shed = Admission::new(1, 0, Duration::from_millis(10), AdmissionPolicy::Shed);
+        let _s = shed.admit().unwrap();
+        assert!(matches!(shed.try_admit(), TryAdmit::Shed(ShedReason::Busy)));
     }
 
     #[test]

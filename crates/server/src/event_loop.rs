@@ -1,0 +1,915 @@
+//! The readiness-driven connection core.
+//!
+//! A small fixed pool of event-loop threads owns every connection: each
+//! loop drives one [`PollBackend`] (epoll on Linux, the portable
+//! fallback elsewhere), a map of per-connection state machines, and a
+//! coarse timer wheel for idle reaping and close/drain grace periods.
+//! Loop 0 additionally owns the listener and deals new connections
+//! round-robin across the pool.
+//!
+//! A connection's life on its loop:
+//!
+//! * **Readable** — nonblocking reads feed the [`FrameBuffer`]
+//!   (partial frames survive arbitrarily many readiness events);
+//!   complete frames run through the same `handle_frame` as the sync
+//!   core, so verbs, admission, counters and chaos faults behave
+//!   identically.
+//! * **Writable** — responses land in a per-connection outbound buffer
+//!   ([`OutBuf`]); short writes leave the tail buffered and arm write
+//!   interest, so no event thread ever blocks in `write`. Query workers
+//!   finishing off-loop push their response and ring the loop's wakeup
+//!   fd to re-arm write interest.
+//! * **Timers** — the idle reap, the close grace for a connection whose
+//!   peer vanished mid-query, and the drain deadline are timer-wheel
+//!   checks, not 50 ms sleep ticks: an idle connection costs zero CPU
+//!   between its (rare) wheel slots.
+//!
+//! Admission, deadlines, chaos, slowlog and drain all keep their sync
+//! semantics: the event loop never blocks — the only blocking admission
+//! wait (Queue policy) happens on the query worker thread it would have
+//! to spawn anyway.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::frame::FrameBuffer;
+use crate::poller::{new_poller, Event, Interest, PollBackend, Waker};
+use crate::proto::{self, ErrorKind, Response};
+use crate::server::{close_conn, handle_frame, open_conn, Conn, Inner};
+
+/// Token of loop 0's listener registration. Connection tokens start
+/// above it; the poller reserves `u64::MAX` for its wakeup channel.
+const LISTENER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Hard cap on one connection's buffered outbound bytes. A client that
+/// stops reading while pipelining maximum-size responses is severed
+/// rather than allowed to balloon the server (4 MiB frames × the
+/// per-connection pipelining cap fits comfortably).
+const MAX_OUTBUF: usize = 64 << 20;
+
+/// Upper bound on one `wait` sleep, so drain flags and wheel drift are
+/// observed even if every wakeup is lost.
+const MAX_WAIT: Duration = Duration::from_secs(1);
+
+// ---------------------------------------------------------------------
+// Cross-thread surface: what workers and the accept path touch.
+// ---------------------------------------------------------------------
+
+/// One event loop's mailbox: freshly accepted sockets to adopt and
+/// tokens whose outbound buffers gained bytes, plus the waker that makes
+/// the loop look.
+pub(crate) struct LoopShared {
+    intake: Mutex<Vec<TcpStream>>,
+    notes: Mutex<Vec<u64>>,
+    waker: Waker,
+}
+
+impl LoopShared {
+    fn lock_intake(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+        self.intake.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_notes(&self) -> MutexGuard<'_, Vec<u64>> {
+        self.notes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push_conn(&self, stream: TcpStream) {
+        self.lock_intake().push(stream);
+        self.waker.wake();
+    }
+
+    fn note(&self, token: u64) {
+        let mut notes = self.lock_notes();
+        // Cheap dedup: bursts of pipelined responses note the same
+        // connection back to back.
+        if notes.last() != Some(&token) {
+            notes.push(token);
+        }
+        drop(notes);
+        self.waker.wake();
+    }
+}
+
+/// Handles to every loop; lives in `Inner` so `trigger_drain` and the
+/// accept path can reach them.
+pub(crate) struct EventLoops {
+    pub(crate) shared: Vec<Arc<LoopShared>>,
+}
+
+impl EventLoops {
+    pub(crate) fn wake_all(&self) {
+        for l in &self.shared {
+            l.waker.wake();
+        }
+    }
+}
+
+/// The write side of one event-core connection, shared with its query
+/// workers through [`Conn`].
+pub(crate) struct EventSink {
+    out: Mutex<OutBuf>,
+    home: Arc<LoopShared>,
+    token: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct OutBuf {
+    bytes: Vec<u8>,
+    pos: usize,
+    /// After flushing everything buffered, sever instead of disarming
+    /// write interest (chaos mid-write drops).
+    sever_after: bool,
+    /// Sever immediately, discarding anything buffered (chaos pre-write
+    /// drops, outbound-buffer overflow). Workers set this flag and ring;
+    /// the owning loop — which owns the socket — closes it. Keeping the
+    /// socket single-owner avoids a `try_clone` fd per connection, which
+    /// would double the server's fd footprint.
+    sever_now: bool,
+    /// The event loop destroyed this connection; late worker responses
+    /// are discarded instead of accumulating forever.
+    gone: bool,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+impl EventSink {
+    fn lock_out(&self) -> MutexGuard<'_, OutBuf> {
+        self.out.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Queue one complete response frame and ring the loop.
+    pub(crate) fn push_frame(&self, payload: &str) {
+        self.push_frame_inner(payload, true);
+    }
+
+    /// Queue a frame WITHOUT ringing the loop. For the query-completion
+    /// path, which must release the connection's pipelining gauge
+    /// between buffering the bytes and waking the loop: the wake can
+    /// preempt the worker (one-core hosts, wake-preemption), let the
+    /// client read the response and pipeline its next request, and have
+    /// that request hit the `conn_cap` check while this worker is still
+    /// parked short of its decrement. Buffer → release → ring closes
+    /// that window; the caller owes the ring (`ring_home`).
+    pub(crate) fn push_frame_quiet(&self, payload: &str) {
+        self.push_frame_inner(payload, false);
+    }
+
+    fn push_frame_inner(&self, payload: &str, ring: bool) {
+        if payload.len() > proto::MAX_FRAME {
+            return; // mirrors write_frame's refusal; server bodies are capped anyway
+        }
+        let mut out = self.lock_out();
+        if out.gone {
+            return;
+        }
+        if out.pending() + payload.len() > MAX_OUTBUF {
+            // The peer stopped reading; drop the buffer and sever.
+            obs::Registry::global().incr("server.outbuf_overflow", 1);
+            out.bytes.clear();
+            out.pos = 0;
+            out.sever_now = true;
+            drop(out);
+            self.home.note(self.token);
+            return;
+        }
+        out.bytes
+            .extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+        out.bytes.extend_from_slice(payload.as_bytes());
+        drop(out);
+        if ring {
+            self.home.note(self.token);
+        }
+    }
+
+    /// Queue a deliberately truncated frame, then sever once it is on
+    /// the wire (chaos `drop=P:mid`).
+    pub(crate) fn push_severed_prefix(&self, payload: &str) {
+        let cut = payload.len() / 2;
+        let mut out = self.lock_out();
+        if out.gone {
+            return;
+        }
+        out.bytes
+            .extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+        out.bytes.extend_from_slice(&payload.as_bytes()[..cut]);
+        out.sever_after = true;
+        drop(out);
+        self.home.note(self.token);
+    }
+
+    /// Ask the owning loop to close this connection, discarding any
+    /// buffered output. The loop owns the socket, so this is a flag
+    /// plus a wakeup rather than a direct `shutdown`.
+    pub(crate) fn sever(&self) {
+        let mut out = self.lock_out();
+        if out.gone {
+            return;
+        }
+        out.sever_now = true;
+        drop(out);
+        self.home.note(self.token);
+    }
+
+    /// Ring the owning loop without queueing bytes (used when a query
+    /// finishes on a path that wrote nothing, so a closing connection
+    /// re-checks its in-flight count promptly).
+    pub(crate) fn ring_home(&self) {
+        self.home.note(self.token);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// Re-check a connection's idle deadline (lazy: re-armed from its
+    /// actual `last_activity` when it fires early).
+    Idle,
+    /// Force-close a connection that kept in-flight queries past its
+    /// grace (peer EOF mid-query, or a drain hitting its deadline).
+    CloseGrace,
+}
+
+/// A single-level hashed timer wheel: 256 slots × 250 ms ≈ a 64 s
+/// horizon, wide enough for the default idle timeout. Entries past the
+/// horizon simply wrap and are re-inserted when their slot fires early —
+/// a few spurious checks per minute per connection, each O(1).
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<(u64, TimerKind, Instant)>>,
+    granularity: Duration,
+    epoch: Instant,
+    /// Last processed absolute tick.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(now: Instant) -> TimerWheel {
+        TimerWheel::with_shape(now, 256, Duration::from_millis(250))
+    }
+
+    pub(crate) fn with_shape(now: Instant, slots: usize, granularity: Duration) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity,
+            epoch: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.epoch).as_nanos() / self.granularity.as_nanos().max(1))
+            as u64
+    }
+
+    pub(crate) fn insert(&mut self, deadline: Instant, token: u64, kind: TimerKind) {
+        // Never behind the cursor, or it would only fire after a full
+        // wrap of the wheel.
+        let tick = self.tick_of(deadline).max(self.cursor + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((token, kind, deadline));
+        self.len += 1;
+    }
+
+    /// Advance to `now`, returning every entry whose deadline passed.
+    /// Entries that merely wrapped (deadline still ahead) re-insert.
+    pub(crate) fn advance(&mut self, now: Instant) -> Vec<(u64, TimerKind)> {
+        let target = self.tick_of(now);
+        let mut due = Vec::new();
+        let mut requeue = Vec::new();
+        let span = (target.saturating_sub(self.cursor)).min(self.slots.len() as u64);
+        for i in 1..=span {
+            let slot = ((self.cursor + i) % self.slots.len() as u64) as usize;
+            for (token, kind, deadline) in self.slots[slot].drain(..) {
+                self.len -= 1;
+                if deadline <= now {
+                    due.push((token, kind));
+                } else {
+                    requeue.push((deadline, token, kind));
+                }
+            }
+        }
+        self.cursor = target.max(self.cursor);
+        for (deadline, token, kind) in requeue {
+            self.insert(deadline, token, kind);
+        }
+        due
+    }
+
+    /// Time until the nearest armed slot, if any entries exist.
+    pub(crate) fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.slots.len() as u64;
+        for i in 1..=n {
+            let tick = self.cursor + i;
+            if !self.slots[(tick % n) as usize].is_empty() {
+                let slot_end = self.epoch
+                    + self
+                        .granularity
+                        .checked_mul((tick + 1) as u32)
+                        .unwrap_or(self.granularity * u32::MAX);
+                return Some(slot_end.saturating_duration_since(now));
+            }
+        }
+        Some(self.granularity)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The event loop itself.
+// ---------------------------------------------------------------------
+
+struct ConnState {
+    stream: TcpStream,
+    conn: Arc<Conn>,
+    fb: FrameBuffer,
+    last_activity: Instant,
+    /// Current poller registration includes write interest.
+    write_armed: bool,
+    /// Peer sent EOF or the protocol decided to stop reading; close
+    /// once in-flight queries and the outbound buffer drain.
+    closing: bool,
+    /// A [`TimerKind::CloseGrace`] entry is armed for this token.
+    grace_armed: bool,
+}
+
+/// What [`spawn_event_loops`] hands back: the shared loop handles (for
+/// `Inner`), the joinable loop threads, and the backend's name.
+pub(crate) type SpawnedLoops = (
+    Arc<EventLoops>,
+    Vec<std::thread::JoinHandle<()>>,
+    &'static str,
+);
+
+/// Build the pollers and spawn one thread per event loop. Loop 0 owns
+/// the listener. Returns the shared handles (for `Inner`) and the
+/// joinable threads.
+pub(crate) fn spawn_event_loops(
+    inner: &Arc<Inner>,
+    listener: TcpListener,
+) -> io::Result<SpawnedLoops> {
+    let n = inner.cfg.event_threads.max(1);
+    listener.set_nonblocking(true)?;
+    let mut pollers = Vec::with_capacity(n);
+    let mut shared = Vec::with_capacity(n);
+    for _ in 0..n {
+        let poller = new_poller()?;
+        shared.push(Arc::new(LoopShared {
+            intake: Mutex::new(Vec::new()),
+            notes: Mutex::new(Vec::new()),
+            waker: poller.waker(),
+        }));
+        pollers.push(poller);
+    }
+    let backend = pollers[0].name();
+    let loops = Arc::new(EventLoops { shared });
+    // Published before any loop runs, so a drain arriving with the very
+    // first connection can already wake every loop.
+    let _ = inner.event.set(loops.clone());
+    let mut threads = Vec::with_capacity(n);
+    let mut listener = Some(listener);
+    for (idx, poller) in pollers.into_iter().enumerate() {
+        let inner = inner.clone();
+        let loops = loops.clone();
+        let listener = listener.take();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ppfd-loop-{idx}"))
+                .spawn(move || run_loop(idx, poller, listener, inner, loops))?,
+        );
+    }
+    Ok((loops, threads, backend))
+}
+
+fn run_loop(
+    idx: usize,
+    mut poller: Box<dyn PollBackend>,
+    mut listener: Option<TcpListener>,
+    inner: Arc<Inner>,
+    loops: Arc<EventLoops>,
+) {
+    let reg = obs::Registry::global();
+    let home = loops.shared[idx].clone();
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut wheel = TimerWheel::new(Instant::now());
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut rr = idx; // round-robin cursor for dealt connections
+    let mut events: Vec<Event> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+
+    if let Some(l) = &listener {
+        if poller
+            .register(fd_of(l), LISTENER_TOKEN, Interest::Read)
+            .is_err()
+        {
+            eprintln!("ppfd: event loop {idx} cannot watch the listener; refusing connections");
+            listener = None;
+        }
+    }
+
+    loop {
+        let now = Instant::now();
+        let draining = inner.draining.load(SeqCst);
+        if draining {
+            if drain_deadline.is_none() {
+                drain_deadline = Some(now + inner.cfg.drain_grace * 2 + Duration::from_secs(1));
+                if let Some(l) = listener.take() {
+                    let _ = poller.deregister(fd_of(&l), LISTENER_TOKEN);
+                    drop(l); // stop accepting immediately
+                }
+            }
+            // Close everything quiescent; keep connections with in-flight
+            // queries (their workers still owe responses) until the
+            // deadline.
+            let quiescent: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.conn.inflight.load(SeqCst) == 0 && c.conn.event_sink_pending() == 0
+                })
+                .map(|(&t, _)| t)
+                .collect();
+            for token in quiescent {
+                destroy(&mut conns, &mut poller, &inner, token);
+            }
+            if conns.is_empty() {
+                break;
+            }
+            if drain_deadline.is_some_and(|d| now >= d) {
+                let all: Vec<u64> = conns.keys().copied().collect();
+                for token in all {
+                    destroy(&mut conns, &mut poller, &inner, token);
+                }
+                break;
+            }
+        }
+
+        let timeout = wheel
+            .next_timeout(now)
+            .unwrap_or(MAX_WAIT)
+            .min(MAX_WAIT)
+            .max(Duration::from_millis(1));
+        events.clear();
+        if let Err(e) = poller.wait(&mut events, Some(timeout)) {
+            eprintln!("ppfd: event loop {idx} poll failed: {e}; shutting the loop down");
+            break;
+        }
+
+        for &ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                accept_burst(&inner, &loops, &mut listener, &mut rr, &home);
+                continue;
+            }
+            if ev.hangup {
+                destroy(&mut conns, &mut poller, &inner, ev.token);
+                continue;
+            }
+            if ev.readable {
+                handle_readable(&inner, &mut conns, &mut poller, &mut wheel, ev.token);
+            }
+            if ev.writable && conns.contains_key(&ev.token) {
+                flush_conn(&inner, &mut conns, &mut poller, &mut wheel, ev.token);
+            }
+        }
+
+        // Adopt dealt connections.
+        let fresh = std::mem::take(&mut *home.lock_intake());
+        for stream in fresh {
+            adopt(
+                &inner,
+                &mut conns,
+                &mut poller,
+                &mut wheel,
+                &home,
+                &mut next_token,
+                stream,
+            );
+        }
+
+        // Workers finished queries: flush their responses, re-arming
+        // write interest for whatever does not fit the socket buffer.
+        let notes = std::mem::take(&mut *home.lock_notes());
+        for token in notes {
+            if conns.contains_key(&token) {
+                flush_conn(&inner, &mut conns, &mut poller, &mut wheel, token);
+            }
+        }
+
+        // Timer-wheel checks: idle reaping and close graces.
+        let now = Instant::now();
+        for (token, kind) in wheel.advance(now) {
+            match kind {
+                TimerKind::Idle => {
+                    // Lazy check: reap only when truly idle past the
+                    // deadline, otherwise re-arm from the real one.
+                    let rearm_at = {
+                        let Some(c) = conns.get_mut(&token) else {
+                            continue;
+                        };
+                        let deadline = c.last_activity + inner.cfg.idle_timeout;
+                        let quiescent = c.conn.inflight.load(SeqCst) == 0;
+                        if quiescent && now >= deadline {
+                            None
+                        } else if quiescent {
+                            Some(deadline)
+                        } else {
+                            Some(now + inner.cfg.idle_timeout)
+                        }
+                    };
+                    match rearm_at {
+                        None => {
+                            reg.incr("server.idle_reaped", 1);
+                            destroy(&mut conns, &mut poller, &inner, token);
+                        }
+                        Some(at) => wheel.insert(at, token, TimerKind::Idle),
+                    }
+                }
+                TimerKind::CloseGrace => {
+                    let expire = {
+                        let Some(c) = conns.get_mut(&token) else {
+                            continue;
+                        };
+                        c.grace_armed = false;
+                        c.closing
+                    };
+                    if expire {
+                        destroy(&mut conns, &mut poller, &inner, token);
+                    }
+                }
+            }
+        }
+    }
+
+    // Loop teardown: anything still tracked is released so gauges and
+    // counters stay truthful even on an abnormal exit.
+    let leftovers: Vec<u64> = conns.keys().copied().collect();
+    for token in leftovers {
+        destroy(&mut conns, &mut poller, &inner, token);
+    }
+}
+
+/// Accept until the listener would block, dealing connections across
+/// the loops round-robin. Runs only on loop 0.
+fn accept_burst(
+    inner: &Arc<Inner>,
+    loops: &Arc<EventLoops>,
+    listener: &mut Option<TcpListener>,
+    rr: &mut usize,
+    _home: &Arc<LoopShared>,
+) {
+    let reg = obs::Registry::global();
+    let Some(l) = listener.as_ref() else {
+        return;
+    };
+    loop {
+        match l.accept() {
+            Ok((stream, _peer)) => {
+                if inner.draining.load(SeqCst) {
+                    continue; // dropped: the drain already refused new work
+                }
+                reg.incr("server.accepted", 1);
+                let cap = inner.cfg.max_conns;
+                if cap > 0 && inner.active_conns.load(SeqCst) >= cap {
+                    reg.incr("server.shed", 1);
+                    reg.incr("server.shed.max_conns", 1);
+                    // Best-effort typed rejection: the socket buffer of a
+                    // fresh connection always has room for one frame.
+                    let resp =
+                        Response::err("-", ErrorKind::Overload, format!("shed: max_conns ({cap})"));
+                    let _ = stream.set_nonblocking(true);
+                    let _ = (&stream).write_all(
+                        {
+                            let p = resp.render();
+                            format!("{}\n{p}", p.len()).into_bytes()
+                        }
+                        .as_slice(),
+                    );
+                    continue;
+                }
+                open_conn(inner);
+                let target = *rr % loops.shared.len();
+                *rr = rr.wrapping_add(1);
+                loops.shared[target].push_conn(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Take ownership of a dealt connection: nonblocking socket, poller
+/// registration, state machine, idle timer.
+fn adopt(
+    inner: &Arc<Inner>,
+    conns: &mut HashMap<u64, ConnState>,
+    poller: &mut Box<dyn PollBackend>,
+    wheel: &mut TimerWheel,
+    home: &Arc<LoopShared>,
+    next_token: &mut u64,
+    stream: TcpStream,
+) {
+    let token = *next_token;
+    *next_token += 1;
+    if stream.set_nonblocking(true).is_err() {
+        close_conn(inner);
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    if poller
+        .register(fd_of(&stream), token, Interest::Read)
+        .is_err()
+    {
+        close_conn(inner);
+        return;
+    }
+    let conn = Arc::new(Conn::event(EventSink {
+        out: Mutex::new(OutBuf::default()),
+        home: home.clone(),
+        token,
+    }));
+    let now = Instant::now();
+    wheel.insert(now + inner.cfg.idle_timeout, token, TimerKind::Idle);
+    conns.insert(
+        token,
+        ConnState {
+            stream,
+            conn,
+            fb: FrameBuffer::new(),
+            last_activity: now,
+            write_armed: false,
+            closing: false,
+            grace_armed: false,
+        },
+    );
+}
+
+/// Drain the socket into the frame buffer and run every complete frame.
+fn handle_readable(
+    inner: &Arc<Inner>,
+    conns: &mut HashMap<u64, ConnState>,
+    poller: &mut Box<dyn PollBackend>,
+    wheel: &mut TimerWheel,
+    token: u64,
+) {
+    let reg = obs::Registry::global();
+    let mut fatal = false;
+    let closing;
+    {
+        let Some(c) = conns.get_mut(&token) else {
+            return;
+        };
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match c.stream.read(&mut buf) {
+                Ok(0) => {
+                    c.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    c.fb.extend(&buf[..n]);
+                    if n < buf.len() {
+                        break; // short read: the socket is drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        if !fatal {
+            loop {
+                match c.fb.next_frame() {
+                    Ok(Some(payload)) => {
+                        c.last_activity = Instant::now();
+                        if !handle_frame(inner, &c.conn, &payload) {
+                            c.closing = true;
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        reg.incr("server.proto_errors", 1);
+                        c.conn
+                            .write_response(&Response::err("-", ErrorKind::Proto, e.to_string()));
+                        c.closing = true;
+                        break;
+                    }
+                }
+            }
+        }
+        closing = c.closing;
+    }
+    if fatal {
+        destroy(conns, poller, inner, token);
+    } else if closing {
+        begin_close(inner, conns, poller, wheel, token);
+    }
+}
+
+/// Start closing: immediate if quiescent and flushed, otherwise wait for
+/// in-flight workers under a grace deadline.
+fn begin_close(
+    inner: &Arc<Inner>,
+    conns: &mut HashMap<u64, ConnState>,
+    poller: &mut Box<dyn PollBackend>,
+    wheel: &mut TimerWheel,
+    token: u64,
+) {
+    // Flush whatever is already buffered (typed proto errors, the tail
+    // of pipelined responses) before deciding.
+    flush_conn(inner, conns, poller, wheel, token);
+    let Some(c) = conns.get_mut(&token) else {
+        return;
+    };
+    if c.conn.inflight.load(SeqCst) == 0 && c.conn.event_sink_pending() == 0 {
+        destroy(conns, poller, inner, token);
+    } else if !c.grace_armed {
+        c.grace_armed = true;
+        wheel.insert(
+            Instant::now() + inner.cfg.drain_grace,
+            token,
+            TimerKind::CloseGrace,
+        );
+    }
+}
+
+/// Write as much buffered outbound as the socket accepts; arm or disarm
+/// write interest to match what remains.
+fn flush_conn(
+    inner: &Arc<Inner>,
+    conns: &mut HashMap<u64, ConnState>,
+    poller: &mut Box<dyn PollBackend>,
+    wheel: &mut TimerWheel,
+    token: u64,
+) {
+    let mut dead = false;
+    let mut close_now = false;
+    {
+        let Some(c) = conns.get_mut(&token) else {
+            return;
+        };
+        let sink = c.conn.event_sink().expect("event-core conn");
+        let mut out = sink.lock_out();
+        if out.sever_now {
+            dead = true;
+        }
+        while !dead && out.pending() > 0 {
+            // `&TcpStream` is `Write`, so the sink borrow and the stream
+            // write coexist.
+            match (&c.stream).write(&out.bytes[out.pos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    out.pos += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if !dead && out.pending() == 0 {
+            out.bytes.clear();
+            out.pos = 0;
+            if out.sever_after {
+                dead = true;
+            }
+        }
+        let drained = out.pending() == 0;
+        drop(out);
+        if dead {
+            let _ = c.stream.shutdown(std::net::Shutdown::Both);
+        } else {
+            let want_write = !drained;
+            if want_write != c.write_armed {
+                let interest = if want_write {
+                    Interest::ReadWrite
+                } else {
+                    Interest::Read
+                };
+                if poller.reregister(fd_of(&c.stream), token, interest).is_ok() {
+                    c.write_armed = want_write;
+                }
+            }
+            if drained && c.closing && c.conn.inflight.load(SeqCst) == 0 {
+                close_now = true;
+            } else if c.closing && !c.grace_armed {
+                c.grace_armed = true;
+                wheel.insert(
+                    Instant::now() + inner.cfg.drain_grace,
+                    token,
+                    TimerKind::CloseGrace,
+                );
+            }
+        }
+    }
+    if dead || close_now {
+        destroy(conns, poller, inner, token);
+    }
+}
+
+/// Tear one connection down: deregister, mark the sink gone so late
+/// worker responses are discarded, release the connection gauge.
+fn destroy(
+    conns: &mut HashMap<u64, ConnState>,
+    poller: &mut Box<dyn PollBackend>,
+    inner: &Arc<Inner>,
+    token: u64,
+) {
+    let Some(c) = conns.remove(&token) else {
+        return;
+    };
+    let _ = poller.deregister(fd_of(&c.stream), token);
+    if let Some(sink) = c.conn.event_sink() {
+        let mut out = sink.lock_out();
+        out.gone = true;
+        out.bytes.clear();
+        out.pos = 0;
+    }
+    close_conn(inner);
+}
+
+impl Conn {
+    /// Bytes still queued in this connection's outbound buffer (0 for
+    /// the sync core, which writes synchronously).
+    pub(crate) fn event_sink_pending(&self) -> usize {
+        self.event_sink().map_or(0, |s| s.lock_out().pending())
+    }
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> i32 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_fires_due_entries_once() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_shape(t0, 16, Duration::from_millis(10));
+        w.insert(t0 + Duration::from_millis(25), 1, TimerKind::Idle);
+        w.insert(t0 + Duration::from_millis(95), 2, TimerKind::CloseGrace);
+        assert!(w.advance(t0 + Duration::from_millis(10)).is_empty());
+        let due = w.advance(t0 + Duration::from_millis(40));
+        assert_eq!(due, vec![(1, TimerKind::Idle)]);
+        assert!(w.advance(t0 + Duration::from_millis(50)).is_empty());
+        let due = w.advance(t0 + Duration::from_millis(120));
+        assert_eq!(due, vec![(2, TimerKind::CloseGrace)]);
+        assert!(w.next_timeout(t0 + Duration::from_millis(121)).is_none());
+    }
+
+    #[test]
+    fn wheel_entries_past_the_horizon_wrap_and_still_fire() {
+        let t0 = Instant::now();
+        // Horizon = 16 × 10ms = 160ms; the entry sits 3 wraps out.
+        let mut w = TimerWheel::with_shape(t0, 16, Duration::from_millis(10));
+        w.insert(t0 + Duration::from_millis(500), 9, TimerKind::Idle);
+        let mut fired = Vec::new();
+        for step in 1..=60 {
+            fired.extend(w.advance(t0 + Duration::from_millis(step * 10)));
+        }
+        assert_eq!(fired, vec![(9, TimerKind::Idle)]);
+    }
+
+    #[test]
+    fn wheel_next_timeout_tracks_the_nearest_entry() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::with_shape(t0, 32, Duration::from_millis(10));
+        assert!(w.next_timeout(t0).is_none());
+        w.insert(t0 + Duration::from_millis(70), 1, TimerKind::Idle);
+        let timeout = w.next_timeout(t0).expect("armed");
+        assert!(
+            timeout <= Duration::from_millis(90),
+            "timeout {timeout:?} overshoots the 70ms entry"
+        );
+    }
+}

@@ -26,11 +26,14 @@
 
 pub mod admission;
 pub mod client;
+mod event_loop;
 pub mod fault;
+mod frame;
+pub mod poller;
 pub mod proto;
 pub mod server;
 
-pub use admission::{Admission, AdmissionPolicy, ShedReason};
+pub use admission::{Admission, AdmissionPolicy, ShedReason, TryAdmit};
 pub use client::Client;
 pub use fault::{ChaosState, DropPhase, Fault};
 pub use proto::{ErrorKind, Request, Response, Verb};

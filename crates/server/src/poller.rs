@@ -1,0 +1,625 @@
+//! Readiness polling behind one trait, with zero dependencies.
+//!
+//! Two backends implement [`PollBackend`]:
+//!
+//! * [`EpollPoller`] — Linux `epoll` reached through raw `syscall!`
+//!   wrappers (inline-asm syscalls on x86_64/aarch64; no `libc` crate,
+//!   no `extern` symbols). Level-triggered, one `eventfd` per poller as
+//!   the cross-thread wakeup channel. Millions of mostly-idle
+//!   connections cost one sleeping `epoll_pwait` per event thread.
+//! * [`FallbackPoller`] — a portable degraded mode for non-Linux hosts
+//!   (and for CI coverage via `PPF_POLLER=fallback`): it cannot ask the
+//!   kernel which sockets are ready, so every `wait` tick reports all
+//!   registered tokens as ready and relies on the event loop's
+//!   nonblocking reads/writes to no-op on the quiet ones. Its wakeup
+//!   channel is a loopback `TcpStream` pair, so cross-thread wakeups are
+//!   still prompt, not tick-bound.
+//!
+//! [`Poller::new`] picks the backend: epoll where the shim exists,
+//! fallback elsewhere or when forced by the environment.
+
+use std::io;
+use std::time::Duration;
+
+/// What the event loop wants to hear about for one registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Readable only (the common idle-connection state).
+    Read,
+    /// Readable plus writable (outbound bytes are queued).
+    ReadWrite,
+}
+
+/// One readiness event. `token` is the registration's identity; a level
+/// may report both directions at once.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup on the fd — the connection should be torn down
+    /// after a final read attempt drains whatever the kernel still has.
+    pub hangup: bool,
+}
+
+/// A thread-safe handle that interrupts a blocked [`PollBackend::wait`].
+#[derive(Clone)]
+pub struct Waker(WakerImpl);
+
+#[derive(Clone)]
+enum WakerImpl {
+    #[cfg(ppf_epoll)]
+    Epoll(std::sync::Arc<sys::OwnedFd>),
+    Stream(std::sync::Arc<std::net::TcpStream>),
+}
+
+impl Waker {
+    /// Wake the poller. Cheap, idempotent within one wait cycle, and
+    /// safe from any thread (including the poller's own).
+    pub fn wake(&self) {
+        match &self.0 {
+            #[cfg(ppf_epoll)]
+            WakerImpl::Epoll(fd) => {
+                // An eventfd write of 1; EAGAIN means the counter is
+                // already nonzero — the wakeup is pending, done.
+                let _ = sys::write_u64(fd.raw(), 1);
+            }
+            WakerImpl::Stream(stream) => {
+                use std::io::Write;
+                // A full pipe means unread wakeups are already queued.
+                let _ = (&**stream).write(&[1u8]);
+            }
+        }
+    }
+}
+
+/// The readiness backend the event loop drives. Registration keys are
+/// caller-chosen `token`s; fds are raw so the trait stays identical
+/// across backends (the fallback ignores them).
+pub trait PollBackend: Send {
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()>;
+    fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()>;
+    fn deregister(&mut self, fd: i32, token: u64) -> io::Result<()>;
+    /// Block until readiness, a wakeup, or `timeout`; deliver events.
+    /// Wakeup consumption is internal — wakers never surface as events.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+    fn waker(&self) -> Waker;
+    /// Backend name for the `health` verb and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Construct the best backend for this host. `PPF_POLLER=fallback`
+/// forces the portable path (used by CI to cover it on Linux too).
+pub fn new_poller() -> io::Result<Box<dyn PollBackend>> {
+    let forced = std::env::var("PPF_POLLER").ok();
+    match forced.as_deref() {
+        Some("fallback") => return Ok(Box::new(FallbackPoller::new()?)),
+        Some("epoll") | None => {}
+        Some(other) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("PPF_POLLER must be epoll|fallback, got {other:?}"),
+            ))
+        }
+    }
+    #[cfg(ppf_epoll)]
+    {
+        Ok(Box::new(EpollPoller::new()?))
+    }
+    #[cfg(not(ppf_epoll))]
+    {
+        if forced.as_deref() == Some("epoll") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "PPF_POLLER=epoll but this target has no epoll shim",
+            ));
+        }
+        Ok(Box::new(FallbackPoller::new()?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw Linux syscall shim (x86_64 / aarch64), no libc crate.
+// ---------------------------------------------------------------------
+
+#[cfg(ppf_epoll)]
+pub(crate) mod sys {
+    //! The five syscalls the epoll backend needs, as thin `usize`-level
+    //! wrappers over the architecture's syscall instruction. Return
+    //! values in `[-4095, -1]` are `-errno`, per the Linux ABI.
+
+    use std::io;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const READ: usize = 0;
+        pub const WRITE: usize = 1;
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EVENTFD2: usize = 290;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const READ: usize = 63;
+        pub const WRITE: usize = 64;
+        pub const CLOSE: usize = 57;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EVENTFD2: usize = 19;
+        pub const EPOLL_CREATE1: usize = 20;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn raw_syscall(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn raw_syscall(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Issue a syscall and fold the kernel's `-errno` convention into
+    /// `io::Result`. Arguments beyond the given ones are zero — which
+    /// matters: `epoll_pwait` validates its (unused here) 5th and 6th
+    /// arguments, so garbage registers mean spurious `EINVAL`.
+    macro_rules! syscall {
+        ($nr:expr $(, $arg:expr)*) => {{
+            let args = [$($arg as usize),*];
+            let a = |i: usize| args.get(i).copied().unwrap_or(0);
+            let ret = unsafe { raw_syscall($nr, a(0), a(1), a(2), a(3), a(4), a(5)) };
+            if (-4095..0).contains(&ret) {
+                Err(io::Error::from_raw_os_error(-ret as i32))
+            } else {
+                Ok(ret)
+            }
+        }};
+    }
+
+    pub const EPOLL_CTL_ADD: usize = 1;
+    pub const EPOLL_CTL_DEL: usize = 2;
+    pub const EPOLL_CTL_MOD: usize = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EFD_CLOEXEC: usize = 0o2000000;
+    const EFD_NONBLOCK: usize = 0o4000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86_64 (the one ABI
+    /// where the kernel declares it so); naturally aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy, Default)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// A raw fd that closes itself on drop.
+    pub struct OwnedFd(i32);
+
+    impl OwnedFd {
+        pub fn raw(&self) -> i32 {
+            self.0
+        }
+    }
+
+    impl Drop for OwnedFd {
+        fn drop(&mut self) {
+            let _ = syscall!(nr::CLOSE, self.0);
+        }
+    }
+
+    pub fn epoll_create1() -> io::Result<OwnedFd> {
+        syscall!(nr::EPOLL_CREATE1, EPOLL_CLOEXEC).map(|fd| OwnedFd(fd as i32))
+    }
+
+    pub fn eventfd() -> io::Result<OwnedFd> {
+        syscall!(nr::EVENTFD2, 0usize, EFD_CLOEXEC | EFD_NONBLOCK).map(|fd| OwnedFd(fd as i32))
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: usize, fd: i32, event: Option<EpollEvent>) -> io::Result<()> {
+        let ev = event.unwrap_or_default();
+        let ptr = match op {
+            EPOLL_CTL_DEL => 0usize,
+            _ => &ev as *const EpollEvent as usize,
+        };
+        syscall!(nr::EPOLL_CTL, epfd, op, fd, ptr).map(|_| ())
+    }
+
+    /// `epoll_pwait` with a null sigmask (aarch64 has no plain
+    /// `epoll_wait`; pwait covers both). Returns the event count.
+    pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = syscall!(
+            nr::EPOLL_PWAIT,
+            epfd,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout_ms as usize
+        )?;
+        Ok(ret as usize)
+    }
+
+    /// Read one `u64` (the eventfd counter drain).
+    pub fn read_u64(fd: i32) -> io::Result<u64> {
+        let mut buf = 0u64;
+        syscall!(nr::READ, fd, &mut buf as *mut u64 as usize, 8usize)?;
+        Ok(buf)
+    }
+
+    /// Write one `u64` (the eventfd wakeup).
+    pub fn write_u64(fd: i32, value: u64) -> io::Result<()> {
+        syscall!(nr::WRITE, fd, &value as *const u64 as usize, 8usize).map(|_| ())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoll backend.
+// ---------------------------------------------------------------------
+
+#[cfg(ppf_epoll)]
+pub struct EpollPoller {
+    epfd: sys::OwnedFd,
+    wake: std::sync::Arc<sys::OwnedFd>,
+    /// Reused kernel-facing event buffer.
+    scratch: Vec<sys::EpollEvent>,
+}
+
+/// The token the wakeup eventfd is registered under; never handed out
+/// by the event loop (its tokens start at 1).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+#[cfg(ppf_epoll)]
+impl EpollPoller {
+    pub fn new() -> io::Result<EpollPoller> {
+        let epfd = sys::epoll_create1()?;
+        let wake = sys::eventfd()?;
+        sys::epoll_ctl(
+            epfd.raw(),
+            sys::EPOLL_CTL_ADD,
+            wake.raw(),
+            Some(sys::EpollEvent {
+                events: sys::EPOLLIN,
+                data: WAKE_TOKEN,
+            }),
+        )?;
+        Ok(EpollPoller {
+            epfd,
+            wake: std::sync::Arc::new(wake),
+            scratch: vec![sys::EpollEvent::default(); 1024],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        match interest {
+            Interest::Read => sys::EPOLLIN | sys::EPOLLRDHUP,
+            Interest::ReadWrite => sys::EPOLLIN | sys::EPOLLOUT | sys::EPOLLRDHUP,
+        }
+    }
+}
+
+#[cfg(ppf_epoll)]
+impl PollBackend for EpollPoller {
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.epfd.raw(),
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Some(sys::EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            }),
+        )
+    }
+
+    fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.epfd.raw(),
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Some(sys::EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            }),
+        )
+    }
+
+    fn deregister(&mut self, fd: i32, _token: u64) -> io::Result<()> {
+        sys::epoll_ctl(self.epfd.raw(), sys::EPOLL_CTL_DEL, fd, None)
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0.4ms deadline does not busy-spin at 0.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        let n = loop {
+            match sys::epoll_wait(self.epfd.raw(), &mut self.scratch, timeout_ms) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &self.scratch[..n] {
+            let (bits, token) = (ev.events, ev.data);
+            if token == WAKE_TOKEN {
+                let _ = sys::read_u64(self.wake.raw());
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn waker(&self) -> Waker {
+        Waker(WakerImpl::Epoll(self.wake.clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        "epoll"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portable fallback backend.
+// ---------------------------------------------------------------------
+
+/// Degraded-mode tick between "everything might be ready" sweeps when no
+/// wakeup arrives sooner.
+const FALLBACK_TICK: Duration = Duration::from_millis(10);
+
+pub struct FallbackPoller {
+    /// token → interest; fds are unused (readiness is not knowable
+    /// portably, so every tick reports everything).
+    registered: std::collections::BTreeMap<u64, Interest>,
+    /// Read side of the loopback wakeup pair.
+    wake_rx: std::net::TcpStream,
+    wake_tx: std::sync::Arc<std::net::TcpStream>,
+}
+
+impl FallbackPoller {
+    pub fn new() -> io::Result<FallbackPoller> {
+        // A connected loopback pair is the only std-portable
+        // selectable-ish wakeup channel: the receiving side blocks in a
+        // timed read, the waker writes one byte.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let tx = std::net::TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nodelay(true).ok();
+        tx.set_nonblocking(true)?;
+        Ok(FallbackPoller {
+            registered: std::collections::BTreeMap::new(),
+            wake_rx: rx,
+            wake_tx: std::sync::Arc::new(tx),
+        })
+    }
+}
+
+impl PollBackend for FallbackPoller {
+    fn register(&mut self, _fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.registered.insert(token, interest);
+        Ok(())
+    }
+
+    fn reregister(&mut self, _fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.registered.insert(token, interest);
+        Ok(())
+    }
+
+    fn deregister(&mut self, _fd: i32, token: u64) -> io::Result<()> {
+        self.registered.remove(&token);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        use std::io::Read;
+        // Sleep on the wakeup stream: a waker byte ends the sleep early,
+        // otherwise the tick (bounded by the caller's timeout) elapses.
+        let tick = match timeout {
+            Some(d) => d.min(FALLBACK_TICK),
+            None => FALLBACK_TICK,
+        };
+        self.wake_rx
+            .set_read_timeout(Some(tick.max(Duration::from_millis(1))))
+            .ok();
+        let mut buf = [0u8; 64];
+        if self.wake_rx.read(&mut buf).is_ok() {
+            // Drain any pile-up without blocking again.
+            self.wake_rx
+                .set_read_timeout(Some(Duration::from_micros(1)))
+                .ok();
+            while matches!(self.wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+        }
+        // Degraded readiness: report every registration; the event
+        // loop's nonblocking I/O no-ops on the quiet ones.
+        for (&token, &interest) in &self.registered {
+            events.push(Event {
+                token,
+                readable: true,
+                writable: interest == Interest::ReadWrite,
+                hangup: false,
+            });
+        }
+        Ok(())
+    }
+
+    fn waker(&self) -> Waker {
+        Waker(WakerImpl::Stream(self.wake_tx.clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        "fallback"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Box<dyn PollBackend>> {
+        let mut v: Vec<Box<dyn PollBackend>> = vec![Box::new(FallbackPoller::new().unwrap())];
+        #[cfg(ppf_epoll)]
+        v.push(Box::new(EpollPoller::new().unwrap()));
+        v
+    }
+
+    #[test]
+    fn wait_times_out_without_events() {
+        for mut p in backends() {
+            let mut events = Vec::new();
+            let t0 = Instant::now();
+            p.wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "{}: no registrations, no events",
+                p.name()
+            );
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "{}: timeout honored",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_long_wait() {
+        for mut p in backends() {
+            let name = p.name();
+            let waker = p.waker();
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.wake();
+            });
+            let mut events = Vec::new();
+            let t0 = Instant::now();
+            p.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "{name}: wakeup cut the wait short"
+            );
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wakeups_are_consumed_not_surfaced() {
+        for mut p in backends() {
+            let name = p.name();
+            p.waker().wake();
+            let mut events = Vec::new();
+            p.wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token != WAKE_TOKEN),
+                "{name}: wake token never surfaces"
+            );
+            // And the wakeup does not stick: the next wait times out.
+            let t0 = Instant::now();
+            events.clear();
+            p.wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert!(
+                t0.elapsed() >= Duration::from_millis(5) || events.is_empty(),
+                "{name}: wakeup was drained"
+            );
+        }
+    }
+
+    #[cfg(ppf_epoll)]
+    #[test]
+    fn epoll_sees_socket_readability() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let mut p = EpollPoller::new().unwrap();
+        p.register(rx.as_raw_fd(), 7, Interest::Read).unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "no bytes yet");
+
+        tx.write_all(b"ping").unwrap();
+        tx.flush().unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Write interest fires immediately on an empty socket buffer.
+        p.reregister(rx.as_raw_fd(), 7, Interest::ReadWrite)
+            .unwrap();
+        let mut events = Vec::new();
+        p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        p.deregister(rx.as_raw_fd(), 7).unwrap();
+        drop(tx);
+    }
+}

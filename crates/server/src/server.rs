@@ -1,35 +1,51 @@
 //! The serving loop: accept, admit, execute, respond, drain.
 //!
-//! One [`SharedEngine`] serves N connections, one OS thread per
-//! connection plus one short-lived worker thread per admitted query (so
-//! a connection can pipeline queries up to its cap, and `cancel` can
-//! reach a query mid-flight). Worker count is bounded by the admission
-//! controller's in-flight cap, not by connection count.
+//! One [`SharedEngine`] serves N connections through one of two
+//! connection cores sharing every layer above the socket:
+//!
+//! * the **event core** (default, [`crate::event_loop`]): a fixed pool
+//!   of readiness-driven threads owns every connection, so 10 000 idle
+//!   connections cost a handful of resident threads and zero wakeups;
+//! * the **sync core** (`sync_conns` / `--sync-conns`): the legacy
+//!   thread-per-connection loop, kept as a portable reference and a
+//!   bisection aid.
+//!
+//! Either way, each admitted query still runs on its own short-lived
+//! worker thread (so a connection can pipeline queries up to its cap and
+//! `cancel` can reach a query mid-flight), bounded by the admission
+//! controller's in-flight cap plus queue depth — never by connection
+//! count.
 //!
 //! Robustness properties the tests and the chaos harness hold us to:
 //!
 //! * a panicking query (injected or real) is contained by `catch_unwind`
 //!   in its worker and degrades to one `err exec` response — never a
 //!   process death;
+//! * a failed *thread spawn* (fd/PID exhaustion) sheds the one request
+//!   or connection with a typed `[overload]` error — never a process
+//!   death and never a leaked connection count;
 //! * every rejection is typed (`overload`, `shutdown`, `proto`) so
 //!   clients can back off instead of guessing;
-//! * sockets carry read/write timeouts and idle connections are reaped,
-//!   so slow or vanished clients cannot pin resources;
+//! * slow or vanished clients cannot pin resources: the sync core uses
+//!   socket timeouts, the event core bounded outbound buffers and
+//!   timer-wheel idle reaping;
 //! * `shutdown`/SIGTERM drains gracefully: stop accepting, give
 //!   in-flight queries a grace period, cancel stragglers through their
 //!   [`CancelToken`]s, then exit with counters flushed.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use ppf_core::{CancelToken, QueryLimits, SharedEngine};
 
-use crate::admission::{Admission, AdmissionPolicy, ShedReason, Slot};
+use crate::admission::{Admission, AdmissionPolicy, ShedReason, Slot, TryAdmit};
+use crate::event_loop::{self, EventLoops, EventSink};
 use crate::fault::{ChaosState, DropPhase, Fault};
+use crate::frame::FrameBuffer;
 use crate::proto::{self, ErrorKind, Request, Response, Verb};
 
 /// Tunables. `Default` is sized for a small daemon; `ppfd` exposes each
@@ -48,7 +64,9 @@ pub struct ServerConfig {
     pub per_conn_cap: usize,
     /// Deadline applied to queries that do not send `timeout=MS`.
     pub default_deadline: Option<Duration>,
-    /// Socket write timeout: a stuck client forfeits its response.
+    /// Socket write timeout: a stuck client forfeits its response (sync
+    /// core; the event core bounds stuck clients by outbound-buffer cap
+    /// and idle reaping instead).
     pub write_timeout: Duration,
     /// Close connections with no traffic and no queries for this long.
     pub idle_timeout: Duration,
@@ -66,6 +84,15 @@ pub struct ServerConfig {
     /// When set, a background thread writes a metrics snapshot to stderr
     /// at this interval until the server drains.
     pub metrics_interval: Option<Duration>,
+    /// Event core: readiness threads owning the connections. Each extra
+    /// thread only helps while network processing itself saturates one.
+    pub event_threads: usize,
+    /// Hard connection cap (0 = unlimited). Arrivals beyond it get a
+    /// typed `[overload]` rejection at accept time.
+    pub max_conns: usize,
+    /// Use the legacy thread-per-connection core instead of the event
+    /// core (also honoured from `PPF_SYNC_CONNS=1` for CI matrices).
+    pub sync_conns: bool,
 }
 
 impl Default for ServerConfig {
@@ -84,29 +111,44 @@ impl Default for ServerConfig {
             slow_query: Duration::from_millis(250),
             slowlog_capacity: 64,
             metrics_interval: None,
+            event_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, 4),
+            max_conns: 0,
+            sync_conns: std::env::var("PPF_SYNC_CONNS").as_deref() == Ok("1"),
         }
     }
 }
 
-/// How often blocked reads wake to check drain/idle state.
+/// How often blocked reads wake to check drain/idle state (sync core).
 const POLL_TICK: Duration = Duration::from_millis(50);
-/// How often the accept loop polls for new connections / drain.
+/// How often the accept loop polls for new connections / drain (sync core).
 const ACCEPT_TICK: Duration = Duration::from_millis(10);
 
 /// Shared server state.
-struct Inner {
-    engine: SharedEngine,
-    cfg: ServerConfig,
-    admission: Arc<Admission>,
-    chaos: ChaosState,
-    draining: AtomicBool,
-    active_conns: AtomicUsize,
+pub(crate) struct Inner {
+    pub(crate) engine: SharedEngine,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) admission: Arc<Admission>,
+    pub(crate) chaos: ChaosState,
+    pub(crate) draining: AtomicBool,
+    pub(crate) active_conns: AtomicUsize,
     /// In-flight queries by request id, for `cancel` and drain.
     queries: Mutex<HashMap<String, CancelToken>>,
     /// Bounded ring of the slowest recent queries, oldest evicted first.
     slowlog: Mutex<VecDeque<SlowEntry>>,
     /// Server start, the epoch for slowlog entry ages.
     started: Instant,
+    /// Which connection core runs, for `health` and logs.
+    core: OnceLock<String>,
+    /// Event-core loop handles (absent under `sync_conns`), so drains
+    /// can wake every loop immediately.
+    pub(crate) event: OnceLock<Arc<EventLoops>>,
+    /// Drain announcement for interval sleepers (the metrics loop):
+    /// flips exactly once, under the lock, with a broadcast.
+    drain_flag: Mutex<bool>,
+    drain_cv: Condvar,
 }
 
 impl Inner {
@@ -168,12 +210,47 @@ impl SlowEntry {
 /// Longest query text kept per slowlog entry.
 const SLOWLOG_QUERY_CHARS: usize = 200;
 
+/// Deliberate thread-spawn failure injection, so tests can prove that
+/// resource exhaustion sheds requests instead of killing the server.
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+    static FAIL_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Make the next `n` sheddable spawns (connection threads, query
+    /// workers, the drain helper) report failure instead of spawning.
+    pub fn fail_next_spawns(n: usize) {
+        FAIL_SPAWNS.store(n, SeqCst);
+    }
+
+    pub(crate) fn spawn_should_fail() -> bool {
+        FAIL_SPAWNS
+            .fetch_update(SeqCst, SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Spawn a thread the server can live without: failure is returned, not
+/// panicked, so callers shed the one piece of work instead of dying.
+fn spawn_sheddable(
+    name: &str,
+    f: impl FnOnce() + Send + 'static,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    if test_hooks::spawn_should_fail() {
+        return Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "injected spawn failure",
+        ));
+    }
+    std::thread::Builder::new().name(name.to_string()).spawn(f)
+}
+
 /// Handle returned by [`serve`]: inspect the bound address, trigger a
 /// drain, wait for exit.
 pub struct ServerHandle {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    accept_thread: std::thread::JoinHandle<()>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -202,17 +279,29 @@ impl ServerHandle {
         self.inner.draining.load(SeqCst)
     }
 
-    /// Wait until the server has fully drained and stopped.
+    /// Which connection core is serving (`sync`, `async(epoll, …)`).
+    pub fn core(&self) -> &str {
+        self.inner
+            .core
+            .get()
+            .map(String::as_str)
+            .unwrap_or("unknown")
+    }
+
+    /// Wait until the server has fully drained and stopped: the accept
+    /// or event-loop threads and the metrics reporter are all joined.
     pub fn join(self) {
-        self.accept_thread.join().ok();
+        for t in self.threads {
+            t.join().ok();
+        }
     }
 }
 
-/// Bind `addr` and serve `engine` until a drain completes.
+/// Bind `addr` and serve `engine` until a drain completes. Fails (rather
+/// than panicking) if the listener or any core thread cannot start.
 pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
     let inner = Arc::new(Inner {
         admission: Admission::new(
             cfg.max_inflight,
@@ -228,41 +317,116 @@ pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<
         queries: Mutex::new(HashMap::new()),
         slowlog: Mutex::new(VecDeque::new()),
         started: Instant::now(),
+        core: OnceLock::new(),
+        event: OnceLock::new(),
+        drain_flag: Mutex::new(false),
+        drain_cv: Condvar::new(),
     });
+    let mut threads = Vec::new();
+    if inner.cfg.sync_conns {
+        listener.set_nonblocking(true)?;
+        let _ = inner.core.set("sync".to_string());
+        let accept_inner = inner.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ppfd-accept".to_string())
+                .spawn(move || accept_loop(listener, accept_inner))?,
+        );
+    } else {
+        let (_loops, loop_threads, backend) = event_loop::spawn_event_loops(&inner, listener)?;
+        let _ = inner.core.set(format!(
+            "async({backend}, {} loops)",
+            inner.cfg.event_threads.max(1)
+        ));
+        threads.extend(loop_threads);
+    }
     if let Some(interval) = inner.cfg.metrics_interval {
         let metrics_inner = inner.clone();
-        std::thread::Builder::new()
-            .name("ppfd-metrics".to_string())
-            .spawn(move || metrics_loop(metrics_inner, interval))
-            .expect("spawn metrics thread");
+        threads.push(
+            std::thread::Builder::new()
+                .name("ppfd-metrics".to_string())
+                .spawn(move || metrics_loop(metrics_inner, interval))?,
+        );
     }
-    let accept_inner = inner.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name("ppfd-accept".to_string())
-        .spawn(move || accept_loop(listener, accept_inner))
-        .expect("spawn accept thread");
     Ok(ServerHandle {
         addr: local,
         inner,
-        accept_thread,
+        threads,
     })
 }
+
+/// Record one accepted connection in the gauges. Shared by both cores.
+pub(crate) fn open_conn(inner: &Inner) -> usize {
+    let reg = obs::Registry::global();
+    let n = inner.active_conns.fetch_add(1, SeqCst) + 1;
+    reg.set_gauge("server.active", n as u64);
+    reg.set_max("server.active_peak", n as u64);
+    n
+}
+
+pub(crate) fn close_conn(inner: &Inner) {
+    let reg = obs::Registry::global();
+    let n = inner.active_conns.fetch_sub(1, SeqCst) - 1;
+    reg.incr("server.closed", 1);
+    reg.set_gauge("server.active", n as u64);
+}
+
+// ---------------------------------------------------------------------
+// Sync core (legacy thread-per-connection), kept behind `sync_conns`.
+// ---------------------------------------------------------------------
 
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
     let reg = obs::Registry::global();
     while !inner.draining.load(SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 reg.incr("server.accepted", 1);
-                let n = inner.active_conns.fetch_add(1, SeqCst) + 1;
-                reg.observe("server.active", n as u64);
+                let cap = inner.cfg.max_conns;
+                if cap > 0 && inner.active_conns.load(SeqCst) >= cap {
+                    reg.incr("server.shed", 1);
+                    reg.incr("server.shed.max_conns", 1);
+                    stream.set_write_timeout(Some(inner.cfg.write_timeout)).ok();
+                    let _ = proto::write_frame(
+                        &mut stream,
+                        &Response::err(
+                            "-",
+                            ErrorKind::Overload,
+                            format!("shed: max_conns ({cap})"),
+                        )
+                        .render(),
+                    );
+                    continue;
+                }
+                open_conn(&inner);
+                // Held back from the worker closure so a failed spawn can
+                // still deliver its typed rejection.
+                let reject_stream = stream.try_clone().ok();
                 let conn_inner = inner.clone();
-                std::thread::Builder::new()
-                    .name("ppfd-conn".to_string())
-                    .spawn(move || {
-                        connection_loop(stream, conn_inner);
-                    })
-                    .expect("spawn connection thread");
+                match spawn_sheddable("ppfd-conn", move || connection_loop(stream, conn_inner)) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        // The old code `.expect`ed here: one EAGAIN from
+                        // `clone(2)` killed the accept loop *and* leaked
+                        // the just-incremented connection count. Shed
+                        // the one connection instead.
+                        reg.incr("server.spawn_failures", 1);
+                        reg.incr("server.shed", 1);
+                        reg.incr("server.shed.spawn", 1);
+                        if let Some(mut s) = reject_stream {
+                            s.set_write_timeout(Some(inner.cfg.write_timeout)).ok();
+                            let _ = proto::write_frame(
+                                &mut s,
+                                &Response::err(
+                                    "-",
+                                    ErrorKind::Overload,
+                                    "shed: cannot spawn connection thread",
+                                )
+                                .render(),
+                            );
+                        }
+                        close_conn(&inner);
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_TICK);
@@ -281,38 +445,59 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
 
 /// Begin the drain exactly once: count and grace in-flight queries, then
 /// cancel the stragglers.
-fn trigger_drain(inner: &Arc<Inner>) {
+pub(crate) fn trigger_drain(inner: &Arc<Inner>) {
     if inner.draining.swap(true, SeqCst) {
         return;
+    }
+    // Wake the interval sleepers and the event loops so the drain is
+    // observed now, not at the next tick.
+    {
+        let mut flag = inner
+            .drain_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *flag = true;
+    }
+    inner.drain_cv.notify_all();
+    if let Some(loops) = inner.event.get() {
+        loops.wake_all();
     }
     let reg = obs::Registry::global();
     let in_flight = inner.admission.inflight() as u64;
     reg.incr("server.drained", in_flight);
     let drain_inner = inner.clone();
-    std::thread::Builder::new()
-        .name("ppfd-drain".to_string())
-        .spawn(move || {
-            let deadline = Instant::now() + drain_inner.cfg.drain_grace;
-            while drain_inner.admission.inflight() > 0 && Instant::now() < deadline {
-                std::thread::sleep(POLL_TICK);
-            }
-            let stragglers: Vec<CancelToken> =
-                drain_inner.lock_queries().values().cloned().collect();
-            if !stragglers.is_empty() {
-                obs::Registry::global().incr("server.drain_cancelled", stragglers.len() as u64);
-                for token in stragglers {
-                    token.cancel();
-                }
-            }
-        })
-        .expect("spawn drain thread");
+    if spawn_sheddable("ppfd-drain", move || drain_stragglers(drain_inner, true)).is_err() {
+        // Degraded drain: no helper thread means no grace period — cancel
+        // stragglers immediately rather than dying or blocking the
+        // caller (which may be an event thread).
+        reg.incr("server.spawn_failures", 1);
+        drain_stragglers(inner.clone(), false);
+    }
 }
 
-/// Timeout-tolerant frame reader: accumulates bytes across read timeouts
-/// so a poll tick never corrupts a partially-received frame.
+fn drain_stragglers(inner: Arc<Inner>, grace: bool) {
+    if grace {
+        let deadline = Instant::now() + inner.cfg.drain_grace;
+        while inner.admission.inflight() > 0 && Instant::now() < deadline {
+            std::thread::sleep(POLL_TICK);
+        }
+    }
+    let stragglers: Vec<CancelToken> = inner.lock_queries().values().cloned().collect();
+    if !stragglers.is_empty() {
+        obs::Registry::global().incr("server.drain_cancelled", stragglers.len() as u64);
+        for token in stragglers {
+            token.cancel();
+        }
+    }
+}
+
+/// Timeout-tolerant frame reader for the sync core: accumulates bytes
+/// across read timeouts in a [`FrameBuffer`], so a poll tick never
+/// corrupts a partially-received frame and a pipelining client costs
+/// amortized O(n), not O(n²).
 struct FrameReader {
     stream: TcpStream,
-    buf: Vec<u8>,
+    fb: FrameBuffer,
 }
 
 enum ReadEvent {
@@ -325,22 +510,22 @@ enum ReadEvent {
 impl FrameReader {
     fn poll_frame(&mut self) -> io::Result<ReadEvent> {
         loop {
-            if let Some(frame) = self.try_parse()? {
+            if let Some(frame) = self.fb.next_frame()? {
                 return Ok(ReadEvent::Frame(frame));
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    return if self.buf.is_empty() {
-                        Ok(ReadEvent::Eof)
-                    } else {
+                    return if self.fb.has_partial() {
                         Err(io::Error::new(
                             io::ErrorKind::InvalidData,
                             "connection closed inside a frame",
                         ))
+                    } else {
+                        Ok(ReadEvent::Eof)
                     };
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.fb.extend(&chunk[..n]),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
@@ -352,56 +537,98 @@ impl FrameReader {
             }
         }
     }
-
-    /// Extract one complete frame from the buffer, if present.
-    fn try_parse(&mut self) -> io::Result<Option<String>> {
-        let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
-            if self.buf.len() > 32 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "frame length header too long",
-                ));
-            }
-            return Ok(None);
-        };
-        let len: usize = std::str::from_utf8(&self.buf[..nl])
-            .ok()
-            .and_then(|s| s.trim().parse().ok())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad frame length header"))?;
-        if len > proto::MAX_FRAME {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "frame exceeds MAX_FRAME",
-            ));
-        }
-        if self.buf.len() < nl + 1 + len {
-            return Ok(None);
-        }
-        let payload = String::from_utf8(self.buf[nl + 1..nl + 1 + len].to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
-        self.buf.drain(..nl + 1 + len);
-        Ok(Some(payload))
-    }
 }
 
 /// Per-connection state shared with this connection's query workers.
-struct Conn {
-    writer: Mutex<TcpStream>,
-    inflight: AtomicUsize,
+/// The sink hides which core owns the socket: the sync core writes
+/// frames directly (socket write timeout bounds a stuck peer), the event
+/// core queues into the connection's outbound buffer and wakes its loop.
+pub(crate) struct Conn {
+    sink: Sink,
+    pub(crate) inflight: AtomicUsize,
+}
+
+enum Sink {
+    Sync(Mutex<TcpStream>),
+    Event(EventSink),
 }
 
 impl Conn {
-    fn write_response(&self, resp: &Response) {
-        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        // A failed write (peer gone, write timeout) is the client's
-        // loss; the server must not wedge on it.
-        let _ = proto::write_frame(&mut *w, &resp.render());
+    fn sync(writer: TcpStream) -> Conn {
+        Conn {
+            sink: Sink::Sync(Mutex::new(writer)),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn event(sink: EventSink) -> Conn {
+        Conn {
+            sink: Sink::Event(sink),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn event_sink(&self) -> Option<&EventSink> {
+        match &self.sink {
+            Sink::Event(s) => Some(s),
+            Sink::Sync(_) => None,
+        }
+    }
+
+    pub(crate) fn write_response(&self, resp: &Response) {
+        match &self.sink {
+            Sink::Sync(writer) => {
+                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                // A failed write (peer gone, write timeout) is the
+                // client's loss; the server must not wedge on it.
+                let _ = proto::write_frame(&mut *w, &resp.render());
+            }
+            Sink::Event(sink) => sink.push_frame(&resp.render()),
+        }
+    }
+
+    /// Like [`write_response`](Conn::write_response), but on the event
+    /// core the owning loop is NOT woken — the caller must follow up
+    /// with [`release_request`], whose `ring_home` delivers the wake
+    /// after the pipelining gauge has dropped. Waking first lets the
+    /// client's next pipelined request race the gauge release and shed
+    /// spuriously on `conn_cap`.
+    fn write_response_quiet(&self, resp: &Response) {
+        match &self.sink {
+            Sink::Sync(writer) => {
+                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ = proto::write_frame(&mut *w, &resp.render());
+            }
+            Sink::Event(sink) => sink.push_frame_quiet(&resp.render()),
+        }
+    }
+
+    /// Write half a frame then cut the socket (chaos `drop=P:mid`).
+    fn write_severed(&self, resp: &Response) {
+        let full = resp.render();
+        match &self.sink {
+            Sink::Sync(writer) => {
+                use std::io::Write;
+                let cut = full.len() / 2;
+                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ = w.write_all(format!("{}\n", full.len()).as_bytes());
+                let _ = w.write_all(&full.as_bytes()[..cut]);
+                let _ = w.flush();
+                let _ = w.shutdown(Shutdown::Both);
+            }
+            Sink::Event(sink) => sink.push_severed_prefix(&full),
+        }
     }
 
     /// Sever the socket abruptly (chaos `drop` faults, protocol errors).
     fn sever(&self) {
-        let w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = w.shutdown(Shutdown::Both);
+        match &self.sink {
+            Sink::Sync(writer) => {
+                let w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                let _ = w.shutdown(Shutdown::Both);
+            }
+            Sink::Event(sink) => sink.sever(),
+        }
     }
 }
 
@@ -411,10 +638,7 @@ fn connection_loop(stream: TcpStream, inner: Arc<Inner>) {
     stream.set_write_timeout(Some(inner.cfg.write_timeout)).ok();
     stream.set_nodelay(true).ok();
     let conn = match stream.try_clone() {
-        Ok(w) => Arc::new(Conn {
-            writer: Mutex::new(w),
-            inflight: AtomicUsize::new(0),
-        }),
+        Ok(w) => Arc::new(Conn::sync(w)),
         Err(_) => {
             close_conn(&inner);
             return;
@@ -422,7 +646,7 @@ fn connection_loop(stream: TcpStream, inner: Arc<Inner>) {
     };
     let mut reader = FrameReader {
         stream,
-        buf: Vec::new(),
+        fb: FrameBuffer::new(),
     };
     let mut last_activity = Instant::now();
     loop {
@@ -461,15 +685,12 @@ fn connection_loop(stream: TcpStream, inner: Arc<Inner>) {
     close_conn(&inner);
 }
 
-fn close_conn(inner: &Inner) {
-    let reg = obs::Registry::global();
-    let n = inner.active_conns.fetch_sub(1, SeqCst) - 1;
-    reg.incr("server.closed", 1);
-    reg.observe("server.active", n as u64);
-}
+// ---------------------------------------------------------------------
+// Frame handling, shared by both cores.
+// ---------------------------------------------------------------------
 
 /// Handle one decoded frame. Returns `false` to close the connection.
-fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
+pub(crate) fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
     let reg = obs::Registry::global();
     let req = match proto::parse_request(payload) {
         Ok(req) => req,
@@ -502,7 +723,8 @@ fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
                 "ok"
             };
             let body = format!(
-                "status: {status}\nactive_conns: {}\ninflight: {}\nwaiting: {}\npool_threads: {}",
+                "status: {status}\ncore: {}\nactive_conns: {}\ninflight: {}\nwaiting: {}\npool_threads: {}",
+                inner.core.get().map(String::as_str).unwrap_or("unknown"),
                 inner.active_conns.load(SeqCst),
                 inner.admission.inflight(),
                 inner.admission.waiting(),
@@ -562,6 +784,12 @@ fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) -> bool {
 /// Admission-gate a query-class request and, if admitted, run it on its
 /// own worker thread so the connection can keep reading (pipelining,
 /// `cancel`).
+///
+/// This path must never block or panic: it runs on an event thread in
+/// the default core. [`Admission::try_admit`] resolves the common cases
+/// immediately; only the "all slots busy, queue has room" case defers
+/// the blocking wait to the worker thread it needed anyway. A failed
+/// worker spawn sheds the one request with a typed `[overload]` error.
 fn start_query(inner: &Arc<Inner>, conn: &Arc<Conn>, req: Request) {
     let reg = obs::Registry::global();
     if inner.draining.load(SeqCst) {
@@ -583,34 +811,65 @@ fn start_query(inner: &Arc<Inner>, conn: &Arc<Conn>, req: Request) {
         ));
         return;
     }
-    let slot = match inner.admission.admit() {
-        Ok(slot) => slot,
-        Err(reason) => {
-            reg.incr("server.shed", 1);
-            reg.incr(&format!("server.shed.{}", reason.as_str()), 1);
-            conn.write_response(&Response::err(
-                &req.id,
-                ErrorKind::Overload,
-                format!("shed: {}", shed_detail(reason)),
-            ));
+    let slot = match inner.admission.try_admit() {
+        TryAdmit::Admitted(slot) => Some(slot),
+        TryAdmit::WouldQueue => None,
+        TryAdmit::Shed(reason) => {
+            shed_query(&req.id, conn, reason);
             return;
         }
     };
-    if slot.waited {
-        reg.incr("server.queued", 1);
-    }
-    reg.incr("server.queries", 1);
     conn.inflight.fetch_add(1, SeqCst);
     let token = CancelToken::new();
     inner.lock_queries().insert(req.id.clone(), token.clone());
-    let inner = inner.clone();
-    let conn = conn.clone();
-    std::thread::Builder::new()
-        .name("ppfd-query".to_string())
-        .spawn(move || {
-            run_admitted(&inner, &conn, &req, token, slot);
-        })
-        .expect("spawn query worker");
+    let id = req.id.clone();
+    let worker_inner = inner.clone();
+    let worker_conn = conn.clone();
+    let spawned = spawn_sheddable("ppfd-query", move || {
+        let reg = obs::Registry::global();
+        let slot = match slot {
+            Some(slot) => slot,
+            // All slots were busy: park in the blocking queue here, off
+            // the connection's thread.
+            None => match worker_inner.admission.admit() {
+                Ok(slot) => slot,
+                Err(reason) => {
+                    shed_query(&req.id, &worker_conn, reason);
+                    release_request(&worker_inner, &worker_conn, &req.id);
+                    return;
+                }
+            },
+        };
+        if slot.waited {
+            reg.incr("server.queued", 1);
+        }
+        reg.incr("server.queries", 1);
+        run_admitted(&worker_inner, &worker_conn, &req, token, slot);
+    });
+    if spawned.is_err() {
+        // Undo the reservation and shed: the admission slot (if held)
+        // frees itself when the unspawned closure drops.
+        reg.incr("server.spawn_failures", 1);
+        reg.incr("server.shed", 1);
+        reg.incr("server.shed.spawn", 1);
+        release_request(inner, conn, &id);
+        conn.write_response(&Response::err(
+            &id,
+            ErrorKind::Overload,
+            "shed: cannot spawn query worker",
+        ));
+    }
+}
+
+fn shed_query(id: &str, conn: &Conn, reason: ShedReason) {
+    let reg = obs::Registry::global();
+    reg.incr("server.shed", 1);
+    reg.incr(&format!("server.shed.{}", reason.as_str()), 1);
+    conn.write_response(&Response::err(
+        id,
+        ErrorKind::Overload,
+        format!("shed: {}", shed_detail(reason)),
+    ));
 }
 
 fn shed_detail(reason: ShedReason) -> &'static str {
@@ -733,23 +992,36 @@ fn run_admitted(
     }
     match fault {
         Fault::Drop(DropPhase::PreWrite) => conn.sever(),
-        Fault::Drop(DropPhase::MidWrite) => {
-            let full = resp.render();
-            let cut = full.len() / 2;
-            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
-            let _ = w.write_all(format!("{}\n", full.len()).as_bytes());
-            let _ = w.write_all(&full.as_bytes()[..cut]);
-            let _ = w.flush();
-            let _ = w.shutdown(Shutdown::Both);
-        }
-        _ => conn.write_response(&resp),
+        Fault::Drop(DropPhase::MidWrite) => conn.write_severed(&resp),
+        // Quiet: buffer the bytes now, let `finish_query` drop the
+        // pipelining gauge, and only then (via `release_request`'s
+        // `ring_home`) wake the event loop. The wake can preempt this
+        // worker on a busy host; if it lands before the gauge release,
+        // a strictly sequential client's next request can reach
+        // `start_query` while this one still counts against `conn_cap`.
+        _ => conn.write_response_quiet(&resp),
     }
     finish_query(inner, conn, &req.id, slot);
 }
 
-fn finish_query(inner: &Inner, conn: &Conn, id: &str, slot: Slot) {
+/// Release the request's bookkeeping: the `cancel` table entry and the
+/// connection's pipelining gauge. The event loop notices the gauge going
+/// to zero through its outbound-buffer notes.
+fn release_request(inner: &Inner, conn: &Conn, id: &str) {
     inner.lock_queries().remove(id);
     conn.inflight.fetch_sub(1, SeqCst);
+    // This ring is what flushes a completed query's response: the push
+    // was quiet so that the gauge drop above happens before the loop
+    // (and therefore the client) can see the response. It also lets a
+    // closing connection re-check its in-flight count promptly on paths
+    // that wrote nothing (severed, shed).
+    if let Some(sink) = conn.event_sink() {
+        sink.ring_home();
+    }
+}
+
+fn finish_query(inner: &Inner, conn: &Conn, id: &str, slot: Slot) {
+    release_request(inner, conn, id);
     drop(slot);
 }
 
@@ -811,19 +1083,33 @@ fn execute(
     }
 }
 
-/// Background metrics reporter: a registry snapshot to stderr at a fixed
-/// interval until the server drains.
+/// Background metrics reporter: a registry snapshot to stderr at the
+/// configured interval. Sleeps on the drain condvar — not a poll tick —
+/// so it wakes exactly on schedule or on drain, and is joined by
+/// [`ServerHandle::join`] like every other core thread.
 fn metrics_loop(inner: Arc<Inner>, interval: Duration) {
     let mut next = Instant::now() + interval;
-    while !inner.draining.load(SeqCst) {
-        std::thread::sleep(POLL_TICK);
-        if Instant::now() >= next {
-            next = Instant::now() + interval;
+    let mut flag = inner
+        .drain_flag
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    while !*flag {
+        let now = Instant::now();
+        if now >= next {
+            next = now + interval;
             eprintln!(
                 "--- metrics snapshot (+{:.1}s) ---\n{}",
                 inner.started.elapsed().as_secs_f64(),
                 obs::Registry::global().snapshot().render()
             );
         }
+        let wait = next
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        let (guard, _) = inner
+            .drain_cv
+            .wait_timeout(flag, wait)
+            .unwrap_or_else(PoisonError::into_inner);
+        flag = guard;
     }
 }

@@ -1,0 +1,252 @@
+//! Event-core behaviours that only show up at the socket level: partial
+//! frames split across readiness events, short-write resumption through
+//! the outbound buffer, timer-wheel idle reaping, and idle-connection
+//! scalability (connections without threads).
+//!
+//! Everything here drives the default (event) core explicitly via
+//! `sync_conns: false`, so a CI matrix running the suite under
+//! `PPF_SYNC_CONNS=1` still tests what the file name promises.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use ppf_core::{SharedEngine, XmlDb};
+use ppf_server::{proto, serve, Client, ServerConfig, ServerHandle, Verb};
+use xmlschema::parse_schema;
+
+const IO: Duration = Duration::from_secs(10);
+
+fn engine(books: usize) -> SharedEngine {
+    let schema = parse_schema(
+        "root lib\n\
+         lib = book*\n\
+         book @id = title\n\
+         title : text\n",
+    )
+    .expect("schema");
+    let mut db = XmlDb::new(&schema).expect("db");
+    let mut xml = String::from("<lib>");
+    for i in 0..books {
+        xml.push_str(&format!("<book id='b{i}'><title>T{i}</title></book>"));
+    }
+    xml.push_str("</lib>");
+    db.load_xml(&xml).expect("load");
+    db.finalize().expect("indexes");
+    SharedEngine::new(db)
+}
+
+fn start(books: usize, cfg: ServerConfig) -> (ServerHandle, String) {
+    let cfg = ServerConfig {
+        sync_conns: false,
+        ..cfg
+    };
+    let handle = serve(engine(books), "127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn stop(handle: ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn health_names_the_event_core() {
+    let (handle, addr) = start(5, ServerConfig::default());
+    assert!(
+        handle.core().starts_with("async("),
+        "core: {}",
+        handle.core()
+    );
+    let mut c = Client::connect(&addr, IO).expect("connect");
+    let body = c
+        .request("h", Verb::Health, &[], "")
+        .expect("io")
+        .result
+        .expect("health ok");
+    assert!(body.contains("core: async("), "health body: {body}");
+    stop(handle);
+}
+
+/// A frame trickled in byte-sized chunks crosses many readiness events;
+/// the per-connection [`FrameBuffer`] must accumulate it and answer as
+/// if it had arrived whole.
+#[test]
+fn partial_frame_across_many_readiness_events() {
+    let (handle, addr) = start(7, ServerConfig::default());
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.set_read_timeout(Some(IO)).unwrap();
+    raw.set_nodelay(true).unwrap();
+
+    let payload = proto::render_request("slow-feed", Verb::Query, &[], "/lib/book");
+    let framed = format!("{}\n{payload}", payload.len()).into_bytes();
+    // Feed the frame in three slices with real pauses, so the event loop
+    // sees separate readable events with an incomplete buffer between.
+    let cuts = [framed.len() / 3, 2 * framed.len() / 3, framed.len()];
+    let mut sent = 0;
+    for cut in cuts {
+        raw.write_all(&framed[sent..cut]).unwrap();
+        raw.flush().unwrap();
+        sent = cut;
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    let mut reader = std::io::BufReader::new(raw);
+    let frame = proto::read_frame(&mut reader)
+        .expect("read")
+        .expect("response");
+    let resp = proto::parse_response(&frame).expect("parse");
+    assert_eq!(resp.id, "slow-feed");
+    assert!(resp.result.expect("ok").starts_with("rows 7\n"));
+    stop(handle);
+}
+
+/// Pipeline several large responses while the client is not reading:
+/// the kernel buffers fill, the event loop takes a short write, parks
+/// the tail in the outbound buffer under write interest, and resumes
+/// when the client drains. Every byte must arrive, in order.
+#[test]
+fn short_writes_resume_without_losing_bytes() {
+    let (handle, addr) = start(
+        30_000,
+        ServerConfig {
+            per_conn_cap: 8,
+            // Six pipelined heavyweight queries on however few cores CI
+            // grants: nothing here should queue-timeout.
+            max_inflight: 8,
+            queue_wait: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(&addr, IO).expect("connect");
+    const PIPELINED: usize = 6;
+    for n in 0..PIPELINED {
+        c.send(&format!("big{n}"), Verb::Query, &[], "/lib/book")
+            .expect("send");
+    }
+    // Let the responses (~200 KB each) pile up against a non-reading
+    // client so the outbound buffers actually engage.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut seen = Vec::new();
+    for _ in 0..PIPELINED {
+        let resp = c.recv().expect("recv");
+        let body = resp.result.expect("ok");
+        assert!(body.starts_with("rows 30000\n"), "truncated response");
+        // One id per line after the header — a short-changed tail would
+        // show up as a wrong line count.
+        assert_eq!(body.lines().count(), 30_001, "response tail missing");
+        seen.push(resp.id);
+    }
+    // Responses may complete out of order (parallel workers) but none
+    // may be lost or duplicated.
+    seen.sort();
+    let mut want: Vec<String> = (0..PIPELINED).map(|n| format!("big{n}")).collect();
+    want.sort();
+    assert_eq!(seen, want);
+    stop(handle);
+}
+
+/// The timer wheel reaps a connection that stays silent past
+/// `idle_timeout` — no 50 ms polling loop involved.
+#[test]
+fn idle_connections_are_reaped_by_the_timer_wheel() {
+    let (handle, addr) = start(
+        5,
+        ServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    // Well past the idle deadline plus wheel granularity, but far short
+    // of hanging the suite if the reap never comes.
+    raw.set_read_timeout(Some(Duration::from_secs(15))).unwrap();
+    let payload = proto::render_request("warm", Verb::Query, &[], "/lib/book");
+    raw.write_all(format!("{}\n{payload}", payload.len()).as_bytes())
+        .unwrap();
+    let mut reader = std::io::BufReader::new(raw);
+    let frame = proto::read_frame(&mut reader)
+        .expect("read")
+        .expect("response");
+    assert!(proto::parse_response(&frame).expect("parse").result.is_ok());
+    // Now go silent: the next read must end in EOF (the reap), not a
+    // read timeout.
+    let t0 = Instant::now();
+    match proto::read_frame(&mut reader) {
+        Ok(None) | Err(_) => {} // EOF or reset: reaped
+        Ok(Some(frame)) => panic!("unexpected frame instead of a reap: {frame}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(14),
+        "read timed out rather than being reaped"
+    );
+    stop(handle);
+}
+
+/// The scalability point of the whole PR, in miniature: parking many
+/// idle connections must not grow the thread count — they are rows in
+/// the event loops' maps, not stacks.
+#[cfg(target_os = "linux")]
+#[test]
+fn idle_connections_do_not_cost_threads() {
+    fn thread_count() -> usize {
+        std::fs::read_to_string("/proc/self/status")
+            .unwrap()
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line")
+    }
+
+    let (handle, addr) = start(5, ServerConfig::default());
+    let baseline = thread_count();
+    let mut idlers = Vec::new();
+    for _ in 0..64 {
+        idlers.push(Client::connect(&addr, IO).expect("connect"));
+    }
+    // Give the loops a moment to adopt everyone.
+    std::thread::sleep(Duration::from_millis(200));
+    let with_idlers = thread_count();
+    assert!(
+        with_idlers <= baseline + 4,
+        "64 idle connections grew threads from {baseline} to {with_idlers}"
+    );
+    // They are all live connections, not half-open ghosts.
+    let mut probe = idlers.pop().unwrap();
+    let body = probe
+        .request("h", Verb::Health, &[], "")
+        .expect("io")
+        .result
+        .expect("health ok");
+    let conns: usize = body
+        .lines()
+        .find_map(|l| l.strip_prefix("active_conns: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("active_conns line");
+    assert!(conns >= 64, "expected >= 64 active conns, saw {conns}");
+    drop(idlers);
+    stop(handle);
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+
+    /// Drain with a query in flight: the shutdown ack arrives, the slow
+    /// query still completes inside the grace period, and only then does
+    /// the loop retire the connection.
+    #[test]
+    fn drain_waits_for_inflight_queries() {
+        let (handle, addr) = start(10, ServerConfig::default());
+        handle.install_chaos("slow=1:300 seed=1").expect("chaos on");
+        let mut c = Client::connect(&addr, IO).expect("connect");
+        c.send("slowpoke", Verb::Query, &[], "/lib/book")
+            .expect("send");
+        std::thread::sleep(Duration::from_millis(50));
+        handle.shutdown();
+        let resp = c.recv().expect("the drain must not cut an admitted query");
+        assert_eq!(resp.id, "slowpoke");
+        assert!(resp.result.expect("ok").starts_with("rows 10\n"));
+        handle.join();
+    }
+}

@@ -1,0 +1,136 @@
+//! Thread-spawn exhaustion: the server must shed the one affected
+//! request or connection with a typed `[overload]` error and keep
+//! serving — the legacy behaviour was an `.expect` panic that killed the
+//! accept loop and leaked the connection gauge.
+//!
+//! The injection hook is a process-global countdown, so these tests
+//! serialize on a mutex and consume every armed failure before exiting.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use ppf_core::{SharedEngine, XmlDb};
+use ppf_server::server::test_hooks;
+use ppf_server::{serve, Client, ErrorKind, ServerConfig, ServerHandle, Verb};
+use xmlschema::parse_schema;
+
+const IO: Duration = Duration::from_secs(10);
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn engine() -> SharedEngine {
+    let schema = parse_schema(
+        "root lib\n\
+         lib = book*\n\
+         book @id = title\n\
+         title : text\n",
+    )
+    .expect("schema");
+    let mut db = XmlDb::new(&schema).expect("db");
+    db.load_xml("<lib><book id='b0'><title>T</title></book></lib>")
+        .expect("load");
+    db.finalize().expect("indexes");
+    SharedEngine::new(db)
+}
+
+fn start(cfg: ServerConfig) -> (ServerHandle, String) {
+    let handle = serve(engine(), "127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn failed_query_worker_spawn_sheds_and_the_server_survives() {
+    let _gate = serialize();
+    let (handle, addr) = start(ServerConfig::default());
+    let mut c = Client::connect(&addr, IO).expect("connect");
+    // Prove the connection is fully adopted before arming: on the sync
+    // core `connect` returns before the accept loop has spawned the
+    // connection thread, and the armed failure must hit the *query*
+    // worker spawn, not that one.
+    assert!(c
+        .request("warm", Verb::Query, &[], "/lib/book")
+        .expect("io")
+        .result
+        .is_ok());
+
+    test_hooks::fail_next_spawns(1);
+    let resp = c
+        .request("doomed", Verb::Query, &[], "/lib/book")
+        .expect("io");
+    let (kind, msg) = resp.result.expect_err("spawn failure must shed");
+    assert_eq!(kind, ErrorKind::Overload);
+    assert!(kind.is_retryable(), "clients must be told to retry");
+    assert!(msg.contains("spawn"), "msg: {msg}");
+
+    // The very same connection works on retry: nothing leaked, nothing
+    // died, the pipelining gauge was released.
+    let resp = c
+        .request("retry", Verb::Query, &[], "/lib/book")
+        .expect("io");
+    assert!(resp.result.expect("ok").starts_with("rows 1\n"));
+
+    // The reservation bookkeeping reconciled: shed + spawn_failures
+    // counters moved, and no query slot is stuck.
+    let stats = c
+        .request("st", Verb::Stats, &[], "")
+        .expect("io")
+        .result
+        .expect("stats ok");
+    assert!(
+        stats.contains("server.spawn_failures"),
+        "spawn_failures counter missing: {stats}"
+    );
+    assert!(
+        stats.contains("server.shed.spawn"),
+        "shed.spawn counter missing: {stats}"
+    );
+
+    test_hooks::fail_next_spawns(0);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn failed_connection_thread_spawn_sheds_on_the_sync_core() {
+    let _gate = serialize();
+    let (handle, addr) = start(ServerConfig {
+        sync_conns: true,
+        ..ServerConfig::default()
+    });
+    // Warm connection proves the server is up before the injection.
+    let mut warm = Client::connect(&addr, IO).expect("warm connect");
+    assert!(warm
+        .request("w", Verb::Query, &[], "/lib/book")
+        .expect("io")
+        .result
+        .is_ok());
+
+    test_hooks::fail_next_spawns(1);
+    // This arrival cannot get a connection thread: it must receive a
+    // typed overload frame (or at worst an immediate close) — while the
+    // accept loop itself survives.
+    // A refused connect is acceptable shedding too, hence the `if let`.
+    if let Ok(mut doomed) = Client::connect(&addr, IO) {
+        if let Ok(resp) = doomed.request("d", Verb::Query, &[], "/lib/book") {
+            let (kind, _) = resp.result.expect_err("must be shed");
+            assert_eq!(kind, ErrorKind::Overload);
+        }
+    }
+
+    test_hooks::fail_next_spawns(0);
+    // The accept loop is alive: fresh connections are served.
+    let mut after = Client::connect(&addr, IO).expect("post-failure connect");
+    let resp = after
+        .request("a", Verb::Query, &[], "/lib/book")
+        .expect("io");
+    assert!(resp.result.expect("ok").starts_with("rows 1\n"));
+
+    handle.shutdown();
+    handle.join();
+}

@@ -25,7 +25,8 @@ use ppf_server::{Client, ErrorKind, Verb};
 
 const USAGE: &str =
     "usage: ppf-stress [--addr ADDR] [--conns K] [--requests N] [--timeout-ms MS]\n\
-     [--seed N] [--chaos SPEC] [--cancel-storm] [--expect-shed] [--shutdown]";
+     [--seed N] [--chaos SPEC] [--cancel-storm] [--expect-shed] [--shutdown]\n\
+     [--idle-conns N]";
 
 /// Retry/backoff schedule for `[overload]` responses.
 const BACKOFF_BASE: Duration = Duration::from_millis(10);
@@ -43,6 +44,10 @@ struct Config {
     cancel_storm: bool,
     expect_shed: bool,
     shutdown: bool,
+    /// Extra connections opened before the workload and held silent for
+    /// its whole duration — pressure-tests idle-connection scalability
+    /// alongside the chaos soak.
+    idle_conns: usize,
 }
 
 /// What one worker saw, summed across its requests.
@@ -121,6 +126,7 @@ fn parse_args() -> Result<Config, String> {
         cancel_storm: false,
         expect_shed: false,
         shutdown: false,
+        idle_conns: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,6 +144,7 @@ fn parse_args() -> Result<Config, String> {
             "--cancel-storm" => cfg.cancel_storm = true,
             "--expect-shed" => cfg.expect_shed = true,
             "--shutdown" => cfg.shutdown = true,
+            "--idle-conns" => cfg.idle_conns = num(&value(&arg)?, &arg)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -174,6 +181,19 @@ fn run() -> Result<(), String> {
                 ))
             }
         }
+    }
+
+    // Park the idle herd before the workload starts so the whole soak —
+    // chaos faults included — runs with the event loops also carrying N
+    // silent connections. They are held open until after reconciliation.
+    let mut idlers: Vec<Client> = Vec::with_capacity(cfg.idle_conns);
+    for n in 0..cfg.idle_conns {
+        let c = Client::connect(&cfg.addr, io_timeout)
+            .map_err(|e| format!("idle conn {n}/{} failed: {e}", cfg.idle_conns))?;
+        idlers.push(c);
+    }
+    if cfg.idle_conns > 0 {
+        eprintln!("ppf-stress: parked {} idle connections", cfg.idle_conns);
     }
 
     let queries: Vec<String> = xmark::xmark_queries()
@@ -281,6 +301,39 @@ fn run() -> Result<(), String> {
                 "server.panics_contained {} < server.faults.panic {faults_panic} — a panic escaped?",
                 counter(&stats, "server.panics_contained")
             ));
+        }
+    }
+
+    // The idle herd must have survived the entire soak: probe one parked
+    // connection end-to-end and check the server still counts them all.
+    if !idlers.is_empty() {
+        let probe = idlers.last_mut().unwrap();
+        match probe.request("idle-probe", Verb::Health, &[], "") {
+            Ok(resp) => match resp.result {
+                Ok(body) => {
+                    let live: usize = body
+                        .lines()
+                        .find_map(|l| l.strip_prefix("active_conns: "))
+                        .and_then(|v| v.trim().parse().ok())
+                        .unwrap_or(0);
+                    // The control conn + the herd must all still be up.
+                    if live < idlers.len() {
+                        failures.push(format!(
+                            "only {live} active conns after the soak; {} idlers were parked",
+                            idlers.len()
+                        ));
+                    }
+                    println!(
+                        "idle conns        {} parked, {live} live on server",
+                        idlers.len()
+                    );
+                }
+                Err((kind, msg)) => failures.push(format!(
+                    "idle-conn health probe rejected ({}) — {msg}",
+                    kind.as_str()
+                )),
+            },
+            Err(e) => failures.push(format!("an idle connection did not survive the soak: {e}")),
         }
     }
 

@@ -59,7 +59,8 @@ const USAGE: &str =
      [--listen ADDR] [--threads N] [--max-inflight N] [--queue-depth N]\n\
      [--queue-wait-ms MS] [--policy queue|shed] [--per-conn N]\n\
      [--deadline-ms MS|0] [--idle-ms MS] [--drain-ms MS] [--chaos SPEC]\n\
-     [--slow-ms MS] [--slowlog-cap N] [--metrics-every-ms MS]";
+     [--slow-ms MS] [--slowlog-cap N] [--metrics-every-ms MS]\n\
+     [--event-threads N] [--max-conns N|0] [--sync-conns]";
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -129,6 +130,9 @@ fn run() -> Result<(), String> {
                 let ms: u64 = parse_num(&value(&arg)?, &arg)? as u64;
                 cfg.metrics_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--event-threads" => cfg.event_threads = parse_num(&value(&arg)?, &arg)?.max(1),
+            "--max-conns" => cfg.max_conns = parse_num(&value(&arg)?, &arg)?,
+            "--sync-conns" => cfg.sync_conns = true,
             "--chaos" => chaos = Some(value(&arg)?),
             "--schema" | "--dtd" | "--xsd" => {
                 let path = value(&arg)?;
@@ -196,6 +200,7 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("--chaos: {e}"))?;
         eprintln!("{summary}");
     }
+    eprintln!("connection core: {}", handle.core());
     // Announce readiness on stdout: scripts block on this exact prefix.
     println!("ppfd listening on {}", handle.addr());
     use std::io::Write;
