@@ -18,7 +18,7 @@ use sqlexec::{ExecStats, Executor, Expr as Sql, ResultSet, Select, SelectStmt};
 use xmldom::Document;
 use xmlschema::Schema;
 
-pub use crate::error::{EngineError, QueryError};
+pub use crate::error::{EngineError, QueryError, ReloadError};
 use crate::translate::{translate, Mapping, OutputKind, TranslateOptions, Translation};
 
 /// Engine-level query-cache locks recovered after being poisoned by a
@@ -226,6 +226,12 @@ pub struct QueryResult {
     pub stats: ExecStats,
     /// Pipeline phase timings and PPF-level work counters.
     pub engine: EngineStats,
+    /// The [`EngineSnapshot`] version this query ran against, when it
+    /// came through a [`SharedEngine`] (0 for direct `XmlDb`/`EdgeDb`
+    /// queries, which have no snapshot identity). Every row of one
+    /// result comes from exactly this version — queries pin their
+    /// snapshot at admission and never see a mid-flight swap.
+    pub snapshot_version: u64,
 }
 
 impl QueryResult {
@@ -275,6 +281,7 @@ fn empty_result(output: OutputKind) -> QueryResult {
         },
         stats: ExecStats::default(),
         engine: EngineStats::default(),
+        snapshot_version: 0,
     }
 }
 
@@ -283,6 +290,7 @@ pub struct XmlDb {
     store: SchemaAwareStore,
     opts: TranslateOptions,
     cache: QueryCache,
+    docs: u64,
 }
 
 impl XmlDb {
@@ -291,6 +299,7 @@ impl XmlDb {
             store: SchemaAwareStore::new(schema).map_err(|e| QueryError::exec(e.to_string()))?,
             opts: TranslateOptions::default(),
             cache: QueryCache::default(),
+            docs: 0,
         })
     }
 
@@ -310,18 +319,24 @@ impl XmlDb {
     /// Load a document; returns its tree-node → element-id mapping.
     /// Invalidates cached query plans (the translation itself can change:
     /// §4.5 path marking depends on which paths exist) and refreshes
-    /// planner statistics for the mutated tables.
+    /// planner statistics for the mutated tables. The cache is cleared
+    /// only *after* the mutation succeeds — a document that fails schema
+    /// validation (checked before any row is written) must not cost the
+    /// warm plans; the executor's own `(uid, version)`-keyed memos cover
+    /// any partially-written rows on the rare mid-shred failure.
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
-        lock_cache(&self.cache).clear();
         let loaded = self
             .store
             .load(doc)
             .map_err(|e| QueryError::exec(e.to_string()))?;
+        self.docs += 1;
+        lock_cache(&self.cache).clear();
         rebuild_stats(self.store.db());
         Ok(loaded)
     }
 
-    /// Parse and load an XML string.
+    /// Parse and load an XML string. A parse failure happens before any
+    /// store mutation, so it leaves the query cache warm.
     pub fn load_xml(&mut self, xml: &str) -> Result<shred::LoadedDoc, EngineError> {
         let doc = xmldom::parse(xml).map_err(|e| QueryError::parse(e.to_string()))?;
         self.load(&doc)
@@ -330,18 +345,24 @@ impl XmlDb {
     /// Build the §3.1 indexes; call once after bulk loading. Also the
     /// canonical statistics collection point: indexing bumps every
     /// table's version, so stats are recomputed here for the final
-    /// loaded shape.
+    /// loaded shape. As with [`XmlDb::load`], warm plans are dropped
+    /// only once the mutation has succeeded.
     pub fn finalize(&mut self) -> Result<(), EngineError> {
-        lock_cache(&self.cache).clear();
         self.store
             .create_indexes()
             .map_err(|e| QueryError::exec(e.to_string()))?;
+        lock_cache(&self.cache).clear();
         rebuild_stats(self.store.db());
         Ok(())
     }
 
     pub fn db(&self) -> &Database {
         self.store.db()
+    }
+
+    /// Documents successfully loaded into this store.
+    pub fn doc_count(&self) -> u64 {
+        self.docs
     }
 
     pub fn store(&self) -> &SchemaAwareStore {
@@ -430,6 +451,7 @@ impl XmlDb {
 pub struct EdgeDb {
     store: EdgeStore,
     cache: QueryCache,
+    docs: u64,
 }
 
 impl Default for EdgeDb {
@@ -443,15 +465,19 @@ impl EdgeDb {
         EdgeDb {
             store: EdgeStore::new(),
             cache: QueryCache::default(),
+            docs: 0,
         }
     }
 
+    /// See [`XmlDb::load`]: the cache is cleared only after the mutation
+    /// succeeds, so a rejected document keeps the warm plans.
     pub fn load(&mut self, doc: &Document) -> Result<shred::LoadedDoc, EngineError> {
-        lock_cache(&self.cache).clear();
         let loaded = self
             .store
             .load(doc)
             .map_err(|e| QueryError::exec(e.to_string()))?;
+        self.docs += 1;
+        lock_cache(&self.cache).clear();
         rebuild_stats(self.store.db());
         Ok(loaded)
     }
@@ -462,16 +488,21 @@ impl EdgeDb {
     }
 
     pub fn finalize(&mut self) -> Result<(), EngineError> {
-        lock_cache(&self.cache).clear();
         self.store
             .create_indexes()
             .map_err(|e| QueryError::exec(e.to_string()))?;
+        lock_cache(&self.cache).clear();
         rebuild_stats(self.store.db());
         Ok(())
     }
 
     pub fn db(&self) -> &Database {
         self.store.db()
+    }
+
+    /// Documents successfully loaded into this store.
+    pub fn doc_count(&self) -> u64 {
+        self.docs
     }
 
     pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
@@ -794,6 +825,7 @@ fn run_query_inner(
                 rows,
                 stats,
                 engine: EngineStats::default(),
+                snapshot_version: 0,
             };
             engine.publish_ns = t0.elapsed().as_nanos() as u64;
             trace.counter(span, "rows", row_count);
@@ -842,34 +874,260 @@ fn run_query_inner(
     Ok((result, trace))
 }
 
-/// A cloneable, thread-safe handle over a loaded [`XmlDb`] for running
-/// **concurrent read-only queries** — the multi-query half of the PR's
-/// parallel story (partitioned scans and joins parallelize *within* one
-/// query; `SharedEngine` runs many queries at once *across* threads).
-///
-/// Construction consumes the `XmlDb` (load and finalize first; the
-/// mutating API takes `&mut self` and is therefore unreachable through
-/// the shared handle). All clones see one store snapshot, one XPath query
-/// cache, and one plan cache; per-query [`EngineStats`] merge into the
-/// process-wide [`obs::Registry`] exactly as serial queries do, plus the
-/// `engine.concurrent_queries` gauge whose histogram max is the peak
-/// concurrency actually reached.
-#[derive(Clone)]
-pub struct SharedEngine {
-    inner: Arc<XmlDb>,
+// ---------------------------------------------------------------------
+// Copy-on-write snapshots & hot reload.
+// ---------------------------------------------------------------------
+
+/// Snapshots ever retired (dropped after their last pinned query
+/// finished) and currently alive, process-wide. The live gauge minus 1
+/// (the serving snapshot) is how many superseded versions are still
+/// pinned by in-flight queries.
+static SNAPSHOTS_LIVE: AtomicU64 = AtomicU64::new(0);
+static SNAPSHOTS_RETIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshots currently alive across every [`SharedEngine`] (serving +
+/// superseded-but-pinned).
+pub fn snapshots_live() -> u64 {
+    SNAPSHOTS_LIVE.load(Relaxed)
 }
 
-impl SharedEngine {
-    /// Wrap a fully-loaded database for concurrent use.
-    pub fn new(db: XmlDb) -> SharedEngine {
-        SharedEngine {
-            inner: Arc::new(db),
+/// Snapshots fully drained and dropped since process start.
+pub fn snapshots_retired() -> u64 {
+    SNAPSHOTS_RETIRED.load(Relaxed)
+}
+
+/// One immutable serving version of the engine: a finalized [`XmlDb`]
+/// (store + statistics + its own XPath query cache) plus identity
+/// metadata. Snapshots are held behind `Arc` and swapped atomically by
+/// [`SharedEngine::reload_with`]; a query pins its snapshot at admission
+/// and therefore always sees one consistent version. The snapshot is
+/// dropped — and counted in `engine.snapshots_retired` — only when the
+/// last pinned query releases it.
+pub struct EngineSnapshot {
+    db: XmlDb,
+    version: u64,
+    loaded_at: std::time::SystemTime,
+}
+
+impl std::fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("version", &self.version)
+            .field("docs", &self.doc_count())
+            .field("tables", &self.table_count())
+            .field("rows", &self.row_count())
+            .finish()
+    }
+}
+
+impl EngineSnapshot {
+    fn new(db: XmlDb, version: u64) -> EngineSnapshot {
+        SNAPSHOTS_LIVE.fetch_add(1, Relaxed);
+        obs::Registry::global().set_gauge("engine.snapshots_live", SNAPSHOTS_LIVE.load(Relaxed));
+        EngineSnapshot {
+            db,
+            version,
+            loaded_at: std::time::SystemTime::now(),
         }
     }
 
+    /// Monotone version stamp; bumped by one on every successful reload.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// When this snapshot's store finished building.
+    pub fn loaded_at(&self) -> std::time::SystemTime {
+        self.loaded_at
+    }
+
+    /// Seconds since the Unix epoch when this snapshot was built (0 if
+    /// the clock is before the epoch).
+    pub fn loaded_at_unix(&self) -> u64 {
+        self.loaded_at
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+
+    /// Documents loaded into this snapshot's store.
+    pub fn doc_count(&self) -> u64 {
+        self.db.doc_count()
+    }
+
+    /// Relations in this snapshot's store.
+    pub fn table_count(&self) -> usize {
+        self.db.db().len()
+    }
+
+    /// Total rows across all relations.
+    pub fn row_count(&self) -> usize {
+        self.db.db().total_rows()
+    }
+
+    /// The snapshot's relational store (read-only).
+    pub fn db(&self) -> &Database {
+        self.db.db()
+    }
+
+    /// Run an XPath query against exactly this version (see
+    /// [`XmlDb::query_with_limits`]). The result carries this snapshot's
+    /// version stamp.
+    pub fn query_with_limits(
+        &self,
+        xpath: &str,
+        limits: QueryLimits,
+    ) -> Result<QueryResult, EngineError> {
+        let mut r = self.db.query_with_limits(xpath, limits)?;
+        r.snapshot_version = self.version;
+        Ok(r)
+    }
+
+    /// Translate an XPath against this version's schema/marking.
+    pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
+        self.db.translate(xpath)
+    }
+}
+
+impl Drop for EngineSnapshot {
+    fn drop(&mut self) {
+        SNAPSHOTS_LIVE.fetch_sub(1, Relaxed);
+        SNAPSHOTS_RETIRED.fetch_add(1, Relaxed);
+        let reg = obs::Registry::global();
+        reg.incr("engine.snapshots_retired", 1);
+        reg.set_gauge("engine.snapshots_live", SNAPSHOTS_LIVE.load(Relaxed));
+    }
+}
+
+struct EngineShared {
+    /// The serving snapshot. The mutex guards only the pointer swap —
+    /// queries clone the `Arc` and release the lock before running, so
+    /// the critical section is a refcount bump.
+    current: Mutex<Arc<EngineSnapshot>>,
+    /// Held for the whole of one reload (staging included), so a second
+    /// concurrent reload gets a typed [`ReloadError::Busy`] instead of
+    /// building a snapshot that would immediately be overwritten.
+    reloading: Mutex<()>,
+}
+
+/// A cloneable, thread-safe handle over a loaded [`XmlDb`] for running
+/// **concurrent read-only queries**, now with **hot reload**: the
+/// serving state is an immutable [`EngineSnapshot`] swapped atomically
+/// by [`SharedEngine::reload_with`]. Each query pins the current
+/// snapshot `Arc` at admission, so in-flight queries always see one
+/// consistent version while the next one is staged entirely off the
+/// serving path; a failed or panicking reload leaves the old snapshot
+/// serving untouched.
+///
+/// Construction consumes the `XmlDb` (load and finalize first; the
+/// mutating API takes `&mut self` and is therefore unreachable through
+/// the shared handle). All clones see one serving snapshot; per-query
+/// [`EngineStats`] merge into the process-wide [`obs::Registry`] exactly
+/// as serial queries do, plus the reload counters
+/// (`engine.reload_{attempts,failures,swaps,busy}`) and the
+/// snapshot-drain gauges (`engine.snapshots_live`,
+/// `engine.snapshots_retired`).
+#[derive(Clone)]
+pub struct SharedEngine {
+    shared: Arc<EngineShared>,
+}
+
+impl SharedEngine {
+    /// Wrap a fully-loaded database for concurrent use, as snapshot
+    /// version 1.
+    pub fn new(db: XmlDb) -> SharedEngine {
+        let snap = Arc::new(EngineSnapshot::new(db, 1));
+        obs::Registry::global().set_gauge("engine.snapshot_version", 1);
+        SharedEngine {
+            shared: Arc::new(EngineShared {
+                current: Mutex::new(snap),
+                reloading: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Pin the serving snapshot. The returned `Arc` keeps that exact
+    /// version alive (and queryable) even across concurrent reloads;
+    /// drop it to let a superseded snapshot retire.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.shared
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The serving snapshot's version stamp.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
+    }
+
+    /// Stage a replacement snapshot and swap it in atomically.
+    ///
+    /// `build` runs entirely off the serving path (parse → shred →
+    /// finalize → stats on its own staging [`XmlDb`]); queries keep
+    /// being answered from the old snapshot for its whole duration.
+    /// Every failure mode — a typed build error or a panic mid-build
+    /// (contained here) — leaves the old snapshot serving untouched and
+    /// is reported as a [`ReloadError`], counted under
+    /// `engine.reload_failures`. Only one reload stages at a time;
+    /// concurrent calls get [`ReloadError::Busy`] immediately
+    /// (`engine.reload_busy`). On success the new snapshot (version =
+    /// old + 1) is swapped in with one pointer store and returned;
+    /// queries admitted after the swap see it, queries already in flight
+    /// finish on the version they pinned.
+    pub fn reload_with<F>(&self, build: F) -> Result<Arc<EngineSnapshot>, ReloadError>
+    where
+        F: FnOnce() -> Result<XmlDb, ReloadError>,
+    {
+        let reg = obs::Registry::global();
+        reg.incr("engine.reload_attempts", 1);
+        let Ok(_staging) = self.shared.reloading.try_lock() else {
+            reg.incr("engine.reload_busy", 1);
+            return Err(ReloadError::Busy);
+        };
+        let t0 = std::time::Instant::now();
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build));
+        let db = match built {
+            Ok(Ok(db)) => db,
+            Ok(Err(e)) => {
+                reg.incr("engine.reload_failures", 1);
+                reg.incr(&format!("engine.reload_failures.{}", e.kind()), 1);
+                return Err(e);
+            }
+            Err(payload) => {
+                let e = ReloadError::panic(panic_message(payload.as_ref()));
+                reg.incr("engine.reload_failures", 1);
+                reg.incr(&format!("engine.reload_failures.{}", e.kind()), 1);
+                return Err(e);
+            }
+        };
+        // Swap: one pointer store under the lock. The old snapshot's Arc
+        // keeps serving every query that pinned it; it retires when the
+        // last one finishes. The staging XmlDb arrives with a fresh
+        // (empty) XPath query cache, and its fresh table uids make the
+        // executor's (uid, version)-keyed memos and the statistics cache
+        // miss cleanly — no explicit invalidation to forget.
+        let snap = {
+            let mut cur = self
+                .shared
+                .current
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let snap = Arc::new(EngineSnapshot::new(db, cur.version + 1));
+            *cur = snap.clone();
+            snap
+        };
+        reg.incr("engine.reload_swaps", 1);
+        reg.observe("engine.reload_ns", t0.elapsed().as_nanos() as u64);
+        reg.set_gauge("engine.snapshot_version", snap.version);
+        Ok(snap)
+    }
+
     /// Run an XPath query (safe from any thread, any number at a time).
+    /// The result's `snapshot_version` stamps which version answered.
     pub fn query(&self, xpath: &str) -> Result<QueryResult, EngineError> {
-        self.inner.query(xpath)
+        self.query_with_limits(xpath, QueryLimits::none())
     }
 
     /// Run an XPath query under resource limits — a deadline, a
@@ -882,12 +1140,12 @@ impl SharedEngine {
         xpath: &str,
         limits: QueryLimits,
     ) -> Result<QueryResult, EngineError> {
-        self.inner.query_with_limits(xpath, limits)
+        self.snapshot().query_with_limits(xpath, limits)
     }
 
     /// Run a query and return its span tree (see [`XmlDb::query_traced`]).
     pub fn query_traced(&self, xpath: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
-        self.inner.query_traced(xpath)
+        self.query_traced_with_limits(xpath, QueryLimits::none())
     }
 
     /// [`SharedEngine::query_traced`] under resource limits (see
@@ -897,23 +1155,23 @@ impl SharedEngine {
         xpath: &str,
         limits: QueryLimits,
     ) -> Result<(QueryResult, QueryTrace), EngineError> {
-        self.inner.query_traced_with_limits(xpath, limits)
+        let snap = self.snapshot();
+        let (mut r, trace) = snap.db.query_traced_with_limits(xpath, limits)?;
+        r.snapshot_version = snap.version;
+        Ok((r, trace))
     }
 
     /// Translate an XPath to its SQL statement without executing it (the
-    /// server's `explain`/`analyze` verbs plan from this).
+    /// server's `explain`/`analyze` verbs plan from this). For plan
+    /// rendering against the same version, pin [`SharedEngine::snapshot`]
+    /// and use its `db()` instead.
     pub fn translate(&self, xpath: &str) -> Result<Translation, EngineError> {
-        self.inner.translate(xpath)
+        self.snapshot().translate(xpath)
     }
 
     /// The generated SQL for an XPath (`None` when statically empty).
     pub fn sql_for(&self, xpath: &str) -> Result<Option<String>, EngineError> {
-        self.inner.sql_for(xpath)
-    }
-
-    /// The shared relational store (read-only).
-    pub fn db(&self) -> &Database {
-        self.inner.db()
+        self.snapshot().db.sql_for(xpath)
     }
 }
 

@@ -116,6 +116,96 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// Why a hot reload did not produce a new serving snapshot. Every
+/// variant leaves the previously-serving [`crate::EngineSnapshot`]
+/// untouched — a failed reload is an operator-visible event, never a
+/// serving outage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The replacement input failed to parse (malformed or truncated
+    /// XML, a bad schema file).
+    Parse(String),
+    /// The replacement input could not be read (missing file, I/O error,
+    /// chaos-injected fault).
+    Io(String),
+    /// Shredding, indexing or statistics rebuilding failed on the
+    /// staging store.
+    Shred(String),
+    /// The builder panicked mid-load; the panic was contained inside the
+    /// reload path.
+    Panic(String),
+    /// Another reload is already staging a snapshot. Transient: retry
+    /// after it finishes.
+    Busy,
+    /// The server is draining; it will take no new snapshot. Terminal
+    /// for this process.
+    Draining,
+}
+
+impl ReloadError {
+    pub fn parse(msg: impl Into<String>) -> ReloadError {
+        ReloadError::Parse(msg.into())
+    }
+
+    pub fn io(msg: impl Into<String>) -> ReloadError {
+        ReloadError::Io(msg.into())
+    }
+
+    pub fn shred(msg: impl Into<String>) -> ReloadError {
+        ReloadError::Shred(msg.into())
+    }
+
+    pub fn panic(msg: impl Into<String>) -> ReloadError {
+        ReloadError::Panic(msg.into())
+    }
+
+    /// Stable tag for counters (`engine.reload_failures.<kind>`) and
+    /// wire errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReloadError::Parse(_) => "parse",
+            ReloadError::Io(_) => "io",
+            ReloadError::Shred(_) => "shred",
+            ReloadError::Panic(_) => "panic",
+            ReloadError::Busy => "busy",
+            ReloadError::Draining => "draining",
+        }
+    }
+
+    /// Whether retrying the same reload later can succeed without any
+    /// operator intervention (only the transient `Busy` refusal).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ReloadError::Busy)
+    }
+}
+
+/// Builder helpers (e.g. `ppfd`'s data-source recipe) run ordinary
+/// engine loads; their failures classify onto the reload taxonomy by
+/// lifecycle phase.
+impl From<QueryError> for ReloadError {
+    fn from(e: QueryError) -> ReloadError {
+        match e {
+            QueryError::Parse(m) => ReloadError::Parse(m),
+            other => ReloadError::Shred(other.message().to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Parse(m) => write!(f, "reload parse error: {m}"),
+            ReloadError::Io(m) => write!(f, "reload I/O error: {m}"),
+            ReloadError::Shred(m) => write!(f, "reload shred error: {m}"),
+            ReloadError::Panic(m) => write!(f, "reload panic contained: {m}"),
+            ReloadError::Busy => write!(f, "reload busy: another reload is in progress"),
+            ReloadError::Draining => write!(f, "reload refused: server is draining"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +231,28 @@ mod tests {
         assert!(QueryError::limit("x").is_aborted());
         assert!(QueryError::cancelled("x").is_aborted());
         assert!(!QueryError::exec("x").is_aborted());
+    }
+
+    #[test]
+    fn reload_kinds_and_retryability() {
+        let cases = [
+            (ReloadError::parse("x"), "parse", false),
+            (ReloadError::io("x"), "io", false),
+            (ReloadError::shred("x"), "shred", false),
+            (ReloadError::panic("x"), "panic", false),
+            (ReloadError::Busy, "busy", true),
+            (ReloadError::Draining, "draining", false),
+        ];
+        for (e, kind, retry) in cases {
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.is_retryable(), retry);
+        }
+    }
+
+    #[test]
+    fn engine_errors_classify_onto_reload_kinds() {
+        assert_eq!(ReloadError::from(QueryError::parse("p")).kind(), "parse");
+        assert_eq!(ReloadError::from(QueryError::exec("e")).kind(), "shred");
+        assert_eq!(ReloadError::from(QueryError::plan("e")).kind(), "shred");
     }
 }

@@ -21,10 +21,11 @@ pub mod publish;
 pub mod translate;
 
 pub use engine::{
-    cache_poison_recoveries, concurrent_queries_in_flight, concurrent_queries_peak, EdgeDb,
-    EngineError, EngineStats, QueryResult, SharedEngine, XmlDb,
+    cache_poison_recoveries, concurrent_queries_in_flight, concurrent_queries_peak, snapshots_live,
+    snapshots_retired, EdgeDb, EngineError, EngineSnapshot, EngineStats, QueryResult, SharedEngine,
+    XmlDb,
 };
-pub use error::QueryError;
+pub use error::{QueryError, ReloadError};
 pub use publish::publish_element;
 pub use sqlexec::{CancelToken, QueryLimits};
 pub use translate::{

@@ -81,7 +81,8 @@ proptest! {
 
     #[test]
     fn raw_sql_soup_never_panics(input in "[a-zA-Z0-9_'\\(\\),\\.\\*=<> ]{0,80}") {
-        let exec = Executor::new(engine().db());
+        let snap = engine().snapshot();
+        let exec = Executor::new(snap.db());
         let _ = exec.query(&input);
     }
 
@@ -91,7 +92,8 @@ proptest! {
         column in "[a-zA-Z_]{1,12}",
         value in any::<i64>(),
     ) {
-        let exec = Executor::new(engine().db());
+        let snap = engine().snapshot();
+        let exec = Executor::new(snap.db());
         let _ = exec.query(&format!("select {table}.{column} from {table} where {table}.{column} = {value}"));
         let _ = exec.query(&format!("select t.{column} from {table} t where regexp_like(t.{column}, '{table}')"));
     }

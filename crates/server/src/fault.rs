@@ -29,8 +29,19 @@
 //!                    before the response), or mid (inside the response
 //!                    frame); omitted = rotate through all three
 //! seed=N             RNG seed (deterministic runs)
+//! reload_fault=K:P[:MS]  with probability P, sabotage a reload attempt;
+//!                    K is panic (panic mid-shred inside the builder),
+//!                    io (fail the build with an injected I/O error), or
+//!                    slow (sleep MS ms inside the builder, stretching
+//!                    the staging window that queries must not notice).
+//!                    Repeat the token to arm several kinds at once.
 //! off                clear the plan
 //! ```
+//!
+//! Query faults and reload faults draw from independent streams: a
+//! reload-only spec (`reload_fault=...` + `seed=N`) injects zero query
+//! faults, which is what lets `ppf-stress --reload-storm` assert a
+//! zero query-error budget while reloads are failing on purpose.
 
 use std::time::Duration;
 
@@ -84,12 +95,39 @@ impl Fault {
     }
 }
 
+/// The fault chosen for one reload attempt. Injected *inside* the
+/// snapshot builder, so a fired fault exercises the real containment
+/// path (`SharedEngine::reload_with`'s catch_unwind and error mapping),
+/// not a shortcut around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReloadFault {
+    None,
+    /// Panic mid-build; must surface as a typed `ReloadError::Panic`.
+    Panic,
+    /// Fail the build with an injected I/O error (`ReloadError::Io`).
+    Io,
+    /// Sleep inside the builder, stretching the staging window.
+    Slow(Duration),
+}
+
+impl ReloadFault {
+    /// Stable counter suffix (`server.faults.reload_<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReloadFault::None => "none",
+            ReloadFault::Panic => "reload_panic",
+            ReloadFault::Io => "reload_io",
+            ReloadFault::Slow(_) => "reload_slow",
+        }
+    }
+}
+
 #[cfg(feature = "chaos")]
 pub use chaos_impl::{ChaosState, FaultPlan};
 
 #[cfg(feature = "chaos")]
 mod chaos_impl {
-    use super::{DropPhase, Fault};
+    use super::{DropPhase, Fault, ReloadFault};
     use std::sync::{Mutex, PoisonError};
     use std::time::Duration;
 
@@ -104,6 +142,11 @@ mod chaos_impl {
         /// `None` = rotate pre → post → mid.
         pub drop_phase: Option<DropPhase>,
         pub seed: u64,
+        /// Load-path faults (`reload_fault=K:P[:MS]` tokens).
+        pub reload_panic_p: f64,
+        pub reload_io_p: f64,
+        pub reload_slow_p: f64,
+        pub reload_slow_ms: u64,
     }
 
     impl FaultPlan {
@@ -142,6 +185,28 @@ mod chaos_impl {
                         None => plan.drop_p = parse_prob(val)?,
                     },
                     "seed" => plan.seed = val.parse().map_err(|_| format!("bad seed {val:?}"))?,
+                    "reload_fault" => {
+                        let mut it = val.splitn(3, ':');
+                        let kind = it.next().unwrap_or_default();
+                        let p = parse_prob(
+                            it.next()
+                                .ok_or_else(|| format!("reload_fault wants K:P, got {val:?}"))?,
+                        )?;
+                        match (kind, it.next()) {
+                            ("panic", None) => plan.reload_panic_p = p,
+                            ("io", None) => plan.reload_io_p = p,
+                            ("slow", Some(ms)) => {
+                                plan.reload_slow_p = p;
+                                plan.reload_slow_ms = ms
+                                    .parse()
+                                    .map_err(|_| format!("bad reload slow millis {ms:?}"))?;
+                            }
+                            ("slow", None) => {
+                                return Err("reload_fault=slow wants slow:P:MS".to_string())
+                            }
+                            (other, _) => return Err(format!("bad reload_fault kind {other:?}")),
+                        }
+                    }
                     other => return Err(format!("unknown chaos key {other:?}")),
                 }
             }
@@ -149,7 +214,23 @@ mod chaos_impl {
         }
 
         fn is_off(&self) -> bool {
-            self.panic_p == 0.0 && self.poison_p == 0.0 && self.slow_p == 0.0 && self.drop_p == 0.0
+            self.panic_p == 0.0
+                && self.poison_p == 0.0
+                && self.slow_p == 0.0
+                && self.drop_p == 0.0
+                && self.reload_panic_p == 0.0
+                && self.reload_io_p == 0.0
+                && self.reload_slow_p == 0.0
+        }
+
+        /// Whether this plan injects only load-path faults (the
+        /// reload-storm contract: queries must see zero chaos).
+        pub fn is_reload_only(&self) -> bool {
+            !self.is_off()
+                && self.panic_p == 0.0
+                && self.poison_p == 0.0
+                && self.slow_p == 0.0
+                && self.drop_p == 0.0
         }
     }
 
@@ -202,7 +283,7 @@ mod chaos_impl {
                 return Ok("chaos off".to_string());
             }
             let summary = format!(
-                "chaos on: panic={} poison={} slow={}:{}ms drop={}{} seed={}",
+                "chaos on: panic={} poison={} slow={}:{}ms drop={}{} reload_panic={} reload_io={} reload_slow={}:{}ms seed={}",
                 plan.panic_p,
                 plan.poison_p,
                 plan.slow_p,
@@ -211,6 +292,10 @@ mod chaos_impl {
                 plan.drop_phase
                     .map(|p| format!(":{}", p.as_str()))
                     .unwrap_or_default(),
+                plan.reload_panic_p,
+                plan.reload_io_p,
+                plan.reload_slow_p,
+                plan.reload_slow_ms,
                 plan.seed
             );
             let seed = plan.seed;
@@ -251,6 +336,30 @@ mod chaos_impl {
                 return Fault::Slow(Duration::from_millis(p.slow_ms));
             }
             Fault::None
+        }
+
+        /// Decide the fault for one reload attempt. Same first-match
+        /// discipline as [`ChaosState::next_query_fault`] — at most one
+        /// fault per attempt, panic → io → slow order — drawn from the
+        /// same RNG stream but gated on reload-only probabilities, so a
+        /// reload-only plan never touches the query path.
+        pub fn next_reload_fault(&self) -> ReloadFault {
+            let mut slot = self.active.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(active) = slot.as_mut() else {
+                return ReloadFault::None;
+            };
+            let roll = active.rng.next_f64();
+            let p = &active.plan;
+            if roll < p.reload_panic_p {
+                return ReloadFault::Panic;
+            }
+            if roll < p.reload_panic_p + p.reload_io_p {
+                return ReloadFault::Io;
+            }
+            if roll < p.reload_panic_p + p.reload_io_p + p.reload_slow_p {
+                return ReloadFault::Slow(Duration::from_millis(p.reload_slow_ms));
+            }
+            ReloadFault::None
         }
     }
 
@@ -301,6 +410,46 @@ mod chaos_impl {
         }
 
         #[test]
+        fn parses_reload_fault_tokens() {
+            let p = FaultPlan::parse(
+                "reload_fault=panic:0.3 reload_fault=io:0.2 reload_fault=slow:0.1:50 seed=9",
+            )
+            .unwrap();
+            assert_eq!(p.reload_panic_p, 0.3);
+            assert_eq!(p.reload_io_p, 0.2);
+            assert_eq!(p.reload_slow_p, 0.1);
+            assert_eq!(p.reload_slow_ms, 50);
+            assert!(p.is_reload_only());
+            assert!(!FaultPlan::parse("panic=0.1 reload_fault=io:0.2")
+                .unwrap()
+                .is_reload_only());
+
+            assert!(FaultPlan::parse("reload_fault=panic").is_err());
+            assert!(FaultPlan::parse("reload_fault=slow:0.5").is_err());
+            assert!(FaultPlan::parse("reload_fault=eat:0.5").is_err());
+            assert!(FaultPlan::parse("reload_fault=io:7").is_err());
+        }
+
+        #[test]
+        fn reload_only_plan_never_faults_queries() {
+            let chaos = ChaosState::new();
+            chaos
+                .install("reload_fault=panic:0.5 reload_fault=io:0.5 seed=11")
+                .unwrap();
+            let mut reload_hits = 0;
+            for _ in 0..1000 {
+                assert_eq!(chaos.next_query_fault(), Fault::None);
+                match chaos.next_reload_fault() {
+                    ReloadFault::Panic | ReloadFault::Io => reload_hits += 1,
+                    ReloadFault::None | ReloadFault::Slow(_) => {
+                        panic!("p(panic)+p(io)=1: every attempt must fault")
+                    }
+                }
+            }
+            assert_eq!(reload_hits, 1000);
+        }
+
+        #[test]
         fn off_clears_the_plan() {
             let chaos = ChaosState::new();
             chaos.install("panic=1").unwrap();
@@ -330,7 +479,7 @@ mod chaos_impl {
 
 #[cfg(not(feature = "chaos"))]
 mod no_chaos_impl {
-    use super::Fault;
+    use super::{Fault, ReloadFault};
 
     /// Zero-sized stand-in: release builds carry no chaos state and the
     /// fault decision constant-folds away.
@@ -349,6 +498,11 @@ mod no_chaos_impl {
         #[inline(always)]
         pub fn next_query_fault(&self) -> Fault {
             Fault::None
+        }
+
+        #[inline(always)]
+        pub fn next_reload_fault(&self) -> ReloadFault {
+            ReloadFault::None
         }
     }
 }

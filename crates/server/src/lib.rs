@@ -35,6 +35,6 @@ pub mod server;
 
 pub use admission::{Admission, AdmissionPolicy, ShedReason, TryAdmit};
 pub use client::Client;
-pub use fault::{ChaosState, DropPhase, Fault};
+pub use fault::{ChaosState, DropPhase, Fault, ReloadFault};
 pub use proto::{ErrorKind, Request, Response, Verb};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with_reload, ReloadFn, ServerConfig, ServerHandle};

@@ -16,7 +16,7 @@
 //! header  := id SP verb (SP option)*
 //! id      := [^ \n]+            client-chosen correlation token
 //! verb    := "query" | "explain" | "analyze" | "stats" | "health"
-//!          | "slowlog" | "cancel" | "shutdown" | "chaos"
+//!          | "slowlog" | "cancel" | "shutdown" | "chaos" | "reload"
 //! option  := key "=" value      e.g. timeout=250 maxrows=100000
 //! body    := the verb's argument (XPath text, cancel target id, chaos spec)
 //! ```
@@ -24,11 +24,16 @@
 //! # Response payload grammar
 //!
 //! ```text
-//! response := id SP ("ok" | "err" SP kind) "\n" body
+//! response := id SP ("ok" | "err" SP kind) (SP meta)* "\n" body
 //! kind     := stable error tag — engine lifecycle kinds (parse, translate,
 //!             plan, exec, limit, cancelled) plus server kinds (overload,
 //!             proto, shutdown, unsupported)
+//! meta     := key "=" value     e.g. version=3 (the snapshot stamp on
+//!             query/reload responses)
 //! ```
+//!
+//! Meta tokens ride the header, never the body, so body formats stay
+//! stable; parsers that predate a given key simply skip it.
 //!
 //! Responses are correlated by `id`, not by arrival order: a connection
 //! may pipeline several requests (up to the server's per-connection cap)
@@ -106,6 +111,9 @@ pub enum Verb {
     Shutdown,
     /// Install or clear a fault-injection plan (chaos builds only).
     Chaos,
+    /// Rebuild the engine's data source into a fresh snapshot and swap
+    /// it in atomically; in-flight queries finish on the old snapshot.
+    Reload,
 }
 
 impl Verb {
@@ -120,6 +128,7 @@ impl Verb {
             Verb::Cancel => "cancel",
             Verb::Shutdown => "shutdown",
             Verb::Chaos => "chaos",
+            Verb::Reload => "reload",
         }
     }
 
@@ -134,6 +143,7 @@ impl Verb {
             "cancel" => Verb::Cancel,
             "shutdown" => Verb::Shutdown,
             "chaos" => Verb::Chaos,
+            "reload" => Verb::Reload,
             _ => return None,
         })
     }
@@ -295,6 +305,11 @@ pub fn render_request(id: &str, verb: Verb, options: &[(&str, &str)], body: &str
 pub struct Response {
     pub id: String,
     pub result: Result<String, (ErrorKind, String)>,
+    /// `key=value` meta tokens from the header line. Today: `version=N`,
+    /// the engine-snapshot stamp on query and reload responses. Meta
+    /// lives in the header so body formats never change shape; unknown
+    /// keys are carried through and ignored by old clients.
+    pub meta: Vec<(String, String)>,
 }
 
 impl Response {
@@ -302,6 +317,7 @@ impl Response {
         Response {
             id: id.to_string(),
             result: Ok(body.into()),
+            meta: Vec::new(),
         }
     }
 
@@ -309,20 +325,52 @@ impl Response {
         Response {
             id: id.to_string(),
             result: Err((kind, message.into())),
+            meta: Vec::new(),
         }
     }
 
+    /// Attach a header meta token (builder style).
+    pub fn with_meta(mut self, key: &str, value: impl std::fmt::Display) -> Response {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Stamp the snapshot version this response was answered from.
+    pub fn with_version(self, version: u64) -> Response {
+        self.with_meta("version", version)
+    }
+
+    /// The `version=N` meta token, if present and well-formed.
+    pub fn version(&self) -> Option<u64> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == "version")
+            .and_then(|(_, v)| v.parse().ok())
+    }
+
     pub fn render(&self) -> String {
+        let mut header = match &self.result {
+            Ok(_) => format!("{} ok", self.id),
+            Err((kind, _)) => format!("{} err {}", self.id, kind.as_str()),
+        };
+        for (k, v) in &self.meta {
+            header.push(' ');
+            header.push_str(k);
+            header.push('=');
+            header.push_str(v);
+        }
         match &self.result {
-            Ok(body) => format!("{} ok\n{}", self.id, body),
-            Err((kind, msg)) => format!("{} err {}\n{}", self.id, kind.as_str(), msg),
+            Ok(body) => format!("{header}\n{body}"),
+            Err((_, msg)) => format!("{header}\n{msg}"),
         }
     }
 }
 
 /// Parse a response payload. Errors mean the server broke the protocol
 /// (or the connection was cut mid-frame — chaos `drop` faults do this on
-/// purpose).
+/// purpose). Header tokens after the status that look like `key=value`
+/// are collected as meta; anything else is ignored for forward
+/// compatibility.
 pub fn parse_response(payload: &str) -> Result<Response, String> {
     let (header, body) = match payload.split_once('\n') {
         Some((h, b)) => (h, b),
@@ -330,10 +378,17 @@ pub fn parse_response(payload: &str) -> Result<Response, String> {
     };
     let mut parts = header.split_whitespace();
     let id = parts.next().ok_or("empty response header")?.to_string();
+    let collect_meta = |parts: std::str::SplitWhitespace<'_>| -> Vec<(String, String)> {
+        parts
+            .filter_map(|tok| tok.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    };
     match parts.next() {
         Some("ok") => Ok(Response {
             id,
             result: Ok(body.to_string()),
+            meta: collect_meta(parts),
         }),
         Some("err") => {
             let kind_str = parts.next().ok_or("err response is missing a kind")?;
@@ -342,6 +397,7 @@ pub fn parse_response(payload: &str) -> Result<Response, String> {
             Ok(Response {
                 id,
                 result: Err((kind, body.to_string())),
+                meta: collect_meta(parts),
             })
         }
         other => Err(format!("bad response status {other:?}")),
@@ -413,6 +469,27 @@ mod tests {
     }
 
     #[test]
+    fn version_meta_rides_the_header_not_the_body() {
+        let r = Response::ok("q7", "rows 2\n1\n2").with_version(3);
+        let rendered = r.render();
+        assert!(rendered.starts_with("q7 ok version=3\n"));
+        let parsed = parse_response(&rendered).unwrap();
+        assert_eq!(parsed.version(), Some(3));
+        assert_eq!(parsed.result.unwrap(), "rows 2\n1\n2", "body unchanged");
+
+        // Err responses carry meta the same way.
+        let e = Response::err("q8", ErrorKind::Shutdown, "draining").with_version(5);
+        let parsed = parse_response(&e.render()).unwrap();
+        assert_eq!(parsed.version(), Some(5));
+        assert_eq!(parsed.result.unwrap_err().0, ErrorKind::Shutdown);
+
+        // Plain responses have no version; unknown meta keys are kept.
+        let parsed = parse_response("q9 ok trace=abc\nrows 0\n").unwrap();
+        assert_eq!(parsed.version(), None);
+        assert_eq!(parsed.meta, vec![("trace".to_string(), "abc".to_string())]);
+    }
+
+    #[test]
     fn every_verb_roundtrips() {
         let verbs = [
             Verb::Query,
@@ -424,6 +501,7 @@ mod tests {
             Verb::Cancel,
             Verb::Shutdown,
             Verb::Chaos,
+            Verb::Reload,
         ];
         for v in verbs {
             assert_eq!(Verb::parse(v.as_str()), Some(v));

@@ -40,13 +40,21 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use ppf_core::{CancelToken, QueryLimits, SharedEngine};
+use ppf_core::{CancelToken, QueryLimits, ReloadError, SharedEngine, XmlDb};
 
 use crate::admission::{Admission, AdmissionPolicy, ShedReason, Slot, TryAdmit};
 use crate::event_loop::{self, EventLoops, EventSink};
-use crate::fault::{ChaosState, DropPhase, Fault};
+use crate::fault::{ChaosState, DropPhase, Fault, ReloadFault};
 use crate::frame::FrameBuffer;
 use crate::proto::{self, ErrorKind, Request, Response, Verb};
+
+/// Rebuilds the server's data source into a fresh staging [`XmlDb`]
+/// (parse → shred → finalize), entirely off the serving path. Installed
+/// via [`serve_with_reload`]; invoked by the `reload` verb and (through
+/// [`ServerHandle::reload`]) by `ppfd`'s SIGHUP handler. Must be pure
+/// with respect to serving state: a failure or panic here is contained
+/// by [`SharedEngine::reload_with`] and leaves the old snapshot serving.
+pub type ReloadFn = Arc<dyn Fn() -> Result<XmlDb, ReloadError> + Send + Sync>;
 
 /// Tunables. `Default` is sized for a small daemon; `ppfd` exposes each
 /// knob as a flag.
@@ -129,6 +137,9 @@ const ACCEPT_TICK: Duration = Duration::from_millis(10);
 /// Shared server state.
 pub(crate) struct Inner {
     pub(crate) engine: SharedEngine,
+    /// Snapshot builder for the `reload` verb / SIGHUP (`None` = this
+    /// server has no reloadable data source; `reload` is unsupported).
+    reloader: Option<ReloadFn>,
     pub(crate) cfg: ServerConfig,
     pub(crate) admission: Arc<Admission>,
     pub(crate) chaos: ChaosState,
@@ -279,6 +290,24 @@ impl ServerHandle {
         self.inner.draining.load(SeqCst)
     }
 
+    /// Rebuild the data source and swap in a fresh snapshot (the SIGHUP
+    /// path; the `reload` verb goes through the same engine machinery).
+    /// Blocks for the whole staging build — callers that must not block
+    /// (event threads) go through the verb instead. Returns the new
+    /// snapshot version. Typed refusals: `Draining` while a drain is in
+    /// progress, `Busy` while another reload is staging, and every build
+    /// failure mode leaves the old snapshot serving.
+    pub fn reload(&self) -> Result<u64, ReloadError> {
+        if self.inner.draining.load(SeqCst) {
+            obs::Registry::global().incr("engine.reload_refused_draining", 1);
+            return Err(ReloadError::Draining);
+        }
+        let Some(reloader) = self.inner.reloader.clone() else {
+            return Err(ReloadError::io("this server has no reload source"));
+        };
+        do_reload(&self.inner, &reloader).map(|snap| snap.version())
+    }
+
     /// Which connection core is serving (`sync`, `async(epoll, …)`).
     pub fn core(&self) -> &str {
         self.inner
@@ -298,8 +327,22 @@ impl ServerHandle {
 }
 
 /// Bind `addr` and serve `engine` until a drain completes. Fails (rather
-/// than panicking) if the listener or any core thread cannot start.
+/// than panicking) if the listener or any core thread cannot start. The
+/// `reload` verb is unsupported; use [`serve_with_reload`] to arm it.
 pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    serve_with_reload(engine, addr, cfg, None)
+}
+
+/// [`serve`], with an optional snapshot builder armed for hot reload:
+/// the `reload` verb (and `ppfd`'s SIGHUP) rebuilds the data source
+/// through `reloader` on a worker thread and atomically swaps the result
+/// in as the next serving snapshot.
+pub fn serve_with_reload(
+    engine: SharedEngine,
+    addr: &str,
+    cfg: ServerConfig,
+    reloader: Option<ReloadFn>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let inner = Arc::new(Inner {
@@ -310,6 +353,7 @@ pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<
             cfg.policy,
         ),
         engine,
+        reloader,
         cfg,
         chaos: ChaosState::new(),
         draining: AtomicBool::new(false),
@@ -722,15 +766,23 @@ pub(crate) fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) 
             } else {
                 "ok"
             };
+            // Pin the serving snapshot once so every reported line
+            // describes the same version, even mid-swap.
+            let snap = inner.engine.snapshot();
             let body = format!(
-                "status: {status}\ncore: {}\nactive_conns: {}\ninflight: {}\nwaiting: {}\npool_threads: {}",
+                "status: {status}\ncore: {}\nactive_conns: {}\ninflight: {}\nwaiting: {}\npool_threads: {}\nsnapshot_version: {}\nloaded_at_unix: {}\ndocuments: {}\ntables: {}\nrows: {}",
                 inner.core.get().map(String::as_str).unwrap_or("unknown"),
                 inner.active_conns.load(SeqCst),
                 inner.admission.inflight(),
                 inner.admission.waiting(),
                 ppf_pool::current_threads(),
+                snap.version(),
+                snap.loaded_at_unix(),
+                snap.doc_count(),
+                snap.table_count(),
+                snap.row_count(),
             );
-            conn.write_response(&Response::ok(&req.id, body));
+            conn.write_response(&Response::ok(&req.id, body).with_version(snap.version()));
         }
         Verb::Cancel => {
             reg.incr("server.cancel_requests", 1);
@@ -773,6 +825,7 @@ pub(crate) fn handle_frame(inner: &Arc<Inner>, conn: &Arc<Conn>, payload: &str) 
             Ok(summary) => conn.write_response(&Response::ok(&req.id, summary)),
             Err(msg) => conn.write_response(&Response::err(&req.id, ErrorKind::Unsupported, msg)),
         },
+        Verb::Reload => start_reload(inner, conn, req),
     }
     reg.observe(
         &format!("server.verb_ns.{verb}"),
@@ -880,6 +933,114 @@ fn shed_detail(reason: ShedReason) -> &'static str {
     }
 }
 
+/// Handle one `reload` request. Like queries, the staging build runs on
+/// its own worker thread — it can take arbitrarily long (parse → shred →
+/// finalize → stats) and must never block an event thread. Unlike
+/// queries it skips admission (it consumes no query slot; the engine's
+/// own staging lock serializes reloads and refuses pile-ups with a typed
+/// `busy`), but it does hold the connection's pipelining gauge so the
+/// connection is not reaped mid-build.
+fn start_reload(inner: &Arc<Inner>, conn: &Arc<Conn>, req: Request) {
+    let reg = obs::Registry::global();
+    if inner.draining.load(SeqCst) {
+        reg.incr("engine.reload_refused_draining", 1);
+        conn.write_response(&Response::err(
+            &req.id,
+            ErrorKind::Shutdown,
+            ReloadError::Draining.to_string(),
+        ));
+        return;
+    }
+    let Some(reloader) = inner.reloader.clone() else {
+        conn.write_response(&Response::err(
+            &req.id,
+            ErrorKind::Unsupported,
+            "this server has no reload source",
+        ));
+        return;
+    };
+    conn.inflight.fetch_add(1, SeqCst);
+    let id = req.id.clone();
+    let worker_inner = inner.clone();
+    let worker_conn = conn.clone();
+    let spawned = spawn_sheddable("ppfd-reload", move || {
+        let resp = match do_reload(&worker_inner, &reloader) {
+            Ok(snap) => Response::ok(
+                &req.id,
+                format!(
+                    "reloaded\nsnapshot_version: {}\ndocuments: {}\ntables: {}\nrows: {}",
+                    snap.version(),
+                    snap.doc_count(),
+                    snap.table_count(),
+                    snap.row_count(),
+                ),
+            )
+            .with_version(snap.version()),
+            Err(e) => {
+                let kind = match e {
+                    // Transient staffing conflict: back off and retry.
+                    ReloadError::Busy => ErrorKind::Overload,
+                    ReloadError::Draining => ErrorKind::Shutdown,
+                    ReloadError::Parse(_) => ErrorKind::Parse,
+                    ReloadError::Io(_) | ReloadError::Shred(_) | ReloadError::Panic(_) => {
+                        ErrorKind::Exec
+                    }
+                };
+                Response::err(&req.id, kind, e.to_string())
+            }
+        };
+        worker_conn.write_response_quiet(&resp);
+        worker_conn.inflight.fetch_sub(1, SeqCst);
+        if let Some(sink) = worker_conn.event_sink() {
+            sink.ring_home();
+        }
+    });
+    if spawned.is_err() {
+        reg.incr("server.spawn_failures", 1);
+        reg.incr("server.shed", 1);
+        reg.incr("server.shed.spawn", 1);
+        conn.inflight.fetch_sub(1, SeqCst);
+        conn.write_response(&Response::err(
+            &id,
+            ErrorKind::Overload,
+            "shed: cannot spawn reload worker",
+        ));
+    }
+}
+
+/// Stage and swap one snapshot through [`SharedEngine::reload_with`],
+/// applying any chaos load-path fault *inside* the builder so an
+/// injected panic/IO failure travels the real containment path. Shared
+/// by the `reload` verb worker and [`ServerHandle::reload`] (SIGHUP).
+fn do_reload(
+    inner: &Arc<Inner>,
+    reloader: &ReloadFn,
+) -> Result<Arc<ppf_core::EngineSnapshot>, ReloadError> {
+    let reg = obs::Registry::global();
+    let t0 = Instant::now();
+    let chaos_inner = inner.clone();
+    let reloader = reloader.clone();
+    let outcome = inner.engine.reload_with(move || {
+        // Drawn here — not before `reload_with` — so a `busy` refusal
+        // consumes no fault and the injected/observed counts reconcile.
+        let fault = chaos_inner.chaos.next_reload_fault();
+        if fault != ReloadFault::None {
+            obs::Registry::global().incr(&format!("server.faults.{}", fault.label()), 1);
+        }
+        match fault {
+            ReloadFault::Panic => panic!("chaos: injected reload panic"),
+            ReloadFault::Io => {
+                return Err(ReloadError::io("chaos: injected reload I/O fault"));
+            }
+            ReloadFault::Slow(pause) => std::thread::sleep(pause),
+            ReloadFault::None => {}
+        }
+        reloader()
+    });
+    reg.observe("server.verb_ns.reload", t0.elapsed().as_nanos() as u64);
+    outcome
+}
+
 /// Run one admitted query to completion on the worker thread, applying
 /// any chaos fault, and deliver exactly one response unless a `drop`
 /// fault severs the connection first. Cleanup (query-table entry,
@@ -939,7 +1100,12 @@ fn run_admitted(
     }
 
     let (resp, rows, phases, verdict) = match outcome {
-        Ok(Ok((body, phases, rows))) => (Response::ok(&req.id, body), rows, phases, "ok"),
+        Ok(Ok((body, phases, rows, version))) => (
+            Response::ok(&req.id, body).with_version(version),
+            rows,
+            phases,
+            "ok",
+        ),
         Ok(Err(e)) => {
             let kind = ErrorKind::from_engine_kind(e.kind());
             (
@@ -1025,15 +1191,21 @@ fn finish_query(inner: &Inner, conn: &Conn, id: &str, slot: Slot) {
     drop(slot);
 }
 
-/// Execute the engine work for one request. On success: the body of the
-/// `ok` response, the engine's phase breakdown when the verb surfaces
-/// one (plain queries), and the result row count — both feed the
-/// slow-query log.
+/// What [`execute`] hands back on success: the body of the `ok`
+/// response, the engine's phase breakdown when the verb surfaces one
+/// (plain queries), the result row count — both feed the slow-query
+/// log — and the snapshot version that answered (the response's
+/// `version=` header stamp).
+type Executed = (String, Option<[u64; 5]>, u64, u64);
+
+/// Execute the engine work for one request. Each request pins exactly
+/// one snapshot, so a query racing a reload is answered wholly by the
+/// version it stamps.
 fn execute(
     inner: &Inner,
     req: &Request,
     limits: &QueryLimits,
-) -> Result<(String, Option<[u64; 5]>, u64), ppf_core::QueryError> {
+) -> Result<Executed, ppf_core::QueryError> {
     match req.verb {
         Verb::Query => {
             let result = inner
@@ -1057,27 +1229,30 @@ fn execute(
             if ids.len() > cap {
                 body.push_str(&format!("truncated {}\n", ids.len() - cap));
             }
-            Ok((body, phases, ids.len() as u64))
+            Ok((body, phases, ids.len() as u64, result.snapshot_version))
         }
         Verb::Explain => {
-            let t = inner.engine.translate(req.body.trim())?;
-            let body = match t.stmt {
-                None => "(statically empty)".to_string(),
-                Some(stmt) => sqlexec::explain_stmt(inner.engine.db(), &stmt)
-                    .map_err(ppf_core::QueryError::from)?,
-            };
-            Ok((body, None, 0))
-        }
-        Verb::Analyze => {
-            let t = inner.engine.translate(req.body.trim())?;
+            let snap = inner.engine.snapshot();
+            let t = snap.translate(req.body.trim())?;
             let body = match t.stmt {
                 None => "(statically empty)".to_string(),
                 Some(stmt) => {
-                    sqlexec::explain_analyze_with_limits(inner.engine.db(), &stmt, limits.clone())
+                    sqlexec::explain_stmt(snap.db(), &stmt).map_err(ppf_core::QueryError::from)?
+                }
+            };
+            Ok((body, None, 0, snap.version()))
+        }
+        Verb::Analyze => {
+            let snap = inner.engine.snapshot();
+            let t = snap.translate(req.body.trim())?;
+            let body = match t.stmt {
+                None => "(statically empty)".to_string(),
+                Some(stmt) => {
+                    sqlexec::explain_analyze_with_limits(snap.db(), &stmt, limits.clone())
                         .map_err(ppf_core::QueryError::from)?
                 }
             };
-            Ok((body, None, 0))
+            Ok((body, None, 0, snap.version()))
         }
         _ => unreachable!("only query-class verbs reach execute()"),
     }

@@ -10,7 +10,15 @@
 //! ```text
 //! ppf-stress --addr 127.0.0.1:7878 --conns 8 --requests 50
 //! ppf-stress --chaos "panic=0.05 drop=0.05 slow=0.1:80 seed=7" --expect-shed --shutdown
+//! ppf-stress --reload-storm --reloads 20 --chaos "reload_fault=io:0.3 seed=3"
 //! ```
+//!
+//! `--reload-storm` adds a thread hammering the `reload` verb while the
+//! query workers run, then reconciles snapshot identity: every ok
+//! response must carry exactly one `version=` stamp, the server's
+//! `engine.reload_swaps` / `engine.reload_failures` / `engine.reload_busy`
+//! counters must match what the storm client observed, and under a
+//! reload-only chaos spec the query stream must stay error-free.
 //!
 //! Exit status is 0 only if every request reached a typed outcome (no
 //! untyped protocol garbage), every reconciliation check passed, and —
@@ -26,7 +34,7 @@ use ppf_server::{Client, ErrorKind, Verb};
 const USAGE: &str =
     "usage: ppf-stress [--addr ADDR] [--conns K] [--requests N] [--timeout-ms MS]\n\
      [--seed N] [--chaos SPEC] [--cancel-storm] [--expect-shed] [--shutdown]\n\
-     [--idle-conns N]";
+     [--idle-conns N] [--reload-storm] [--reloads N]";
 
 /// Retry/backoff schedule for `[overload]` responses.
 const BACKOFF_BASE: Duration = Duration::from_millis(10);
@@ -48,6 +56,11 @@ struct Config {
     /// its whole duration — pressure-tests idle-connection scalability
     /// alongside the chaos soak.
     idle_conns: usize,
+    /// Hammer the `reload` verb while the workload runs and reconcile
+    /// snapshot versions afterwards.
+    reload_storm: bool,
+    /// How many reloads the storm thread issues.
+    reloads: usize,
 }
 
 /// What one worker saw, summed across its requests.
@@ -66,6 +79,10 @@ struct Tally {
     panics_observed: u64,
     /// Cancel verbs acknowledged (cancel-storm mode).
     cancels_sent: u64,
+    /// Snapshot versions stamped on ok responses, with counts.
+    versions: BTreeMap<u64, u64>,
+    /// Ok responses that arrived without a `version=` stamp.
+    missing_version: u64,
 }
 
 impl Tally {
@@ -79,7 +96,29 @@ impl Tally {
         self.disconnects += other.disconnects;
         self.panics_observed += other.panics_observed;
         self.cancels_sent += other.cancels_sent;
+        for (v, n) in other.versions {
+            *self.versions.entry(v).or_insert(0) += n;
+        }
+        self.missing_version += other.missing_version;
     }
+}
+
+/// What the reload-storm thread saw, reconciled at the end against the
+/// server's `engine.reload_*` counters.
+#[derive(Default)]
+struct StormTally {
+    /// Reloads acknowledged ok — each one is a client-observed swap.
+    swaps: u64,
+    /// Typed reload failures (chaos faults, bad source) — not busy.
+    failures: u64,
+    /// `[overload]` busy refusals (another reload mid-stage).
+    busy: u64,
+    /// Reloads refused because the server was draining.
+    refused_draining: u64,
+    /// I/O failures that forced the storm connection to reconnect.
+    disconnects: u64,
+    /// Highest snapshot version any reload response was stamped with.
+    max_version: u64,
 }
 
 /// xorshift64* — deterministic per-worker workload mixing without any
@@ -127,6 +166,8 @@ fn parse_args() -> Result<Config, String> {
         expect_shed: false,
         shutdown: false,
         idle_conns: 0,
+        reload_storm: false,
+        reloads: 20,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -145,6 +186,8 @@ fn parse_args() -> Result<Config, String> {
             "--expect-shed" => cfg.expect_shed = true,
             "--shutdown" => cfg.shutdown = true,
             "--idle-conns" => cfg.idle_conns = num(&value(&arg)?, &arg)?,
+            "--reload-storm" => cfg.reload_storm = true,
+            "--reloads" => cfg.reloads = num(&value(&arg)?, &arg)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -220,6 +263,18 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("spawn failed: {e}"))?,
         );
     }
+    let storm = if cfg.reload_storm {
+        let cfg = cfg.clone();
+        eprintln!("ppf-stress: reload storm of {} reloads", cfg.reloads);
+        Some(
+            std::thread::Builder::new()
+                .name("reload-storm".to_string())
+                .spawn(move || reload_storm(&cfg, io_timeout))
+                .map_err(|e| format!("spawn failed: {e}"))?,
+        )
+    } else {
+        None
+    };
     let mut total = Tally::default();
     for w in workers {
         match w.join() {
@@ -227,11 +282,28 @@ fn run() -> Result<(), String> {
             Err(_) => return Err("a worker thread panicked".to_string()),
         }
     }
+    let storm = match storm {
+        Some(handle) => match handle.join() {
+            Ok(t) => Some(t),
+            Err(_) => return Err("the reload-storm thread panicked".to_string()),
+        },
+        None => None,
+    };
     let elapsed = started.elapsed();
 
     // Pull the server's own view and reconcile.
     let mut ctl = Client::connect(&cfg.addr, io_timeout)
         .map_err(|e| format!("cannot reconnect for stats: {e}"))?;
+    if cfg.reload_storm {
+        // One probe after the storm has fully drained: it must be served
+        // from the final snapshot, which also guarantees the version set
+        // spans the storm even if the workers raced ahead of it.
+        let resp = ctl
+            .request("storm-probe", Verb::Query, &[], "/site")
+            .map_err(|e| format!("post-storm probe failed: {e}"))?;
+        let version = resp.version();
+        record(&mut total, version, &resp.result);
+    }
     let stats = match ctl
         .request("stats-final", Verb::Stats, &[], "")
         .map_err(|e| format!("stats request failed: {e}"))?
@@ -304,6 +376,102 @@ fn run() -> Result<(), String> {
         }
     }
 
+    // Reconcile snapshot identity after a reload storm: the server's own
+    // reload counters must match what the storm client observed, and
+    // every ok response must have been attributable to exactly one
+    // snapshot version.
+    if let Some(storm) = &storm {
+        let srv_attempts = counter(&stats, "engine.reload_attempts");
+        let srv_swaps = counter(&stats, "engine.reload_swaps");
+        let srv_failures = counter(&stats, "engine.reload_failures");
+        let srv_busy = counter(&stats, "engine.reload_busy");
+        let distinct = total.versions.len();
+        let stamped: u64 = total.versions.values().sum();
+
+        println!("--- reload storm ---");
+        println!("swaps observed    {}", storm.swaps);
+        println!("failures observed {}", storm.failures);
+        println!("busy refusals     {}", storm.busy);
+        println!("draining refusals {}", storm.refused_draining);
+        println!("storm disconnects {}", storm.disconnects);
+        println!("versions seen     {distinct} distinct across {stamped} ok responses");
+        println!("engine.reload_attempts {srv_attempts}");
+        println!("engine.reload_swaps    {srv_swaps}");
+        println!("engine.reload_failures {srv_failures}");
+        println!("engine.reload_busy     {srv_busy}");
+
+        if total.missing_version > 0 {
+            failures.push(format!(
+                "{} ok responses carried no snapshot version stamp",
+                total.missing_version
+            ));
+        }
+        if srv_attempts != srv_swaps + srv_failures + srv_busy {
+            failures.push(format!(
+                "reload accounting broken: {srv_attempts} attempts != \
+                 {srv_swaps} swaps + {srv_failures} failures + {srv_busy} busy"
+            ));
+        }
+        // With an intact storm connection every reload outcome was
+        // observed, so the two ledgers must agree exactly. (A severed
+        // connection can lose a response whose reload still landed.)
+        if storm.disconnects == 0 {
+            if srv_swaps != storm.swaps {
+                failures.push(format!(
+                    "server counted {srv_swaps} snapshot swaps but the storm observed {}",
+                    storm.swaps
+                ));
+            }
+            if srv_failures != storm.failures {
+                failures.push(format!(
+                    "server counted {srv_failures} reload failures but the storm observed {}",
+                    storm.failures
+                ));
+            }
+            if srv_busy != storm.busy {
+                failures.push(format!(
+                    "server counted {srv_busy} busy refusals but the storm observed {}",
+                    storm.busy
+                ));
+            }
+        }
+        // The post-storm probe pinned the final snapshot, so the highest
+        // version any client saw is exactly the seed version plus every
+        // swap — no response may claim a snapshot that never served.
+        let max_seen = total
+            .versions
+            .keys()
+            .max()
+            .copied()
+            .unwrap_or(0)
+            .max(storm.max_version);
+        if max_seen != 1 + srv_swaps {
+            failures.push(format!(
+                "highest stamped version {max_seen} != 1 + {srv_swaps} swaps"
+            ));
+        }
+        if srv_swaps >= 3 && distinct < 2 {
+            failures.push(format!(
+                "{srv_swaps} swaps landed but clients saw only {distinct} distinct version(s)"
+            ));
+        }
+        // Under a reload-only fault plan the query stream must be
+        // collateral-free: reload failures stay on the reload path.
+        if cfg.chaos.as_deref().is_some_and(is_reload_only_spec) {
+            if typed_errors > 0 {
+                failures.push(format!(
+                    "{typed_errors} query errors under a reload-only fault plan"
+                ));
+            }
+            if total.disconnects > 0 {
+                failures.push(format!(
+                    "{} disconnects under a reload-only fault plan",
+                    total.disconnects
+                ));
+            }
+        }
+    }
+
     // The idle herd must have survived the entire soak: probe one parked
     // connection end-to-end and check the server still counts them all.
     if !idlers.is_empty() {
@@ -367,6 +535,50 @@ fn run() -> Result<(), String> {
     } else {
         Err(failures.join("; "))
     }
+}
+
+/// Hammer the `reload` verb from one dedicated connection, ~25ms apart,
+/// while the query workers run. Every outcome is typed: an ok response
+/// is a client-observed swap, `[overload]` is the engine's busy refusal,
+/// `[shutdown]` is the drain refusal, anything else is a reload failure
+/// (chaos fault, bad source). Counts are reconciled against the
+/// server's own `engine.reload_*` counters afterwards.
+fn reload_storm(cfg: &Config, io_timeout: Duration) -> StormTally {
+    let mut tally = StormTally::default();
+    let mut client: Option<Client> = None;
+    for n in 0..cfg.reloads {
+        let c = match &mut client {
+            Some(c) => c,
+            None => match Client::connect(&cfg.addr, io_timeout) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    tally.disconnects += 1;
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            },
+        };
+        let id = format!("storm-{n}");
+        match c.request(&id, Verb::Reload, &[], "") {
+            Ok(resp) => {
+                if let Some(v) = resp.version() {
+                    tally.max_version = tally.max_version.max(v);
+                }
+                match resp.result {
+                    Ok(_) => tally.swaps += 1,
+                    Err((ErrorKind::Overload, _)) => tally.busy += 1,
+                    Err((ErrorKind::Shutdown, _)) => tally.refused_draining += 1,
+                    Err(_) => tally.failures += 1,
+                }
+            }
+            Err(_) => {
+                client = None;
+                tally.disconnects += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    tally
 }
 
 /// Drive one connection's worth of workload. Never panics: every error
@@ -436,7 +648,7 @@ fn worker(
                     match c.recv() {
                         Ok(resp) if resp.id == id => {
                             seen_query = true;
-                            record(&mut tally, &resp.result);
+                            record(&mut tally, resp.version(), &resp.result);
                         }
                         Ok(_) => {}
                         Err(_) => {
@@ -456,23 +668,26 @@ fn worker(
             }
 
             match c.request(&id, verb, &options, query) {
-                Ok(resp) => match resp.result {
-                    Err((ErrorKind::Overload, _)) => {
-                        shed_seen.fetch_add(1, Relaxed);
-                        attempts += 1;
-                        if attempts > MAX_RETRIES {
-                            tally.gave_up += 1;
+                Ok(resp) => {
+                    let version = resp.version();
+                    match resp.result {
+                        Err((ErrorKind::Overload, _)) => {
+                            shed_seen.fetch_add(1, Relaxed);
+                            attempts += 1;
+                            if attempts > MAX_RETRIES {
+                                tally.gave_up += 1;
+                                break;
+                            }
+                            tally.overload_retries += 1;
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(BACKOFF_CAP);
+                        }
+                        other => {
+                            record(&mut tally, version, &other);
                             break;
                         }
-                        tally.overload_retries += 1;
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(BACKOFF_CAP);
                     }
-                    other => {
-                        record(&mut tally, &other);
-                        break;
-                    }
-                },
+                }
                 Err(_) => {
                     // Severed mid-request (chaos drop, idle reap, drain).
                     client = None;
@@ -485,9 +700,17 @@ fn worker(
     tally
 }
 
-fn record(tally: &mut Tally, result: &Result<String, (ErrorKind, String)>) {
+fn record(tally: &mut Tally, version: Option<u64>, result: &Result<String, (ErrorKind, String)>) {
     match result {
-        Ok(_) => tally.ok += 1,
+        Ok(_) => {
+            tally.ok += 1;
+            // Every successful read must be attributable to exactly one
+            // serving snapshot.
+            match version {
+                Some(v) => *tally.versions.entry(v).or_insert(0) += 1,
+                None => tally.missing_version += 1,
+            }
+        }
         Err((kind, msg)) => {
             *tally.errors.entry(kind.as_str()).or_insert(0) += 1;
             if *kind == ErrorKind::Exec && msg.contains("panic contained") {
@@ -495,6 +718,15 @@ fn record(tally: &mut Tally, result: &Result<String, (ErrorKind, String)>) {
             }
         }
     }
+}
+
+/// True when a chaos spec injects faults only into the reload path
+/// (`reload_fault=...` tokens, plus `seed=`), so the query stream is
+/// expected to run completely clean.
+fn is_reload_only_spec(spec: &str) -> bool {
+    let mut tokens = spec.split_whitespace().peekable();
+    tokens.peek().is_some()
+        && tokens.all(|t| t.starts_with("reload_fault=") || t.starts_with("seed="))
 }
 
 /// Pull one counter out of a rendered registry snapshot; 0 if absent.

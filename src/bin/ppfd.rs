@@ -1,32 +1,50 @@
 //! `ppfd` — the PPF XPath daemon: one [`ppf_core::SharedEngine`] served
-//! over TCP with admission control, per-query deadlines, and graceful
+//! over TCP with admission control, per-query deadlines, hot reload of
+//! the data source (SIGHUP or the protocol `reload` verb), and graceful
 //! drain on SIGTERM/SIGINT or the protocol `shutdown` verb.
 //!
 //! ```text
 //! ppfd --schema library.dsl data.xml            # serve loaded documents
 //! ppfd --xmark 0.05 --listen 127.0.0.1:7878     # serve a generated XMark doc
 //! ppfd --xmark 0.02 --max-inflight 4 --policy shed
+//! kill -HUP $(pidof ppfd)                       # rebuild + swap the snapshot
 //! ```
 //!
 //! The bound address is announced on stdout as `ppfd listening on ADDR`
 //! (scripts wait for that line). On drain the final metrics snapshot is
 //! written to stderr and the process exits 0.
 //!
+//! SIGHUP (or `reload`) rebuilds the startup data source — re-reading
+//! document files from disk, or regenerating the XMark document — into a
+//! staging store off the serving path, then swaps it in atomically.
+//! In-flight queries finish on the snapshot they pinned; any reload
+//! failure (missing file, malformed XML, panic) leaves the old snapshot
+//! serving and is reported on stderr with a typed kind.
+//!
 //! Chaos builds (`--features chaos`) additionally accept `--chaos SPEC`
 //! to install a fault plan at startup; see `ppf_server::fault` for the
-//! spec grammar.
+//! spec grammar (including `reload_fault=...` load-path faults).
 
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
 use std::time::Duration;
 
-use ppf_core::{SharedEngine, XmlDb};
-use ppf_server::{serve, AdmissionPolicy, ServerConfig};
+use ppf_core::{ReloadError, SharedEngine, XmlDb};
+use ppf_server::{serve_with_reload, AdmissionPolicy, ReloadFn, ServerConfig};
 
 /// Set from the signal handler; polled by the main loop.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Set by SIGHUP; the main loop turns it into one reload attempt.
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
-extern "C" fn on_signal(_sig: i32) {
-    SHUTDOWN.store(true, SeqCst);
+extern "C" fn on_signal(sig: i32) {
+    // SIGHUP = 1 everywhere we run; everything else we registered means
+    // "drain". Only atomics in here (async-signal-safe).
+    if sig == 1 {
+        RELOAD.store(true, SeqCst);
+    } else {
+        SHUTDOWN.store(true, SeqCst);
+    }
 }
 
 #[cfg(unix)]
@@ -34,13 +52,15 @@ fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
-    // SAFETY: the handler only stores to an atomic, which is
+    // SAFETY: the handler only stores to atomics, which is
     // async-signal-safe; `signal` itself is a plain libc call.
     unsafe {
         signal(SIGTERM, on_signal as *const () as usize);
         signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGHUP, on_signal as *const () as usize);
     }
 }
 
@@ -61,6 +81,51 @@ const USAGE: &str =
      [--deadline-ms MS|0] [--idle-ms MS] [--drain-ms MS] [--chaos SPEC]\n\
      [--slow-ms MS] [--slowlog-cap N] [--metrics-every-ms MS]\n\
      [--event-threads N] [--max-conns N|0] [--sync-conns]";
+
+/// The startup data-source recipe, kept so SIGHUP / the `reload` verb
+/// can rebuild the exact same source into a fresh staging snapshot.
+#[derive(Clone)]
+enum Source {
+    XMark {
+        scale: f64,
+        seed: u64,
+    },
+    /// Schema plus document paths: a reload re-reads every file from
+    /// disk, so editing the documents and sending SIGHUP picks them up.
+    Docs {
+        schema: xmlschema::Schema,
+        paths: Vec<String>,
+    },
+}
+
+/// Parse → shred → finalize the source into a staging [`XmlDb`],
+/// entirely off the serving path. Shared by startup and every reload;
+/// failures classify onto the [`ReloadError`] taxonomy (I/O for
+/// unreadable files, parse for malformed XML, shred for store errors).
+fn build_db(source: &Source) -> Result<XmlDb, ReloadError> {
+    let mut db = match source {
+        Source::XMark { scale, seed } => {
+            let doc = xmark::generate_xmark(xmark::XMarkConfig {
+                scale: *scale,
+                seed: *seed,
+            });
+            let mut db = XmlDb::new(&xmark::xmark_schema())?;
+            db.load(&doc)?;
+            db
+        }
+        Source::Docs { schema, paths } => {
+            let mut db = XmlDb::new(schema)?;
+            for path in paths {
+                let xml = std::fs::read_to_string(path)
+                    .map_err(|e| ReloadError::io(format!("cannot read {path}: {e}")))?;
+                db.load_xml(&xml)?;
+            }
+            db
+        }
+    };
+    db.finalize()?;
+    Ok(db)
+}
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -159,31 +224,24 @@ fn run() -> Result<(), String> {
         ppf_pool::set_threads(n);
     }
 
-    let mut db = match (xmark_scale, schema) {
+    let source = match (xmark_scale, schema) {
         (Some(scale), None) => {
             eprintln!("generating XMark document at scale {scale} (seed {seed})");
-            let doc = xmark::generate_xmark(xmark::XMarkConfig { scale, seed });
-            let mut db = XmlDb::new(&xmark::xmark_schema()).map_err(|e| e.to_string())?;
-            db.load(&doc).map_err(|e| e.to_string())?;
-            db
+            Source::XMark { scale, seed }
         }
         (None, Some(schema)) => {
             if docs.is_empty() {
                 return Err(format!("no documents to load\n{USAGE}"));
             }
-            let mut db = XmlDb::new(&schema).map_err(|e| e.to_string())?;
-            for path in &docs {
-                let xml = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let loaded = db.load_xml(&xml).map_err(|e| e.to_string())?;
-                eprintln!("loaded {path} as document {}", loaded.doc_id);
+            Source::Docs {
+                schema,
+                paths: docs,
             }
-            db
         }
         (Some(_), Some(_)) => return Err("--xmark and --schema are mutually exclusive".into()),
         (None, None) => return Err(format!("no data source\n{USAGE}")),
     };
-    db.finalize().map_err(|e| e.to_string())?;
+    let db = build_db(&source).map_err(|e| e.to_string())?;
     eprintln!(
         "{} relations, {} rows total; pool threads: {}",
         db.db().len(),
@@ -193,7 +251,10 @@ fn run() -> Result<(), String> {
 
     install_signal_handlers();
     let engine = SharedEngine::new(db);
-    let handle = serve(engine, &listen, cfg).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let reload_source = source.clone();
+    let reloader: ReloadFn = Arc::new(move || build_db(&reload_source));
+    let handle = serve_with_reload(engine, &listen, cfg, Some(reloader))
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
     if let Some(spec) = chaos {
         let summary = handle
             .install_chaos(&spec)
@@ -207,6 +268,13 @@ fn run() -> Result<(), String> {
     std::io::stdout().flush().ok();
 
     while !SHUTDOWN.load(SeqCst) && !handle.is_draining() {
+        if RELOAD.swap(false, SeqCst) {
+            eprintln!("SIGHUP received; reloading data source");
+            match handle.reload() {
+                Ok(version) => eprintln!("reload complete: serving snapshot v{version}"),
+                Err(e) => eprintln!("reload failed [{}]: {e} (old snapshot kept)", e.kind()),
+            }
+        }
         std::thread::sleep(Duration::from_millis(100));
     }
     if SHUTDOWN.load(SeqCst) {
